@@ -1,0 +1,126 @@
+(* Ablation studies for the design choices the paper calls out:
+
+   - section 7: "failure probability can be further [improved] in the
+     modified construction using slightly rectangular grids instead of
+     square grids (the same situation does not occur in the original
+     construction)" — sweep grid shapes at fixed n ~ 24;
+   - section 5 "introducing new elements": each growth rule should
+     improve availability;
+   - the T-grid refinement itself: h-grid vs h-T-grid vs flat variants
+     at matched sizes. *)
+
+open Core
+
+let shapes () =
+  Util.print_header
+    "Ablation: grid shape at n ~ 24 (rows x cols, 2x2 logical blocks)";
+  Printf.printf "%-8s %-12s %-12s %s\n" "shape" "h-grid F(.1)" "h-T F(.1)"
+    "h-T F(.2)";
+  List.iter
+    (fun (rows, cols) ->
+      let g = Hgrid.auto_2x2 ~rows ~cols () in
+      let h = Hgrid.failure_probability g Read_write ~p:0.1 in
+      let tpoly = Analysis.Failure.exact_poly (Htgrid.system g) in
+      Printf.printf "%dx%-6d %-12.6f %-12.6f %.6f\n" rows cols h
+        (Quorum.Failure_poly.eval tpoly ~p:0.1)
+        (Quorum.Failure_poly.eval tpoly ~p:0.2))
+    [ (4, 6); (6, 4); (3, 8); (8, 3); (2, 12); (12, 2); (5, 5) ];
+  Printf.printf
+    "(expected: 6x4 is the best h-T-grid shape; 8x3 is worse than 6x4;\n\
+    \ 6x4 h-T-grid beats even the 25-node square, as in section 4.3)\n"
+
+let growth () =
+  Util.print_header "Ablation: h-triang growth rules (section 5)";
+  let base = Htriang.standard ~rows:5 () in
+  let report label t =
+    Printf.printf "%-24s n=%-3d F(0.1)=%.6f F(0.3)=%.6f\n" label t.Htriang.n
+      (Htriang.failure_probability t ~p:0.1)
+      (Htriang.failure_probability t ~p:0.3)
+  in
+  report "standard d=5" base;
+  (match Htriang.grow_unit_triangle base with
+  | Some t -> report "+ unit triangle -> 2x" t
+  | None -> ());
+  (match Htriang.grow_unit_grid base with
+  | Some t -> report "+ 1x1 grid -> 1x2" t
+  | None -> ());
+  (match Htriang.grow_square_grid base with
+  | Some t -> report "+ m^2 grid -> (m+1)^2" t
+  | None -> ());
+  (* chain them *)
+  let chained =
+    List.fold_left
+      (fun t grow -> match grow t with Some t' -> t' | None -> t)
+      base
+      [
+        Htriang.grow_unit_triangle;
+        Htriang.grow_unit_grid;
+        Htriang.grow_square_grid;
+      ]
+  in
+  report "all three chained" chained;
+  report "standard d=6 (reference)" (Htriang.standard ~rows:6 ())
+
+(* Beyond the paper: heterogeneous reliability.  The paper's model is
+   iid; the hetero closed forms let us ask where flaky processes hurt a
+   hierarchical construction most. *)
+let heterogeneous () =
+  Util.print_header
+    "Ablation (extension): where do unreliable processes hurt most?";
+  let t = Htriang.standard ~rows:5 () in
+  let flaky placement i = if List.mem i placement then 0.35 else 0.05 in
+  Printf.printf
+    "h-triang(15), three processes at p = 0.35 (rest 0.05):\n";
+  List.iter
+    (fun (label, placement) ->
+      Printf.printf "  %-28s F = %.6f\n" label
+        (Htriang.failure_probability_hetero t ~p_of:(flaky placement)))
+    [
+      ("top rows (T1: 0,1,2)", [ 0; 1; 2 ]);
+      ("sub-grid column (3,6,10)", [ 3; 6; 10 ]);
+      ("bottom row (10..14 corners)", [ 10; 12; 14 ]);
+      ("T2 spine (5,8,12)", [ 5; 8; 12 ]);
+      ("uniform reference p=0.11", []);
+    ];
+  Printf.printf "  (uniform p = 0.11 reference: F = %.6f)\n"
+    (Htriang.failure_probability t ~p:0.11);
+  let g = Hgrid.auto_2x2 ~rows:4 ~cols:4 () in
+  Printf.printf
+    "\nh-grid(4x4) read-write, one row of flaky processes (p = 0.35):\n";
+  List.iter
+    (fun row ->
+      let p_of i = if i / 4 = row then 0.35 else 0.05 in
+      Printf.printf "  row %d flaky: F = %.6f\n" row
+        (Hgrid.failure_probability_hetero g Read_write ~p_of))
+    [ 0; 1; 2; 3 ];
+  Printf.printf
+    "(h-T-grid under the same stress, by exact enumeration):\n";
+  List.iter
+    (fun row ->
+      let p_of i = if i / 4 = row then 0.35 else 0.05 in
+      Printf.printf "  row %d flaky: F = %.6f\n" row
+        (Analysis.Failure.exact_hetero (Htgrid.system g) ~p_of))
+    [ 0; 1; 2; 3 ];
+  Printf.printf
+    "(the T-grid leans on low rows for its short quorums: flaky bottom\n\
+    \ rows cost it more than the symmetric h-grid)\n"
+
+let refinement () =
+  Util.print_header
+    "Ablation: what the T-grid refinement buys at matched sizes";
+  Printf.printf "%-10s %-22s %-12s %-12s %s\n" "n" "structure" "F(0.1)"
+    "min |Q|" "LP load";
+  let entry label sys =
+    let stats = Analysis.Metrics.of_system sys in
+    let lp = Analysis.Load.optimal sys in
+    Printf.printf "%-10d %-22s %-12.6f %-12d %.1f%%\n" sys.Quorum.System.n
+      label
+      (Analysis.Failure.exact sys ~p:0.1)
+      stats.min_size (100.0 *. lp.load)
+  in
+  let g16 = Hgrid.auto_2x2 ~rows:4 ~cols:4 () in
+  entry "flat grid RW [3]" (Systems.Grid.system ~rows:4 ~cols:4 Systems.Grid.Read_write);
+  entry "flat T-grid (wall)" (Systems.Grid.t_grid ~rows:4 ~cols:4 ());
+  entry "h-grid RW [9]" (Hgrid.rw_system g16);
+  entry "h-T-grid (this paper)" (Htgrid.system g16);
+  entry "h-triang(15)" (Htriang.system (Htriang.standard ~rows:5 ()))

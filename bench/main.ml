@@ -1,0 +1,66 @@
+(* Reproduction harness: regenerates every table and figure of the
+   paper, the in-text section 4.3 / section 6 numbers, the ablations,
+   the simulated-protocol comparison and the bechamel micro-benchmarks.
+
+   Usage: main.exe [--fast] [target ...]
+   Targets: table1 table2 table3 table4 table5 figure1 figure2 curves
+            sect43 sect6 ablations sims placement byzantine
+            thresholds perf all (default: all)
+
+   --fast replaces the 2^25..2^28 exact enumerations (h-T-grid(25),
+   Paths(24), Y(28)) with 1e6-trial Monte Carlo estimates. *)
+
+let targets : (string * (unit -> unit)) list =
+  [
+    ("table1", Tables.table1);
+    ("table2", Tables.table2);
+    ("table3", Tables.table3);
+    ("table4", Tables.table4);
+    ("table5", Tables.table5);
+    ("figure1", Figures.figure1);
+    ("figure2", Figures.figure2);
+    ("curves", Figures.availability_curves);
+    ("sect43", Tables.sect43);
+    ("sect6", Tables.sect6);
+    ( "ablations",
+      fun () ->
+        Ablations.shapes ();
+        Ablations.growth ();
+        Ablations.heterogeneous ();
+        Ablations.refinement () );
+    ("sims", Sims.run);
+    ("placement", Placement.run);
+    ("byzantine", Byz.run);
+    ("thresholds", Thresholds.run);
+    ("perf", Perf.run);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args =
+    List.filter
+      (fun a ->
+        if a = "--fast" then begin
+          Util.fast := true;
+          false
+        end
+        else true)
+      args
+  in
+  let selected =
+    match args with [] | [ "all" ] -> List.map fst targets | l -> l
+  in
+  Printf.printf
+    "Revisiting Hierarchical Quorum Systems (ICDCS 2001) - reproduction \
+     harness%s\n"
+    (if !Util.fast then " [--fast: Monte Carlo for 2^25+ enumerations]"
+     else "");
+  List.iter
+    (fun name ->
+      match List.assoc_opt name targets with
+      | Some f -> f ()
+      | None ->
+          Printf.eprintf "unknown target %s (known: %s)\n" name
+            (String.concat " " (List.map fst targets));
+          exit 1)
+    selected

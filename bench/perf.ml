@@ -1,0 +1,67 @@
+(* Bechamel micro-benchmarks: cost of availability checks and quorum
+   selection per construction — the operations a deployed quorum-based
+   service performs on every request. *)
+
+open Bechamel
+open Toolkit
+
+let systems () =
+  List.map Core.Registry.build_exn
+    [
+      "majority(15)";
+      "hqs(5-3)";
+      "cwlog(14)";
+      "htgrid(4x4)";
+      "y(15)";
+      "htriang(15)";
+      "paths(2)";
+      "htriang(105)";
+      "hgrid(10x10)";
+    ]
+
+let avail_tests () =
+  List.map
+    (fun (s : Quorum.System.t) ->
+      let live = Quorum.Bitset.universe s.n in
+      (* flip some members dead so the check is not trivially the fast
+         path *)
+      let rng = Quorum.Rng.create 4 in
+      for _ = 1 to s.n / 8 do
+        Quorum.Bitset.remove live (Quorum.Rng.int rng s.n)
+      done;
+      Test.make ~name:("avail " ^ s.name) (Staged.stage (fun () -> s.avail live)))
+    (systems ())
+
+let select_tests () =
+  List.map
+    (fun (s : Quorum.System.t) ->
+      let live = Quorum.Bitset.universe s.n in
+      let rng = Quorum.Rng.create 5 in
+      Test.make
+        ~name:("select " ^ s.name)
+        (Staged.stage (fun () -> s.select rng ~live)))
+    (systems ())
+
+let run_group name tests =
+  let test = Test.make_grouped ~name ~fmt:"%s %s" tests in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) ()
+  in
+  let raw = Benchmark.all cfg instances test in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some [ ns ] -> Printf.printf "  %-32s %10.1f ns/op\n" name ns
+      | Some _ | None -> Printf.printf "  %-32s (no estimate)\n" name)
+    (List.sort compare rows)
+
+let run () =
+  Util.print_header "Micro-benchmarks (bechamel): per-request operation cost";
+  run_group "avail" (avail_tests ());
+  run_group "select" (select_tests ())

@@ -1,0 +1,452 @@
+(* Regeneration of the paper's Tables 1-5 and the in-text numbers of
+   sections 4.3 and 6.  Every printed cell carries the paper's value
+   alongside ours. *)
+
+module System = Quorum.System
+module Strategy = Quorum.Strategy
+open Core
+
+let ps = [ 0.1; 0.2; 0.3; 0.5 ]
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: h-grid vs h-T-grid failure probability.                    *)
+(* ------------------------------------------------------------------ *)
+
+let table1_paper =
+  [
+    (* label, rows, cols, h-grid cells, h-T-grid cells (p = .1 .2 .3 .5) *)
+    ( "3x3", 3, 3,
+      [ 0.016893; 0.109235; 0.286224; 0.716797 ],
+      [ 0.015213; 0.098585; 0.259783; 0.667969 ] );
+    ( "4x4", 4, 4,
+      [ 0.005799; 0.069318; 0.243795; 0.746628 ],
+      [ 0.005361; 0.063866; 0.225066; 0.706604 ] );
+    ( "5x5", 5, 5,
+      [ 0.001753; 0.039439; 0.191581; 0.751019 ],
+      [ 0.001621; 0.036300; 0.176290; 0.708871 ] );
+    ( "4x6 (6 lines x 4 columns)", 6, 4,
+      [ 0.001949; 0.034161; 0.167172; 0.725377 ],
+      [ 0.000611; 0.016690; 0.104402; 0.598435 ] );
+  ]
+
+let table1 () =
+  Util.print_header
+    "Table 1: failure probability, hierarchical grid vs hierarchical T-grid";
+  List.iter
+    (fun (label, rows, cols, h_paper, t_paper) ->
+      let g = Hgrid.auto_2x2 ~rows ~cols () in
+      Printf.printf "\n%s grid, 2x2 logical blocks:\n" label;
+      let h_ours = List.map (fun p -> Hgrid.failure_probability g Read_write ~p) ps in
+      Util.row "  h-grid" (List.map2 Util.cell h_ours h_paper);
+      let t_ours = Util.failure_row (Htgrid.system g) ps in
+      Util.row "  h-T-grid" (List.map2 Util.cell t_ours t_paper))
+    table1_paper
+
+(* ------------------------------------------------------------------ *)
+(* Tables 2 and 3: failure probability across seven systems.           *)
+(* ------------------------------------------------------------------ *)
+
+(* (spec, display name, paper cells at p = .1 .2 .3 .5) *)
+let lineup_15 =
+  [
+    ("majority(15)", "Majority(15)", [ 0.000034; 0.004240; 0.050013; 0.5 ]);
+    ("hqs(5-3)", "HQS(15)", [ 0.000210; 0.009567; 0.070946; 0.5 ]);
+    ("cwlog(14)", "CWlog(14)", [ 0.001639; 0.021787; 0.099915; 0.5 ]);
+    ("htgrid(4x4)", "h-T-grid(16)", [ 0.015213; 0.098585; 0.259783; 0.667969 ]);
+    ("paths(2)", "Paths(12~13)", [ 0.007351; 0.063493; 0.206296; 0.662598 ]);
+    ("y(15)", "Y(15)", [ 0.000745; 0.017603; 0.093599; 0.5 ]);
+    ("htriang(15)", "h-triang(15)", [ 0.000677; 0.016577; 0.090712; 0.5 ]);
+  ]
+
+let lineup_28 =
+  [
+    ("majority(28)", "Majority(28)", [ 0.000000; 0.000229; 0.014257; 0.5 ]);
+    ("hqs(3-3-3)", "HQS(27)", [ 0.000016; 0.002681; 0.039626; 0.5 ]);
+    ("cwlog(29)", "CWlog(29)", [ 0.000205; 0.006865; 0.056988; 0.5 ]);
+    ("htgrid(5x5)", "h-T-grid(25)", [ 0.001621; 0.036300; 0.176290; 0.708872 ]);
+    ("paths(3)", "Paths(24~25)", [ 0.001201; 0.025045; 0.136541; 0.678858 ]);
+    ("y(28)", "Y(28)", [ 0.000057; 0.005012; 0.052777; 0.5 ]);
+    ("htriang(28)", "h-triang(28)", [ 0.000055; 0.004851; 0.051670; 0.5 ]);
+  ]
+
+(* Closed forms where enumeration would be 2^27+ work. *)
+let fp_of_spec spec p =
+  match spec with
+  | "majority(28)" -> Systems.Majority.failure_probability ~n:28 ~p
+  | "hqs(3-3-3)" -> Systems.Hqs.failure_probability ~branching:[ 3; 3; 3 ] ~p
+  | "cwlog(29)" -> Systems.Cwlog.failure_probability ~n:29 ~p
+  | "htriang(28)" ->
+      Htriang.failure_probability (Htriang.standard ~rows:7 ()) ~p
+  | _ -> Util.failure_probability (Registry.build_exn spec) ~p
+
+let fp_row_of_spec spec =
+  match spec with
+  | "majority(28)" | "hqs(3-3-3)" | "cwlog(29)" | "htriang(28)" ->
+      List.map (fp_of_spec spec) ps
+  | _ -> Util.failure_row (Registry.build_exn spec) ps
+
+let cross_table title lineup =
+  Util.print_header title;
+  Printf.printf "(columns: p = 0.1, 0.2, 0.3, 0.5)\n";
+  List.iter
+    (fun (spec, name, paper) ->
+      Printf.printf "%-14s " name;
+      let ours = fp_row_of_spec spec in
+      Printf.printf "%s\n"
+        (String.concat "  " (List.map2 Util.cell ours paper)))
+    lineup
+
+let table2 () =
+  cross_table "Table 2: failure probability, systems with ~15 nodes" lineup_15;
+  (* The paper's Table 2 h-T-grid(16) cells equal its own Table 1 3x3
+     (9-node) h-T-grid column; the 16-node values are Table 1's 4x4
+     column, which we match exactly.  Exhibit: *)
+  let g9 = Hgrid.auto_2x2 ~rows:3 ~cols:3 () in
+  let ours = Util.failure_row (Htgrid.system g9) ps in
+  Printf.printf "%-14s %s\n" "h-T-grid(9)"
+    (String.concat "  "
+       (List.map2 Util.cell ours [ 0.015213; 0.098585; 0.259783; 0.667969 ]));
+  Printf.printf
+    "(note: the paper's h-T-grid(16) row duplicates its Table 1 3x3 column;\n\
+    \ the 9-node instance above matches those cells exactly, while our\n\
+    \ 16-node row matches the paper's own Table 1 4x4 column.)\n"
+
+let table3 () =
+  cross_table "Table 3: failure probability, systems with ~28 nodes" lineup_28
+
+(* ------------------------------------------------------------------ *)
+(* Table 4: quorum sizes and load.                                      *)
+(* ------------------------------------------------------------------ *)
+
+type size_load = {
+  name : string;
+  min_size : string;
+  max_size : string;
+  load : string;
+}
+
+let pct x = Printf.sprintf "%.1f%%" (100.0 *. x)
+
+let exact_entry name system ~paper_min ~paper_max ~paper_load =
+  let stats = Analysis.Metrics.of_system system in
+  let lp = Analysis.Load.optimal system in
+  {
+    name;
+    min_size = Printf.sprintf "%d (paper %d)" stats.min_size paper_min;
+    max_size = Printf.sprintf "%d (paper %d)" stats.max_size paper_max;
+    load = Printf.sprintf "%s (paper %s)" (pct lp.load) (pct paper_load);
+  }
+
+(* Majority with an even universe: one 2-vote process, quorums of 14
+   (with it) or 15 (without).  The optimal strategy mixes the two
+   symmetric families; balancing gives load (n/2+1)/(n+1). *)
+let majority_even_load n = (float_of_int ((n / 2) + 1)) /. float_of_int (n + 1)
+
+let sampled_entry name system ~trials ~paper_min ~paper_max ~paper_load =
+  let stats = Analysis.Metrics.sampled ~trials (Quorum.Rng.create 17) system in
+  let e =
+    Strategy.empirical_of_select ~n:system.System.n ~trials
+      (Quorum.Rng.create 18) system.System.select
+  in
+  {
+    name;
+    min_size = Printf.sprintf "%d* (paper %d)" stats.min_size paper_min;
+    max_size = Printf.sprintf "%d* (paper %s)" stats.max_size paper_max;
+    load =
+      Printf.sprintf "%s* (paper %s)" (pct e.Strategy.max_load)
+        (pct paper_load);
+  }
+
+let print_entries group entries =
+  Printf.printf "\n~%s nodes:\n" group;
+  Printf.printf "  %-16s %-18s %-18s %s\n" "system" "min quorum" "max quorum"
+    "load";
+  List.iter
+    (fun e ->
+      Printf.printf "  %-16s %-18s %-18s %s\n" e.name e.min_size e.max_size
+        e.load)
+    entries
+
+let table4 () =
+  Util.print_header "Table 4: quorum sizes and load";
+  Printf.printf
+    "(* = sampled via random minimal quorums / empirical strategy; the\n\
+    \ paper's h-T-grid loads are its strategy values, ours are the LP\n\
+    \ optimum unless starred)\n";
+  let g16 = Hgrid.auto_2x2 ~rows:4 ~cols:4 () in
+  let entries_15 =
+    [
+      exact_entry "Majority(15)" (Systems.Majority.make 15) ~paper_min:8
+        ~paper_max:8 ~paper_load:0.533;
+      exact_entry "HQS(15)"
+        (Systems.Hqs.system ~branching:[ 5; 3 ] ())
+        ~paper_min:6 ~paper_max:6 ~paper_load:0.40;
+      (let tradeoff = Systems.Cwlog.tradeoff_strategy ~n:14 in
+       let e =
+         exact_entry "CWlog(14)"
+           (Systems.Cwlog.system ~n:14 ())
+           ~paper_min:3 ~paper_max:6 ~paper_load:0.555
+       in
+       {
+         e with
+         load =
+           Printf.sprintf "%s tradeoff / %s LP (paper %s)"
+             (pct (Strategy.system_load tradeoff))
+             (pct (Analysis.Load.optimal (Systems.Cwlog.system ~n:14 ())).load)
+             (pct 0.555);
+       });
+      exact_entry "h-T-grid(16)" (Htgrid.system g16) ~paper_min:4 ~paper_max:7
+        ~paper_load:0.365;
+      exact_entry "Paths(12)"
+        (Systems.Paths.system ~d:2 ())
+        ~paper_min:5 ~paper_max:5 ~paper_load:0.392;
+      exact_entry "Y(15)"
+        (Systems.Y_system.system ~rows:5 ())
+        ~paper_min:5 ~paper_max:6 ~paper_load:0.346;
+      exact_entry "h-triang(15)"
+        (Htriang.system (Htriang.standard ~rows:5 ()))
+        ~paper_min:5 ~paper_max:5 ~paper_load:0.333;
+    ]
+  in
+  print_entries "15" entries_15;
+  let g25 = Hgrid.auto_2x2 ~rows:5 ~cols:5 () in
+  let entries_28 =
+    [
+      {
+        name = "Majority(28)";
+        min_size = "14 (paper 14)";
+        max_size = "15 (paper 14)";
+        load =
+          Printf.sprintf "%s (paper %s)" (pct (majority_even_load 28))
+            (pct 0.51);
+      };
+      {
+        (* 3^3 leaves, all quorums 2^3 = 8; symmetric, load = 8/27. *)
+        name = "HQS(27)";
+        min_size = "8 (paper 8)";
+        max_size = "8 (paper 8)";
+        load =
+          Printf.sprintf "%s (paper %s)" (pct (8.0 /. 27.0)) (pct 0.296);
+      };
+      (let tradeoff = Systems.Cwlog.tradeoff_strategy ~n:29 in
+       let e =
+         exact_entry "CWlog(29)"
+           (Systems.Cwlog.system ~n:29 ())
+           ~paper_min:4 ~paper_max:10 ~paper_load:0.437
+       in
+       {
+         e with
+         load =
+           Printf.sprintf "%s tradeoff / %s LP (paper %s)"
+             (pct (Strategy.system_load tradeoff))
+             (pct (Analysis.Load.optimal (Systems.Cwlog.system ~n:29 ())).load)
+             (pct 0.437);
+       });
+      exact_entry "h-T-grid(25)" (Htgrid.system g25) ~paper_min:5 ~paper_max:9
+        ~paper_load:0.34;
+      sampled_entry "Paths(24)"
+        (Systems.Paths.system ~d:3 ())
+        ~trials:4000 ~paper_min:7 ~paper_max:"-" ~paper_load:0.282;
+      sampled_entry "Y(28)"
+        (Systems.Y_system.system ~rows:7 ())
+        ~trials:4000 ~paper_min:7 ~paper_max:"11" ~paper_load:0.289;
+      exact_entry "h-triang(28)"
+        (Htriang.system (Htriang.standard ~rows:7 ()))
+        ~paper_min:7 ~paper_max:7 ~paper_load:0.25;
+    ]
+  in
+  print_entries "28" entries_28;
+  (* ~100 nodes: structural values (quorum enumeration is astronomical,
+     exactly as in the paper, which reports only sizes here). *)
+  (* 99 = a complete CWlog wall (25 rows, bottom width 5) - the
+     paper's "~100" instance. *)
+  let cw100 = Systems.Cwlog.widths_for 99 in
+  let d100 = Array.length cw100 in
+  let entries_100 =
+    [
+      {
+        name = "Majority(101)";
+        min_size = "51 (paper 51)";
+        max_size = "51 (paper 51)";
+        load = pct (51.0 /. 101.0);
+      };
+      {
+        name = "HQS(~100)";
+        min_size = Printf.sprintf "%.0f = n^0.63 (paper ~19)" (100.0 ** 0.63);
+        max_size = "same";
+        load = pct (100.0 ** (-0.37));
+      };
+      {
+        name = "CWlog(99)";
+        min_size = Printf.sprintf "%d (paper 5)" cw100.(d100 - 1);
+        max_size = Printf.sprintf "%d (paper 25)" (1 + d100 - 1);
+        load = "~1/lg n";
+      };
+      {
+        name = "h-T-grid(100)";
+        min_size = "10 (paper 10)";
+        max_size = "19 (paper 19)";
+        load = "> 15%";
+      };
+      sampled_entry "Paths(112)"
+        (Systems.Paths.system ~d:7 ())
+        ~trials:300 ~paper_min:15 ~paper_max:"-" ~paper_load:0.134;
+      sampled_entry "Y(105)"
+        (Systems.Y_system.system ~rows:14 ())
+        ~trials:300 ~paper_min:14 ~paper_max:"-" ~paper_load:0.135;
+      {
+        name = "h-triang(105)";
+        min_size = "14 (paper 14)";
+        max_size = "14 (paper 14)";
+        load =
+          pct (Htriang.system_load (Htriang.standard ~rows:14 ()));
+      };
+    ]
+  in
+  print_entries "100" entries_100
+
+(* ------------------------------------------------------------------ *)
+(* Table 5: asymptotic properties, verified numerically.                *)
+(* ------------------------------------------------------------------ *)
+
+let table5 () =
+  Util.print_header
+    "Table 5: asymptotic properties (numeric check of the claimed forms)";
+  Printf.printf
+    "%-10s %-26s %-14s %s\n" "system" "c(S) measured vs formula"
+    "same size?" "load (measured vs formula)";
+  (* For each family, instantiate two sizes and compare the smallest
+     quorum and load against the claimed asymptotic form. *)
+  let check_c name actual formula_value same_size load_str =
+    Printf.printf "%-10s %3d vs %-18.1f %-14s %s\n" name actual formula_value
+      same_size load_str
+  in
+  (* Majority *)
+  let n = 29 in
+  check_c "Majority"
+    (Systems.Majority.quorum_size n)
+    (float_of_int (n + 1) /. 2.0)
+    "yes"
+    (Printf.sprintf "%s vs 1/2" (pct (float_of_int ((n + 1) / 2) /. float_of_int n)));
+  (* HQS: 3^3 = 27 leaves *)
+  check_c "HQS"
+    (Systems.Hqs.quorum_size ~branching:[ 3; 3; 3 ])
+    (27.0 ** 0.63) "yes"
+    (Printf.sprintf "%s vs n^-0.37 = %s"
+       (pct (8.0 /. 27.0))
+       (pct (27.0 ** (-0.37))));
+  (* CWlog *)
+  let cw = Systems.Cwlog.system ~n:29 () in
+  let cw_stats = Analysis.Metrics.of_system cw in
+  let lg n = log (float_of_int n) /. log 2.0 in
+  check_c "CWlog" cw_stats.min_size
+    (lg 29 -. (log (lg 29) /. log 2.0))
+    "no"
+    (Printf.sprintf "%s vs 1/lg n = %s"
+       (pct (Analysis.Load.optimal cw).load)
+       (pct (1.0 /. lg 29)));
+  (* h-T-grid *)
+  let g = Hgrid.auto_2x2 ~rows:5 ~cols:5 () in
+  let tg = Htgrid.system g in
+  let tg_stats = Analysis.Metrics.of_system tg in
+  check_c "h-T-grid" tg_stats.min_size (sqrt 25.0) "no (avg > 1.5 sqrt n)"
+    (Printf.sprintf "%s vs > 1.5/sqrt n = %s"
+       (pct (Analysis.Load.optimal tg).load)
+       (pct (1.5 /. sqrt 25.0)));
+  (* Paths *)
+  check_c "Paths"
+    (Analysis.Metrics.smallest_quorum (Systems.Paths.system ~d:3 ()))
+    (sqrt (2.0 *. 24.0))
+    "no" "in [sqrt2/sqrt n, 2 sqrt2/sqrt n]";
+  (* Y *)
+  check_c "Y"
+    (Analysis.Metrics.smallest_quorum (Systems.Y_system.system ~rows:7 ()))
+    (sqrt (2.0 *. 28.0))
+    "no"
+    (Printf.sprintf "> sqrt2/sqrt n = %s" (pct (sqrt 2.0 /. sqrt 28.0)));
+  (* h-triang *)
+  let ht = Htriang.standard ~rows:7 () in
+  let ht_stats = Analysis.Metrics.of_system (Htriang.system ht) in
+  check_c "h-triang" ht_stats.min_size
+    (sqrt (2.0 *. 28.0))
+    "yes"
+    (Printf.sprintf "%s vs sqrt2/sqrt n = %s"
+       (pct (Htriang.system_load ht))
+       (pct (sqrt 2.0 /. sqrt 28.0)));
+  (* Growth of c(S) with n for h-triang: constant-per-instance, ~sqrt(2n). *)
+  Printf.printf
+    "\nh-triang quorum size vs sqrt(2n) as the triangle grows:\n";
+  List.iter
+    (fun rows ->
+      let n = rows * (rows + 1) / 2 in
+      Printf.printf "  d=%2d  n=%4d  |Q|=%2d  sqrt(2n)=%.1f  load=%s\n" rows n
+        rows
+        (sqrt (2.0 *. float_of_int n))
+        (pct (Htriang.system_load (Htriang.standard ~rows ()))))
+    [ 5; 7; 10; 14; 20; 30; 45 ]
+
+(* ------------------------------------------------------------------ *)
+(* Section 4.3 in-text numbers.                                         *)
+(* ------------------------------------------------------------------ *)
+
+let sect43 () =
+  Util.print_header
+    "Section 4.3: h-T-grid strategies on the 4x4 grid (in-text numbers)";
+  let flat = Hgrid.flat ~rows:4 ~cols:4 in
+  let s = Htgrid.flat_row_strategy flat in
+  Printf.printf
+    "optimal row strategy:   avg quorum size %.2f (paper 5.8), load %s (paper 36.5%%)\n"
+    (Strategy.average_quorum_size s)
+    (pct (Strategy.system_load s));
+  let rng = Quorum.Rng.create 23 in
+  let hier = Hgrid.of_dims [ (2, 2); (2, 2) ] in
+  let e =
+    Strategy.empirical_of_select ~n:16 ~trials:200_000 rng
+      (Htgrid.select_lower_line ~epsilon:0.1 hier)
+  in
+  Printf.printf
+    "all-quorums variant:    avg quorum size %.2f (paper 5.9), load %s (paper 41%%)  [epsilon = 0.1, hierarchical]\n"
+    e.Strategy.avg_size
+    (pct e.Strategy.max_load);
+  let lower_bound_avg = 1.5 *. 4.0 -. 0.5 in
+  Printf.printf
+    "lower bounds (paper):   avg size >= %.2f (paper ~5.5), load >= %s (paper 34.375%%)\n"
+    lower_bound_avg
+    (pct (lower_bound_avg /. 16.0));
+  let lp = Analysis.Load.optimal (Htgrid.system flat) in
+  Printf.printf "LP-optimal load over all strategies: %s\n" (pct lp.load)
+
+(* ------------------------------------------------------------------ *)
+(* Section 6 in-text numbers.                                           *)
+(* ------------------------------------------------------------------ *)
+
+let sect6 () =
+  Util.print_header "Section 6: CWlog and Y strategy numbers (in-text)";
+  List.iter
+    (fun (n, paper_avg, paper_load) ->
+      let tradeoff = Systems.Cwlog.tradeoff_strategy ~n in
+      Printf.printf
+        "CWlog(%d) tradeoff strategy: avg size %.2f (paper %.2f), load %s (paper %s)\n"
+        n
+        (Strategy.average_quorum_size tradeoff)
+        paper_avg
+        (pct (Strategy.system_load tradeoff))
+        (pct paper_load);
+      let lp = Analysis.Load.optimal (Systems.Cwlog.system ~n ()) in
+      Printf.printf
+        "           LP-optimal load %s with avg size %.2f (the tradeoff favours size)\n"
+        (pct lp.load)
+        (Strategy.average_quorum_size lp.strategy))
+    [ (14, 4.0, 0.555); (29, 5.25, 0.437) ];
+  let y28 = Systems.Y_system.system ~rows:7 () in
+  let stats = Analysis.Metrics.sampled ~trials:8000 (Quorum.Rng.create 19) y28 in
+  Printf.printf
+    "Y(28): sampled avg minimal-quorum size %.2f (paper 8.1), sampled-strategy load %s (paper 28.9%%)\n"
+    stats.avg_size
+    (pct
+       (Strategy.empirical_of_select ~n:28 ~trials:8000 (Quorum.Rng.create 20)
+          y28.System.select)
+         .Strategy.max_load);
+  let ht = Htriang.standard ~rows:7 () in
+  Printf.printf "h-triang(28): quorum size 7 fixed, load %s (paper 25%%)\n"
+    (pct (Htriang.system_load ht))

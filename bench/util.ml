@@ -1,0 +1,43 @@
+(* Shared helpers for the reproduction harness: table rendering and
+   paper-vs-measured cells. *)
+
+let fast = ref false
+(* --fast replaces the 2^28-scale exact enumerations with Monte-Carlo
+   estimates (1e6 trials). *)
+
+let line width = String.make width '-'
+
+let print_header title =
+  Printf.printf "\n%s\n%s\n" title (line (String.length title))
+
+(* A measured cell next to the paper's value.  "=" exact to the paper's
+   six decimals, "~" within 15%, "!" a real deviation (discussed in
+   EXPERIMENTS.md). *)
+let cell ours paper =
+  let marker =
+    if abs_float (ours -. paper) < 5e-7 then "="
+    else if paper <> 0.0 && abs_float (ours -. paper) /. paper < 0.15 then "~"
+    else "!"
+  in
+  Printf.sprintf "%.6f (paper %.6f)%s" ours paper marker
+
+let row label cells =
+  Printf.printf "%-10s %s\n" label (String.concat "  " cells)
+
+(* Exact failure probability, or Monte Carlo under --fast for large
+   universes. *)
+let failure_probability system ~p =
+  if !fast && system.Quorum.System.n > 24 then
+    (Analysis.Failure.monte_carlo ~trials:1_000_000 (Quorum.Rng.create 1)
+       system ~p)
+      .mean
+  else Analysis.Failure.exact system ~p
+
+(* Evaluate several p values off one polynomial (one enumeration). *)
+let failure_row system ps =
+  if !fast && system.Quorum.System.n > 24 then
+    List.map (fun p -> failure_probability system ~p) ps
+  else begin
+    let poly = Analysis.Failure.exact_poly system in
+    List.map (fun p -> Quorum.Failure_poly.eval poly ~p) ps
+  end

@@ -1,0 +1,323 @@
+(* quorumctl: command-line interface to the quorum-system library.
+
+   Subcommands:
+     info <spec>        structural summary (sizes, quorum count)
+     fp <spec>          failure probability over a p sweep
+     load <spec>        LP-optimal system load and witnessing strategy
+     quorums <spec>     list the minimal quorums
+     pick <spec>        sample quorums with the selection strategy
+     simulate <spec>    run the mutual-exclusion simulation
+     list               the catalogue of system specs
+
+   Specs are Registry specs, e.g. "htriang(15)", "htgrid(4x6)",
+   "majority(15)", "cwlog(29)". *)
+
+open Cmdliner
+
+let spec_arg =
+  let doc = "System spec, e.g. htriang(15), htgrid(4x4), majority(15)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"SPEC" ~doc)
+
+(* Registry specs plus the Byzantine constructions:
+   masking(n,f) and boost(k,<spec>). *)
+let build_extended spec =
+  match Core.Registry.parse_spec spec with
+  | "masking", [ n; f ] ->
+      (try
+         Ok
+           (Byzantine.Masking.majority_masking ~n:(int_of_string n)
+              ~f:(int_of_string f))
+       with Invalid_argument m | Failure m -> Error m)
+  | "boost", k :: rest ->
+      let inner = String.concat "," rest in
+      (match Core.Registry.build inner with
+      | Ok base ->
+          (try Ok (Byzantine.Masking.boost ~k:(int_of_string k) base)
+           with Invalid_argument m | Failure m -> Error m)
+      | Error m -> Error m)
+  | _ -> Core.Registry.build spec
+  | exception Invalid_argument m -> Error m
+
+let with_system spec f =
+  match build_extended spec with
+  | Ok system ->
+      f system;
+      0
+  | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+
+(* --- info --------------------------------------------------------- *)
+
+let info_cmd =
+  let run spec =
+    with_system spec (fun system ->
+        Printf.printf "%s: %d processes\n" system.Quorum.System.name
+          system.Quorum.System.n;
+        match system.Quorum.System.min_quorums with
+        | Some _ ->
+            let quorums = Quorum.System.quorums_exn system in
+            let stats = Analysis.Metrics.of_quorums quorums in
+            Printf.printf
+              "%d minimal quorums; sizes min %d avg %.2f max %d\n"
+              stats.count stats.min_size stats.avg_size stats.max_size;
+            Printf.printf "intersection property: %b\ncoterie (antichain): %b\n"
+              (Quorum.Coterie.all_intersect quorums)
+              (Quorum.Coterie.is_antichain quorums)
+        | None ->
+            let stats =
+              Analysis.Metrics.sampled ~trials:2000 (Quorum.Rng.create 1)
+                system
+            in
+            Printf.printf
+              "quorums not enumerable; sampled sizes min %d avg %.2f max %d\n"
+              stats.min_size stats.avg_size stats.max_size)
+  in
+  let doc = "Structural summary of a quorum system." in
+  Cmd.v (Cmd.info "info" ~doc) Term.(const run $ spec_arg)
+
+(* --- fp ----------------------------------------------------------- *)
+
+let fp_cmd =
+  let ps_arg =
+    let doc = "Comma-separated crash probabilities." in
+    Arg.(
+      value
+      & opt (list float) [ 0.05; 0.1; 0.2; 0.3; 0.4; 0.5 ]
+      & info [ "p" ] ~doc)
+  in
+  let trials_arg =
+    let doc = "Monte-Carlo trials (large universes)." in
+    Arg.(value & opt int 200_000 & info [ "trials" ] ~doc)
+  in
+  let hetero_arg =
+    let doc =
+      "Per-process overrides 'id:p,id:p,...' layered over the --p value \
+       (heterogeneous model; uses the first --p entry as the base)."
+    in
+    Arg.(value & opt (some string) None & info [ "hetero" ] ~doc)
+  in
+  let parse_hetero spec =
+    String.split_on_char ',' spec
+    |> List.map (fun entry ->
+           match String.split_on_char ':' entry with
+           | [ id; p ] -> (int_of_string (String.trim id), float_of_string p)
+           | _ -> invalid_arg "expected id:p")
+  in
+  let run spec ps trials hetero =
+    with_system spec (fun system ->
+        match hetero with
+        | Some overrides ->
+            let overrides = parse_hetero overrides in
+            let base = List.hd ps in
+            let p_of i =
+              match List.assoc_opt i overrides with
+              | Some p -> p
+              | None -> base
+            in
+            let fp =
+              if system.Quorum.System.n <= 24 then
+                Analysis.Failure.exact_hetero system ~p_of
+              else
+                (Analysis.Failure.monte_carlo_hetero ~trials
+                   (Quorum.Rng.create 0) system ~p_of)
+                  .mean
+            in
+            Printf.printf "%s, base p = %.3f with %d overrides: F = %.6f\n"
+              system.Quorum.System.name base (List.length overrides) fp
+        | None ->
+            let exact = system.Quorum.System.n <= 26 in
+            Printf.printf "%s (%s)\n" system.Quorum.System.name
+              (if exact then "exact enumeration" else "Monte Carlo");
+            List.iter
+              (fun p ->
+                let fp =
+                  Analysis.Failure.failure_probability ~mc_trials:trials
+                    system ~p
+                in
+                Printf.printf "  F(%.3f) = %.6f\n" p fp)
+              ps)
+  in
+  let doc = "Failure probability over a sweep of crash probabilities." in
+  Cmd.v (Cmd.info "fp" ~doc)
+    Term.(const run $ spec_arg $ ps_arg $ trials_arg $ hetero_arg)
+
+(* --- load ---------------------------------------------------------- *)
+
+let load_cmd =
+  let run spec =
+    with_system spec (fun system ->
+        let r = Analysis.Load.optimal system in
+        let cn, inv = Analysis.Load.lower_bounds system in
+        Printf.printf "%s\n" system.Quorum.System.name;
+        Printf.printf "LP-optimal load: %.4f\n" r.load;
+        Printf.printf "lower bounds (Prop. 3.3): c/n = %.4f, 1/c = %.4f\n" cn
+          inv;
+        Printf.printf "optimal strategy uses %d quorums, avg size %.2f\n"
+          (Array.length r.strategy.Quorum.Strategy.quorums)
+          (Quorum.Strategy.average_quorum_size r.strategy))
+  in
+  let doc = "Solve the system-load LP (Definition 3.4)." in
+  Cmd.v (Cmd.info "load" ~doc) Term.(const run $ spec_arg)
+
+(* --- quorums -------------------------------------------------------- *)
+
+let quorums_cmd =
+  let limit_arg =
+    Arg.(value & opt int 50 & info [ "limit" ] ~doc:"Max quorums to print.")
+  in
+  let run spec limit =
+    with_system spec (fun system ->
+        let quorums = Quorum.System.quorums_exn system in
+        Printf.printf "%d minimal quorums%s\n" (List.length quorums)
+          (if List.length quorums > limit then
+             Printf.sprintf " (showing %d)" limit
+           else "");
+        List.iteri
+          (fun i q ->
+            if i < limit then
+              Printf.printf "  %s\n"
+                (String.concat ","
+                   (List.map string_of_int (Quorum.Bitset.to_list q))))
+          quorums)
+  in
+  let doc = "Enumerate the minimal quorums." in
+  Cmd.v (Cmd.info "quorums" ~doc) Term.(const run $ spec_arg $ limit_arg)
+
+(* --- pick ----------------------------------------------------------- *)
+
+let pick_cmd =
+  let count_arg =
+    Arg.(value & opt int 5 & info [ "n" ] ~doc:"Number of samples.")
+  in
+  let seed_arg = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"RNG seed.") in
+  let dead_arg =
+    Arg.(
+      value & opt (list int) [] & info [ "dead" ] ~doc:"Crashed process ids.")
+  in
+  let run spec count seed dead =
+    with_system spec (fun system ->
+        let rng = Quorum.Rng.create seed in
+        let live = Quorum.Bitset.universe system.Quorum.System.n in
+        List.iter (Quorum.Bitset.remove live) dead;
+        for _ = 1 to count do
+          match system.Quorum.System.select rng ~live with
+          | Some q ->
+              Printf.printf "%s\n"
+                (String.concat ","
+                   (List.map string_of_int (Quorum.Bitset.to_list q)))
+          | None -> Printf.printf "(no live quorum)\n"
+        done)
+  in
+  let doc = "Sample quorums with the live-aware selection strategy." in
+  Cmd.v
+    (Cmd.info "pick" ~doc)
+    Term.(const run $ spec_arg $ count_arg $ seed_arg $ dead_arg)
+
+(* --- simulate -------------------------------------------------------- *)
+
+let simulate_cmd =
+  let requests_arg =
+    Arg.(value & opt int 50 & info [ "requests" ] ~doc:"Lock requests.")
+  in
+  let fault_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "fault-p" ] ~doc:"Transient per-process downtime fraction.")
+  in
+  let run spec requests fault_p =
+    with_system spec (fun system ->
+        let mx = Protocols.Mutex.create ~system ~cs_duration:1.0 () in
+        let engine =
+          Sim.Engine.create ~seed:1 ~nodes:system.Quorum.System.n
+            (Protocols.Mutex.handlers mx)
+        in
+        Protocols.Mutex.bind mx engine;
+        if fault_p > 0.0 then
+          Sim.Failure_injector.iid_faults engine
+            ~rng:(Quorum.Rng.create 2) ~p:fault_p ~mean_downtime:10.0
+            ~horizon:(float_of_int requests *. 2.0);
+        Protocols.Workload.staggered_requests engine ~every:0.5
+          ~count:requests (fun ~client ->
+            Protocols.Mutex.request mx ~node:client);
+        Sim.Engine.run engine;
+        Printf.printf
+          "entries %d/%d, violations %d, unavailable %d, msgs/entry %.1f\n"
+          (Protocols.Mutex.entries mx)
+          requests
+          (Protocols.Mutex.violations mx)
+          (Protocols.Mutex.unavailable mx)
+          (float_of_int (Sim.Engine.messages_sent engine)
+          /. float_of_int (max 1 (Protocols.Mutex.entries mx)));
+        Printf.printf "wait: %s\n"
+          (Sim.Stats.summary (Protocols.Mutex.wait_stats mx)))
+  in
+  let doc = "Run the quorum mutual-exclusion simulation." in
+  Cmd.v
+    (Cmd.info "simulate" ~doc)
+    Term.(const run $ spec_arg $ requests_arg $ fault_arg)
+
+(* --- nd --------------------------------------------------------------- *)
+
+let nd_cmd =
+  let run spec =
+    with_system spec (fun system ->
+        if system.Quorum.System.n > 26 then
+          Printf.printf "%s: universe too large for the exact check\n"
+            system.Quorum.System.name
+        else begin
+          let nd =
+            Quorum.Coterie.is_non_dominated ~n:system.Quorum.System.n
+              (Quorum.System.avail_mask_exn system)
+          in
+          Printf.printf "%s: %s\n" system.Quorum.System.name
+            (if nd then "non-dominated (F(1/2) = 1/2 exactly)"
+             else "dominated (a better coterie exists)")
+        end)
+  in
+  let doc = "Exact non-domination check (Garcia-Molina & Barbara)." in
+  Cmd.v (Cmd.info "nd" ~doc) Term.(const run $ spec_arg)
+
+(* --- masking ----------------------------------------------------------- *)
+
+let masking_cmd =
+  let run spec =
+    with_system spec (fun system ->
+        match system.Quorum.System.min_quorums with
+        | None ->
+            Printf.printf "%s: quorums not enumerable\n"
+              system.Quorum.System.name
+        | Some _ ->
+            let quorums = Quorum.System.quorums_exn system in
+            let k = Byzantine.Masking.min_pairwise_intersection quorums in
+            Printf.printf
+              "%s: min pairwise intersection %d -> masks f = %d Byzantine, \
+               disseminates to f = %d\n"
+              system.Quorum.System.name k ((k - 1) / 2) (k - 1))
+  in
+  let doc = "Byzantine intersection level of the coterie." in
+  Cmd.v (Cmd.info "masking" ~doc) Term.(const run $ spec_arg)
+
+(* --- list ------------------------------------------------------------ *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (family, example) -> Printf.printf "%-22s %s\n" family example)
+      (Core.Registry.known ());
+    0
+  in
+  let doc = "List the catalogue of system families." in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let () =
+  let doc = "Inspect and analyze the quorum systems of the reproduction." in
+  let main =
+    Cmd.group
+      (Cmd.info "quorumctl" ~version:"1.0" ~doc)
+      [
+        info_cmd; fp_cmd; load_cmd; quorums_cmd; pick_cmd; simulate_cmd;
+        nd_cmd; masking_cmd; list_cmd;
+      ]
+  in
+  exit (Cmd.eval' main)

@@ -1,0 +1,75 @@
+(* Availability explorer: sweep the individual crash probability p for
+   every construction in the catalogue and print failure-probability
+   curves, cross-checking the analytic recursions against exact
+   enumeration and Monte Carlo on the way.
+
+   Run with: dune exec examples/availability_explorer.exe [spec ...]
+   e.g.      dune exec examples/availability_explorer.exe -- "htriang(21)" "cwlog(20)" *)
+
+let default_specs =
+  [
+    "majority(15)";
+    "hqs(5-3)";
+    "cwlog(14)";
+    "tree(15)";
+    "fpp(13)";
+    "triangle(15)";
+    "grid-rw(4x4)";
+    "tgrid(4x4)";
+    "hgrid(4x4)";
+    "htgrid(4x4)";
+    "y(15)";
+    "htriang(15)";
+  ]
+
+let sweep = [ 0.02; 0.05; 0.1; 0.15; 0.2; 0.3; 0.4; 0.5 ]
+
+let () =
+  let specs =
+    match List.tl (Array.to_list Sys.argv) with
+    | [] -> default_specs
+    | l -> l
+  in
+  Printf.printf "%-14s" "p:";
+  List.iter (Printf.printf " %8.2f") sweep;
+  print_newline ();
+  List.iter
+    (fun spec ->
+      match Core.Registry.build spec with
+      | Error msg -> Printf.printf "%-14s error: %s\n" spec msg
+      | Ok system ->
+          let poly =
+            if system.Quorum.System.n <= 24 then
+              Some (Analysis.Failure.exact_poly system)
+            else None
+          in
+          Printf.printf "%-14s" spec;
+          List.iter
+            (fun p ->
+              let fp =
+                match poly with
+                | Some poly -> Quorum.Failure_poly.eval poly ~p
+                | None ->
+                    Analysis.Failure.failure_probability ~mc_trials:200_000
+                      system ~p
+              in
+              Printf.printf " %8.5f" fp)
+            sweep;
+          print_newline ())
+    specs;
+  (* Monte-Carlo cross-check for one system: the estimate must bracket
+     the exact value. *)
+  print_newline ();
+  let system = Core.Registry.build_exn "htriang(15)" in
+  let rng = Quorum.Rng.create 99 in
+  Printf.printf "Monte-Carlo vs exact, %s:\n" system.Quorum.System.name;
+  List.iter
+    (fun p ->
+      let exact = Analysis.Failure.exact system ~p in
+      let est = Analysis.Failure.monte_carlo ~trials:200_000 rng system ~p in
+      Printf.printf
+        "  p=%.2f exact=%.5f mc=%.5f +-%.5f %s\n" p exact est.mean
+        est.half_width
+        (if abs_float (est.mean -. exact) <= est.half_width then "ok"
+         else "OUTSIDE CI"))
+    [ 0.1; 0.3; 0.5 ]

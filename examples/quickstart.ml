@@ -1,0 +1,50 @@
+(* Quickstart: build the paper's hierarchical triangle over 15
+   processes, look at its quorums, check the intersection property, and
+   compute the three quality metrics (size, failure probability, load).
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  (* The triangle with 5 rows: 15 processes, quorums of exactly 5. *)
+  let triangle = Core.Htriang.standard ~rows:5 () in
+  let system = Core.Htriang.system triangle in
+  Printf.printf "system: %s\n\n" system.Quorum.System.name;
+  print_string (Core.Htriang.render triangle);
+
+  (* Every pair of quorums intersects (Definition 3.1 / Theorem 5.1). *)
+  let quorums = Quorum.System.quorums_exn system in
+  Printf.printf "\n%d quorums, intersection property: %b\n"
+    (List.length quorums)
+    (Quorum.Coterie.all_intersect quorums);
+
+  (* Pick a quorum with the load-balancing strategy of section 5. *)
+  let rng = Quorum.Rng.create 42 in
+  let live = Quorum.Bitset.universe 15 in
+  (match Core.Htriang.select triangle rng ~live with
+  | Some q -> Format.printf "a quorum: %a@." Quorum.Bitset.pp q
+  | None -> assert false);
+
+  (* Quorum size statistics. *)
+  let stats = Analysis.Metrics.of_system system in
+  Printf.printf "quorum size: min %d, max %d (constant, = number of rows)\n"
+    stats.min_size stats.max_size;
+
+  (* Failure probability: every process crashes independently with
+     probability p; how likely is it that no quorum is fully live? *)
+  List.iter
+    (fun p ->
+      Printf.printf "F_%.1f = %.6f\n" p
+        (Core.Htriang.failure_probability triangle ~p))
+    [ 0.1; 0.2; 0.3; 0.5 ];
+
+  (* Load: the busiest process handles 2/(d+1) of requests under the
+     w1/w2/w3 strategy - almost the theoretical optimum 1/sqrt(n). *)
+  Printf.printf "load: %.3f (lower bound 1/sqrt n = %.3f)\n"
+    (Core.Htriang.system_load triangle)
+    (1.0 /. sqrt 15.0);
+
+  (* Compare against simple majority voting on the same universe. *)
+  let majority = Systems.Majority.make 15 in
+  Printf.printf "\nmajority(15) for contrast: quorums of %d, load %.3f\n"
+    (Analysis.Metrics.smallest_quorum majority)
+    (Analysis.Load.optimal majority).load

@@ -1,0 +1,79 @@
+module Bitset = Quorum.Bitset
+module System = Quorum.System
+module Failure_poly = Quorum.Failure_poly
+module Rng = Quorum.Rng
+
+let exact_poly (s : System.t) =
+  if s.n > 30 then
+    invalid_arg "Failure.exact_poly: universe too large for enumeration";
+  let avail = System.avail_mask_exn s in
+  let counts = Array.make (s.n + 1) 0.0 in
+  for live = 0 to (1 lsl s.n) - 1 do
+    if not (avail live) then begin
+      let k = Bitset.popcount live in
+      counts.(k) <- counts.(k) +. 1.0
+    end
+  done;
+  Failure_poly.of_fail_counts ~n:s.n counts
+
+let exact s ~p = Failure_poly.eval (exact_poly s) ~p
+
+type estimate = { mean : float; half_width : float; trials : int }
+
+let monte_carlo ?(trials = 100_000) rng (s : System.t) ~p =
+  if trials <= 0 then invalid_arg "Failure.monte_carlo: trials";
+  let live = Bitset.create s.n in
+  let failures = ref 0 in
+  for _ = 1 to trials do
+    Bitset.clear live;
+    for i = 0 to s.n - 1 do
+      if not (Rng.bernoulli rng p) then Bitset.add live i
+    done;
+    if not (s.avail live) then incr failures
+  done;
+  let mean = float_of_int !failures /. float_of_int trials in
+  let half_width =
+    1.96 *. sqrt (mean *. (1.0 -. mean) /. float_of_int trials)
+  in
+  { mean; half_width; trials }
+
+let exact_hetero (s : System.t) ~p_of =
+  if s.n > 26 then
+    invalid_arg "Failure.exact_hetero: universe too large for enumeration";
+  let avail = System.avail_mask_exn s in
+  (* DFS over processes: each node multiplies in one survival factor,
+     so the full scan costs one multiply per visited subset. *)
+  let rec walk i mask prob =
+    if prob = 0.0 then 0.0
+    else if i = s.n then if avail mask then 0.0 else prob
+    else begin
+      let p = p_of i in
+      walk (i + 1) mask (prob *. p)
+      +. walk (i + 1) (mask lor (1 lsl i)) (prob *. (1.0 -. p))
+    end
+  in
+  walk 0 0 1.0
+
+let monte_carlo_hetero ?(trials = 100_000) rng (s : System.t) ~p_of =
+  if trials <= 0 then invalid_arg "Failure.monte_carlo_hetero: trials";
+  let live = Bitset.create s.n in
+  let failures = ref 0 in
+  for _ = 1 to trials do
+    Bitset.clear live;
+    for i = 0 to s.n - 1 do
+      if not (Rng.bernoulli rng (p_of i)) then Bitset.add live i
+    done;
+    if not (s.avail live) then incr failures
+  done;
+  let mean = float_of_int !failures /. float_of_int trials in
+  let half_width =
+    1.96 *. sqrt (mean *. (1.0 -. mean) /. float_of_int trials)
+  in
+  { mean; half_width; trials }
+
+let failure_probability ?mc_trials ?rng (s : System.t) ~p =
+  if s.n <= 26 then exact s ~p
+  else begin
+    let rng = match rng with Some r -> r | None -> Rng.create 0 in
+    (monte_carlo ?trials:mc_trials rng s ~p).mean
+  end

@@ -1,0 +1,49 @@
+(** Failure-probability computation (Definition 3.2 / Proposition 3.1).
+
+    Three routes, in decreasing exactness and increasing reach:
+
+    - {!exact_poly}: scan all 2^n live-sets through the system's mask
+      fast-path and bucket the failing ones by cardinality, yielding
+      the full failure polynomial — exact, O(2^n), practical to
+      n ~ 28-30 (every size the paper tabulates);
+    - closed forms: the per-construction recursions live with their
+      constructions ([Wall.failure_probability],
+      [Hgrid.failure_probability], [Htriang.failure_probability], ...)
+      and are cross-checked against the enumeration in the test suite;
+    - {!monte_carlo}: iid sampling of live-sets at a fixed [p], with a
+      95% confidence half-width, for universes beyond enumeration. *)
+
+val exact_poly : Quorum.System.t -> Quorum.Failure_poly.t
+(** Requires [n <= 30] (2^30 availability evaluations). *)
+
+val exact : Quorum.System.t -> p:float -> float
+(** [eval (exact_poly s) ~p] — prefer {!exact_poly} when sweeping
+    over [p]. *)
+
+type estimate = { mean : float; half_width : float; trials : int }
+(** [mean] plus/minus [half_width] is a 95% confidence interval. *)
+
+val monte_carlo :
+  ?trials:int -> Quorum.Rng.t -> Quorum.System.t -> p:float -> estimate
+(** Default 100_000 trials. *)
+
+val failure_probability :
+  ?mc_trials:int -> ?rng:Quorum.Rng.t -> Quorum.System.t -> p:float -> float
+(** Auto-dispatch: exact enumeration when [n <= 26], Monte-Carlo
+    otherwise (seed 0 unless [rng] given). *)
+
+(** {1 Heterogeneous crash probabilities}
+
+    The paper's model gives every process the same [p]; real
+    deployments do not.  These variants take a per-process crash
+    probability.  The per-construction closed forms have matching
+    [failure_probability_hetero] functions, cross-checked against
+    {!exact_hetero} in the test suite. *)
+
+val exact_hetero : Quorum.System.t -> p_of:(int -> float) -> float
+(** Exact by depth-first enumeration of live-sets with their
+    probabilities; requires [n <= 26]. *)
+
+val monte_carlo_hetero :
+  ?trials:int -> Quorum.Rng.t -> Quorum.System.t -> p_of:(int -> float) ->
+  estimate

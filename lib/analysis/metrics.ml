@@ -1,0 +1,41 @@
+module Bitset = Quorum.Bitset
+module System = Quorum.System
+
+type size_stats = {
+  min_size : int;
+  max_size : int;
+  avg_size : float;
+  count : int;
+}
+
+let of_sizes sizes =
+  match sizes with
+  | [] -> invalid_arg "Metrics: no quorums"
+  | _ ->
+      let count = List.length sizes in
+      let total = List.fold_left ( + ) 0 sizes in
+      {
+        min_size = List.fold_left min max_int sizes;
+        max_size = List.fold_left max 0 sizes;
+        avg_size = float_of_int total /. float_of_int count;
+        count;
+      }
+
+let of_quorums quorums = of_sizes (List.map Bitset.cardinal quorums)
+let of_system s = of_quorums (System.quorums_exn s)
+
+let sampled ~trials rng (s : System.t) =
+  if trials <= 0 then invalid_arg "Metrics.sampled: trials";
+  let live = Bitset.universe s.n in
+  let sizes = ref [] in
+  for _ = 1 to trials do
+    match System.shrink_select s.avail rng ~live with
+    | Some q -> sizes := Bitset.cardinal q :: !sizes
+    | None -> ()
+  done;
+  of_sizes !sizes
+
+let smallest_quorum (s : System.t) =
+  match s.min_quorums with
+  | Some _ -> (of_system s).min_size
+  | None -> (sampled ~trials:1000 (Quorum.Rng.create 7) s).min_size

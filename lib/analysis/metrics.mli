@@ -1,0 +1,24 @@
+(** Quorum-size statistics and summaries (Table 4 / Table 5 inputs). *)
+
+type size_stats = {
+  min_size : int;
+  max_size : int;
+  avg_size : float;  (** Unweighted mean over the quorums considered. *)
+  count : int;
+}
+
+val of_quorums : Quorum.Bitset.t list -> size_stats
+(** Statistics over an explicit (minimal) quorum list. *)
+
+val of_system : Quorum.System.t -> size_stats
+(** Over the system's enumerated minimal quorums. *)
+
+val sampled :
+  trials:int -> Quorum.Rng.t -> Quorum.System.t -> size_stats
+(** For constructions without an enumerable coterie (Paths, Y):
+    sample random minimal quorums by shrinking the full universe.
+    [min_size]/[max_size] are then observed bounds, not exact. *)
+
+val smallest_quorum : Quorum.System.t -> int
+(** Exact when quorums enumerate, sampled (1000 draws, seed 7)
+    otherwise. *)

@@ -1,0 +1,59 @@
+module Bitset = Quorum.Bitset
+module System = Quorum.System
+module Topology = Sim.Topology
+
+let check_fit (s : System.t) topology =
+  if Topology.size topology < s.n then
+    invalid_arg "Placement: topology smaller than the universe"
+
+let best_quorum (s : System.t) topology ~from =
+  check_fit s topology;
+  let quorums = System.quorums_exn s in
+  List.fold_left
+    (fun (best_q, best_rtt) q ->
+      let r = Topology.rtt topology ~from q in
+      if r < best_rtt then (q, r) else (best_q, best_rtt))
+    (List.hd quorums, Topology.rtt topology ~from (List.hd quorums))
+    (List.tl quorums)
+
+let mean_best_rtt (s : System.t) topology =
+  check_fit s topology;
+  let total = ref 0.0 in
+  for from = 0 to s.n - 1 do
+    total := !total +. snd (best_quorum s topology ~from)
+  done;
+  !total /. float_of_int s.n
+
+let mean_strategy_rtt ?(trials = 200) rng (s : System.t) topology =
+  check_fit s topology;
+  let live = Bitset.universe s.n in
+  let total = ref 0.0 in
+  let count = ref 0 in
+  for from = 0 to s.n - 1 do
+    for _ = 1 to trials / s.n do
+      match s.System.select rng ~live with
+      | Some q ->
+          total := !total +. Topology.rtt topology ~from q;
+          incr count
+      | None -> ()
+    done
+  done;
+  if !count = 0 then nan else !total /. float_of_int !count
+
+let latency_select (s : System.t) topology ~from _rng ~live =
+  check_fit s topology;
+  let usable =
+    List.filter (fun q -> Bitset.subset q live) (System.quorums_exn s)
+  in
+  match usable with
+  | [] -> None
+  | q :: rest ->
+      let best, _ =
+        List.fold_left
+          (fun (bq, br) q ->
+            let r = Topology.rtt topology ~from q in
+            if r < br then (q, r) else (bq, br))
+          (q, Topology.rtt topology ~from q)
+          rest
+      in
+      Some (Bitset.copy best)

@@ -1,0 +1,31 @@
+(** Latency-aware quorum selection and placement analysis.
+
+    The per-request cost of a quorum protocol is one round-trip to the
+    {e farthest} quorum member; with an enumerable coterie the
+    latency-optimal quorum from a given origin can be computed exactly,
+    and the gap between latency-optimal and load-optimal selection
+    measured.  Used by the [placement] benchmark target. *)
+
+val best_quorum :
+  Quorum.System.t -> Sim.Topology.t -> from:int -> Quorum.Bitset.t * float
+(** Latency-optimal minimal quorum and its RTT from [from].  Requires
+    an enumerable coterie. *)
+
+val mean_best_rtt : Quorum.System.t -> Sim.Topology.t -> float
+(** Average over all origins of the best-quorum RTT — the steady-state
+    per-request latency with latency-aware selection. *)
+
+val mean_strategy_rtt :
+  ?trials:int -> Quorum.Rng.t -> Quorum.System.t -> Sim.Topology.t -> float
+(** Same with the system's own (load-balancing) selection strategy:
+    the price of balancing load instead of chasing proximity. *)
+
+val latency_select :
+  Quorum.System.t ->
+  Sim.Topology.t ->
+  from:int ->
+  Quorum.Rng.t ->
+  live:Quorum.Bitset.t ->
+  Quorum.Bitset.t option
+(** A selection function for protocols: the latency-optimal quorum
+    among those fully live (falls back to [None] if none). *)

@@ -1,0 +1,54 @@
+(** Byzantine quorum systems (Malkhi & Reiter 1998; Malkhi, Reiter &
+    Wool 2000 — reference [12] of the paper).
+
+    The paper's related work closes with: "we believe that the ideas
+    proposed in this paper can also be adapted and used in Byzantine
+    quorum systems."  This module provides that adaptation layer:
+
+    - property checks: an [f]-{e dissemination} system needs any two
+      quorums to share at least [f+1] processes (a correct one survives
+      in the intersection); an [f]-{e masking} system needs [2f+1]
+      (correct processes outnumber Byzantine ones in the intersection),
+      plus availability under [f] crashes;
+    - {!majority_masking}: the threshold construction (quorums of
+      [ceil((n + 2f + 1) / 2)] processes, needs [n >= 4f + 1]);
+    - {!boost}: the generic lift of {e any} crash-tolerant coterie —
+      in particular the paper's h-triang and h-T-grid — to intersection
+      level [k] by the replicated-groups construction: the universe is
+      [k] disjoint copies of the base universe and a quorum takes one
+      base quorum {e in every copy}.  Two quorums then intersect inside
+      each copy, i.e. in at least [k] processes; with [k = 2f + 1] this
+      masks [f] Byzantine processes while inheriting the base
+      construction's size/load scaling (quorums of [k * q] out of
+      [k * n]). *)
+
+val min_pairwise_intersection : Quorum.Bitset.t list -> int
+(** Smallest [|Q1 inter Q2|] over distinct quorum pairs (and over a
+    quorum with itself when the list is a singleton). *)
+
+val is_dissemination : f:int -> Quorum.Bitset.t list -> bool
+(** Pairwise intersections of at least [f + 1]. *)
+
+val is_masking : f:int -> Quorum.Bitset.t list -> bool
+(** Pairwise intersections of at least [2f + 1]. *)
+
+val tolerable_f : Quorum.Bitset.t list -> int
+(** Largest [f] for which the system is [f]-masking (possibly 0,
+    meaning it only handles crash faults). *)
+
+val crash_available : f:int -> Quorum.System.t -> bool
+(** Availability side: every crash pattern of [f] processes leaves some
+    quorum fully live.  Exhaustive over the C(n, f) patterns; intended
+    for the small universes of the paper's tables. *)
+
+val majority_masking : n:int -> f:int -> Quorum.System.t
+(** Threshold quorums of size [ceil((n + 2f + 1) / 2)].  Raises if
+    [n < 4f + 1]. *)
+
+val boost : k:int -> Quorum.System.t -> Quorum.System.t
+(** The replicated-groups system over [k * n] processes (copy [i]
+    occupies ids [i*n .. (i+1)*n - 1]): available when every copy's
+    slice of the live set is available for the base system; selection
+    unions one base selection per copy.  Minimal quorums are
+    enumerated lazily when the product of the base's quorum count to
+    the k-th power stays small. *)

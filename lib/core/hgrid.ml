@@ -1,0 +1,432 @@
+module Bitset = Quorum.Bitset
+module System = Quorum.System
+module Rng = Quorum.Rng
+module Combinat = Quorum.Combinat
+
+type shape =
+  | Leaf of { id : int; row : int; col : int }
+  | Grid of { cells : shape array array; row0 : int; row1 : int }
+
+type t = {
+  shape : shape;
+  n : int;
+  global_rows : int;
+  global_cols : int;
+  dims : (int * int) list;
+}
+
+let of_dims dims =
+  if dims = [] then invalid_arg "Hgrid.of_dims: no levels";
+  List.iter
+    (fun (m, n) ->
+      if m <= 0 || n <= 0 then invalid_arg "Hgrid.of_dims: bad dimensions")
+    dims;
+  let global_rows = List.fold_left (fun acc (m, _) -> acc * m) 1 dims in
+  let global_cols = List.fold_left (fun acc (_, n) -> acc * n) 1 dims in
+  (* Spans of a level's sub-objects in global coordinates. *)
+  let rec build dims ~row0 ~col0 =
+    match dims with
+    | [] -> Leaf { id = (row0 * global_cols) + col0; row = row0; col = col0 }
+    | (m, n) :: rest ->
+        let row_span = List.fold_left (fun acc (m', _) -> acc * m') 1 rest in
+        let col_span = List.fold_left (fun acc (_, n') -> acc * n') 1 rest in
+        let cells =
+          Array.init m (fun i ->
+              Array.init n (fun j ->
+                  build rest
+                    ~row0:(row0 + (i * row_span))
+                    ~col0:(col0 + (j * col_span))))
+        in
+        Grid { cells; row0; row1 = row0 + (m * row_span) }
+  in
+  {
+    shape = build dims ~row0:0 ~col0:0;
+    n = global_rows * global_cols;
+    global_rows;
+    global_cols;
+    dims;
+  }
+
+let flat ~rows ~cols = of_dims [ (rows, cols) ]
+
+let preferred_2x2 ~rows ~cols =
+  if rows <= 0 || cols <= 0 then invalid_arg "Hgrid.preferred_2x2";
+  (* Peel nested 2x2 levels (listed top-down, so they are the outer
+     ones) while both dimensions stay even; whatever remains is the
+     innermost level. *)
+  let rec levels r c =
+    if r mod 2 = 0 && c mod 2 = 0 && (r > 2 || c > 2) then
+      (2, 2) :: levels (r / 2) (c / 2)
+    else if r = 1 && c = 1 then []
+    else [ (r, c) ]
+  in
+  of_dims (levels rows cols)
+
+let of_blocks ~row_parts ~col_parts =
+  if row_parts = [] || col_parts = [] then invalid_arg "Hgrid.of_blocks";
+  List.iter
+    (fun k -> if k <= 0 then invalid_arg "Hgrid.of_blocks: bad part")
+    (row_parts @ col_parts);
+  let rows = List.fold_left ( + ) 0 row_parts in
+  let cols = List.fold_left ( + ) 0 col_parts in
+  let spans parts origin =
+    List.fold_left
+      (fun (acc, off) len -> ((off, len) :: acc, off + len))
+      ([], origin) parts
+    |> fst |> List.rev
+  in
+  let flat_block ~row0 ~col0 ~h ~w =
+    let cells =
+      Array.init h (fun i ->
+          Array.init w (fun j ->
+              let r = row0 + i and c = col0 + j in
+              Leaf { id = (r * cols) + c; row = r; col = c }))
+    in
+    if h = 1 && w = 1 then cells.(0).(0)
+    else Grid { cells; row0; row1 = row0 + h }
+  in
+  let cells =
+    Array.of_list
+      (List.map
+         (fun (r0, h) ->
+           Array.of_list
+             (List.map
+                (fun (c0, w) -> flat_block ~row0:r0 ~col0:c0 ~h ~w)
+                (spans col_parts 0)))
+         (spans row_parts 0))
+  in
+  {
+    shape = Grid { cells; row0 = 0; row1 = rows };
+    n = rows * cols;
+    global_rows = rows;
+    global_cols = cols;
+    dims = [ (rows, cols) ];
+  }
+
+let auto_2x2 ?(ceil_first = false) ~rows ~cols () =
+  if rows <= 0 || cols <= 0 then invalid_arg "Hgrid.auto_2x2";
+  let split k =
+    let big = (k + 1) / 2 and small = k / 2 in
+    if ceil_first then [ big; small ] else [ small; big ]
+  in
+  let global_cols = cols in
+  let rec build r c ~row0 ~col0 =
+    if r = 1 && c = 1 then
+      Leaf { id = (row0 * global_cols) + col0; row = row0; col = col0 }
+    else if r <= 2 && c <= 2 then begin
+      (* Dimensions of at most 2 are not subdivided: the block is a
+         flat grid of processes (the paper's "2x2 whenever possible"
+         bottoms out here). *)
+      let cells =
+        Array.init r (fun i ->
+            Array.init c (fun j ->
+                let gr = row0 + i and gc = col0 + j in
+                Leaf { id = (gr * global_cols) + gc; row = gr; col = gc }))
+      in
+      Grid { cells; row0; row1 = row0 + r }
+    end
+    else begin
+      let row_parts = if r <= 2 then [ r ] else split r in
+      let col_parts = if c <= 2 then [ c ] else split c in
+      let offsets parts origin =
+        List.fold_left
+          (fun (acc, off) len -> ((off, len) :: acc, off + len))
+          ([], origin) parts
+        |> fst |> List.rev
+      in
+      let row_spans = offsets row_parts row0 in
+      let col_spans = offsets col_parts col0 in
+      let cells =
+        Array.of_list
+          (List.map
+             (fun (r0, rl) ->
+               Array.of_list
+                 (List.map
+                    (fun (c0, cl) -> build rl cl ~row0:r0 ~col0:c0)
+                    col_spans))
+             row_spans)
+      in
+      Grid { cells; row0; row1 = row0 + r }
+    end
+  in
+  {
+    shape = build rows cols ~row0:0 ~col0:0;
+    n = rows * cols;
+    global_rows = rows;
+    global_cols = cols;
+    dims = [ (rows, cols) ];
+  }
+
+(* --- Structural predicates ------------------------------------- *)
+
+let rec row_cover_ok mem = function
+  | Leaf l -> mem l.id
+  | Grid g ->
+      Array.for_all (fun row -> Array.exists (row_cover_ok mem) row) g.cells
+
+let rec full_line_ok mem = function
+  | Leaf l -> mem l.id
+  | Grid g ->
+      Array.exists (fun row -> Array.for_all (full_line_ok mem) row) g.cells
+
+let rec full_line_max_base mem = function
+  | Leaf l -> if mem l.id then Some l.row else None
+  | Grid g ->
+      (* A full-line of the grid combines full-lines of all cells of
+         one row; its topmost global row is the min over cells, which
+         each cell maximizes independently. *)
+      let row_candidate row =
+        Array.fold_left
+          (fun acc cell ->
+            match (acc, full_line_max_base mem cell) with
+            | None, _ | _, None -> None
+            | Some a, Some b -> Some (min a b))
+          (Some max_int) row
+      in
+      Array.fold_left
+        (fun best row ->
+          match (best, row_candidate row) with
+          | None, c -> c
+          | b, None -> b
+          | Some b, Some c -> Some (max b c))
+        None g.cells
+
+let rec row_cover_ok_at mem r = function
+  | Leaf l -> l.row < r || mem l.id
+  | Grid g ->
+      g.row1 <= r
+      || Array.for_all
+           (fun row -> Array.exists (row_cover_ok_at mem r) row)
+           g.cells
+
+(* --- Quorum enumeration ----------------------------------------- *)
+
+let rec row_cover_quorums = function
+  | Leaf l -> [ [ l.id ] ]
+  | Grid g ->
+      Array.to_list g.cells
+      |> List.map (fun row ->
+             List.concat_map row_cover_quorums (Array.to_list row))
+      |> Combinat.product
+      |> List.map List.concat
+
+let rec full_lines_with_base = function
+  | Leaf l -> [ (l.row, [ l.id ]) ]
+  | Grid g ->
+      Array.to_list g.cells
+      |> List.concat_map (fun row ->
+             Array.to_list row
+             |> List.map full_lines_with_base
+             |> Combinat.product
+             |> List.map (fun parts ->
+                    let base =
+                      List.fold_left (fun acc (b, _) -> min acc b) max_int
+                        parts
+                    in
+                    (base, List.concat_map snd parts)))
+
+let full_line_quorums shape = List.map snd (full_lines_with_base shape)
+
+let rec partial_cover_raw r = function
+  | Leaf l -> if l.row < r then [ [] ] else [ [ l.id ] ]
+  | Grid g ->
+      if g.row1 <= r then [ [] ]
+      else
+        Array.to_list g.cells
+        |> List.map (fun row ->
+               List.concat_map (partial_cover_raw r) (Array.to_list row))
+        |> Combinat.product
+        |> List.map List.concat
+
+let partial_cover_quorums shape r =
+  partial_cover_raw r shape
+  |> List.map (List.sort_uniq compare)
+  |> List.sort_uniq compare
+
+(* --- Selection --------------------------------------------------- *)
+
+let rec select_row_cover rng mem = function
+  | Leaf l -> if mem l.id then Some [ l.id ] else None
+  | Grid g ->
+      let pick_in_row row =
+        let order = Array.copy row in
+        Rng.shuffle_in_place rng order;
+        let rec try_cells i =
+          if i = Array.length order then None
+          else
+            match select_row_cover rng mem order.(i) with
+            | Some q -> Some q
+            | None -> try_cells (i + 1)
+        in
+        try_cells 0
+      in
+      let rec all_rows i acc =
+        if i = Array.length g.cells then Some acc
+        else
+          match pick_in_row g.cells.(i) with
+          | None -> None
+          | Some q -> all_rows (i + 1) (q @ acc)
+      in
+      all_rows 0 []
+
+let rec select_full_line rng mem = function
+  | Leaf l -> if mem l.id then Some [ l.id ] else None
+  | Grid g ->
+      let try_row row =
+        let rec all j acc =
+          if j = Array.length row then Some acc
+          else
+            match select_full_line rng mem row.(j) with
+            | None -> None
+            | Some q -> all (j + 1) (q @ acc)
+        in
+        all 0 []
+      in
+      let order = Array.init (Array.length g.cells) (fun i -> i) in
+      Rng.shuffle_in_place rng order;
+      let rec try_rows i =
+        if i = Array.length order then None
+        else
+          match try_row g.cells.(order.(i)) with
+          | Some q -> Some q
+          | None -> try_rows (i + 1)
+      in
+      try_rows 0
+
+(* --- Systems ----------------------------------------------------- *)
+
+let mem_of_live live i = Bitset.mem live i
+let mem_of_mask mask i = mask land (1 lsl i) <> 0
+
+let make_system ?name t ~default_name ~avail_fn ~quorums ~select_fn =
+  let name = match name with Some s -> s | None -> default_name in
+  let avail live = avail_fn (mem_of_live live) in
+  let avail_mask =
+    if t.n <= Bitset.bits_per_word then
+      Some (fun mask -> avail_fn (mem_of_mask mask))
+    else None
+  in
+  let min_quorums =
+    lazy
+      (Quorum.Coterie.minimize (List.map (Bitset.of_list t.n) (quorums ())))
+  in
+  let select rng ~live =
+    Option.map (Bitset.of_list t.n) (select_fn rng (mem_of_live live))
+  in
+  System.make ~name ~n:t.n ~avail ?avail_mask ~min_quorums ~select ()
+
+let dims_string t =
+  String.concat ","
+    (List.map (fun (m, n) -> Printf.sprintf "%dx%d" m n) t.dims)
+
+let read_system ?name t =
+  make_system ?name t
+    ~default_name:(Printf.sprintf "h-grid-read(%s)" (dims_string t))
+    ~avail_fn:(fun mem -> row_cover_ok mem t.shape)
+    ~quorums:(fun () -> row_cover_quorums t.shape)
+    ~select_fn:(fun rng mem -> select_row_cover rng mem t.shape)
+
+let write_system ?name t =
+  make_system ?name t
+    ~default_name:(Printf.sprintf "h-grid-write(%s)" (dims_string t))
+    ~avail_fn:(fun mem -> full_line_ok mem t.shape)
+    ~quorums:(fun () -> full_line_quorums t.shape)
+    ~select_fn:(fun rng mem -> select_full_line rng mem t.shape)
+
+let rw_system ?name t =
+  make_system ?name t
+    ~default_name:(Printf.sprintf "h-grid(%s)" (dims_string t))
+    ~avail_fn:(fun mem ->
+      row_cover_ok mem t.shape && full_line_ok mem t.shape)
+    ~quorums:(fun () ->
+      List.concat_map
+        (fun line ->
+          List.map (fun cover -> line @ cover) (row_cover_quorums t.shape))
+        (full_line_quorums t.shape))
+    ~select_fn:(fun rng mem ->
+      match
+        ( select_full_line rng mem t.shape,
+          select_row_cover rng mem t.shape )
+      with
+      | Some l, Some c -> Some (l @ c)
+      | _ -> None)
+
+(* --- Exact analysis ---------------------------------------------- *)
+
+type mode = Read | Write | Read_write
+
+(* Joint law of (row-cover available, full-line available) per node:
+   (p_rc, p_fl, p_both).  Disjoint sub-objects make cells independent;
+   within a grid, rows are independent too.  [p] maps a process id to
+   its crash probability. *)
+let rec joint p = function
+  | Leaf l ->
+      let q = 1.0 -. p l.id in
+      (q, q, q)
+  | Grid g ->
+      let row_stats row =
+        let cells = Array.map (joint p) row in
+        let b = Array.fold_left (fun acc (_, fl, _) -> acc *. fl) 1.0 cells in
+        let a =
+          1.0
+          -. Array.fold_left (fun acc (rc, _, _) -> acc *. (1.0 -. rc)) 1.0 cells
+        in
+        let ab =
+          b
+          -. Array.fold_left
+               (fun acc (_, fl, both) -> acc *. (fl -. both))
+               1.0 cells
+        in
+        (a, b, ab)
+      in
+      let rows = Array.map row_stats g.cells in
+      let rc = Array.fold_left (fun acc (a, _, _) -> acc *. a) 1.0 rows in
+      let fl =
+        1.0 -. Array.fold_left (fun acc (_, b, _) -> acc *. (1.0 -. b)) 1.0 rows
+      in
+      let both =
+        rc
+        -. Array.fold_left (fun acc (a, _, ab) -> acc *. (a -. ab)) 1.0 rows
+      in
+      (rc, fl, both)
+
+let failure_probability_hetero t mode ~p_of =
+  let rc, fl, both = joint p_of t.shape in
+  match mode with
+  | Read -> 1.0 -. rc
+  | Write -> 1.0 -. fl
+  | Read_write -> 1.0 -. both
+
+let failure_probability t mode ~p =
+  failure_probability_hetero t mode ~p_of:(fun _ -> p)
+
+(* --- Rendering (Figure 1) ---------------------------------------- *)
+
+let render ?quorum t =
+  let starred id =
+    match quorum with Some q -> Bitset.mem q id | None -> false
+  in
+  (* Separator positions: boundaries of the outermost sub-objects. *)
+  let inner_rows, inner_cols =
+    match t.dims with
+    | [] | [ _ ] -> (t.global_rows, t.global_cols)
+    | (m, n) :: _ -> (t.global_rows / m, t.global_cols / n)
+  in
+  let buf = Buffer.create 256 in
+  for r = 0 to t.global_rows - 1 do
+    if r > 0 && r mod inner_rows = 0 then begin
+      for c = 0 to t.global_cols - 1 do
+        if c > 0 && c mod inner_cols = 0 then Buffer.add_string buf "-+";
+        Buffer.add_string buf "----"
+      done;
+      Buffer.add_char buf '\n'
+    end;
+    for c = 0 to t.global_cols - 1 do
+      if c > 0 && c mod inner_cols = 0 then Buffer.add_string buf " |";
+      let id = (r * t.global_cols) + c in
+      Buffer.add_string buf
+        (Printf.sprintf "%3d%s" id (if starred id then "*" else " "))
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf

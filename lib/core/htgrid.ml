@@ -1,0 +1,169 @@
+module Bitset = Quorum.Bitset
+module System = Quorum.System
+module Rng = Quorum.Rng
+module Strategy = Quorum.Strategy
+
+let mem_of_live live i = Bitset.mem live i
+let mem_of_mask mask i = mask land (1 lsl i) <> 0
+
+(* Availability: the best (lowest-sitting) live full-line determines
+   the largest usable threshold r*; by monotonicity of partial covers
+   in the threshold, a T-grid quorum exists iff the threshold-r*
+   partial cover is live. *)
+let avail_fn (t : Hgrid.t) mem =
+  match Hgrid.full_line_max_base mem t.shape with
+  | None -> false
+  | Some r -> Hgrid.row_cover_ok_at mem r t.shape
+
+let quorums (t : Hgrid.t) =
+  Hgrid.full_lines_with_base t.shape
+  |> List.concat_map (fun (base, line) ->
+         Hgrid.partial_cover_quorums t.shape base
+         |> List.map (fun cover -> Bitset.of_list t.n (line @ cover)))
+  |> Quorum.Coterie.minimize
+
+let select_partial_cover rng mem r shape =
+  let rec go = function
+    | Hgrid.Leaf l ->
+        if l.row < r then Some []
+        else if mem l.id then Some [ l.id ]
+        else None
+    | Hgrid.Grid g ->
+        if g.row1 <= r then Some []
+        else begin
+          let pick_in_row row =
+            let order = Array.copy row in
+            Rng.shuffle_in_place rng order;
+            let rec try_cells i =
+              if i = Array.length order then None
+              else
+                match go order.(i) with
+                | Some q -> Some q
+                | None -> try_cells (i + 1)
+            in
+            try_cells 0
+          in
+          let rec all_rows i acc =
+            if i = Array.length g.cells then Some acc
+            else
+              match pick_in_row g.cells.(i) with
+              | None -> None
+              | Some q -> all_rows (i + 1) (q @ acc)
+          in
+          all_rows 0 []
+        end
+  in
+  go shape
+
+let select (t : Hgrid.t) rng ~live =
+  let mem = mem_of_live live in
+  match Hgrid.select_full_line rng mem t.shape with
+  | None -> None
+  | Some line ->
+      let base = List.fold_left (fun acc id -> min acc (id / t.global_cols)) max_int line in
+      (match select_partial_cover rng mem base t.shape with
+      | None ->
+          (* The chosen line's threshold has no live partial cover; the
+             guaranteed fallback is the full cover (threshold 0). *)
+          (match
+             ( Hgrid.full_line_max_base mem t.shape,
+               Hgrid.select_row_cover rng mem t.shape )
+           with
+          | Some _, Some cover -> Some (Bitset.of_list t.n (line @ cover))
+          | _ -> None)
+      | Some cover -> Some (Bitset.of_list t.n (line @ cover)))
+
+let system ?name (t : Hgrid.t) =
+  let name =
+    match name with
+    | Some s -> s
+    | None ->
+        Printf.sprintf "h-T-grid(%s)"
+          (String.concat ","
+             (List.map (fun (m, n) -> Printf.sprintf "%dx%d" m n) t.dims))
+  in
+  let avail live = avail_fn t (mem_of_live live) in
+  let avail_mask =
+    if t.n <= Bitset.bits_per_word then
+      Some (fun mask -> avail_fn t (mem_of_mask mask))
+    else None
+  in
+  System.make ~name ~n:t.n ~avail ?avail_mask
+    ~min_quorums:(lazy (quorums t))
+    ~select:(select t) ()
+
+(* Row weights of the section 4.3 strategy: load on a row-r element is
+   w_r (its row is the base) plus (sum of higher-row weights) / cols
+   (it serves as a cover pick); equalizing gives w_r = k - S_(r-1)/C
+   with k fixed by normalization. *)
+let row_weights ~rows ~cols =
+  let u = Array.make rows 0.0 in
+  let s = ref 0.0 in
+  for r = 0 to rows - 1 do
+    u.(r) <- 1.0 -. (!s /. float_of_int cols);
+    s := !s +. u.(r)
+  done;
+  let k = 1.0 /. !s in
+  (Array.map (fun x -> x *. k) u, k)
+
+let flat_row_strategy (t : Hgrid.t) =
+  let rows = t.global_rows and cols = t.global_cols in
+  let weights, _ = row_weights ~rows ~cols in
+  let full_row r = List.init cols (fun c -> (r * cols) + c) in
+  let entries =
+    List.concat
+      (List.init rows (fun r ->
+           let covers = Hgrid.partial_cover_quorums t.shape r in
+           let p = weights.(r) /. float_of_int (List.length covers) in
+           List.map
+             (fun cover -> (Bitset.of_list t.n (full_row r @ cover), p))
+             covers))
+  in
+  Strategy.make
+    (Array.of_list (List.map fst entries))
+    (Array.of_list (List.map snd entries))
+
+(* The all-quorums variant: walk the hierarchy toward an intended base
+   row, letting every full-line fragment slip to a lower local row with
+   probability epsilon. *)
+let select_lower_line ~epsilon (t : Hgrid.t) rng ~live =
+  if epsilon < 0.0 || epsilon > 1.0 then
+    invalid_arg "Htgrid.select_lower_line: epsilon out of [0,1]";
+  let mem = mem_of_live live in
+  let weights, _ = row_weights ~rows:t.global_rows ~cols:t.global_cols in
+  let target = Rng.pick_weighted rng ~weights in
+  let rec line_frag node target =
+    match node with
+    | Hgrid.Leaf l -> if mem l.id then Some [ l.id ] else None
+    | Hgrid.Grid g ->
+        let m = Array.length g.cells in
+        let span = (g.row1 - g.row0) / m in
+        let intended = min (m - 1) (max 0 ((target - g.row0) / span)) in
+        let band =
+          if intended < m - 1 && Rng.bernoulli rng epsilon then
+            intended + 1 + Rng.int rng (m - 1 - intended)
+          else intended
+        in
+        let row = g.cells.(band) in
+        let sub_target =
+          if band = intended then target
+          else g.row0 + (band * span)
+        in
+        let rec all j acc =
+          if j = Array.length row then Some acc
+          else
+            match line_frag row.(j) sub_target with
+            | None -> None
+            | Some q -> all (j + 1) (q @ acc)
+        in
+        all 0 []
+  in
+  match line_frag t.shape target with
+  | None -> None
+  | Some line ->
+      let base =
+        List.fold_left (fun acc id -> min acc (id / t.global_cols)) max_int line
+      in
+      (match select_partial_cover rng mem base t.shape with
+      | None -> None
+      | Some cover -> Some (Bitset.of_list t.n (line @ cover)))

@@ -1,0 +1,348 @@
+module Bitset = Quorum.Bitset
+module System = Quorum.System
+module Rng = Quorum.Rng
+module Combinat = Quorum.Combinat
+
+type node =
+  | Elem of int
+  | Split of { t1 : node; grid : int array array; t2 : node }
+
+type t = { root : node; n : int; rows : int }
+
+(* Build from explicit rows of ids; the recursive split of section 5.
+   [t1_rows j] gives the number of top rows forming sub-triangle 1
+   (the paper uses floor(j/2)). *)
+let rec build ~t1_rows rows =
+  let build = build ~t1_rows in
+  match Array.length rows with
+  | 0 -> invalid_arg "Htriang.build: empty"
+  | 1 ->
+      (match rows.(0) with
+      | [| e |] -> Elem e
+      | _ -> invalid_arg "Htriang.build: malformed triangle")
+  | j ->
+      let half = t1_rows j in
+      if half < 1 || half >= j then invalid_arg "Htriang.build: bad split";
+      let t1 = build (Array.sub rows 0 half) in
+      let lower = Array.sub rows half (j - half) in
+      let grid = Array.map (fun row -> Array.sub row 0 half) lower in
+      let t2 =
+        build
+          (Array.map
+             (fun row -> Array.sub row half (Array.length row - half))
+             lower)
+      in
+      Split { t1; grid; t2 }
+
+let standard ?(split = `Floor) ~rows () =
+  if rows < 1 then invalid_arg "Htriang.standard: rows >= 1 required";
+  let t1_rows j = match split with `Floor -> j / 2 | `Ceil -> (j + 1) / 2 in
+  let ids =
+    Array.init rows (fun r ->
+        Array.init (r + 1) (fun c -> (r * (r + 1) / 2) + c))
+  in
+  { root = build ~t1_rows ids; n = rows * (rows + 1) / 2; rows }
+
+(* --- Availability ------------------------------------------------ *)
+
+let grid_cover_ok mem grid =
+  Array.for_all (fun row -> Array.exists mem row) grid
+
+let grid_line_ok mem grid = Array.exists (fun row -> Array.for_all mem row) grid
+
+let rec avail_node mem = function
+  | Elem e -> mem e
+  | Split { t1; grid; t2 } ->
+      let a = avail_node mem t1 in
+      let b = avail_node mem t2 in
+      (a && b)
+      || (a && grid_cover_ok mem grid)
+      || (b && grid_line_ok mem grid)
+
+let avail t mem = avail_node mem t.root
+
+(* --- Quorum enumeration ------------------------------------------ *)
+
+let grid_covers grid =
+  Array.to_list grid
+  |> List.map Array.to_list
+  |> Combinat.product
+
+let grid_lines grid = Array.to_list grid |> List.map Array.to_list
+
+let rec node_quorums = function
+  | Elem e -> [ [ e ] ]
+  | Split { t1; grid; t2 } ->
+      let q1 = node_quorums t1 and q2 = node_quorums t2 in
+      let pairs a b = List.concat_map (fun x -> List.map (fun y -> x @ y) b) a in
+      pairs q1 q2 @ pairs q1 (grid_covers grid) @ pairs q2 (grid_lines grid)
+
+let quorums t = List.map (Bitset.of_list t.n) (node_quorums t.root)
+
+(* --- Exact failure probability ----------------------------------- *)
+
+let rec avail_prob p_of = function
+  | Elem e -> 1.0 -. p_of e
+  | Split { t1; grid; t2 } ->
+      let a = avail_prob p_of t1 and b = avail_prob p_of t2 in
+      (* Row-cover: every grid row has a survivor; full-line: some row
+         fully survives.  Rows are disjoint, hence independent. *)
+      let r = ref 1.0 and no_full = ref 1.0 in
+      Array.iter
+        (fun row ->
+          let all_dead = ref 1.0 and all_live = ref 1.0 in
+          Array.iter
+            (fun e ->
+              let pe = p_of e in
+              all_dead := !all_dead *. pe;
+              all_live := !all_live *. (1.0 -. pe))
+            row;
+          r := !r *. (1.0 -. !all_dead);
+          no_full := !no_full *. (1.0 -. !all_live))
+        grid;
+      let r = !r and f = 1.0 -. !no_full in
+      (a *. b) +. (a *. r) +. (b *. f) -. (a *. b *. r) -. (a *. b *. f)
+
+let failure_probability_hetero t ~p_of = 1.0 -. avail_prob p_of t.root
+let failure_probability t ~p = failure_probability_hetero t ~p_of:(fun _ -> p)
+
+(* --- Strategy ----------------------------------------------------- *)
+
+type weights = { w1 : float; w2 : float; w3 : float; k : float }
+
+let split_weights ~c1 ~c2 ~c3 ~q1 ~q2 ~q3l ~q3r =
+  let alpha = float_of_int c1 /. float_of_int q1 in
+  let beta = float_of_int c2 /. float_of_int q2 in
+  let q3l = float_of_int q3l and q3r = float_of_int q3r in
+  let k =
+    (q3r +. q3l) /. (float_of_int c3 +. (q3r *. beta) +. (q3l *. alpha))
+  in
+  {
+    w1 = ((alpha +. beta) *. k) -. 1.0;
+    w2 = 1.0 -. (beta *. k);
+    w3 = 1.0 -. (alpha *. k);
+    k;
+  }
+
+let rec node_size = function
+  | Elem _ -> 1
+  | Split { t1; grid; t2 } ->
+      node_size t1 + node_size t2
+      + Array.fold_left (fun acc row -> acc + Array.length row) 0 grid
+
+(* Quorum cardinality along the method-2 shape (quorum of T1 plus a
+   grid row-cover).  On standard triangles every method gives the same
+   size, so this is exact there; after growth it is the proxy used for
+   strategy weights. *)
+let rec quorum_size = function
+  | Elem _ -> 1
+  | Split { t1; grid; _ } -> quorum_size t1 + Array.length grid
+
+let weights_of_split t1 grid t2 =
+  let c1 = node_size t1 and c2 = node_size t2 in
+  let c3 = Array.fold_left (fun acc row -> acc + Array.length row) 0 grid in
+  split_weights ~c1 ~c2 ~c3 ~q1:(quorum_size t1) ~q2:(quorum_size t2)
+    ~q3l:(Array.length grid.(0))
+    ~q3r:(Array.length grid)
+
+let strategy_loads t =
+  let loads = Array.make t.n 0.0 in
+  let rec add node w =
+    match node with
+    | Elem e -> loads.(e) <- loads.(e) +. w
+    | Split { t1; grid; t2 } ->
+        let { w1; w2; w3; k = _ } = weights_of_split t1 grid t2 in
+        add t1 (w *. (w1 +. w2));
+        add t2 (w *. (w1 +. w3));
+        let rows = float_of_int (Array.length grid) in
+        let cols = float_of_int (Array.length grid.(0)) in
+        Array.iter
+          (fun row ->
+            Array.iter
+              (fun e ->
+                loads.(e) <-
+                  loads.(e) +. (w *. ((w2 /. cols) +. (w3 /. rows))))
+              row)
+          grid
+  in
+  add t.root 1.0;
+  loads
+
+let system_load t =
+  match t.root with
+  | Elem _ -> 1.0
+  | Split { t1; grid; t2 } -> (weights_of_split t1 grid t2).k
+
+(* --- Live-aware selection ---------------------------------------- *)
+
+let select_grid_cover rng mem grid =
+  let pick_row row =
+    let live = Array.of_list (List.filter mem (Array.to_list row)) in
+    if Array.length live = 0 then None else Some (Rng.pick rng live)
+  in
+  let rec go i acc =
+    if i = Array.length grid then Some acc
+    else
+      match pick_row grid.(i) with
+      | None -> None
+      | Some e -> go (i + 1) (e :: acc)
+  in
+  go 0 []
+
+let select_grid_line rng mem grid =
+  let full =
+    Array.to_list grid |> List.filter (fun row -> Array.for_all mem row)
+  in
+  match full with
+  | [] -> None
+  | _ -> Some (Array.to_list (Rng.pick rng (Array.of_list full)))
+
+let rec select_node rng mem = function
+  | Elem e -> if mem e then Some [ e ] else None
+  | Split { t1; grid; t2 } ->
+      let a = avail_node mem t1 and b = avail_node mem t2 in
+      let rc = grid_cover_ok mem grid and fl = grid_line_ok mem grid in
+      let { w1; w2; w3; k = _ } = weights_of_split t1 grid t2 in
+      let methods =
+        List.filter
+          (fun (w, feasible, _) -> feasible && w > 0.0)
+          [
+            ((w1 : float), a && b, `M1);
+            (w2, a && rc, `M2);
+            (w3, b && fl, `M3);
+          ]
+      in
+      if methods = [] then None
+      else begin
+        let weights = Array.of_list (List.map (fun (w, _, _) -> w) methods) in
+        let _, _, m =
+          List.nth methods (Rng.pick_weighted rng ~weights)
+        in
+        let join x y =
+          match (x, y) with Some x, Some y -> Some (x @ y) | _ -> None
+        in
+        match m with
+        | `M1 -> join (select_node rng mem t1) (select_node rng mem t2)
+        | `M2 -> join (select_node rng mem t1) (select_grid_cover rng mem grid)
+        | `M3 -> join (select_node rng mem t2) (select_grid_line rng mem grid)
+      end
+
+let select t rng ~live =
+  Option.map (Bitset.of_list t.n)
+    (select_node rng (Bitset.mem live) t.root)
+
+let system ?name t =
+  let name =
+    match name with Some s -> s | None -> Printf.sprintf "h-triang(%d)" t.n
+  in
+  let avail_mask =
+    if t.n <= Bitset.bits_per_word then
+      Some (fun mask -> avail_node (fun i -> mask land (1 lsl i) <> 0) t.root)
+    else None
+  in
+  System.make ~name ~n:t.n
+    ~avail:(fun live -> avail_node (Bitset.mem live) t.root)
+    ?avail_mask
+    ~min_quorums:(lazy (quorums t))
+    ~select:(select t) ()
+
+(* --- Growth rules ------------------------------------------------- *)
+
+let grow t rewrite =
+  let next = ref t.n in
+  let fresh () =
+    let id = !next in
+    incr next;
+    id
+  in
+  let replaced = ref false in
+  let rec go node =
+    if !replaced then node
+    else
+      match rewrite fresh node with
+      | Some node' ->
+          replaced := true;
+          node'
+      | None ->
+          (match node with
+          | Elem _ -> node
+          | Split s ->
+              let t1 = go s.t1 in
+              let t2 = if !replaced then s.t2 else go s.t2 in
+              Split { s with t1; t2 })
+  in
+  let root = go t.root in
+  if !replaced then Some { root; n = !next; rows = t.rows } else None
+
+let grow_unit_triangle t =
+  grow t (fun fresh node ->
+      match node with
+      | Elem e ->
+          Some
+            (Split
+               { t1 = Elem e; grid = [| [| fresh () |] |]; t2 = Elem (fresh ()) })
+      | Split _ -> None)
+
+let grow_unit_grid t =
+  grow t (fun fresh node ->
+      match node with
+      | Split ({ grid = [| [| e |] |]; _ } as s) ->
+          Some (Split { s with grid = [| [| e; fresh () |] |] })
+      | Elem _ | Split _ -> None)
+
+let grow_square_grid t =
+  grow t (fun fresh node ->
+      match node with
+      | Split ({ grid; _ } as s)
+        when Array.length grid = Array.length grid.(0) ->
+          let m = Array.length grid in
+          let grid' =
+            Array.init (m + 1) (fun r ->
+                Array.init (m + 1) (fun c ->
+                    if r < m && c < m then grid.(r).(c) else fresh ()))
+          in
+          Some (Split { s with grid = grid' })
+      | Elem _ | Split _ -> None)
+
+(* --- Rendering (Figure 2) ----------------------------------------- *)
+
+let rec collect_ids acc = function
+  | Elem e -> e :: acc
+  | Split { t1; grid; t2 } ->
+      let acc = collect_ids acc t1 in
+      let acc =
+        Array.fold_left (fun acc row -> Array.fold_left (fun a e -> e :: a) acc row)
+          acc grid
+      in
+      collect_ids acc t2
+
+let render t =
+  let in_t1, in_grid =
+    match t.root with
+    | Elem _ -> ((fun _ -> false), fun _ -> false)
+    | Split { t1; grid; _ } ->
+        let s1 = collect_ids [] t1 in
+        let sg =
+          Array.fold_left
+            (fun acc row -> Array.fold_left (fun a e -> e :: a) acc row)
+            [] grid
+        in
+        ((fun e -> List.mem e s1), fun e -> List.mem e sg)
+  in
+  let buf = Buffer.create 256 in
+  (* Only standard layouts know their coordinates; render by the
+     row-major id formula, which holds for standard triangles. *)
+  for r = 0 to t.rows - 1 do
+    Buffer.add_string buf (String.make (2 * (t.rows - 1 - r)) ' ');
+    for c = 0 to r do
+      let e = (r * (r + 1) / 2) + c in
+      let cell =
+        if in_t1 e then Printf.sprintf " %2d " e
+        else if in_grid e then Printf.sprintf "[%2d]" e
+        else Printf.sprintf "(%2d)" e
+      in
+      Buffer.add_string buf cell
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf

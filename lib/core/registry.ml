@@ -1,0 +1,172 @@
+let parse_spec spec =
+  match String.index_opt spec '(' with
+  | None -> (String.trim spec, [])
+  | Some i ->
+      if String.length spec = 0 || spec.[String.length spec - 1] <> ')' then
+        invalid_arg "Registry: expected name(args)";
+      let name = String.sub spec 0 i in
+      let args = String.sub spec (i + 1) (String.length spec - i - 2) in
+      ( String.trim name,
+        if String.trim args = "" then []
+        else String.split_on_char ',' args |> List.map String.trim )
+
+let int_arg = int_of_string
+
+(* "4x6" -> rows 4, cols 6; a bare int k -> k x k. *)
+let dims_arg s =
+  match String.split_on_char 'x' s with
+  | [ r; c ] -> (int_of_string r, int_of_string c)
+  | [ k ] ->
+      let k = int_of_string k in
+      (k, k)
+  | _ -> invalid_arg "Registry: expected RxC"
+
+let ints_dash s = String.split_on_char '-' s |> List.map int_of_string
+
+let triangle_rows n =
+  let d = Systems.Triangle.rows_for n in
+  if d * (d + 1) / 2 <> n then
+    invalid_arg
+      (Printf.sprintf "Registry: %d is not a triangular number" n);
+  d
+
+let build_parsed name args =
+  match (name, args) with
+  | "majority", [ n ] -> Systems.Majority.make (int_arg n)
+  | "majority-plain", [ n ] -> Systems.Majority.make_plain (int_arg n)
+  | "singleton", [ n ] -> Systems.Singleton.make (int_arg n)
+  | "voting", [ votes ] ->
+      Systems.Weighted_voting.system
+        ~votes:(Array.of_list (ints_dash votes))
+        ()
+  | "hqs", [ branching ] ->
+      let branching =
+        match ints_dash branching with
+        | [ n ] ->
+            (* a bare size: factor as the paper does (5x3, 3x3x3) *)
+            (match n with
+            | 15 -> [ 5; 3 ]
+            | 27 -> [ 3; 3; 3 ]
+            | 9 -> [ 3; 3 ]
+            | n -> [ n ])
+        | l -> l
+      in
+      Systems.Hqs.system ~branching ()
+  | "hqs", branching when branching <> [] ->
+      Systems.Hqs.system ~branching:(List.map int_arg branching) ()
+  | "cwlog", [ n ] -> Systems.Cwlog.system ~n:(int_arg n) ()
+  | "tree", [ n ] ->
+      let n = int_arg n in
+      let rec height_of k acc = if k <= 1 then acc else height_of (k / 2) (acc + 1) in
+      let h = height_of (n + 1) 0 in
+      if (1 lsl h) - 1 <> n then
+        invalid_arg "Registry: tree size must be 2^h - 1";
+      Systems.Tree_quorum.system ~height:h ()
+  | "fpp", [ n ] ->
+      let n = int_arg n in
+      let rec find q = if q * q + q + 1 >= n then q else find (q + 1) in
+      let q = find 1 in
+      if q * q + q + 1 <> n then
+        invalid_arg "Registry: fpp size must be q^2+q+1";
+      Systems.Fpp.system ~order:q ()
+  | "triangle", [ n ] ->
+      Systems.Triangle.system ~rows:(triangle_rows (int_arg n)) ()
+  | "y", [ n ] -> Systems.Y_system.system ~rows:(triangle_rows (int_arg n)) ()
+  | "paths", [ d ] -> Systems.Paths.system ~d:(int_arg d) ()
+  | "diamond", [ n ] ->
+      let n = int_arg n in
+      let rec find m = if m * m - 1 >= n then m else find (m + 1) in
+      let m = find 2 in
+      if m * m - 1 <> n then
+        invalid_arg "Registry: diamond size must be m^2 - 1";
+      Systems.Diamond.system ~half_rows:m ()
+  | "wall", [ widths ] ->
+      Systems.Wall.system (Array.of_list (ints_dash widths))
+  | "grid-read", [ d ] ->
+      let rows, cols = dims_arg d in
+      Systems.Grid.system ~rows ~cols Systems.Grid.Read
+  | "grid-write", [ d ] ->
+      let rows, cols = dims_arg d in
+      Systems.Grid.system ~rows ~cols Systems.Grid.Write
+  | "grid-rw", [ d ] ->
+      let rows, cols = dims_arg d in
+      Systems.Grid.system ~rows ~cols Systems.Grid.Read_write
+  | "tgrid", [ d ] ->
+      let rows, cols = dims_arg d in
+      Systems.Grid.t_grid ~rows ~cols ()
+  | "hgrid", [ d ] ->
+      let rows, cols = dims_arg d in
+      Hgrid.rw_system (Hgrid.auto_2x2 ~rows ~cols ())
+  | "hgrid-read", [ d ] ->
+      let rows, cols = dims_arg d in
+      Hgrid.read_system (Hgrid.auto_2x2 ~rows ~cols ())
+  | "hgrid-write", [ d ] ->
+      let rows, cols = dims_arg d in
+      Hgrid.write_system (Hgrid.auto_2x2 ~rows ~cols ())
+  | "htgrid", [ d ] ->
+      let rows, cols = dims_arg d in
+      Htgrid.system (Hgrid.auto_2x2 ~rows ~cols ())
+  | "htriang", [ n ] ->
+      Htriang.system (Htriang.standard ~rows:(triangle_rows (int_arg n)) ())
+  | _ ->
+      invalid_arg
+        (Printf.sprintf "Registry: unknown system spec %s(%s)" name
+           (String.concat "," args))
+
+let build spec =
+  match parse_spec spec with
+  | name, args ->
+      (try Ok (build_parsed name args) with
+      | Invalid_argument msg | Failure msg -> Error msg)
+  | exception Invalid_argument msg -> Error msg
+
+let build_exn spec =
+  match build spec with
+  | Ok s -> s
+  | Error msg -> invalid_arg msg
+
+let known () =
+  [
+    ("majority", "majority(15)");
+    ("majority-plain", "majority-plain(28)");
+    ("singleton", "singleton(5)");
+    ("voting", "voting(1-1-2)");
+    ("hqs", "hqs(5-3) or hqs(15)");
+    ("cwlog", "cwlog(14)");
+    ("tree", "tree(15)");
+    ("fpp", "fpp(13)");
+    ("triangle", "triangle(15)");
+    ("y", "y(15)");
+    ("paths", "paths(3)  [n = 2d(d+1)]");
+    ("diamond", "diamond(8)");
+    ("wall", "wall(1-2-2-3)");
+    ("grid-read/write/rw", "grid-rw(4x4)");
+    ("tgrid", "tgrid(4x4)");
+    ("hgrid[-read|-write]", "hgrid(6x4)");
+    ("htgrid", "htgrid(4x4)");
+    ("htriang", "htriang(15)");
+  ]
+
+let paper_lineup_15 () =
+  List.map build_exn
+    [
+      "majority(15)";
+      "hqs(5-3)";
+      "cwlog(14)";
+      "htgrid(4x4)";
+      "paths(2)";
+      "y(15)";
+      "htriang(15)";
+    ]
+
+let paper_lineup_28 () =
+  List.map build_exn
+    [
+      "majority(28)";
+      "hqs(3-3-3)";
+      "cwlog(29)";
+      "htgrid(5x5)";
+      "paths(3)";
+      "y(28)";
+      "htriang(28)";
+    ]

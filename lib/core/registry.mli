@@ -1,0 +1,30 @@
+(** Named constructors for every quorum system in the repository —
+    the single catalogue used by the CLI, the benchmarks and the
+    cross-construction tests.
+
+    Spec syntax: [name(arg1,arg2)], e.g. ["majority(15)"],
+    ["hgrid(4x4)"], ["htgrid(6x4)"], ["htriang(28)"], ["hqs(5x3)"],
+    ["cwlog(14)"], ["paths(3)"], ["y(15)"], ["triangle(15)"],
+    ["tree(15)"], ["fpp(13)"], ["grid-rw(4x4)"], ["tgrid(4x4)"],
+    ["wall(1-2-2-3)"], ["diamond(9)"], ["singleton(5)"],
+    ["voting(1-1-2)"]. *)
+
+val parse_spec : string -> string * string list
+(** Split ["name(a,b)"] into [("name", ["a"; "b"])]; raises
+    [Invalid_argument] on malformed specs. *)
+
+val build : string -> (Quorum.System.t, string) result
+(** Parse a spec and build the system; [Error] carries a message. *)
+
+val build_exn : string -> Quorum.System.t
+
+val known : unit -> (string * string) list
+(** [(family, example spec)] pairs for help output. *)
+
+val paper_lineup_15 : unit -> Quorum.System.t list
+(** The Table 2 lineup: Majority(15), HQS(15), CWlog(14),
+    h-T-grid(16), Paths(~13), Y(15), h-triang(15). *)
+
+val paper_lineup_28 : unit -> Quorum.System.t list
+(** The Table 3 lineup: Majority(28), HQS(27), CWlog(29),
+    h-T-grid(25), Paths(~25), Y(28), h-triang(28). *)

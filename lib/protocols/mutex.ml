@@ -1,0 +1,311 @@
+module Engine = Sim.Engine
+module Bitset = Quorum.Bitset
+
+(* Requests are totally ordered by (timestamp, client); smaller wins. *)
+type req = { ts : int; client : int }
+
+let priority a b = compare (a.ts, a.client) (b.ts, b.client)
+
+type msg =
+  | Request of req
+  | Grant
+  | Inquire
+  | Yield of req
+  | Failed
+  | Release of req
+
+type waiting = {
+  req : req;
+  quorum : int list;
+  grants : Bitset.t;
+  mutable got_failed : bool;
+  mutable pending_inquires : int list;
+  started : float;
+}
+
+type client_phase =
+  | Idle
+  | Waiting of waiting
+  | In_cs of { req : req; quorum : int list }
+
+type arbiter = {
+  mutable granted_to : req option;
+  mutable inquired : bool;  (** an INQUIRE to the current grantee is in flight *)
+  mutable queue : req list;  (** pending requests, sorted by priority *)
+}
+
+type t = {
+  system : Quorum.System.t;
+  capacity : int;
+  cs_duration : float;
+  mutable engine : msg Engine.t option;
+  mutable clock : int;  (** request timestamp source *)
+  clients : client_phase array;
+  pending : int array;  (** requests queued while the node was busy *)
+  arbiters : arbiter array;
+  mutable in_cs_count : int;
+  mutable max_concurrency : int;
+  mutable entries : int;
+  mutable violations : int;
+  mutable unavailable : int;
+  wait_stats : Sim.Stats.t;
+}
+
+let create ?(capacity = 1) ~system ~cs_duration () =
+  if capacity < 1 then invalid_arg "Mutex.create: capacity >= 1";
+  let n = system.Quorum.System.n in
+  {
+    system;
+    capacity;
+    cs_duration;
+    engine = None;
+    clock = 0;
+    clients = Array.make n Idle;
+    pending = Array.make n 0;
+    arbiters =
+      Array.init n (fun _ ->
+          { granted_to = None; inquired = false; queue = [] });
+    in_cs_count = 0;
+    max_concurrency = 0;
+    entries = 0;
+    violations = 0;
+    unavailable = 0;
+    wait_stats = Sim.Stats.create ();
+  }
+
+let engine_exn t =
+  match t.engine with
+  | Some e -> e
+  | None -> invalid_arg "Mutex: bind the engine first"
+
+let bind t engine =
+  if Engine.nodes engine <> t.system.Quorum.System.n then
+    invalid_arg "Mutex.bind: engine size mismatch";
+  t.engine <- Some engine
+
+let entries t = t.entries
+let violations t = t.violations
+let max_concurrency t = t.max_concurrency
+let unavailable t = t.unavailable
+let wait_stats t = t.wait_stats
+
+let insert_sorted req queue =
+  let rec go = function
+    | [] -> [ req ]
+    | r :: rest as all ->
+        if priority req r < 0 then req :: all else r :: go rest
+  in
+  go queue
+
+(* --- Arbiter side ------------------------------------------------- *)
+
+let arbiter_grant engine ~arbiter_id a req =
+  a.granted_to <- Some req;
+  a.inquired <- false;
+  Engine.send engine ~src:arbiter_id ~dst:req.client Grant
+
+let arbiter_on_request t engine ~node:j req =
+  let a = t.arbiters.(j) in
+  match a.granted_to with
+  | None -> arbiter_grant engine ~arbiter_id:j a req
+  | Some current ->
+      a.queue <- insert_sorted req a.queue;
+      if priority req current < 0 then begin
+        (* The newcomer outranks the grant: ask the grantee to yield
+           (at most one outstanding inquire). *)
+        if not a.inquired then begin
+          a.inquired <- true;
+          Engine.send engine ~src:j ~dst:current.client Inquire
+        end
+      end
+      else Engine.send engine ~src:j ~dst:req.client Failed
+
+let arbiter_next engine ~node:j a =
+  match a.queue with
+  | [] -> a.granted_to <- None
+  | best :: rest ->
+      a.queue <- rest;
+      arbiter_grant engine ~arbiter_id:j a best;
+      (* Everyone left behind is now outranked by the new grantee and
+         must learn it cannot currently win, or a waiting client that
+         was never FAILED would sit on an INQUIRE forever (deadlock). *)
+      List.iter
+        (fun r -> Engine.send engine ~src:j ~dst:r.client Failed)
+        rest
+
+let arbiter_on_release t engine ~node:j req =
+  let a = t.arbiters.(j) in
+  (match a.granted_to with
+  | Some current when priority current req = 0 ->
+      a.inquired <- false;
+      arbiter_next engine ~node:j a
+  | Some _ | None ->
+      (* Stale release (e.g. re-delivery after yield): drop the request
+         from the queue if it is still there. *)
+      a.queue <- List.filter (fun r -> priority r req <> 0) a.queue)
+
+let arbiter_on_yield t engine ~node:j req =
+  let a = t.arbiters.(j) in
+  match a.granted_to with
+  | Some current when priority current req = 0 ->
+      a.inquired <- false;
+      a.queue <- insert_sorted req a.queue;
+      arbiter_next engine ~node:j a
+  | Some _ | None -> ()
+
+(* --- Client side -------------------------------------------------- *)
+
+let enter_cs t engine ~node w_req w_quorum started =
+  t.clients.(node) <- In_cs { req = w_req; quorum = w_quorum };
+  t.in_cs_count <- t.in_cs_count + 1;
+  if t.in_cs_count > t.max_concurrency then
+    t.max_concurrency <- t.in_cs_count;
+  if t.in_cs_count > t.capacity then t.violations <- t.violations + 1;
+  t.entries <- t.entries + 1;
+  Sim.Stats.add t.wait_stats (Engine.now engine -. started);
+  (* Leave after cs_duration: encoded as a timer tagged by ts. *)
+  Engine.set_timer engine ~node ~delay:t.cs_duration ~tag:w_req.ts
+
+let client_answer_inquires engine ~node w =
+  (* Only yield when this request cannot currently win.  An INQUIRE can
+     overtake the GRANT it refers to; such inquires stay pending until
+     the grant lands. *)
+  if w.got_failed then begin
+    let still_pending =
+      List.filter
+        (fun j ->
+          if Bitset.mem w.grants j then begin
+            Bitset.remove w.grants j;
+            Engine.send engine ~src:node ~dst:j (Yield w.req);
+            false
+          end
+          else true)
+        w.pending_inquires
+    in
+    w.pending_inquires <- still_pending
+  end
+
+let client_on_grant t engine ~node ~src =
+  match t.clients.(node) with
+  | Waiting w ->
+      Bitset.add w.grants src;
+      let all =
+        List.for_all (fun j -> Bitset.mem w.grants j) w.quorum
+      in
+      if all then enter_cs t engine ~node w.req w.quorum w.started
+      else
+        (* A pending inquire may have been waiting for this grant. *)
+        client_answer_inquires engine ~node w
+  | Idle | In_cs _ -> ()
+
+let client_on_inquire t engine ~node ~src =
+  match t.clients.(node) with
+  | Waiting w ->
+      if not (List.mem src w.pending_inquires) then
+        w.pending_inquires <- src :: w.pending_inquires;
+      client_answer_inquires engine ~node w
+  | In_cs _ | Idle ->
+      (* Already inside (the release will free the arbiter) or stale. *)
+      ()
+
+let client_on_failed t engine ~node =
+  match t.clients.(node) with
+  | Waiting w ->
+      w.got_failed <- true;
+      client_answer_inquires engine ~node w
+  | Idle | In_cs _ -> ()
+
+let exit_cs t engine ~node req quorum =
+  t.clients.(node) <- Idle;
+  t.in_cs_count <- t.in_cs_count - 1;
+  List.iter
+    (fun j -> Engine.send engine ~src:node ~dst:j (Release req))
+    quorum
+
+(* --- Wiring ------------------------------------------------------- *)
+
+let request t ~node =
+  let engine = engine_exn t in
+  if Engine.is_live engine node then
+    match t.clients.(node) with
+    | Waiting _ | In_cs _ ->
+        (* One outstanding request per node: queue and reissue after
+           the current critical section completes. *)
+        t.pending.(node) <- t.pending.(node) + 1
+    | Idle ->
+        let live = Engine.live_set engine in
+        (match t.system.Quorum.System.select (Engine.rng engine) ~live with
+        | None -> t.unavailable <- t.unavailable + 1
+        | Some quorum_set ->
+            t.clock <- t.clock + 1;
+            let req = { ts = t.clock; client = node } in
+            let quorum = Bitset.to_list quorum_set in
+            t.clients.(node) <-
+              Waiting
+                {
+                  req;
+                  quorum;
+                  grants = Bitset.create (Array.length t.clients);
+                  got_failed = false;
+                  pending_inquires = [];
+                  started = Engine.now engine;
+                };
+            List.iter
+              (fun j -> Engine.send engine ~src:node ~dst:j (Request req))
+              quorum)
+
+let debug_dump t =
+  let buf = Buffer.create 256 in
+  Array.iteri
+    (fun i phase ->
+      let desc =
+        match phase with
+        | Idle -> "idle"
+        | In_cs { req; _ } -> Printf.sprintf "IN-CS(ts=%d)" req.ts
+        | Waiting w ->
+            Printf.sprintf "waiting(ts=%d grants=%s failed=%b inq=[%s] q=[%s])"
+              w.req.ts
+              (String.concat "," (List.map string_of_int (Bitset.to_list w.grants)))
+              w.got_failed
+              (String.concat "," (List.map string_of_int w.pending_inquires))
+              (String.concat "," (List.map string_of_int w.quorum))
+      in
+      Buffer.add_string buf (Printf.sprintf "client %d: %s pend=%d\n" i desc t.pending.(i)))
+    t.clients;
+  Array.iteri
+    (fun j a ->
+      Buffer.add_string buf
+        (Printf.sprintf "arbiter %d: granted=%s inq=%b queue=[%s]\n" j
+           (match a.granted_to with
+            | None -> "-"
+            | Some r -> Printf.sprintf "ts%d/c%d" r.ts r.client)
+           a.inquired
+           (String.concat ";"
+              (List.map (fun r -> Printf.sprintf "ts%d/c%d" r.ts r.client) a.queue))))
+    t.arbiters;
+  Buffer.contents buf
+
+let handlers t : msg Engine.handlers =
+  {
+    on_message =
+      (fun engine ~node ~src msg ->
+        match msg with
+        | Request req -> arbiter_on_request t engine ~node req
+        | Grant -> client_on_grant t engine ~node ~src
+        | Inquire -> client_on_inquire t engine ~node ~src
+        | Yield req -> arbiter_on_yield t engine ~node req
+        | Failed -> client_on_failed t engine ~node
+        | Release req -> arbiter_on_release t engine ~node req);
+    on_timer =
+      (fun engine ~node ~tag ->
+        match t.clients.(node) with
+        | In_cs { req; quorum } when req.ts = tag ->
+            exit_cs t engine ~node req quorum;
+            if t.pending.(node) > 0 then begin
+              t.pending.(node) <- t.pending.(node) - 1;
+              request t ~node
+            end
+        | In_cs _ | Waiting _ | Idle -> ());
+    on_crash = (fun _ ~node:_ -> ());
+    on_recover = (fun _ ~node:_ -> ());
+  }

@@ -1,0 +1,69 @@
+(** Quorum-based distributed mutual exclusion (Maekawa 1985 style),
+    parameterized by any quorum system.
+
+    This is the protocol the paper's introduction sketches: to enter
+    the critical section a node obtains permission from every member of
+    a quorum; the intersection property makes two simultaneous critical
+    sections impossible.  The naive sketch deadlocks, so the full
+    arbiter protocol is implemented: REQUEST / GRANT / RELEASE plus the
+    INQUIRE / YIELD / FAILED deadlock-avoidance handshake with a total
+    priority order on requests.
+
+    Every node is simultaneously a {e client} (it may request the
+    critical section) and an {e arbiter} (it grants its permission to
+    one client at a time).  Quorums are chosen by the system's
+    selection strategy against the currently live nodes.
+
+    Safety (at most [capacity] nodes in the critical section) is
+    asserted at runtime and surfaced through {!violations}.  The
+    protocol assumes reliable delivery between live nodes (no
+    retransmission layer): run it over a {!Sim.Network.t} with zero
+    loss; crashes are tolerated by live-aware quorum selection.
+
+    Usage:
+    {[
+      let mx = Mutex.create ~system ~cs_duration:1.0 in
+      let engine = Engine.create ~seed ~nodes:system.n (Mutex.handlers mx) in
+      Mutex.bind mx engine;
+      Engine.schedule engine ~time:3.0 (fun () -> Mutex.request mx ~node:2);
+      Engine.run engine
+    ]} *)
+
+type t
+type msg
+
+val create :
+  ?capacity:int -> system:Quorum.System.t -> cs_duration:float -> unit -> t
+(** [capacity] (default 1) is the number of simultaneous critical
+    sections the system is supposed to allow: 1 for a coterie, [k] for
+    a k-coterie (see [Systems.K_coterie]). *)
+
+val handlers : t -> msg Sim.Engine.handlers
+
+val bind : t -> msg Sim.Engine.t -> unit
+(** Must be called once, before the first request; the engine's node
+    count must equal [system.n]. *)
+
+val request : t -> node:int -> unit
+(** Ask [node] to acquire the critical section now (no-op if it is
+    already waiting, inside, or dead). *)
+
+val entries : t -> int
+(** Completed critical-section entries. *)
+
+val violations : t -> int
+(** Safety violations observed — moments with more than [capacity]
+    holders (must be 0). *)
+
+val max_concurrency : t -> int
+(** Peak number of simultaneous critical-section holders; for a
+    k-coterie under contention this should reach [k]. *)
+
+val unavailable : t -> int
+(** Requests abandoned because no quorum was live at selection time. *)
+
+val wait_stats : t -> Sim.Stats.t
+(** Request-to-entry latency samples. *)
+
+val debug_dump : t -> string
+(** Human-readable dump of client and arbiter states (diagnostics). *)

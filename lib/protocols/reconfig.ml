@@ -1,0 +1,416 @@
+module Engine = Sim.Engine
+module Bitset = Quorum.Bitset
+module System = Quorum.System
+
+type msg =
+  | Op_req of { op : int; epoch : int; write : (int * int) option }
+      (** [write = Some (version, value)] installs; [None] reads. *)
+  | Op_rep of { op : int; version : int; value : int }
+  | Op_nack of { op : int; epoch : int }
+  | Seal_req of { epoch : int }
+  | Seal_ack of { epoch : int; version : int; value : int }
+  | Install_req of { epoch : int; version : int; value : int }
+  | Install_ack of { epoch : int }
+  | Announce of { epoch : int }
+
+type kind = Read_op | Write_op of int
+
+type phase = Version_phase | Install_phase
+
+type op = {
+  id : int;
+  client : int;
+  kind : kind;
+  started : float;
+  mutable epoch : int;
+  mutable waiting_for : Bitset.t;
+  mutable best : int * int;
+  mutable write_version : int;
+  mutable phase : phase;
+  mutable retries_left : int;
+  mutable nacked : bool;
+}
+
+type replica = {
+  mutable r_epoch : int;
+  mutable sealed : bool;
+  mutable state : int * int;  (** version, value *)
+}
+
+type switch = {
+  coordinator : int;
+  next_epoch : int;
+  next_system : System.t;
+  seal_waiting : Bitset.t;
+  mutable seal_best : int * int;
+  install_waiting : Bitset.t;
+  mutable installing : bool;
+}
+
+type t = {
+  universe : int;
+  timeout : float;
+  mutable engine : msg Engine.t option;
+  mutable configs : System.t list;  (** index = epoch *)
+  mutable epoch : int;  (** latest announced epoch (global knowledge) *)
+  replicas : replica array;
+  ops : (int, op) Hashtbl.t;
+  mutable next_op : int;
+  mutable switch : switch option;
+  mutable epoch_switches : int;
+  mutable refused_switches : int;
+  mutable reads_ok : int;
+  mutable writes_ok : int;
+  mutable retries : int;
+  mutable failed : int;
+  mutable stale_reads : int;
+  mutable committed : (float * int) list;
+}
+
+let create ~initial ~universe ~timeout =
+  if initial.System.n > universe then
+    invalid_arg "Reconfig.create: configuration exceeds universe";
+  {
+    universe;
+    timeout;
+    engine = None;
+    configs = [ initial ];
+    epoch = 0;
+    replicas =
+      Array.init universe (fun _ ->
+          { r_epoch = 0; sealed = false; state = (0, 0) });
+    ops = Hashtbl.create 32;
+    next_op = 0;
+    switch = None;
+    epoch_switches = 0;
+    refused_switches = 0;
+    reads_ok = 0;
+    writes_ok = 0;
+    retries = 0;
+    failed = 0;
+    stale_reads = 0;
+    committed = [];
+  }
+
+let engine_exn t =
+  match t.engine with
+  | Some e -> e
+  | None -> invalid_arg "Reconfig: bind the engine first"
+
+let bind t engine =
+  if Engine.nodes engine <> t.universe then
+    invalid_arg "Reconfig.bind: engine size mismatch";
+  t.engine <- Some engine
+
+let current_epoch t = t.epoch
+let epoch_switches t = t.epoch_switches
+let reads_ok t = t.reads_ok
+let writes_ok t = t.writes_ok
+let retries t = t.retries
+let failed t = t.failed
+let stale_reads t = t.stale_reads
+
+let config_of_epoch t epoch =
+  (* configs is newest-first. *)
+  let from_newest = List.length t.configs - 1 - epoch in
+  List.nth t.configs from_newest
+
+let committed_before t time =
+  List.fold_left
+    (fun acc (ct, v) -> if ct <= time then max acc v else acc)
+    0 t.committed
+
+(* --- Client side ---------------------------------------------------- *)
+
+(* Select a quorum in the configuration of the client's current view
+   and start (or restart) the version phase of [op]. *)
+let launch t (op : op) =
+  let engine = engine_exn t in
+  op.epoch <- t.epoch;
+  let system = config_of_epoch t op.epoch in
+  (* Only the configuration's members serve quorums; spares idle. *)
+  let live = Engine.live_set engine in
+  let members = Bitset.create system.System.n in
+  for i = 0 to system.System.n - 1 do
+    if Bitset.mem live i then Bitset.add members i
+  done;
+  match system.System.select (Engine.rng engine) ~live:members with
+  | None ->
+      Hashtbl.remove t.ops op.id;
+      t.failed <- t.failed + 1
+  | Some quorum ->
+      op.phase <- Version_phase;
+      op.best <- (0, 0);
+      op.nacked <- false;
+      op.waiting_for <- Bitset.copy quorum;
+      Bitset.iter
+        (fun j ->
+          Engine.send engine ~src:op.client ~dst:j
+            (Op_req { op = op.id; epoch = op.epoch; write = None }))
+        quorum
+
+let start t ~client kind =
+  let engine = engine_exn t in
+  if not (Engine.is_live engine client) then t.failed <- t.failed + 1
+  else begin
+    let id = t.next_op in
+    t.next_op <- t.next_op + 1;
+    let op =
+      {
+        id;
+        client;
+        kind;
+        started = Engine.now engine;
+        epoch = t.epoch;
+        waiting_for = Bitset.create t.universe;
+        best = (0, 0);
+        write_version = 0;
+        phase = Version_phase;
+        retries_left = 12;
+        nacked = false;
+      }
+    in
+    Hashtbl.add t.ops id op;
+    launch t op;
+    if Hashtbl.mem t.ops id then
+      Engine.set_timer engine ~node:client ~delay:t.timeout ~tag:id
+  end
+
+let read t ~client = start t ~client Read_op
+let write t ~client ~value = start t ~client (Write_op value)
+
+let finish_read t (op : op) =
+  Hashtbl.remove t.ops op.id;
+  t.reads_ok <- t.reads_ok + 1;
+  if fst op.best < committed_before t op.started then
+    t.stale_reads <- t.stale_reads + 1
+
+let retry_later t (op : op) =
+  (* NACKed (sealed replica or stale epoch): back off and relaunch
+     under the then-current configuration. *)
+  if op.retries_left = 0 then begin
+    Hashtbl.remove t.ops op.id;
+    t.failed <- t.failed + 1
+  end
+  else begin
+    op.retries_left <- op.retries_left - 1;
+    t.retries <- t.retries + 1;
+    let engine = engine_exn t in
+    Engine.schedule engine
+      ~time:(Engine.now engine +. 3.0)
+      (fun () -> if Hashtbl.mem t.ops op.id then launch t op)
+  end
+
+let begin_install t (op : op) =
+  let engine = engine_exn t in
+  match op.kind with
+  | Read_op -> finish_read t op
+  | Write_op value ->
+      let system = config_of_epoch t op.epoch in
+      let live = Engine.live_set engine in
+      let members = Bitset.create system.System.n in
+      for i = 0 to system.System.n - 1 do
+        if Bitset.mem live i then Bitset.add members i
+      done;
+      (match system.System.select (Engine.rng engine) ~live:members with
+      | None ->
+          Hashtbl.remove t.ops op.id;
+          t.failed <- t.failed + 1
+      | Some wq ->
+          let version = fst op.best + 1 in
+          op.write_version <- version;
+          op.phase <- Install_phase;
+          op.waiting_for <- Bitset.copy wq;
+          Bitset.iter
+            (fun j ->
+              Engine.send engine ~src:op.client ~dst:j
+                (Op_req
+                   { op = op.id; epoch = op.epoch; write = Some (version, value) }))
+            wq)
+
+(* --- Reconfiguration -------------------------------------------------- *)
+
+let reconfigure t ~coordinator next_system =
+  let engine = engine_exn t in
+  if next_system.System.n > t.universe then
+    invalid_arg "Reconfig.reconfigure: configuration exceeds universe";
+  match t.switch with
+  | Some _ -> t.refused_switches <- t.refused_switches + 1
+  | None ->
+      let old_system = config_of_epoch t t.epoch in
+      let live = Engine.live_set engine in
+      let members = Bitset.create old_system.System.n in
+      for i = 0 to old_system.System.n - 1 do
+        if Bitset.mem live i then Bitset.add members i
+      done;
+      (match old_system.System.select (Engine.rng engine) ~live:members with
+      | None -> t.refused_switches <- t.refused_switches + 1
+      | Some seal_quorum ->
+          let sw =
+            {
+              coordinator;
+              next_epoch = t.epoch + 1;
+              next_system;
+              seal_waiting = Bitset.copy seal_quorum;
+              seal_best = (0, 0);
+              install_waiting = Bitset.create t.universe;
+              installing = false;
+            }
+          in
+          t.switch <- Some sw;
+          Bitset.iter
+            (fun j ->
+              Engine.send engine ~src:coordinator ~dst:j
+                (Seal_req { epoch = t.epoch }))
+            seal_quorum)
+
+let on_seal_ack t sw ~src ~version ~value =
+  let engine = engine_exn t in
+  if (not sw.installing) && Bitset.mem sw.seal_waiting src then begin
+    Bitset.remove sw.seal_waiting src;
+    if version > fst sw.seal_best then sw.seal_best <- (version, value);
+    if Bitset.is_empty sw.seal_waiting then begin
+      sw.installing <- true;
+      (* Install the sealed state on a quorum of the new system. *)
+      let live = Engine.live_set engine in
+      let members = Bitset.create sw.next_system.System.n in
+      for i = 0 to sw.next_system.System.n - 1 do
+        if Bitset.mem live i then Bitset.add members i
+      done;
+      match sw.next_system.System.select (Engine.rng engine) ~live:members with
+      | None ->
+          (* Cannot complete; drop the switch (sealed replicas unseal on
+             the next announce — here we re-announce the old epoch). *)
+          t.switch <- None;
+          t.refused_switches <- t.refused_switches + 1;
+          for j = 0 to t.universe - 1 do
+            Engine.send engine ~src:sw.coordinator ~dst:j
+              (Announce { epoch = t.epoch })
+          done
+      | Some wq ->
+          (* install_waiting lives in the engine universe; the new
+             configuration's ids are a prefix of it. *)
+          Bitset.iter (fun e -> Bitset.add sw.install_waiting e) wq;
+          let version, value = sw.seal_best in
+          Bitset.iter
+            (fun j ->
+              Engine.send engine ~src:sw.coordinator ~dst:j
+                (Install_req { epoch = sw.next_epoch; version; value }))
+            wq
+    end
+  end
+
+let on_install_ack t sw ~src =
+  let engine = engine_exn t in
+  if sw.installing && Bitset.mem sw.install_waiting src then begin
+    Bitset.remove sw.install_waiting src;
+    if Bitset.is_empty sw.install_waiting then begin
+      (* Commit the switch and tell everyone. *)
+      t.configs <- sw.next_system :: t.configs;
+      t.epoch <- sw.next_epoch;
+      t.epoch_switches <- t.epoch_switches + 1;
+      t.switch <- None;
+      for j = 0 to t.universe - 1 do
+        Engine.send engine ~src:sw.coordinator ~dst:j
+          (Announce { epoch = sw.next_epoch })
+      done
+    end
+  end
+
+(* --- Handlers --------------------------------------------------------- *)
+
+let handlers t : msg Engine.handlers =
+  {
+    on_message =
+      (fun engine ~node ~src msg ->
+        match msg with
+        | Op_req { op; epoch; write } ->
+            let r = t.replicas.(node) in
+            if epoch <> r.r_epoch || r.sealed then
+              Engine.send engine ~src:node ~dst:src
+                (Op_nack { op; epoch = r.r_epoch })
+            else begin
+              (match write with
+              | Some (version, value) ->
+                  if version > fst r.state then r.state <- (version, value)
+              | None -> ());
+              let version, value = r.state in
+              Engine.send engine ~src:node ~dst:src
+                (Op_rep { op; version; value })
+            end
+        | Op_rep { op = op_id; version; value } ->
+            (match Hashtbl.find_opt t.ops op_id with
+            | None -> ()
+            | Some op ->
+                if Bitset.mem op.waiting_for src then begin
+                  Bitset.remove op.waiting_for src;
+                  if version > fst op.best then op.best <- (version, value);
+                  if Bitset.is_empty op.waiting_for && not op.nacked then
+                    match op.phase with
+                    | Version_phase -> begin_install t op
+                    | Install_phase ->
+                        Hashtbl.remove t.ops op.id;
+                        t.writes_ok <- t.writes_ok + 1;
+                        t.committed <-
+                          (Engine.now engine, op.write_version) :: t.committed
+                end)
+        | Op_nack { op = op_id; epoch = _ } ->
+            (match Hashtbl.find_opt t.ops op_id with
+            | None -> ()
+            | Some op ->
+                if not op.nacked then begin
+                  op.nacked <- true;
+                  retry_later t op
+                end)
+        | Seal_req { epoch } ->
+            let r = t.replicas.(node) in
+            if epoch = r.r_epoch then begin
+              r.sealed <- true;
+              let version, value = r.state in
+              Engine.send engine ~src:node ~dst:src
+                (Seal_ack { epoch; version; value })
+            end
+        | Seal_ack { epoch; version; value } ->
+            (match t.switch with
+            | Some sw when sw.next_epoch = epoch + 1 ->
+                on_seal_ack t sw ~src ~version ~value
+            | Some _ | None -> ())
+        | Install_req { epoch; version; value } ->
+            let r = t.replicas.(node) in
+            if epoch > r.r_epoch then begin
+              r.r_epoch <- epoch;
+              r.sealed <- false;
+              if version > fst r.state then r.state <- (version, value)
+            end;
+            Engine.send engine ~src:node ~dst:src (Install_ack { epoch })
+        | Install_ack { epoch } ->
+            (match t.switch with
+            | Some sw when sw.next_epoch = epoch -> on_install_ack t sw ~src
+            | Some _ | None -> ())
+        | Announce { epoch } ->
+            let r = t.replicas.(node) in
+            if epoch >= r.r_epoch then begin
+              r.r_epoch <- epoch;
+              r.sealed <- false
+            end);
+    on_timer =
+      (fun _engine ~node:_ ~tag ->
+        match Hashtbl.find_opt t.ops tag with
+        | Some op ->
+            Hashtbl.remove t.ops op.id;
+            t.failed <- t.failed + 1
+        | None -> ());
+    on_crash =
+      (fun _ ~node ->
+        let doomed =
+          Hashtbl.fold
+            (fun _ op acc -> if op.client = node then op :: acc else acc)
+            t.ops []
+        in
+        List.iter
+          (fun op ->
+            Hashtbl.remove t.ops op.id;
+            t.failed <- t.failed + 1)
+          doomed);
+    on_recover = (fun _ ~node:_ -> ());
+  }

@@ -1,0 +1,55 @@
+(** Online reconfiguration of the quorum system — the paper's section 5
+    "introducing new elements" turned into a protocol.
+
+    The h-triang growth rules produce a {e new} quorum system over a
+    superset of the old universe (fresh processes get fresh ids); this
+    module switches a replicated register from one configuration to the
+    next without losing committed writes:
+
+    + the coordinator {e seals} the old epoch on a full old-system
+      quorum — sealed replicas stop serving the old epoch (clients get
+      a NACK and retry) and report their (version, value);
+    + the freshest state (the seal quorum intersects every old write
+      quorum, so it contains the latest committed version) is
+      {e installed} on a new-system quorum;
+    + the new epoch is {e announced} to everyone; replicas adopt it and
+      resume service.
+
+    Clients tag operations with their epoch; replicas NACK mismatched
+    epochs and clients retry under the announced configuration.  The
+    consistency monitor checks that no read — before, during or after
+    any number of reconfigurations — misses a write completed before it
+    started. *)
+
+type t
+type msg
+
+val create : initial:Quorum.System.t -> universe:int -> timeout:float -> t
+(** [universe] is the engine size and must accommodate every future
+    configuration ([initial.n <= universe]); processes beyond the
+    current configuration's [n] are spares. *)
+
+val handlers : t -> msg Sim.Engine.handlers
+val bind : t -> msg Sim.Engine.t -> unit
+
+val read : t -> client:int -> unit
+val write : t -> client:int -> value:int -> unit
+
+val reconfigure : t -> coordinator:int -> Quorum.System.t -> unit
+(** Start the seal / install / announce sequence from [coordinator],
+    switching to the given system ([n <= universe]).  Concurrent
+    reconfigurations are refused (counted). *)
+
+val current_epoch : t -> int
+val epoch_switches : t -> int
+val reads_ok : t -> int
+val writes_ok : t -> int
+val retries : t -> int
+(** Operations NACKed (sealed or stale epoch) and reissued. *)
+
+val failed : t -> int
+(** Operations abandoned after exhausting retries or timing out. *)
+
+val stale_reads : t -> int
+(** Must be 0: reads never miss writes committed before they started,
+    across reconfigurations. *)

@@ -1,0 +1,270 @@
+module Engine = Sim.Engine
+module Bitset = Quorum.Bitset
+
+type msg =
+  | Version_req of { op : int; key : int }
+  | Version_rep of { op : int; version : int; value : int }
+  | Write_req of { op : int; key : int; version : int; value : int }
+  | Write_ack of { op : int }
+
+type phase =
+  | Reading of { waiting_for : Bitset.t; mutable best : int * int }
+      (** Collecting (version, value) replies from a read quorum. *)
+  | Writing of { waiting_for : Bitset.t }
+
+type kind = Read_op | Write_op of int  (** payload for the write phase *)
+
+type op = {
+  id : int;
+  client : int;
+  key : int;
+  kind : kind;
+  started : float;
+  mutable phase : phase;
+  mutable write_version : int;
+  mutable retries_left : int;
+  mutable done_ : bool;
+}
+
+type t = {
+  read_system : Quorum.System.t;
+  write_system : Quorum.System.t;
+  timeout : float;
+  retries : int;
+  mutable engine : msg Engine.t option;
+  ops : (int, op) Hashtbl.t;
+  mutable next_op : int;
+  replicas : (int, int * int) Hashtbl.t array;  (** key -> (version, value) *)
+  mutable reads_ok : int;
+  mutable writes_ok : int;
+  mutable unavailable : int;
+  mutable timeouts : int;
+  mutable retried : int;
+  mutable stale_reads : int;
+  (* Consistency monitor: per key, the (commit time, version) history
+     of completed writes, newest first. *)
+  committed : (int, (float * int) list) Hashtbl.t;
+  latency : Sim.Stats.t;
+}
+
+let create ?(retries = 0) ~read_system ~write_system ~timeout () =
+  let n = read_system.Quorum.System.n in
+  if write_system.Quorum.System.n <> n then
+    invalid_arg "Replicated_store.create: universe mismatch";
+  {
+    read_system;
+    write_system;
+    timeout;
+    retries;
+    engine = None;
+    ops = Hashtbl.create 64;
+    next_op = 0;
+    replicas = Array.init n (fun _ -> Hashtbl.create 16);
+    reads_ok = 0;
+    writes_ok = 0;
+    unavailable = 0;
+    timeouts = 0;
+    retried = 0;
+    stale_reads = 0;
+    committed = Hashtbl.create 16;
+    latency = Sim.Stats.create ();
+  }
+
+let engine_exn t =
+  match t.engine with
+  | Some e -> e
+  | None -> invalid_arg "Replicated_store: bind the engine first"
+
+let bind t engine =
+  if Engine.nodes engine <> t.read_system.Quorum.System.n then
+    invalid_arg "Replicated_store.bind: engine size mismatch";
+  t.engine <- Some engine
+
+let reads_ok t = t.reads_ok
+let writes_ok t = t.writes_ok
+let unavailable t = t.unavailable
+let timeouts t = t.timeouts
+let retried t = t.retried
+let stale_reads t = t.stale_reads
+let latency t = t.latency
+
+(* Highest version whose write completed no later than [time]: a read
+   that starts afterwards must not return anything older (writes still
+   in flight when the read started may or may not be visible). *)
+let committed_version_before t key time =
+  match Hashtbl.find_opt t.committed key with
+  | None -> 0
+  | Some history ->
+      List.fold_left
+        (fun acc (commit_time, version) ->
+          if commit_time <= time then max acc version else acc)
+        0 history
+
+(* Select a fresh read quorum and (re)enter the version phase. *)
+let launch_attempt t (op : op) =
+  let engine = engine_exn t in
+  let live = Engine.live_set engine in
+  match t.read_system.Quorum.System.select (Engine.rng engine) ~live with
+  | None ->
+      Hashtbl.remove t.ops op.id;
+      t.unavailable <- t.unavailable + 1
+  | Some quorum ->
+      op.phase <- Reading { waiting_for = Bitset.copy quorum; best = (0, 0) };
+      Bitset.iter
+        (fun j ->
+          Engine.send engine ~src:op.client ~dst:j
+            (Version_req { op = op.id; key = op.key }))
+        quorum;
+      Engine.set_timer engine ~node:op.client ~delay:t.timeout ~tag:op.id
+
+let start_op t ~client ~key kind =
+  let engine = engine_exn t in
+  if not (Engine.is_live engine client) then
+    (* A dead client cannot submit: counted with the refused ops. *)
+    t.unavailable <- t.unavailable + 1
+  else begin
+    let id = t.next_op in
+    t.next_op <- t.next_op + 1;
+    let op =
+      {
+        id;
+        client;
+        key;
+        kind;
+        started = Engine.now engine;
+        phase = Reading { waiting_for = Bitset.create 0; best = (0, 0) };
+        write_version = 0;
+        retries_left = t.retries;
+        done_ = false;
+      }
+    in
+    Hashtbl.add t.ops id op;
+    launch_attempt t op
+  end
+
+let read t ~client ~key = start_op t ~client ~key Read_op
+let write t ~client ~key ~value = start_op t ~client ~key (Write_op value)
+
+let finish t op outcome =
+  op.done_ <- true;
+  Hashtbl.remove t.ops op.id;
+  let engine = engine_exn t in
+  match outcome with
+  | `Read_done version ->
+      t.reads_ok <- t.reads_ok + 1;
+      Sim.Stats.add t.latency (Engine.now engine -. op.started);
+      if version < committed_version_before t op.key op.started then
+        t.stale_reads <- t.stale_reads + 1
+  | `Write_done version ->
+      t.writes_ok <- t.writes_ok + 1;
+      Sim.Stats.add t.latency (Engine.now engine -. op.started);
+      let history =
+        match Hashtbl.find_opt t.committed op.key with
+        | Some h -> h
+        | None -> []
+      in
+      Hashtbl.replace t.committed op.key
+        ((Engine.now engine, version) :: history)
+  | `Timeout -> t.timeouts <- t.timeouts + 1
+
+let on_version_rep t engine ~node op_id ~version ~value =
+  match Hashtbl.find_opt t.ops op_id with
+  | None -> ()
+  | Some op ->
+      (match op.phase with
+      | Reading r ->
+          if Bitset.mem r.waiting_for node then begin
+            Bitset.remove r.waiting_for node;
+            if version > fst r.best then r.best <- (version, value);
+            if Bitset.is_empty r.waiting_for then begin
+              match op.kind with
+              | Read_op -> finish t op (`Read_done (fst r.best))
+              | Write_op v ->
+                  (* Version phase done; install on a write quorum. *)
+                  let live = Engine.live_set engine in
+                  (match
+                     t.write_system.Quorum.System.select (Engine.rng engine)
+                       ~live
+                   with
+                  | None ->
+                      Hashtbl.remove t.ops op.id;
+                      t.unavailable <- t.unavailable + 1
+                  | Some wq ->
+                      let version = fst r.best + 1 in
+                      op.write_version <- version;
+                      op.phase <- Writing { waiting_for = Bitset.copy wq };
+                      Bitset.iter
+                        (fun j ->
+                          Engine.send engine ~src:op.client ~dst:j
+                            (Write_req
+                               { op = op.id; key = op.key; version; value = v }))
+                        wq)
+            end
+          end
+      | Writing _ -> ())
+
+let on_write_ack t op_id ~node =
+  match Hashtbl.find_opt t.ops op_id with
+  | None -> ()
+  | Some op ->
+      (match op.phase with
+      | Writing w ->
+          if Bitset.mem w.waiting_for node then begin
+            Bitset.remove w.waiting_for node;
+            if Bitset.is_empty w.waiting_for then
+              finish t op (`Write_done op.write_version)
+          end
+      | Reading _ -> ())
+
+let handlers t : msg Engine.handlers =
+  {
+    on_message =
+      (fun engine ~node ~src msg ->
+        match msg with
+        | Version_req { op; key } ->
+            let version, value =
+              match Hashtbl.find_opt t.replicas.(node) key with
+              | Some vv -> vv
+              | None -> (0, 0)
+            in
+            Engine.send engine ~src:node ~dst:src
+              (Version_rep { op; version; value })
+        | Version_rep { op; version; value } ->
+            on_version_rep t engine ~node:src op ~version ~value
+        | Write_req { op; key; version; value } ->
+            let stale =
+              match Hashtbl.find_opt t.replicas.(node) key with
+              | Some (v, _) -> v >= version
+              | None -> false
+            in
+            if not stale then
+              Hashtbl.replace t.replicas.(node) key (version, value);
+            Engine.send engine ~src:node ~dst:src (Write_ack { op })
+        | Write_ack { op } -> on_write_ack t op ~node:src);
+    on_timer =
+      (fun engine ~node:_ ~tag ->
+        match Hashtbl.find_opt t.ops tag with
+        | Some op when not op.done_ ->
+            if op.retries_left > 0 && Engine.is_live engine op.client then begin
+              op.retries_left <- op.retries_left - 1;
+              t.retried <- t.retried + 1;
+              launch_attempt t op
+            end
+            else finish t op `Timeout
+        | Some _ | None -> ());
+    on_crash =
+      (fun engine ~node ->
+        (* A crashed client's timers are dropped by the engine, so its
+           in-flight operations would leak: abort them here. *)
+        ignore engine;
+        let doomed =
+          Hashtbl.fold
+            (fun _ op acc -> if op.client = node then op :: acc else acc)
+            t.ops []
+        in
+        List.iter (fun op -> finish t op `Timeout) doomed);
+    on_recover =
+      (fun _ ~node ->
+        (* Transient crash model: replicas survive (stable storage). *)
+        ignore node);
+  }

@@ -1,0 +1,58 @@
+(** Quorum-replicated versioned register / KV store (Gifford 1979
+    style), the data-management protocol the h-grid of section 4.1 was
+    designed for.
+
+    Every node holds a replica: a map from key to (version, value).
+    A {e write} first reads versions from a read quorum, then installs
+    (max version + 1, value) on a write quorum; a {e read} collects a
+    read quorum and returns the value with the highest version.  Any
+    pair of (read system, write system) with intersecting quorums
+    works: use [Hgrid.read_system] / [Hgrid.write_system] for the
+    paper's replicated-data setting, or one symmetric system (e.g.
+    h-triang) for both.
+
+    Operations pick quorums among currently-live nodes; an operation
+    fails immediately ("unavailable") when no quorum is live, and
+    aborts on a timeout if quorum members crash mid-flight.
+    Consistency is monitored: each completed read must return a version
+    at least as high as any write completed before it started
+    (regular-register semantics under the intersection property). *)
+
+type t
+type msg
+
+val create :
+  ?retries:int ->
+  read_system:Quorum.System.t ->
+  write_system:Quorum.System.t ->
+  timeout:float ->
+  unit ->
+  t
+(** Both systems must span the same universe.  [timeout] bounds each
+    attempt's lifetime in simulated time; on expiry the operation is
+    retried with a freshly selected quorum up to [retries] times
+    (default 0) before counting as a timeout.  Retries recover the
+    operations that lose a quorum member mid-flight (client crashes
+    still abort).  *)
+
+val retried : t -> int
+(** Attempts that timed out and were retried. *)
+
+val handlers : t -> msg Sim.Engine.handlers
+val bind : t -> msg Sim.Engine.t -> unit
+
+val read : t -> client:int -> key:int -> unit
+val write : t -> client:int -> key:int -> value:int -> unit
+(** Fire-and-record: results land in the statistics below. *)
+
+val reads_ok : t -> int
+val writes_ok : t -> int
+val unavailable : t -> int
+(** Operations refused at submission (no live quorum). *)
+
+val timeouts : t -> int
+val stale_reads : t -> int
+(** Completed reads that returned a version older than a write that
+    finished before the read began — must be 0. *)
+
+val latency : t -> Sim.Stats.t

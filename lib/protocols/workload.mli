@@ -1,0 +1,33 @@
+(** Client workload generators for the simulated protocols. *)
+
+val poisson_ops :
+  'msg Sim.Engine.t ->
+  rng:Quorum.Rng.t ->
+  rate:float ->
+  horizon:float ->
+  (client:int -> unit) ->
+  int
+(** Schedule operations as a Poisson process of [rate] ops per time
+    unit over [\[0, horizon)]; each op is issued by a uniformly random
+    client node.  Returns the number of scheduled ops. *)
+
+val staggered_requests :
+  'msg Sim.Engine.t ->
+  every:float ->
+  count:int ->
+  (client:int -> unit) ->
+  unit
+(** [count] operations at fixed spacing [every], clients round-robin —
+    a deterministic contention pattern for mutual-exclusion demos. *)
+
+val read_write_mix :
+  'msg Sim.Engine.t ->
+  rng:Quorum.Rng.t ->
+  rate:float ->
+  horizon:float ->
+  read_fraction:float ->
+  keys:int ->
+  read:(client:int -> key:int -> unit) ->
+  write:(client:int -> key:int -> value:int -> unit) ->
+  int
+(** Poisson arrivals of reads/writes over a small key space. *)

@@ -1,0 +1,198 @@
+let bits_per_word = 62
+
+type t = { n : int; words : int array }
+
+(* 16-bit popcount table: four lookups cover a 62-bit word.  The exact
+   enumeration in [Analysis.Failure] calls this in its innermost loop. *)
+let pop16 =
+  let table = Bytes.create 65536 in
+  for i = 0 to 65535 do
+    let rec count x acc = if x = 0 then acc else count (x lsr 1) (acc + (x land 1)) in
+    Bytes.unsafe_set table i (Char.chr (count i 0))
+  done;
+  table
+
+let popcount x =
+  Char.code (Bytes.unsafe_get pop16 (x land 0xffff))
+  + Char.code (Bytes.unsafe_get pop16 ((x lsr 16) land 0xffff))
+  + Char.code (Bytes.unsafe_get pop16 ((x lsr 32) land 0xffff))
+  + Char.code (Bytes.unsafe_get pop16 (x lsr 48))
+
+let nwords n = (n + bits_per_word - 1) / bits_per_word
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create: negative size";
+  { n; words = Array.make (max 1 (nwords n)) 0 }
+
+(* Mask selecting the valid bits of the last word. *)
+let last_mask n =
+  let r = n mod bits_per_word in
+  if r = 0 then (1 lsl bits_per_word) - 1 else (1 lsl r) - 1
+
+let universe n =
+  let t = create n in
+  let w = Array.length t.words in
+  if n > 0 then begin
+    Array.fill t.words 0 w ((1 lsl bits_per_word) - 1);
+    t.words.(w - 1) <- last_mask n
+  end;
+  t
+
+let capacity t = t.n
+let copy t = { n = t.n; words = Array.copy t.words }
+
+let check_index t i =
+  if i < 0 || i >= t.n then invalid_arg "Bitset: index out of range"
+
+let mem t i =
+  check_index t i;
+  t.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0
+
+let add t i =
+  check_index t i;
+  let w = i / bits_per_word in
+  t.words.(w) <- t.words.(w) lor (1 lsl (i mod bits_per_word))
+
+let remove t i =
+  check_index t i;
+  let w = i / bits_per_word in
+  t.words.(w) <- t.words.(w) land lnot (1 lsl (i mod bits_per_word))
+
+let clear t = Array.fill t.words 0 (Array.length t.words) 0
+
+let fill t =
+  if t.n > 0 then begin
+    let w = Array.length t.words in
+    Array.fill t.words 0 w ((1 lsl bits_per_word) - 1);
+    t.words.(w - 1) <- last_mask t.n
+  end
+
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+
+let same_universe a b =
+  if a.n <> b.n then invalid_arg "Bitset: universe size mismatch"
+
+let equal a b =
+  same_universe a b;
+  Array.for_all2 ( = ) a.words b.words
+
+let compare a b =
+  same_universe a b;
+  let rec loop i =
+    if i < 0 then 0
+    else
+      let c = Stdlib.compare a.words.(i) b.words.(i) in
+      if c <> 0 then c else loop (i - 1)
+  in
+  loop (Array.length a.words - 1)
+
+let subset a b =
+  same_universe a b;
+  let rec loop i =
+    if i = Array.length a.words then true
+    else if a.words.(i) land lnot b.words.(i) <> 0 then false
+    else loop (i + 1)
+  in
+  loop 0
+
+let intersects a b =
+  same_universe a b;
+  let rec loop i =
+    if i = Array.length a.words then false
+    else if a.words.(i) land b.words.(i) <> 0 then true
+    else loop (i + 1)
+  in
+  loop 0
+
+let map2 f a b =
+  same_universe a b;
+  { n = a.n; words = Array.map2 f a.words b.words }
+
+let inter a b = map2 ( land ) a b
+let union a b = map2 ( lor ) a b
+let diff a b = map2 (fun x y -> x land lnot y) a b
+
+let complement t =
+  let u = universe t.n in
+  diff u t
+
+let union_into ~dst src =
+  same_universe dst src;
+  for i = 0 to Array.length dst.words - 1 do
+    dst.words.(i) <- dst.words.(i) lor src.words.(i)
+  done
+
+let iter f t =
+  for w = 0 to Array.length t.words - 1 do
+    let word = t.words.(w) in
+    if word <> 0 then
+      for b = 0 to bits_per_word - 1 do
+        if word land (1 lsl b) <> 0 then f ((w * bits_per_word) + b)
+      done
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+exception Early_exit
+
+let for_all p t =
+  try
+    iter (fun i -> if not (p i) then raise Early_exit) t;
+    true
+  with Early_exit -> false
+
+let exists p t = not (for_all (fun i -> not (p i)) t)
+
+let to_list t = List.rev (fold (fun i acc -> i :: acc) t [])
+
+let of_list n elts =
+  let t = create n in
+  List.iter (add t) elts;
+  t
+
+let choose t =
+  let rec loop w =
+    if w = Array.length t.words then None
+    else if t.words.(w) = 0 then loop (w + 1)
+    else
+      let word = t.words.(w) in
+      let rec bit b = if word land (1 lsl b) <> 0 then b else bit (b + 1) in
+      Some ((w * bits_per_word) + bit 0)
+  in
+  loop 0
+
+let random_subset rng ~n ~p =
+  let t = create n in
+  for i = 0 to n - 1 do
+    if Rng.bernoulli rng p then add t i
+  done;
+  t
+
+let check_mask_capacity t =
+  if t.n > bits_per_word then
+    invalid_arg "Bitset: universe too large for a raw int mask"
+
+let to_mask t =
+  check_mask_capacity t;
+  t.words.(0)
+
+let of_mask ~n mask =
+  let t = create n in
+  check_mask_capacity t;
+  t.words.(0) <- mask land last_mask n;
+  t
+
+let blit_mask t mask =
+  check_mask_capacity t;
+  t.words.(0) <- mask land last_mask t.n
+
+let pp ppf t =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       Format.pp_print_int)
+    (to_list t)

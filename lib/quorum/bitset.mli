@@ -1,0 +1,88 @@
+(** Fixed-width bitsets over a universe [{0, ..., n-1}].
+
+    Quorums, live-sets and transversals are all subsets of a small
+    universe of processes, so a packed bitset is the working currency of
+    the whole repository.  The representation packs 62 bits per OCaml
+    [int] word; universes of any size are supported.
+
+    For the exact failure-probability enumeration (2^n live-sets) the
+    analysis code works on raw [int] masks instead; {!of_mask} /
+    {!to_mask} / {!blit_mask} bridge the two representations when
+    [n <= 62]. *)
+
+type t
+(** A mutable subset of [{0, ..., n-1}].  Operations never resize. *)
+
+val bits_per_word : int
+
+val create : int -> t
+(** [create n] is the empty subset of a universe of size [n]. *)
+
+val universe : int -> t
+(** [universe n] is the full subset [{0, ..., n-1}]. *)
+
+val capacity : t -> int
+(** Universe size [n] this set was created with. *)
+
+val copy : t -> t
+
+val mem : t -> int -> bool
+val add : t -> int -> unit
+val remove : t -> int -> unit
+val clear : t -> unit
+val fill : t -> unit
+
+val cardinal : t -> int
+(** Population count. *)
+
+val is_empty : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val subset : t -> t -> bool
+(** [subset a b] is true when every member of [a] is in [b]. *)
+
+val intersects : t -> t -> bool
+(** [intersects a b] is true when [a] and [b] share an element. *)
+
+val inter : t -> t -> t
+val union : t -> t -> t
+val diff : t -> t -> t
+val complement : t -> t
+(** Complement within the universe. *)
+
+val union_into : dst:t -> t -> unit
+(** [union_into ~dst src] adds every member of [src] to [dst]. *)
+
+val iter : (int -> unit) -> t -> unit
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val for_all : (int -> bool) -> t -> bool
+val exists : (int -> bool) -> t -> bool
+
+val to_list : t -> int list
+(** Elements in increasing order. *)
+
+val of_list : int -> int list -> t
+(** [of_list n elts] builds a subset of a size-[n] universe. *)
+
+val choose : t -> int option
+(** Smallest element, if any. *)
+
+val random_subset : Rng.t -> n:int -> p:float -> t
+(** [random_subset rng ~n ~p] includes each element independently with
+    probability [p] (the paper's iid survival model). *)
+
+val to_mask : t -> int
+(** Raw mask; requires [capacity t <= 62]. *)
+
+val of_mask : n:int -> int -> t
+(** [of_mask ~n mask] for [n <= 62]. *)
+
+val blit_mask : t -> int -> unit
+(** [blit_mask t mask] overwrites [t] (with [capacity t <= 62]) from a
+    raw mask without allocating. *)
+
+val popcount : int -> int
+(** Population count of a raw non-negative mask (up to 62 bits). *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [{0, 3, 7}]. *)

@@ -1,0 +1,69 @@
+let check_quorums n quorums =
+  List.iter
+    (fun q ->
+      if Bitset.capacity q <> n then
+        invalid_arg "Compose: quorum universe mismatch")
+    quorums
+
+let join ~at ~n1 outer ~n2 inner =
+  if at < 0 || at >= n1 then invalid_arg "Compose.join: bad element";
+  check_quorums n1 outer;
+  check_quorums n2 inner;
+  let n = n1 - 1 + n2 in
+  (* Outer element ids: below [at] unchanged, above shifted down. *)
+  let outer_id e = if e < at then e else e - 1 in
+  let inner_id e = n1 - 1 + e in
+  let translate q =
+    let without_x =
+      Bitset.fold
+        (fun e acc -> if e = at then acc else outer_id e :: acc)
+        q []
+    in
+    (without_x, Bitset.mem q at)
+  in
+  let quorums =
+    List.concat_map
+      (fun q ->
+        let kept, through_x = translate q in
+        if not through_x then [ Bitset.of_list n kept ]
+        else
+          List.map
+            (fun iq ->
+              Bitset.of_list n
+                (kept @ List.map inner_id (Bitset.to_list iq)))
+            inner)
+      outer
+  in
+  (n, quorums)
+
+let compose ~n1 outer inner_of =
+  check_quorums n1 outer;
+  let inners = Array.init n1 inner_of in
+  Array.iter (fun (n2, qs) -> check_quorums n2 qs) inners;
+  let offsets = Array.make n1 0 in
+  let total = ref 0 in
+  Array.iteri
+    (fun e (n2, _) ->
+      offsets.(e) <- !total;
+      total := !total + n2)
+    inners;
+  let n = !total in
+  let inner_quorums_of e =
+    let _, qs = inners.(e) in
+    List.map
+      (fun q -> List.map (fun i -> offsets.(e) + i) (Bitset.to_list q))
+      qs
+  in
+  let quorums =
+    List.concat_map
+      (fun q ->
+        Bitset.to_list q
+        |> List.map inner_quorums_of
+        |> Combinat.product
+        |> List.map (fun parts -> Bitset.of_list n (List.concat parts)))
+      outer
+  in
+  (n, quorums)
+
+let compose_uniform ~n1 outer ~n2 inner =
+  compose ~n1 outer (fun _ -> (n2, inner))

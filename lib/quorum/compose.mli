@@ -1,0 +1,38 @@
+(** Coterie composition (Neilsen & Mizuno's join and its iterated
+    form).
+
+    The hierarchical constructions of the paper are compositions: HQS
+    is majority-of-majorities, the hierarchical grid replaces each grid
+    cell by a sub-grid, the hierarchical triangle splices sub-triangles
+    into a triangle.  This module provides the underlying algebra on
+    explicit coteries:
+
+    - {!join}: replace one element [x] of an outer coterie by an entire
+      inner coterie — quorums avoiding [x] survive unchanged, quorums
+      through [x] take any inner quorum in its place.  Joins preserve
+      both the intersection property and non-domination.
+    - {!compose}: replace {e every} element by its own inner coterie —
+      one level of hierarchical construction.
+
+    Universe layout: for {!join}, the outer elements keep their ids
+    except [x], whose slot is deleted, and the inner universe is
+    appended ([outer ids below x] @ [outer ids above x, shifted down]
+    @ [inner ids at offset n1 - 1]).  For {!compose}, inner universes
+    are laid out in outer-element order. *)
+
+val join : at:int -> n1:int -> Bitset.t list -> n2:int -> Bitset.t list ->
+  int * Bitset.t list
+(** [join ~at ~n1 outer ~n2 inner] returns [(n, quorums)] with
+    [n = n1 - 1 + n2]. *)
+
+val compose :
+  n1:int -> Bitset.t list -> (int -> int * Bitset.t list) ->
+  int * Bitset.t list
+(** [compose ~n1 outer inner_of] replaces outer element [e] by the
+    coterie [inner_of e]; returns the composed universe size and
+    quorums (each outer quorum contributes the product of its members'
+    inner quorums). *)
+
+val compose_uniform :
+  n1:int -> Bitset.t list -> n2:int -> Bitset.t list -> int * Bitset.t list
+(** [compose] with the same inner coterie everywhere. *)

@@ -1,0 +1,58 @@
+type t = { n : int; counts : float array }
+
+let of_fail_counts ~n counts =
+  if Array.length counts <> n + 1 then
+    invalid_arg "Failure_poly.of_fail_counts: need n+1 coefficients";
+  { n; counts = Array.copy counts }
+
+let n t = t.n
+let fail_count t k = t.counts.(k)
+let transversal_count t i = t.counts.(t.n - i)
+
+let eval t ~p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Failure_poly.eval: p out of [0,1]";
+  let q = 1.0 -. p in
+  (* Horner-free evaluation: powers built incrementally, one pass. *)
+  let qk = Array.make (t.n + 1) 1.0 in
+  let pk = Array.make (t.n + 1) 1.0 in
+  for i = 1 to t.n do
+    qk.(i) <- qk.(i - 1) *. q;
+    pk.(i) <- pk.(i - 1) *. p
+  done;
+  let acc = ref 0.0 in
+  for k = 0 to t.n do
+    acc := !acc +. (t.counts.(k) *. qk.(k) *. pk.(t.n - k))
+  done;
+  !acc
+
+let availability t ~p = 1.0 -. eval t ~p
+
+let binomial n k =
+  if k < 0 || k > n then 0.0
+  else begin
+    let k = min k (n - k) in
+    let acc = ref 1.0 in
+    for i = 1 to k do
+      acc := !acc *. float_of_int (n - k + i) /. float_of_int i
+    done;
+    !acc
+  end
+
+let always_fails ~n =
+  { n; counts = Array.init (n + 1) (fun k -> binomial n k) }
+
+let complement_is_valid t =
+  let ok = ref true in
+  for k = 0 to t.n do
+    let bound = binomial t.n k in
+    if t.counts.(k) < -1e-9 || t.counts.(k) > bound +. 1e-9 then ok := false
+  done;
+  !ok
+
+let pp ppf t =
+  Format.fprintf ppf "@[<hov 2>F_p over n=%d:" t.n;
+  for k = 0 to t.n do
+    if t.counts.(k) <> 0.0 then
+      Format.fprintf ppf "@ c_%d=%.0f" k t.counts.(k)
+  done;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,47 @@
+(** Failure-probability polynomials.
+
+    Proposition 3.1 of the paper expresses the failure probability of a
+    quorum system over [n] elements as a polynomial in the individual
+    crash probability [p]:
+
+    {v F_p(S) = sum_i a_i p^i q^(n-i)    with q = 1 - p v}
+
+    where [a_i] counts the size-[i] transversals (dead-sets that hit
+    every quorum).  We store the equivalent live-set form: [c_k] is the
+    number of live-sets of cardinality [k] under which no quorum is
+    fully alive, so [F_p = sum_k c_k q^k p^(n-k)].  The two views are
+    related by [a_i = c_(n-i)]. *)
+
+type t
+
+val of_fail_counts : n:int -> float array -> t
+(** [of_fail_counts ~n counts] where [counts.(k)] is the number of
+    failing live-sets of cardinality [k]; [Array.length counts = n+1].
+    Counts are floats because they reach C(n, n/2) which is exact in a
+    float for every [n] we enumerate (n <= 30 << 2^53). *)
+
+val n : t -> int
+
+val fail_count : t -> int -> float
+(** [fail_count t k] is [c_k]. *)
+
+val transversal_count : t -> int -> float
+(** [transversal_count t i] is [a_i] of Proposition 3.1. *)
+
+val eval : t -> p:float -> float
+(** Failure probability at crash probability [p]. *)
+
+val availability : t -> p:float -> float
+(** [1 - eval t ~p]. *)
+
+val always_fails : n:int -> t
+(** The polynomial of an unusable system ([F_p = 1]). *)
+
+val complement_is_valid : t -> bool
+(** Sanity check: monotonicity of the counts against the binomial
+    bound, i.e. [0 <= c_k <= C(n, k)] for every [k]. *)
+
+val binomial : int -> int -> float
+(** [binomial n k] is C(n, k) as a float ([0.] outside range). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,72 @@
+type t = { mutable state : int64 }
+
+(* splitmix64 constants. *)
+let gamma = 0x9E3779B97F4A7C15L
+let mix_mul1 = 0xBF58476D1CE4E5B9L
+let mix_mul2 = 0x94D049BB133111EBL
+
+let create seed = { state = Int64.of_int seed }
+let copy t = { state = t.state }
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) mix_mul1 in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) mix_mul2 in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits64 t =
+  t.state <- Int64.add t.state gamma;
+  mix64 t.state
+
+let split t =
+  let seed = bits64 t in
+  { state = mix64 seed }
+
+(* Top 62 bits as a non-negative OCaml int. *)
+let bits t = Int64.to_int (Int64.shift_right_logical (bits64 t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias. *)
+  let rec loop () =
+    let r = bits t in
+    let v = r mod bound in
+    if r - v > max_int - bound + 1 then loop () else v
+  in
+  loop ()
+
+let float t =
+  (* 53 random bits scaled to [0,1). *)
+  let r = Int64.to_int (Int64.shift_right_logical (bits64 t) 11) in
+  float_of_int r *. 0x1.0p-53
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+let bernoulli t p = float t < p
+
+let exponential t ~mean =
+  (* Inverse CDF; 1 - float is in (0,1] so log is finite. *)
+  -.mean *. log (1.0 -. float t)
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick: empty array";
+  a.(int t (Array.length a))
+
+let pick_weighted t ~weights =
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  if total <= 0.0 then invalid_arg "Rng.pick_weighted: weights sum to zero";
+  let target = float t *. total in
+  let n = Array.length weights in
+  let rec loop i acc =
+    if i = n - 1 then i
+    else
+      let acc = acc +. weights.(i) in
+      if target < acc then i else loop (i + 1) acc
+  in
+  loop 0 0.0
+
+let shuffle_in_place t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,108 @@
+type t = {
+  name : string;
+  n : int;
+  avail : Bitset.t -> bool;
+  avail_mask : (int -> bool) option;
+  min_quorums : Bitset.t list Lazy.t option;
+  select : Rng.t -> live:Bitset.t -> Bitset.t option;
+}
+
+let default_select min_quorums name rng ~live =
+  match min_quorums with
+  | None ->
+      invalid_arg
+        (Printf.sprintf
+           "System %s: no selection strategy and no quorum list" name)
+  | Some quorums ->
+      let candidates =
+        List.filter (fun q -> Bitset.subset q live) (Lazy.force quorums)
+      in
+      (match candidates with
+      | [] -> None
+      | _ -> Some (Bitset.copy (Rng.pick rng (Array.of_list candidates))))
+
+let make ~name ~n ~avail ?avail_mask ?min_quorums ?select () =
+  let select =
+    match select with
+    | Some f -> f
+    | None -> default_select min_quorums name
+  in
+  { name; n; avail; avail_mask; min_quorums; select }
+
+(* Drop quorums that contain another quorum, yielding a coterie. *)
+let minimize quorums =
+  let keep q =
+    not
+      (List.exists
+         (fun q' -> (not (Bitset.equal q q')) && Bitset.subset q' q)
+         quorums)
+  in
+  List.filter keep quorums
+
+let of_quorums ~name ~n quorums =
+  List.iter
+    (fun q ->
+      if Bitset.capacity q <> n then
+        invalid_arg "System.of_quorums: quorum universe mismatch")
+    quorums;
+  let minimal = minimize quorums in
+  let avail live = List.exists (fun q -> Bitset.subset q live) minimal in
+  let avail_mask =
+    if n <= Bitset.bits_per_word then begin
+      let masks = Array.of_list (List.map Bitset.to_mask minimal) in
+      Some
+        (fun live ->
+          let rec loop i =
+            if i = Array.length masks then false
+            else if masks.(i) land live = masks.(i) then true
+            else loop (i + 1)
+          in
+          loop 0)
+    end
+    else None
+  in
+  make ~name ~n ~avail ?avail_mask ~min_quorums:(lazy minimal) ()
+
+let avail_mask_exn t =
+  match t.avail_mask with
+  | Some f -> f
+  | None ->
+      if t.n > Bitset.bits_per_word then
+        invalid_arg "System.avail_mask_exn: universe too large";
+      let scratch = Bitset.create t.n in
+      fun mask ->
+        Bitset.blit_mask scratch mask;
+        t.avail scratch
+
+let quorums_exn t =
+  match t.min_quorums with
+  | Some q -> Lazy.force q
+  | None ->
+      invalid_arg
+        (Printf.sprintf "System %s does not enumerate its quorums" t.name)
+
+let rename t name = { t with name }
+
+let quorum_of_live t live =
+  match t.min_quorums with
+  | Some quorums ->
+      List.find_opt (fun q -> Bitset.subset q live) (Lazy.force quorums)
+  | None ->
+      (* Fall back on the strategy with a fixed seed: deterministic. *)
+      t.select (Rng.create 0) ~live
+
+let shrink_select avail rng ~live =
+  if not (avail live) then None
+  else begin
+    let quorum = Bitset.copy live in
+    let order = Array.of_list (Bitset.to_list live) in
+    Rng.shuffle_in_place rng order;
+    Array.iter
+      (fun i ->
+        Bitset.remove quorum i;
+        if not (avail quorum) then Bitset.add quorum i)
+      order;
+    Some quorum
+  end
+
+let pp ppf t = Format.fprintf ppf "%s (n=%d)" t.name t.n

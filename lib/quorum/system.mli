@@ -1,0 +1,68 @@
+(** The quorum-system abstraction.
+
+    A quorum system over a universe of [n] processes (Definition 3.1) is
+    represented behaviourally: the one operation every analysis needs is
+    the monotone availability predicate "does this live-set contain a
+    quorum?" (Definition 3.2 reads failure as the complement of this
+    event).  Constructions additionally expose, when feasible, an
+    explicit list of minimal quorums (for load LPs and intersection
+    tests) and a quorum-selection strategy (for protocols and
+    strategy-induced load, Definitions 3.3/3.4). *)
+
+type t = {
+  name : string;  (** Human-readable identifier, e.g. ["h-triang(15)"]. *)
+  n : int;  (** Universe size. *)
+  avail : Bitset.t -> bool;
+      (** [avail live] is true when [live] contains some quorum. *)
+  avail_mask : (int -> bool) option;
+      (** Allocation-free fast path over raw masks ([n <= 62]); used by
+          the exact 2^n enumeration. *)
+  min_quorums : Bitset.t list Lazy.t option;
+      (** Minimal quorums (the coterie), when enumerable. *)
+  select : Rng.t -> live:Bitset.t -> Bitset.t option;
+      (** Pick a quorum of live processes, or [None] if unavailable.
+          Implements the construction's load-balancing strategy. *)
+}
+
+val make :
+  name:string ->
+  n:int ->
+  avail:(Bitset.t -> bool) ->
+  ?avail_mask:(int -> bool) ->
+  ?min_quorums:Bitset.t list Lazy.t ->
+  ?select:(Rng.t -> live:Bitset.t -> Bitset.t option) ->
+  unit ->
+  t
+(** Build a system.  When [select] is omitted it defaults to a uniform
+    choice among the live minimal quorums (requires [min_quorums]);
+    when that is also missing, selection raises. *)
+
+val of_quorums : name:string -> n:int -> Bitset.t list -> t
+(** An explicit system from its quorum list.  The list is minimized
+    (dominated quorums dropped); availability tests subset-containment
+    against precomputed masks when [n <= 62]. *)
+
+val avail_mask_exn : t -> int -> bool
+(** The mask fast-path, derived from [avail] through a reused scratch
+    bitset when the construction did not provide one.  Requires
+    [n <= 62].  The derived closure is not re-entrant; the enumeration
+    loops that use it are single-threaded. *)
+
+val quorums_exn : t -> Bitset.t list
+(** Force [min_quorums]; raises [Invalid_argument] if the construction
+    does not enumerate. *)
+
+val rename : t -> string -> t
+
+val quorum_of_live : t -> Bitset.t -> Bitset.t option
+(** Deterministically find a quorum within [live] using the quorum
+    list; [None] when unavailable. *)
+
+val shrink_select :
+  (Bitset.t -> bool) -> Rng.t -> live:Bitset.t -> Bitset.t option
+(** Generic selection for constructions with no cheap structural
+    strategy (Paths, Y): start from the live set and discard elements
+    in random order while availability is preserved, yielding a
+    uniform-ish random {e minimal} quorum contained in [live]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,130 @@
+module Rng = Quorum.Rng
+module Bitset = Quorum.Bitset
+
+type 'msg event =
+  | Deliver of { src : int; dst : int; msg : 'msg }
+  | Timer of { node : int; tag : int }
+  | Crash of int
+  | Recover of int
+  | Thunk of (unit -> unit)
+
+type 'msg handlers = {
+  on_message : 'msg t -> node:int -> src:int -> 'msg -> unit;
+  on_timer : 'msg t -> node:int -> tag:int -> unit;
+  on_crash : 'msg t -> node:int -> unit;
+  on_recover : 'msg t -> node:int -> unit;
+}
+
+and 'msg t = {
+  n : int;
+  queue : 'msg event Heap.t;
+  live : bool array;
+  network : Network.t;
+  net_rng : Rng.t;
+  proto_rng : Rng.t;
+  handlers : 'msg handlers;
+  mutable time : float;
+  mutable sent : int;
+  mutable delivered : int;
+}
+
+let create ~seed ~nodes ?network handlers =
+  if nodes <= 0 then invalid_arg "Engine.create: nodes";
+  let root = Rng.create seed in
+  {
+    n = nodes;
+    queue = Heap.create ();
+    live = Array.make nodes true;
+    network = (match network with Some n -> n | None -> Network.create ());
+    net_rng = Rng.split root;
+    proto_rng = Rng.split root;
+    handlers;
+    time = 0.0;
+    sent = 0;
+    delivered = 0;
+  }
+
+let nodes t = t.n
+let now t = t.time
+let rng t = t.proto_rng
+let is_live t i = t.live.(i)
+
+let live_set t =
+  let s = Bitset.create t.n in
+  Array.iteri (fun i alive -> if alive then Bitset.add s i) t.live;
+  s
+
+let push t ~delay ev =
+  if delay < 0.0 then invalid_arg "Engine: negative delay";
+  Heap.push t.queue ~time:(t.time +. delay) ev
+
+let send t ~src ~dst msg =
+  if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
+    invalid_arg "Engine.send: bad node id";
+  if t.live.(src) then begin
+    t.sent <- t.sent + 1;
+    if src = dst then push t ~delay:0.0 (Deliver { src; dst; msg })
+    else
+      match Network.delay t.network t.net_rng ~src ~dst with
+      | None -> ()
+      | Some d -> push t ~delay:d (Deliver { src; dst; msg })
+  end
+
+let broadcast t ~src ~dsts msg = List.iter (fun dst -> send t ~src ~dst msg) dsts
+
+let set_timer t ~node ~delay ~tag =
+  if node < 0 || node >= t.n then invalid_arg "Engine.set_timer: bad node";
+  push t ~delay (Timer { node; tag })
+
+let at_absolute t ~time ev =
+  if time < t.time then invalid_arg "Engine: scheduling in the past";
+  Heap.push t.queue ~time ev
+
+let crash_at t ~time ~node = at_absolute t ~time (Crash node)
+let recover_at t ~time ~node = at_absolute t ~time (Recover node)
+let schedule t ~time thunk = at_absolute t ~time (Thunk thunk)
+
+let messages_sent t = t.sent
+let messages_delivered t = t.delivered
+
+let dispatch t = function
+  | Deliver { src; dst; msg } ->
+      if t.live.(dst) then begin
+        t.delivered <- t.delivered + 1;
+        t.handlers.on_message t ~node:dst ~src msg
+      end
+  | Timer { node; tag } ->
+      if t.live.(node) then t.handlers.on_timer t ~node ~tag
+  | Crash node ->
+      if t.live.(node) then begin
+        t.live.(node) <- false;
+        t.handlers.on_crash t ~node
+      end
+  | Recover node ->
+      if not t.live.(node) then begin
+        t.live.(node) <- true;
+        t.handlers.on_recover t ~node
+      end
+  | Thunk f -> f ()
+
+let run ?until ?(max_events = 10_000_000) t =
+  let rec loop budget =
+    if budget = 0 then failwith "Engine.run: event budget exhausted";
+    match Heap.peek_time t.queue with
+    | None -> ()
+    | Some time ->
+        let stop =
+          match until with Some u -> time > u | None -> false
+        in
+        if not stop then begin
+          match Heap.pop t.queue with
+          | None -> ()
+          | Some (time, ev) ->
+              t.time <- time;
+              dispatch t ev;
+              loop (budget - 1)
+        end
+        else
+          (match until with Some u -> t.time <- u | None -> ())
+  in
+  loop max_events

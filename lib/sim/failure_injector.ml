@@ -1,0 +1,39 @@
+module Rng = Quorum.Rng
+
+type event = Crash of int | Recover of int
+
+let scripted engine events =
+  List.iter
+    (fun (time, ev) ->
+      match ev with
+      | Crash node -> Engine.crash_at engine ~time ~node
+      | Recover node -> Engine.recover_at engine ~time ~node)
+    events
+
+let iid_faults engine ~rng ~p ~mean_downtime ~horizon =
+  if p <= 0.0 || p >= 1.0 then invalid_arg "Failure_injector.iid_faults: p";
+  if mean_downtime <= 0.0 || horizon <= 0.0 then
+    invalid_arg "Failure_injector.iid_faults: times";
+  let mean_uptime = mean_downtime *. (1.0 -. p) /. p in
+  for node = 0 to Engine.nodes engine - 1 do
+    (* Pre-generate this node's alternating renewal process. *)
+    let rec cycle time =
+      let up = Rng.exponential rng ~mean:mean_uptime in
+      let down = Rng.exponential rng ~mean:mean_downtime in
+      let crash_time = time +. up in
+      if crash_time < horizon then begin
+        Engine.crash_at engine ~time:crash_time ~node;
+        let recover_time = crash_time +. down in
+        if recover_time < horizon then begin
+          Engine.recover_at engine ~time:recover_time ~node;
+          cycle recover_time
+        end
+      end
+    in
+    cycle 0.0
+  done
+
+let crash_random_subset engine ~rng ~at ~p =
+  for node = 0 to Engine.nodes engine - 1 do
+    if Rng.bernoulli rng p then Engine.crash_at engine ~time:at ~node
+  done

@@ -1,0 +1,28 @@
+(** Crash/recovery schedules for the engine.
+
+    The paper's availability model is iid transient crashes with
+    probability [p]; {!iid_faults} realizes it as an up/down renewal
+    process whose stationary down-fraction is [p].  {!scripted} installs
+    explicit (time, event) scenarios for targeted tests. *)
+
+type event = Crash of int | Recover of int
+
+val scripted : 'msg Engine.t -> (float * event) list -> unit
+(** Install the listed transitions at their absolute times. *)
+
+val iid_faults :
+  'msg Engine.t ->
+  rng:Quorum.Rng.t ->
+  p:float ->
+  mean_downtime:float ->
+  horizon:float ->
+  unit
+(** Every node alternates exponential up-times of mean
+    [mean_downtime * (1-p)/p] and down-times of mean [mean_downtime],
+    so each node is down a fraction [p] of the time, independently.
+    Events are pre-generated up to [horizon]. *)
+
+val crash_random_subset :
+  'msg Engine.t -> rng:Quorum.Rng.t -> at:float -> p:float -> unit
+(** One-shot: at time [at], crash each node independently with
+    probability [p] (the paper's static model snapshot). *)

@@ -1,0 +1,67 @@
+type 'a entry = { time : float; seq : int; value : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = [||]; size = 0; next_seq = 0 }
+let is_empty t = t.size = 0
+let length t = t.size
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t entry =
+  let cap = Array.length t.data in
+  if t.size = cap then begin
+    let data = Array.make (max 16 (2 * cap)) entry in
+    Array.blit t.data 0 data 0 t.size;
+    t.data <- data
+  end
+
+let push t ~time value =
+  let entry = { time; seq = t.next_seq; value } in
+  t.next_seq <- t.next_seq + 1;
+  grow t entry;
+  (* Sift up. *)
+  let rec up i =
+    if i = 0 then t.data.(0) <- entry
+    else begin
+      let parent = (i - 1) / 2 in
+      if before entry t.data.(parent) then begin
+        t.data.(i) <- t.data.(parent);
+        up parent
+      end
+      else t.data.(i) <- entry
+    end
+  in
+  up t.size;
+  t.size <- t.size + 1
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let root = t.data.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      let last = t.data.(t.size) in
+      (* Sift down. *)
+      let rec down i =
+        let l = (2 * i) + 1 and r = (2 * i) + 2 in
+        let smallest = ref i in
+        t.data.(i) <- last;
+        if l < t.size && before t.data.(l) t.data.(!smallest) then smallest := l;
+        if r < t.size && before t.data.(r) t.data.(!smallest) then smallest := r;
+        if !smallest <> i then begin
+          t.data.(i) <- t.data.(!smallest);
+          down !smallest
+        end
+        else t.data.(i) <- last
+      in
+      down 0
+    end;
+    Some (root.time, root.value)
+  end
+
+let peek_time t = if t.size = 0 then None else Some t.data.(0).time

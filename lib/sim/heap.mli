@@ -1,0 +1,17 @@
+(** Binary min-heap keyed by [(time, sequence)] — the event queue of
+    the discrete-event engine.  The sequence number makes the order of
+    simultaneous events deterministic (FIFO). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+val push : 'a t -> time:float -> 'a -> unit
+(** Sequence numbers are assigned internally in push order. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Smallest time first; ties in push order. *)
+
+val peek_time : 'a t -> float option

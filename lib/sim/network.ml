@@ -1,0 +1,31 @@
+type t = {
+  base_latency : float;
+  jitter : float;
+  loss : float;
+  latency_of : int -> int -> float;
+  mutable cuts : (int -> bool) list;  (** side-of-cut predicates *)
+}
+
+let create ?(base_latency = 1.0) ?(jitter = 0.2) ?(loss = 0.0)
+    ?(latency_of = fun _ _ -> 0.0) () =
+  if base_latency < 0.0 || jitter < 0.0 then invalid_arg "Network.create";
+  if loss < 0.0 || loss >= 1.0 then invalid_arg "Network.create: loss";
+  { base_latency; jitter; loss; latency_of; cuts = [] }
+
+let partition t ~group_a =
+  let side i = List.mem i group_a in
+  t.cuts <- side :: t.cuts
+
+let heal t = t.cuts <- []
+
+let delay t rng ~src ~dst =
+  let blocked = List.exists (fun side -> side src <> side dst) t.cuts in
+  if blocked then None
+  else if t.loss > 0.0 && Quorum.Rng.bernoulli rng t.loss then None
+  else begin
+    let jitter =
+      if t.jitter = 0.0 then 0.0
+      else Quorum.Rng.exponential rng ~mean:t.jitter
+    in
+    Some (t.base_latency +. t.latency_of src dst +. jitter)
+  end

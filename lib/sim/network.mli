@@ -1,0 +1,29 @@
+(** Network model: per-message latency, loss, and partitions.
+
+    Deterministic given the engine's RNG.  Partitions are symmetric
+    cuts of the node set: a message crosses only if its endpoints are
+    on the same side of every active cut. *)
+
+type t
+
+val create :
+  ?base_latency:float ->
+  ?jitter:float ->
+  ?loss:float ->
+  ?latency_of:(int -> int -> float) ->
+  unit ->
+  t
+(** [base_latency] (default 1.0 time units) plus an exponential jitter
+    of mean [jitter] (default 0.2); [loss] (default 0) is an iid drop
+    probability.  [latency_of src dst] (default [fun _ _ -> 0.]) adds a
+    deterministic per-pair propagation term — see {!Topology}. *)
+
+val partition : t -> group_a:int list -> unit
+(** Install a cut isolating [group_a] from everyone else.  Multiple
+    cuts compose. *)
+
+val heal : t -> unit
+(** Remove all cuts. *)
+
+val delay : t -> Quorum.Rng.t -> src:int -> dst:int -> float option
+(** Latency for one message, or [None] if dropped / blocked. *)

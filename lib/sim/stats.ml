@@ -1,0 +1,55 @@
+type t = {
+  mutable samples : float list;
+  mutable count : int;
+  mutable total : float;
+  mutable min_v : float;
+  mutable max_v : float;
+  counters : (string, int ref) Hashtbl.t;
+}
+
+let create () =
+  {
+    samples = [];
+    count = 0;
+    total = 0.0;
+    min_v = infinity;
+    max_v = neg_infinity;
+    counters = Hashtbl.create 8;
+  }
+
+let add t x =
+  t.samples <- x :: t.samples;
+  t.count <- t.count + 1;
+  t.total <- t.total +. x;
+  if x < t.min_v then t.min_v <- x;
+  if x > t.max_v then t.max_v <- x
+
+let incr t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> Stdlib.incr r
+  | None -> Hashtbl.add t.counters name (ref 1)
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let count t = t.count
+let mean t = if t.count = 0 then 0.0 else t.total /. float_of_int t.count
+let min_value t = t.min_v
+let max_value t = t.max_v
+
+let percentile t q =
+  if t.count = 0 then invalid_arg "Stats.percentile: no samples";
+  if q < 0.0 || q > 1.0 then invalid_arg "Stats.percentile: q";
+  let sorted = Array.of_list t.samples in
+  Array.sort compare sorted;
+  let rank =
+    min (t.count - 1)
+      (max 0 (int_of_float (ceil (q *. float_of_int t.count)) - 1))
+  in
+  sorted.(rank)
+
+let summary t =
+  if t.count = 0 then "n=0"
+  else
+    Printf.sprintf "n=%d mean=%.3f p50=%.3f p99=%.3f max=%.3f" t.count
+      (mean t) (percentile t 0.50) (percentile t 0.99) (max_value t)

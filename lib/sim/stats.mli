@@ -1,0 +1,25 @@
+(** Lightweight metric accumulators for simulation runs. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+(** Record one sample (e.g. a latency). *)
+
+val incr : t -> string -> unit
+(** Bump a named counter. *)
+
+val counter : t -> string -> int
+
+val count : t -> int
+val mean : t -> float
+val min_value : t -> float
+val max_value : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t 0.99] — nearest-rank on the recorded samples.
+    Raises on an empty accumulator. *)
+
+val summary : t -> string
+(** One-line "n=.. mean=.. p50=.. p99=.. max=.." rendering. *)

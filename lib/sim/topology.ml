@@ -1,0 +1,42 @@
+type t = { coords : (float * float) array }
+
+let size t = Array.length t.coords
+
+let ring ~n ~radius =
+  if n <= 0 || radius <= 0.0 then invalid_arg "Topology.ring";
+  {
+    coords =
+      Array.init n (fun i ->
+          let angle = 2.0 *. Float.pi *. float_of_int i /. float_of_int n in
+          (radius *. cos angle, radius *. sin angle));
+  }
+
+let clusters rng ~sizes ~spread ~separation =
+  if sizes = [] then invalid_arg "Topology.clusters";
+  let coords =
+    List.concat
+      (List.mapi
+         (fun c size ->
+           let cx = separation *. float_of_int c in
+           List.init size (fun _ ->
+               ( cx +. (spread *. (Quorum.Rng.float rng -. 0.5)),
+                 spread *. (Quorum.Rng.float rng -. 0.5) )))
+         sizes)
+  in
+  { coords = Array.of_list coords }
+
+let line ~n ~spacing =
+  if n <= 0 || spacing < 0.0 then invalid_arg "Topology.line";
+  { coords = Array.init n (fun i -> (spacing *. float_of_int i, 0.0)) }
+
+let distance t a b =
+  let xa, ya = t.coords.(a) and xb, yb = t.coords.(b) in
+  sqrt (((xa -. xb) ** 2.0) +. ((ya -. yb) ** 2.0))
+
+let rtt t ~from quorum =
+  2.0 *. Quorum.Bitset.fold (fun e acc -> max acc (distance t from e)) quorum 0.0
+
+let network ?base_latency ?jitter t =
+  Network.create ?base_latency ?jitter
+    ~latency_of:(fun src dst -> distance t src dst)
+    ()

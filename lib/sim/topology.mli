@@ -1,0 +1,33 @@
+(** Node placement and pairwise latency models.
+
+    Quorum protocols pay the round-trip to the {e farthest} quorum
+    member; where processes sit therefore matters as much as how many
+    are contacted.  A topology assigns each process 2D coordinates;
+    latency between processes is the euclidean distance (scaled), plus
+    the base cost of the network model. *)
+
+type t
+
+val ring : n:int -> radius:float -> t
+(** Processes evenly spaced on a circle. *)
+
+val clusters :
+  Quorum.Rng.t -> sizes:int list -> spread:float -> separation:float -> t
+(** Datacenter-like placement: cluster [i] is centred at distance
+    [separation * i] along the x-axis, members uniformly within
+    [spread] of the centre. *)
+
+val line : n:int -> spacing:float -> t
+(** Processes on a line (a chain of sites). *)
+
+val size : t -> int
+val distance : t -> int -> int -> float
+
+val rtt : t -> from:int -> Quorum.Bitset.t -> float
+(** Round-trip cost of assembling the given quorum from process
+    [from]: twice the distance to the farthest member (one
+    request/reply round). *)
+
+val network : ?base_latency:float -> ?jitter:float -> t -> Network.t
+(** A network whose delivery latency is [base + distance + exp jitter]
+    — plug into [Engine.create]. *)

@@ -1,0 +1,62 @@
+let log2_ceil x =
+  if x < 1 then invalid_arg "Cwlog.log2_ceil";
+  let rec find k pow = if pow >= x then k else find (k + 1) (2 * pow) in
+  find 0 1
+
+let widths_for n =
+  if n < 1 then invalid_arg "Cwlog.widths_for: n >= 1 required";
+  (* [build] accumulates widths bottom-row-first. *)
+  let rec build i total acc =
+    if total = n then acc
+    else begin
+      let w = min (log2_ceil (i + 1)) (n - total) in
+      build (i + 1) (total + w) (w :: acc)
+    end
+  in
+  let bottom_first =
+    match build 1 0 [] with
+    (* A truncated width-1 bottom row would dominate the whole coterie
+       (its lone element is a quorum by itself); widen the row above
+       instead. *)
+    | 1 :: above :: rest when above >= 1 -> (above + 1) :: rest
+    | l -> l
+  in
+  Array.of_list (List.rev bottom_first)
+
+let system ?name ~n () =
+  let name =
+    match name with Some s -> s | None -> Printf.sprintf "cwlog(%d)" n
+  in
+  Wall.system ~name (widths_for n)
+
+let failure_probability ~n ~p =
+  Wall.failure_probability ~widths:(widths_for n) ~p
+
+let tradeoff_strategy ~n =
+  let widths = widths_for n in
+  let wall = Wall.layout widths in
+  let d = Array.length widths in
+  let k = min d widths.(d - 1) in
+  (* Quorums based on row [base]: the full row and every one-per-row
+     choice below, sharing the base's probability mass equally. *)
+  let quorums_of base =
+    let full_row =
+      List.init widths.(base) (fun idx -> Wall.element wall ~row:base ~idx)
+    in
+    List.init (d - base - 1) (fun i ->
+        let row = base + 1 + i in
+        List.init widths.(row) (fun idx -> Wall.element wall ~row ~idx))
+    |> Quorum.Combinat.product
+    |> List.map (fun picks -> Quorum.Bitset.of_list wall.Wall.n (full_row @ picks))
+  in
+  let entries =
+    List.concat_map
+      (fun base ->
+        let qs = quorums_of base in
+        let w = 1.0 /. float_of_int k /. float_of_int (List.length qs) in
+        List.map (fun q -> (q, w)) qs)
+      (List.init k (fun i -> d - k + i))
+  in
+  Quorum.Strategy.make
+    (Array.of_list (List.map fst entries))
+    (Array.of_list (List.map snd entries))

@@ -1,0 +1,23 @@
+(** The CWlog crumbling wall (Peleg & Wool 1997).
+
+    The wall whose row [i] (1-based) has width [ceil(log2 (i+1))]:
+    widths 1, 2, 2, 3, 3, 3, 3, 4, ...  The paper's CWlog(14) is the
+    first 6 rows and CWlog(29) the first 10.  Smallest quorums have
+    size [O(log n)] (bottom row plus nothing below), largest
+    [1 + (d-1)] from the top row. *)
+
+val widths_for : int -> int array
+(** [widths_for n] — CWlog row widths totalling exactly [n]; the last
+    row is truncated when [n] falls inside it.  [n >= 1]. *)
+
+val system : ?name:string -> n:int -> unit -> Quorum.System.t
+
+val failure_probability : n:int -> p:float -> float
+(** Exact, via {!Wall.failure_probability}. *)
+
+val tradeoff_strategy : n:int -> Quorum.Strategy.t
+(** The quorum-size / load tradeoff strategy of Peleg & Wool: pick the
+    base row uniformly among the bottom [w_d] rows (the bottom row's
+    width) and the elements below uniformly.  Reproduces the paper's
+    section 6 numbers: average quorum size 4 and load 55.5% at n = 14,
+    5.25 and 43.7% at n = 29. *)

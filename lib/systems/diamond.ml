@@ -1,0 +1,16 @@
+let widths m =
+  if m < 2 then invalid_arg "Diamond: half_rows >= 2 required";
+  (* Rows 1, 2, ..., m, ..., 3, 2: the bottom apex is dropped so the
+     wall coterie is not dominated by the single apex quorum. *)
+  Array.init ((2 * m) - 2) (fun i -> if i < m then i + 1 else (2 * m) - 1 - i)
+
+let system ?name ~half_rows () =
+  let w = widths half_rows in
+  let n = Array.fold_left ( + ) 0 w in
+  let name =
+    match name with Some s -> s | None -> Printf.sprintf "diamond(%d)" n
+  in
+  Wall.system ~name w
+
+let failure_probability ~half_rows ~p =
+  Wall.failure_probability ~widths:(widths half_rows) ~p

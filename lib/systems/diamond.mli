@@ -1,0 +1,14 @@
+(** Diamond quorums (Fu, Wong & Wong 2000).
+
+    The wall whose widths grow 1, 2, ..., m and shrink back m-1, ...,
+    2 ([n = m^2 - 1] processes in a truncated diamond silhouette; the
+    bottom apex is omitted because a width-1 bottom row would collapse
+    the coterie onto the single-apex quorum).  Cited by the paper's
+    related work as a triangle-like construction whose failure
+    probability does not vanish with system size. *)
+
+val system : ?name:string -> half_rows:int -> unit -> Quorum.System.t
+(** [system ~half_rows:m ()] over [n = m * m - 1] processes
+    ([m >= 2]). *)
+
+val failure_probability : half_rows:int -> p:float -> float

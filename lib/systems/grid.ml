@@ -1,0 +1,167 @@
+module Bitset = Quorum.Bitset
+module System = Quorum.System
+module Rng = Quorum.Rng
+
+type mode = Read | Write | Read_write
+
+let element ~cols ~row ~col = (row * cols) + col
+
+let check ~rows ~cols =
+  if rows <= 0 || cols <= 0 then invalid_arg "Grid: non-positive dimensions"
+
+let mode_string = function
+  | Read -> "read"
+  | Write -> "write"
+  | Read_write -> "rw"
+
+let row_elements ~cols row = List.init cols (fun col -> element ~cols ~row ~col)
+
+let row_cover_quorums ~rows ~cols =
+  List.init rows (fun row -> row_elements ~cols row)
+  |> Quorum.Combinat.product
+  |> List.map (Bitset.of_list (rows * cols))
+
+let full_line_quorums ~rows ~cols =
+  List.init rows (fun row -> Bitset.of_list (rows * cols) (row_elements ~cols row))
+
+(* Minimal read-write quorums: full row [i] plus one element from every
+   other row (a cover element inside row [i] would be redundant). *)
+let read_write_quorums ~rows ~cols =
+  let n = rows * cols in
+  let quorums_of_base base =
+    List.init rows (fun row -> row)
+    |> List.filter (fun row -> row <> base)
+    |> List.map (fun row -> row_elements ~cols row)
+    |> Quorum.Combinat.product
+    |> List.map (fun picks ->
+           Bitset.of_list n (row_elements ~cols base @ picks))
+  in
+  List.concat_map quorums_of_base (List.init rows (fun i -> i))
+
+let make_preds ~rows ~cols =
+  let n = rows * cols in
+  let row_mask row =
+    let rec build col acc =
+      if col = cols then acc
+      else build (col + 1) (acc lor (1 lsl element ~cols ~row ~col))
+    in
+    build 0 0
+  in
+  let masks = Array.init rows row_mask in
+  let cover_mask live =
+    Array.for_all (fun m -> live land m <> 0) masks
+  in
+  let line_mask live = Array.exists (fun m -> live land m = m) masks in
+  let cover live =
+    let row_nonempty row =
+      let rec check col =
+        col < cols
+        && (Bitset.mem live (element ~cols ~row ~col) || check (col + 1))
+      in
+      check 0
+    in
+    let rec all row = row = rows || (row_nonempty row && all (row + 1)) in
+    all 0
+  in
+  let line live =
+    let row_full row =
+      let rec check col =
+        col = cols
+        || (Bitset.mem live (element ~cols ~row ~col) && check (col + 1))
+      in
+      check 0
+    in
+    let rec any row = row < rows && (row_full row || any (row + 1)) in
+    any 0
+  in
+  (n, cover, line, cover_mask, line_mask)
+
+let system ?name ~rows ~cols mode =
+  check ~rows ~cols;
+  let n, cover, line, cover_mask, line_mask = make_preds ~rows ~cols in
+  let name =
+    match name with
+    | Some s -> s
+    | None -> Printf.sprintf "grid-%s(%dx%d)" (mode_string mode) rows cols
+  in
+  let avail, avail_mask, min_quorums =
+    match mode with
+    | Read ->
+        (cover, cover_mask, lazy (row_cover_quorums ~rows ~cols))
+    | Write -> (line, line_mask, lazy (full_line_quorums ~rows ~cols))
+    | Read_write ->
+        ( (fun live -> cover live && line live),
+          (fun live -> cover_mask live && line_mask live),
+          lazy (read_write_quorums ~rows ~cols) )
+  in
+  let avail_mask = if n <= Bitset.bits_per_word then Some avail_mask else None in
+  let select rng ~live =
+    let live_in_row row =
+      List.filter (Bitset.mem live) (row_elements ~cols row)
+    in
+    let pick_cover () =
+      let rec collect row acc =
+        if row = rows then Some acc
+        else
+          match live_in_row row with
+          | [] -> None
+          | picks -> collect (row + 1) (Rng.pick rng (Array.of_list picks) :: acc)
+      in
+      collect 0 []
+    in
+    let pick_line () =
+      let full_rows =
+        List.filter
+          (fun row -> List.length (live_in_row row) = cols)
+          (List.init rows (fun i -> i))
+      in
+      match full_rows with
+      | [] -> None
+      | _ ->
+          Some (row_elements ~cols (Rng.pick rng (Array.of_list full_rows)))
+    in
+    match mode with
+    | Read -> Option.map (Bitset.of_list n) (pick_cover ())
+    | Write -> Option.map (Bitset.of_list n) (pick_line ())
+    | Read_write ->
+        (match (pick_line (), pick_cover ()) with
+        | Some l, Some c -> Some (Bitset.of_list n (l @ c))
+        | _ -> None)
+  in
+  System.make ~name ~n ~avail ?avail_mask ~min_quorums ~select ()
+
+let t_grid ?name ~rows ~cols () =
+  check ~rows ~cols;
+  let name =
+    match name with
+    | Some s -> s
+    | None -> Printf.sprintf "t-grid(%dx%d)" rows cols
+  in
+  Wall.system ~name (Array.make rows cols)
+
+let failure_probability_hetero ~rows ~cols mode ~p_of =
+  check ~rows ~cols;
+  (* Per row: probability it is non-empty / fully live. *)
+  let row_stats row =
+    let dead = ref 1.0 and live = ref 1.0 in
+    for col = 0 to cols - 1 do
+      let pe = p_of (element ~cols ~row ~col) in
+      dead := !dead *. pe;
+      live := !live *. (1.0 -. pe)
+    done;
+    (1.0 -. !dead, !live)
+  in
+  let cover = ref 1.0 and no_line = ref 1.0 and joint = ref 1.0 in
+  for row = 0 to rows - 1 do
+    let nonempty, full = row_stats row in
+    cover := !cover *. nonempty;
+    no_line := !no_line *. (1.0 -. full);
+    joint := !joint *. (nonempty -. full)
+  done;
+  match mode with
+  | Read -> 1.0 -. !cover
+  | Write -> !no_line
+  | Read_write -> 1.0 -. (!cover -. !joint)
+
+let failure_probability ~rows ~cols mode ~p =
+  failure_probability_hetero ~rows ~cols mode ~p_of:(fun _ -> p)

@@ -1,0 +1,120 @@
+module Bitset = Quorum.Bitset
+module System = Quorum.System
+module Rng = Quorum.Rng
+
+let check branching =
+  if branching = [] then invalid_arg "Hqs: empty branching";
+  List.iter (fun b -> if b < 1 then invalid_arg "Hqs: branching < 1") branching
+
+let universe_size branching = List.fold_left ( * ) 1 branching
+let majority b = (b / 2) + 1
+
+let quorum_size ~branching =
+  check branching;
+  List.fold_left (fun acc b -> acc * majority b) 1 branching
+
+(* Subtrees at the same level span contiguous leaf ranges; [offset] is
+   the first leaf of the current subtree. *)
+let rec avail_range branching mem offset =
+  match branching with
+  | [] -> mem offset
+  | b :: rest ->
+      let child_span = universe_size rest in
+      let rec count i ok =
+        if i = b then ok
+        else
+          count (i + 1)
+            (if avail_range rest mem (offset + (i * child_span)) then ok + 1
+             else ok)
+      in
+      count 0 0 >= majority b
+
+let rec quorums_range branching n offset =
+  match branching with
+  | [] -> [ [ offset ] ]
+  | b :: rest ->
+      let child_span = universe_size rest in
+      let child_quorums i = quorums_range rest n (offset + (i * child_span)) in
+      Quorum.Combinat.ksubsets (List.init b (fun i -> i)) (majority b)
+      |> List.concat_map (fun chosen ->
+             List.map List.concat
+               (Quorum.Combinat.product (List.map child_quorums chosen)))
+
+let rec select_range branching rng live offset =
+  match branching with
+  | [] -> if Bitset.mem live offset then Some [ offset ] else None
+  | b :: rest ->
+      let child_span = universe_size rest in
+      let children = Array.init b (fun i -> i) in
+      Rng.shuffle_in_place rng children;
+      let need = majority b in
+      let rec gather i taken acc =
+        if taken = need then Some acc
+        else if i = Array.length children then None
+        else
+          match
+            select_range rest rng live (offset + (children.(i) * child_span))
+          with
+          | Some q -> gather (i + 1) (taken + 1) (q @ acc)
+          | None -> gather (i + 1) taken acc
+      in
+      gather 0 0 []
+
+let system ?name ~branching () =
+  check branching;
+  let n = universe_size branching in
+  let name =
+    match name with
+    | Some s -> s
+    | None ->
+        Printf.sprintf "hqs(%s)"
+          (String.concat "x" (List.map string_of_int branching))
+  in
+  let avail live = avail_range branching (Bitset.mem live) 0 in
+  let avail_mask =
+    if n <= Bitset.bits_per_word then
+      Some (fun live -> avail_range branching (fun i -> live land (1 lsl i) <> 0) 0)
+    else None
+  in
+  let min_quorums =
+    lazy (List.map (Bitset.of_list n) (quorums_range branching n 0))
+  in
+  let select rng ~live =
+    Option.map (Bitset.of_list n) (select_range branching rng live 0)
+  in
+  System.make ~name ~n ~avail ?avail_mask ~min_quorums ~select ()
+
+let failure_probability_hetero ~branching ~p_of =
+  check branching;
+  (* P(at least [need] of the independent child events occur): DP over
+     the children's individual probabilities. *)
+  let at_least need probs =
+    let dist = Array.make (List.length probs + 1) 0.0 in
+    dist.(0) <- 1.0;
+    List.iteri
+      (fun i pr ->
+        for k = i + 1 downto 1 do
+          dist.(k) <- (dist.(k) *. (1.0 -. pr)) +. (dist.(k - 1) *. pr)
+        done;
+        dist.(0) <- dist.(0) *. (1.0 -. pr))
+      probs;
+    let acc = ref 0.0 in
+    for k = need to Array.length dist - 1 do
+      acc := !acc +. dist.(k)
+    done;
+    !acc
+  in
+  let rec survive branching offset =
+    match branching with
+    | [] -> 1.0 -. p_of offset
+    | b :: rest ->
+        let span = universe_size rest in
+        let children =
+          List.init b (fun i -> survive rest (offset + (i * span)))
+        in
+        at_least (majority b) children
+  in
+  1.0 -. survive branching 0
+
+let failure_probability ~branching ~p =
+  failure_probability_hetero ~branching ~p_of:(fun _ -> p)

@@ -1,0 +1,38 @@
+(** k-coteries: quorum systems for k-mutual exclusion (Fujita et al.;
+    Kuo & Huang's reference [10] constructs both coteries and
+    k-coteries geometrically).
+
+    A k-coterie lets up to [k] users hold quorums simultaneously:
+
+    - {e k-safety}: no [k+1] quorums are pairwise disjoint (so at most
+      [k] users can hold full quorums at once);
+    - {e k-availability}: some [k] pairwise-disjoint quorums exist (so
+      [k] users can actually proceed in parallel).
+
+    Constructions provided:
+
+    - {!k_majority}: quorums are the subsets of size
+      [floor(n / (k+1)) + 1] — [k+1] of them cannot fit in [n]
+      processes, [k] of them can;
+    - {!copies}: the universe splits into [k] groups, each running any
+      base coterie (e.g. the paper's h-triang); a quorum is a base
+      quorum of {e one} group.  Pigeonhole gives k-safety, one quorum
+      per group gives k-availability.  This is the dual of the
+      Byzantine [boost] (OR across copies instead of AND). *)
+
+val degree : Quorum.Bitset.t list -> int
+(** Size of the largest pairwise-disjoint family among the quorums
+    (backtracking; intended for enumerable systems). *)
+
+val is_k_coterie : k:int -> Quorum.Bitset.t list -> bool
+(** [degree = k] exactly. *)
+
+val k_majority : n:int -> k:int -> Quorum.System.t
+(** Threshold [floor(n / (k+1)) + 1].  Requires
+    [k * (floor(n / (k+1)) + 1) <= n] (k-availability), which holds
+    whenever [k+1] divides [n] and in most other cases. *)
+
+val copies : k:int -> Quorum.System.t -> Quorum.System.t
+(** [k] groups of [base.n] processes each; availability = some group's
+    slice contains a base quorum; selection picks a random available
+    group (spreading parallel users across groups). *)

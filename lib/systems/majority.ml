@@ -1,0 +1,18 @@
+let votes n =
+  if n <= 0 then invalid_arg "Majority.make: n must be positive";
+  Array.init n (fun i -> if i = 0 && n mod 2 = 0 then 2 else 1)
+
+let make n =
+  Quorum.System.rename
+    (Weighted_voting.system ~votes:(votes n) ())
+    (Printf.sprintf "majority(%d)" n)
+
+let make_plain n =
+  Quorum.System.rename
+    (Weighted_voting.system ~votes:(Array.make n 1) ())
+    (Printf.sprintf "majority-plain(%d)" n)
+
+let quorum_size n = if n mod 2 = 0 then n / 2 else (n + 1) / 2
+
+let failure_probability ~n ~p =
+  Weighted_voting.failure_probability ~votes:(votes n) ~p

@@ -1,0 +1,22 @@
+(** The majority quorum system (Gifford / Thomas).
+
+    For odd [n] a quorum is any [(n+1)/2] processes.  For even [n] a
+    plain strict majority ([n/2 + 1]) is not non-dominated (its failure
+    probability at p = 1/2 exceeds 1/2); the classical fix, which the
+    paper's tables assume (Majority(28) has F_0.5 = 0.5 and quorums of
+    ~14), gives one distinguished process a second vote, making the
+    vote total odd.  [make] applies that fix; [make_plain] builds the
+    unadjusted strict majority for comparison. *)
+
+val make : int -> Quorum.System.t
+(** Tie-broken majority over [n] processes (process 0 holds 2 votes
+    when [n] is even). *)
+
+val make_plain : int -> Quorum.System.t
+(** Strict majority, no tie-breaking. *)
+
+val quorum_size : int -> int
+(** Minimum quorum cardinality of [make n]. *)
+
+val failure_probability : n:int -> p:float -> float
+(** Exact failure probability of [make n]. *)

@@ -1,0 +1,138 @@
+module Bitset = Quorum.Bitset
+module System = Quorum.System
+
+let universe_size ~d = 2 * d * (d + 1)
+
+let check_d d = if d < 1 then invalid_arg "Paths: d >= 1 required"
+
+let horizontal ~d ~row ~col =
+  if row < 0 || row > d || col < 0 || col >= d then
+    invalid_arg "Paths.horizontal";
+  (row * d) + col
+
+let vertical ~d ~row ~col =
+  if row < 0 || row >= d || col < 0 || col > d then
+    invalid_arg "Paths.vertical";
+  ((d + 1) * d) + (row * (d + 1)) + col
+
+(* Primal graph: vertices (r, c) with 0 <= r, c <= d, indexed
+   r * (d+1) + c.  Each adjacency entry is (edge id, neighbour). *)
+let primal_adjacency d =
+  let vid r c = (r * (d + 1)) + c in
+  let adj = Array.make ((d + 1) * (d + 1)) [] in
+  let link v e w =
+    adj.(v) <- (e, w) :: adj.(v);
+    adj.(w) <- (e, v) :: adj.(w)
+  in
+  for r = 0 to d do
+    for c = 0 to d - 1 do
+      link (vid r c) (horizontal ~d ~row:r ~col:c) (vid r (c + 1))
+    done
+  done;
+  for r = 0 to d - 1 do
+    for c = 0 to d do
+      link (vid r c) (vertical ~d ~row:r ~col:c) (vid (r + 1) c)
+    done
+  done;
+  Array.map Array.of_list adj
+
+(* Dual graph for top-bottom crossings: faces TOP (0), BOTTOM (1) and
+   the d*d cells; each dual edge is labelled with the primal edge it
+   crosses. *)
+let dual_adjacency d =
+  let fid r c = 2 + (r * d) + c in
+  let adj = Array.make (2 + (d * d)) [] in
+  let link v e w =
+    adj.(v) <- (e, w) :: adj.(v);
+    adj.(w) <- (e, v) :: adj.(w)
+  in
+  for c = 0 to d - 1 do
+    link 0 (horizontal ~d ~row:0 ~col:c) (fid 0 c);
+    link (fid (d - 1) c) (horizontal ~d ~row:d ~col:c) 1
+  done;
+  for r = 0 to d - 2 do
+    for c = 0 to d - 1 do
+      link (fid r c) (horizontal ~d ~row:(r + 1) ~col:c) (fid (r + 1) c)
+    done
+  done;
+  for r = 0 to d - 1 do
+    for c = 0 to d - 2 do
+      link (fid r c) (vertical ~d ~row:r ~col:(c + 1)) (fid r (c + 1))
+    done
+  done;
+  Array.map Array.of_list adj
+
+(* Reachability from [sources] to a vertex satisfying [is_target],
+   walking only edges whose label is live.  Scratch arrays are owned by
+   the caller so the enumeration hot loop does not allocate. *)
+let reaches adj ~visited ~stack ~edge_live ~sources ~is_target =
+  Array.fill visited 0 (Array.length visited) false;
+  let top = ref 0 in
+  let push v =
+    if not visited.(v) then begin
+      visited.(v) <- true;
+      stack.(!top) <- v;
+      incr top
+    end
+  in
+  List.iter push sources;
+  let rec loop () =
+    if !top = 0 then false
+    else begin
+      decr top;
+      let v = stack.(!top) in
+      if is_target v then true
+      else begin
+        Array.iter
+          (fun (e, w) -> if edge_live e then push w)
+          adj.(v);
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+let system ?name ~d () =
+  check_d d;
+  let n = universe_size ~d in
+  let name =
+    match name with Some s -> s | None -> Printf.sprintf "paths(%d)" n
+  in
+  let primal = primal_adjacency d in
+  let dual = dual_adjacency d in
+  let nv = Array.length primal and nf = Array.length dual in
+  let left = List.init (d + 1) (fun r -> r * (d + 1)) in
+  let is_right v = v mod (d + 1) = d in
+  let make_avail () =
+    (* Fresh scratch per closure: the mask fast-path and the bitset
+       path each own their own buffers. *)
+    let visited_v = Array.make nv false and stack_v = Array.make nv 0 in
+    let visited_f = Array.make nf false and stack_f = Array.make nf 0 in
+    fun edge_live ->
+      reaches primal ~visited:visited_v ~stack:stack_v ~edge_live
+        ~sources:left ~is_target:is_right
+      && reaches dual ~visited:visited_f ~stack:stack_f ~edge_live
+           ~sources:[ 0 ] ~is_target:(fun v -> v = 1)
+  in
+  let avail =
+    let check = make_avail () in
+    fun live -> check (Bitset.mem live)
+  in
+  let avail_mask =
+    let check = make_avail () in
+    Some (fun live -> check (fun e -> live land (1 lsl e) <> 0))
+  in
+  let shrink_avail =
+    let check = make_avail () in
+    fun live -> check (Bitset.mem live)
+  in
+  let select rng ~live = System.shrink_select shrink_avail rng ~live in
+  let min_quorums =
+    if n <= 22 then
+      Some
+        (lazy
+          (Quorum.Coterie.minimal_of_avail ~n
+             (match avail_mask with Some f -> f | None -> assert false)))
+    else None
+  in
+  System.make ~name ~n ~avail ?avail_mask ?min_quorums ~select ()

@@ -1,0 +1,30 @@
+(** The Paths quorum system (Naor & Wool 1998), percolation-based.
+
+    Elements are the [2d(d+1)] edges of a [(d+1) x (d+1)] vertex grid.
+    A quorum is the union of (the edges of) a left-to-right crossing
+    path in the grid and (the primal edges crossed by) a top-to-bottom
+    crossing path in the planar dual.  Any left-right path meets any
+    top-bottom dual cut, which gives the intersection property; the
+    failure probability is governed by bond percolation, which is what
+    makes the construction's availability non-trivial at p near 1/2.
+
+    The paper reports Paths at 13 and 25 elements; the closest
+    instances of this construction have 12 ([d = 2]) and 24 ([d = 3])
+    — the reconstruction delta is documented in EXPERIMENTS.md. *)
+
+val universe_size : d:int -> int
+(** [2 d (d+1)]. *)
+
+val horizontal : d:int -> row:int -> col:int -> int
+(** Edge between vertices [(row, col)] and [(row, col+1)];
+    [0 <= row <= d], [0 <= col < d]. *)
+
+val vertical : d:int -> row:int -> col:int -> int
+(** Edge between vertices [(row, col)] and [(row+1, col)];
+    [0 <= row < d], [0 <= col <= d]. *)
+
+val system : ?name:string -> d:int -> unit -> Quorum.System.t
+(** Availability = (live edges contain a left-right crossing) and
+    (live edges contain a top-bottom dual crossing).  No explicit
+    quorum enumeration; selection shrinks the live set to a minimal
+    quorum. *)

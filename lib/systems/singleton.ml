@@ -1,0 +1,6 @@
+let make n =
+  if n <= 0 then invalid_arg "Singleton.make: n must be positive";
+  Quorum.System.of_quorums
+    ~name:(Printf.sprintf "singleton(%d)" n)
+    ~n
+    [ Quorum.Bitset.of_list n [ 0 ] ]

@@ -1,0 +1,17 @@
+let widths rows = Array.init rows (fun i -> i + 1)
+
+let rows_for n =
+  if n < 1 then invalid_arg "Triangle.rows_for";
+  let rec find d = if d * (d + 1) / 2 >= n then d else find (d + 1) in
+  find 1
+
+let system ?name ~rows () =
+  if rows < 1 then invalid_arg "Triangle.system: rows >= 1 required";
+  let n = rows * (rows + 1) / 2 in
+  let name =
+    match name with Some s -> s | None -> Printf.sprintf "triangle(%d)" n
+  in
+  Wall.system ~name (widths rows)
+
+let failure_probability ~rows ~p =
+  Wall.failure_probability ~widths:(widths rows) ~p

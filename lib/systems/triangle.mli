@@ -1,0 +1,14 @@
+(** Flat triangle quorum systems (Luk & Wong 1997; Peleg & Wool 1995).
+
+    The wall with widths 1, 2, ..., d: a quorum is a full row plus one
+    element from every row below it.  Minimum quorum size is [d]
+    (the bottom row alone), i.e. about [sqrt(2n)].  This is the
+    non-hierarchical ancestor of the paper's h-triang construction. *)
+
+val rows_for : int -> int
+(** [rows_for n] is the smallest [d] with [d(d+1)/2 >= n]. *)
+
+val system : ?name:string -> rows:int -> unit -> Quorum.System.t
+(** Triangle with [rows] rows, [n = rows (rows+1) / 2]. *)
+
+val failure_probability : rows:int -> p:float -> float

@@ -1,0 +1,102 @@
+module Bitset = Quorum.Bitset
+module System = Quorum.System
+
+let check votes =
+  if Array.length votes = 0 then invalid_arg "Weighted_voting: no processes";
+  Array.iter
+    (fun v -> if v < 0 then invalid_arg "Weighted_voting: negative votes")
+    votes;
+  let total = Array.fold_left ( + ) 0 votes in
+  if total = 0 then invalid_arg "Weighted_voting: zero total votes";
+  total
+
+let system ?name ~votes () =
+  let total = check votes in
+  let n = Array.length votes in
+  let name =
+    match name with Some s -> s | None -> Printf.sprintf "voting(%d)" n
+  in
+  let enough sum = 2 * sum > total in
+  let avail live =
+    enough (Bitset.fold (fun i acc -> acc + votes.(i)) live 0)
+  in
+  let avail_mask =
+    if n <= Bitset.bits_per_word then
+      Some
+        (fun live ->
+          let rec sum i acc =
+            if i = n then acc
+            else if live land (1 lsl i) <> 0 then sum (i + 1) (acc + votes.(i))
+            else sum (i + 1) acc
+          in
+          enough (sum 0 0))
+    else None
+  in
+  let min_quorums =
+    lazy
+      (if n > 22 then
+         invalid_arg "Weighted_voting: quorum enumeration capped at n=22"
+       else
+         Quorum.Coterie.minimal_of_avail ~n (Option.get avail_mask))
+  in
+  (* Greedy selection: highest-vote live processes first, then trimmed
+     to a minimal quorum. *)
+  let select rng ~live =
+    let members = Bitset.to_list live in
+    let arr = Array.of_list members in
+    Quorum.Rng.shuffle_in_place rng arr;
+    let by_votes = Array.copy arr in
+    Array.sort (fun a b -> compare votes.(b) votes.(a)) by_votes;
+    let quorum = Bitset.create n in
+    let rec take i sum =
+      if enough sum then true
+      else if i = Array.length by_votes then false
+      else begin
+        Bitset.add quorum by_votes.(i);
+        take (i + 1) (sum + votes.(by_votes.(i)))
+      end
+    in
+    if not (take 0 0) then None
+    else begin
+      (* Drop members that are not needed, in random order, to reach a
+         minimal quorum. *)
+      let sum = ref (Bitset.fold (fun i acc -> acc + votes.(i)) quorum 0) in
+      Array.iter
+        (fun i ->
+          if Bitset.mem quorum i && enough (!sum - votes.(i)) then begin
+            Bitset.remove quorum i;
+            sum := !sum - votes.(i)
+          end)
+        arr;
+      Some quorum
+    end
+  in
+  System.make ~name ~n ~avail ?avail_mask ~min_quorums ~select ()
+
+let failure_probability_hetero ~votes ~p_of =
+  let total = check votes in
+  (* dist.(v) = P(live votes = v); one convolution step per process. *)
+  let dist = Array.make (total + 1) 0.0 in
+  dist.(0) <- 1.0;
+  let top = ref 0 in
+  Array.iteri
+    (fun i v ->
+      let p = p_of i in
+      let q = 1.0 -. p in
+      for s = !top downto 0 do
+        let mass = dist.(s) in
+        if mass > 0.0 then begin
+          dist.(s) <- mass *. p;
+          dist.(s + v) <- dist.(s + v) +. (mass *. q)
+        end
+      done;
+      top := !top + v)
+    votes;
+  let acc = ref 0.0 in
+  for s = 0 to total do
+    if 2 * s <= total then acc := !acc +. dist.(s)
+  done;
+  !acc
+
+let failure_probability ~votes ~p =
+  failure_probability_hetero ~votes ~p_of:(fun _ -> p)

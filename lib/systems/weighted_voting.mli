@@ -1,0 +1,18 @@
+(** Weighted voting (Gifford 1979).
+
+    Each process holds a number of votes; a quorum is any set holding a
+    strict majority of the total votes.  The failure probability has an
+    exact O(n * total_votes) dynamic program over the vote-generating
+    polynomial ({!failure_probability}). *)
+
+val system : ?name:string -> votes:int array -> unit -> Quorum.System.t
+(** Quorums = sets with [2 * votes(S) > total].  Minimal quorums are
+    enumerated lazily (guarded to universes of at most 22 processes);
+    availability itself works at any size. *)
+
+val failure_probability : votes:int array -> p:float -> float
+(** Exact: P(live votes fail to reach a strict majority). *)
+
+val failure_probability_hetero :
+  votes:int array -> p_of:(int -> float) -> float
+(** Same with per-process crash probabilities. *)

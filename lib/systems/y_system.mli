@@ -1,0 +1,18 @@
+(** The Y quorum system (Kuo & Huang 1997), geometric coteries.
+
+    Processes fill a triangular board with [d] rows (row [r], 0-based,
+    has [r + 1] cells; [n = d(d+1)/2]) with hexagonal-board adjacency —
+    the board of the game of Y.  A quorum is a connected set of live
+    processes touching all three sides (left edge, right edge, bottom
+    row); minimal such sets are the Y-shapes of the game.  The game's
+    no-draw theorem makes the coterie non-dominated: exactly one of a
+    set and its complement contains a Y, so F_(1/2) = 1/2 exactly,
+    matching the paper's Tables 2 and 3. *)
+
+val universe_size : rows:int -> int
+val element : row:int -> col:int -> int
+(** Row-major ids: [element ~row ~col = row (row+1)/2 + col],
+    [0 <= col <= row]. *)
+
+val system : ?name:string -> rows:int -> unit -> Quorum.System.t
+(** Selection shrinks the live set to a minimal Y. *)

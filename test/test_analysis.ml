@@ -1,0 +1,188 @@
+(* Tests for the analysis layer: exact enumeration, Monte Carlo
+   estimation, the load LP and quorum-size metrics. *)
+
+module Bitset = Quorum.Bitset
+module System = Quorum.System
+module Rng = Quorum.Rng
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* --- Failure ------------------------------------------------------ *)
+
+let test_exact_singleton () =
+  let s = Systems.Singleton.make 3 in
+  let poly = Analysis.Failure.exact_poly s in
+  List.iter
+    (fun p ->
+      check_float "singleton F=p" p (Quorum.Failure_poly.eval poly ~p))
+    [ 0.0; 0.2; 0.5; 1.0 ]
+
+let test_exact_majority_binomial () =
+  (* Majority over 5 fails iff at least 3 die. *)
+  let s = Systems.Majority.make 5 in
+  let expected p =
+    let q = 1.0 -. p in
+    (10.0 *. (p ** 3.0) *. (q ** 2.0))
+    +. (5.0 *. (p ** 4.0) *. q)
+    +. (p ** 5.0)
+  in
+  List.iter
+    (fun p ->
+      check_float "binomial tail" (expected p) (Analysis.Failure.exact s ~p))
+    [ 0.1; 0.3; 0.5 ]
+
+let test_poly_counts_valid () =
+  List.iter
+    (fun spec ->
+      let s = Core.Registry.build_exn spec in
+      let poly = Analysis.Failure.exact_poly s in
+      check (spec ^ " counts within binomial bounds") true
+        (Quorum.Failure_poly.complement_is_valid poly))
+    [ "majority(9)"; "htriang(10)"; "cwlog(8)"; "grid-rw(3x3)"; "y(10)" ]
+
+let test_monte_carlo_close_to_exact () =
+  let rng = Rng.create 2024 in
+  List.iter
+    (fun spec ->
+      let s = Core.Registry.build_exn spec in
+      List.iter
+        (fun p ->
+          let exact = Analysis.Failure.exact s ~p in
+          let est = Analysis.Failure.monte_carlo ~trials:60_000 rng s ~p in
+          check
+            (Printf.sprintf "%s MC covers exact at p=%.1f" spec p)
+            true
+            (abs_float (est.mean -. exact) <= est.half_width +. 0.004))
+        [ 0.2; 0.5 ])
+    [ "majority(15)"; "htriang(15)"; "htgrid(4x4)"; "cwlog(14)" ]
+
+let test_dispatch_uses_exact_for_small () =
+  let s = Core.Registry.build_exn "htriang(15)" in
+  check_float "dispatch exact" (Analysis.Failure.exact s ~p:0.3)
+    (Analysis.Failure.failure_probability s ~p:0.3)
+
+(* --- Load ---------------------------------------------------------- *)
+
+let test_load_majority () =
+  (* Majority over n odd: load = quorum/n by symmetry. *)
+  let s = Systems.Majority.make 5 in
+  let r = Analysis.Load.optimal s in
+  check_float "majority(5) load 3/5" 0.6 r.load
+
+let test_load_singleton () =
+  let s = Systems.Singleton.make 4 in
+  let r = Analysis.Load.optimal s in
+  check_float "singleton load 1" 1.0 r.load
+
+let test_load_fpp () =
+  (* FPP order 2 (Fano plane): optimal load is (q+1)/n = 3/7. *)
+  let s = Systems.Fpp.system ~order:2 () in
+  let r = Analysis.Load.optimal s in
+  check_float "fano load 3/7" (3.0 /. 7.0) r.load
+
+let test_load_htriang () =
+  (* h-triang: LP load equals the strategy's uniform 2/(d+1). *)
+  List.iter
+    (fun rows ->
+      let t = Core.Htriang.standard ~rows () in
+      let r = Analysis.Load.optimal (Core.Htriang.system t) in
+      Alcotest.(check (float 1e-6))
+        "LP = analytic"
+        (2.0 /. float_of_int (rows + 1))
+        r.load)
+    [ 3; 4; 5 ]
+
+let test_load_strategy_consistency () =
+  (* The LP's witnessing strategy induces exactly the LP load. *)
+  let s = Core.Registry.build_exn "htgrid(3x3)" in
+  let r = Analysis.Load.optimal s in
+  Alcotest.(check (float 1e-6))
+    "witness load" r.load
+    (Quorum.Strategy.system_load r.strategy)
+
+let test_load_lower_bounds () =
+  let s = Systems.Majority.make 7 in
+  let cn, inv = Analysis.Load.lower_bounds s in
+  check_float "c/n" (4.0 /. 7.0) cn;
+  check_float "1/c" 0.25 inv;
+  let r = Analysis.Load.optimal s in
+  check "load >= bounds" true
+    (r.load >= Analysis.Load.balanced_lower_bound s -. 1e-9)
+
+let test_load_bound_all_systems () =
+  List.iter
+    (fun spec ->
+      let s = Core.Registry.build_exn spec in
+      let r = Analysis.Load.optimal s in
+      check
+        (spec ^ ": load within [max(c/n,1/c), 1]")
+        true
+        (r.load >= Analysis.Load.balanced_lower_bound s -. 1e-9
+        && r.load <= 1.0 +. 1e-9))
+    [
+      "majority(9)"; "cwlog(8)"; "triangle(10)"; "hqs(3-3)"; "tree(7)";
+      "grid-rw(3x3)"; "htgrid(3x3)"; "htriang(10)"; "fpp(7)"; "diamond(8)";
+    ]
+
+(* --- Metrics -------------------------------------------------------- *)
+
+let test_metrics_of_quorums () =
+  let qs =
+    [
+      Bitset.of_list 6 [ 0; 1 ];
+      Bitset.of_list 6 [ 1; 2; 3 ];
+      Bitset.of_list 6 [ 0; 4; 5 ];
+    ]
+  in
+  let m = Analysis.Metrics.of_quorums qs in
+  check_int "min" 2 m.min_size;
+  check_int "max" 3 m.max_size;
+  check_int "count" 3 m.count;
+  Alcotest.(check (float 1e-9)) "avg" (8.0 /. 3.0) m.avg_size
+
+let test_metrics_sampled_y () =
+  (* Sampling minimal quorums of Y(10): min is the 4-element side. *)
+  let s = Systems.Y_system.system ~rows:4 () in
+  let m = Analysis.Metrics.sampled ~trials:300 (Rng.create 3) s in
+  check_int "y(10) sampled min" 4 m.min_size;
+  check "sampled sizes sane" true (m.max_size <= 10 && m.min_size >= 3)
+
+let test_smallest_quorum () =
+  check_int "majority(7)" 4
+    (Analysis.Metrics.smallest_quorum (Systems.Majority.make 7));
+  check_int "paths(2) sampled" 4
+    (Analysis.Metrics.smallest_quorum (Systems.Paths.system ~d:2 ()))
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "failure",
+        [
+          Alcotest.test_case "singleton" `Quick test_exact_singleton;
+          Alcotest.test_case "majority binomial" `Quick
+            test_exact_majority_binomial;
+          Alcotest.test_case "counts valid" `Quick test_poly_counts_valid;
+          Alcotest.test_case "monte carlo" `Slow test_monte_carlo_close_to_exact;
+          Alcotest.test_case "dispatch" `Quick test_dispatch_uses_exact_for_small;
+        ] );
+      ( "load",
+        [
+          Alcotest.test_case "majority" `Quick test_load_majority;
+          Alcotest.test_case "singleton" `Quick test_load_singleton;
+          Alcotest.test_case "fpp" `Quick test_load_fpp;
+          Alcotest.test_case "htriang" `Quick test_load_htriang;
+          Alcotest.test_case "witness consistency" `Quick
+            test_load_strategy_consistency;
+          Alcotest.test_case "lower bounds" `Quick test_load_lower_bounds;
+          Alcotest.test_case "bounds all systems" `Slow
+            test_load_bound_all_systems;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "of_quorums" `Quick test_metrics_of_quorums;
+          Alcotest.test_case "sampled y" `Quick test_metrics_sampled_y;
+          Alcotest.test_case "smallest" `Quick test_smallest_quorum;
+        ] );
+    ]

@@ -1,0 +1,134 @@
+(* Simplex solver tests: known optima, infeasibility, unboundedness,
+   degenerate cases, and a randomized sanity property. *)
+
+module S = Lp.Simplex
+
+let check_opt name expected outcome =
+  match outcome with
+  | S.Optimal { objective; _ } ->
+      Alcotest.(check (float 1e-6)) name expected objective
+  | S.Infeasible -> Alcotest.fail (name ^ ": unexpectedly infeasible")
+  | S.Unbounded -> Alcotest.fail (name ^ ": unexpectedly unbounded")
+
+let test_basic_max () =
+  (* max 3x + 5y st x <= 4, 2y <= 12, 3x + 2y <= 18 -> 36 at (2,6). *)
+  let outcome =
+    S.maximize ~c:[| 3.0; 5.0 |]
+      ~a_ub:[| [| 1.0; 0.0 |]; [| 0.0; 2.0 |]; [| 3.0; 2.0 |] |]
+      ~b_ub:[| 4.0; 12.0; 18.0 |] ()
+  in
+  check_opt "classic LP" 36.0 outcome;
+  (match outcome with
+  | S.Optimal { solution; _ } ->
+      Alcotest.(check (float 1e-6)) "x" 2.0 solution.(0);
+      Alcotest.(check (float 1e-6)) "y" 6.0 solution.(1)
+  | _ -> assert false)
+
+let test_min_with_equality () =
+  (* min x + y st x + y = 2, x <= 1.5 -> 2. *)
+  check_opt "equality" 2.0
+    (S.solve ~c:[| 1.0; 1.0 |]
+       ~a_ub:[| [| 1.0; 0.0 |] |]
+       ~b_ub:[| 1.5 |]
+       ~a_eq:[| [| 1.0; 1.0 |] |]
+       ~b_eq:[| 2.0 |] ())
+
+let test_infeasible () =
+  (* x <= 1 and x = 3 *)
+  match
+    S.solve ~c:[| 1.0 |]
+      ~a_ub:[| [| 1.0 |] |]
+      ~b_ub:[| 1.0 |]
+      ~a_eq:[| [| 1.0 |] |]
+      ~b_eq:[| 3.0 |] ()
+  with
+  | S.Infeasible -> ()
+  | S.Optimal _ | S.Unbounded -> Alcotest.fail "expected infeasible"
+
+let test_unbounded () =
+  (* max x, no constraints *)
+  match S.maximize ~c:[| 1.0 |] () with
+  | S.Unbounded -> ()
+  | S.Optimal _ | S.Infeasible -> Alcotest.fail "expected unbounded"
+
+let test_negative_rhs () =
+  (* min x st -x <= -3  (i.e. x >= 3) -> 3. *)
+  check_opt "negative rhs" 3.0
+    (S.solve ~c:[| 1.0 |] ~a_ub:[| [| -1.0 |] |] ~b_ub:[| -3.0 |] ())
+
+let test_degenerate () =
+  (* Redundant constraints sharing a vertex. *)
+  check_opt "degenerate" 4.0
+    (S.maximize ~c:[| 1.0; 1.0 |]
+       ~a_ub:
+         [|
+           [| 1.0; 0.0 |]; [| 0.0; 1.0 |]; [| 1.0; 1.0 |]; [| 1.0; 1.0 |];
+         |]
+       ~b_ub:[| 2.0; 2.0; 4.0; 4.0 |] ())
+
+let test_zero_objective () =
+  (* Any feasible point optimal. *)
+  match
+    S.solve ~c:[| 0.0; 0.0 |]
+      ~a_eq:[| [| 1.0; 1.0 |] |]
+      ~b_eq:[| 1.0 |] ()
+  with
+  | S.Optimal { objective; solution } ->
+      Alcotest.(check (float 1e-9)) "objective 0" 0.0 objective;
+      Alcotest.(check (float 1e-6)) "feasible" 1.0 (solution.(0) +. solution.(1))
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_load_lp_shape () =
+  (* The load LP of a 3-element majority: optimal load is 2/3. *)
+  let quorums = [ [ 0; 1 ]; [ 1; 2 ]; [ 0; 2 ] ] in
+  let m = List.length quorums in
+  let nv = m + 1 in
+  let c = Array.make nv 0.0 in
+  c.(m) <- 1.0;
+  let a_ub =
+    Array.init 3 (fun i ->
+        let row = Array.make nv 0.0 in
+        List.iteri (fun j q -> if List.mem i q then row.(j) <- 1.0) quorums;
+        row.(m) <- -1.0;
+        row)
+  in
+  let b_ub = Array.make 3 0.0 in
+  let a_eq = [| Array.init nv (fun j -> if j < m then 1.0 else 0.0) |] in
+  check_opt "majority-3 load" (2.0 /. 3.0)
+    (S.solve ~c ~a_ub ~b_ub ~a_eq ~b_eq:[| 1.0 |] ())
+
+let random_lp_feasibility =
+  (* For random bounded LPs min c.x st x_i <= b_i the optimum is
+     0 when all c >= 0 (x = 0 feasible). *)
+  QCheck.Test.make ~name:"nonneg objective with box constraints -> 0"
+    ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 5) (pair (float_bound_inclusive 5.0) (float_bound_inclusive 5.0)))
+    (fun spec ->
+      QCheck.assume (spec <> []);
+      let n = List.length spec in
+      let c = Array.of_list (List.map fst spec) in
+      let b_ub = Array.of_list (List.map (fun (_, b) -> b +. 0.1) spec) in
+      let a_ub =
+        Array.init n (fun i ->
+            Array.init n (fun j -> if i = j then 1.0 else 0.0))
+      in
+      match S.solve ~c ~a_ub ~b_ub () with
+      | S.Optimal { objective; _ } -> abs_float objective < 1e-7
+      | S.Infeasible | S.Unbounded -> false)
+
+let () =
+  Alcotest.run "lp"
+    [
+      ( "simplex",
+        [
+          Alcotest.test_case "basic max" `Quick test_basic_max;
+          Alcotest.test_case "equality" `Quick test_min_with_equality;
+          Alcotest.test_case "infeasible" `Quick test_infeasible;
+          Alcotest.test_case "unbounded" `Quick test_unbounded;
+          Alcotest.test_case "negative rhs" `Quick test_negative_rhs;
+          Alcotest.test_case "degenerate" `Quick test_degenerate;
+          Alcotest.test_case "zero objective" `Quick test_zero_objective;
+          Alcotest.test_case "load LP shape" `Quick test_load_lp_shape;
+          QCheck_alcotest.to_alcotest random_lp_feasibility;
+        ] );
+    ]

@@ -1,0 +1,254 @@
+(* Tests for the discrete-event simulation substrate. *)
+
+module Engine = Sim.Engine
+module Heap = Sim.Heap
+module Network = Sim.Network
+module Stats = Sim.Stats
+module Rng = Quorum.Rng
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- Heap ----------------------------------------------------------- *)
+
+let test_heap_order () =
+  let h = Heap.create () in
+  List.iter (fun t -> Heap.push h ~time:t (int_of_float t)) [ 3.0; 1.0; 2.0 ];
+  let pop () = match Heap.pop h with Some (_, v) -> v | None -> -1 in
+  check_int "first" 1 (pop ());
+  check_int "second" 2 (pop ());
+  check_int "third" 3 (pop ());
+  check "empty" true (Heap.pop h = None)
+
+let test_heap_fifo_ties () =
+  let h = Heap.create () in
+  List.iter (fun v -> Heap.push h ~time:1.0 v) [ 10; 20; 30 ];
+  let pop () = match Heap.pop h with Some (_, v) -> v | None -> -1 in
+  check_int "tie fifo 1" 10 (pop ());
+  check_int "tie fifo 2" 20 (pop ());
+  check_int "tie fifo 3" 30 (pop ())
+
+let heap_sorts =
+  QCheck.Test.make ~name:"heap pops in nondecreasing time order" ~count:200
+    QCheck.(list (float_bound_inclusive 100.0))
+    (fun times ->
+      let h = Heap.create () in
+      List.iter (fun t -> Heap.push h ~time:t ()) times;
+      let rec drain last =
+        match Heap.pop h with
+        | None -> true
+        | Some (t, ()) -> t >= last && drain t
+      in
+      drain neg_infinity)
+
+(* --- Network -------------------------------------------------------- *)
+
+let test_network_latency_positive () =
+  let net = Network.create ~base_latency:2.0 ~jitter:0.5 () in
+  let rng = Rng.create 1 in
+  for _ = 1 to 100 do
+    match Network.delay net rng ~src:0 ~dst:1 with
+    | Some d -> check "latency >= base" true (d >= 2.0)
+    | None -> Alcotest.fail "lossless network dropped"
+  done
+
+let test_network_loss () =
+  let net = Network.create ~loss:0.5 () in
+  let rng = Rng.create 2 in
+  let dropped = ref 0 in
+  for _ = 1 to 2000 do
+    if Network.delay net rng ~src:0 ~dst:1 = None then incr dropped
+  done;
+  let rate = float_of_int !dropped /. 2000.0 in
+  check "loss near 0.5" true (abs_float (rate -. 0.5) < 0.05)
+
+let test_network_partition () =
+  let net = Network.create () in
+  Network.partition net ~group_a:[ 0; 1 ];
+  let rng = Rng.create 3 in
+  check "cross-cut blocked" true (Network.delay net rng ~src:0 ~dst:2 = None);
+  check "same side ok" true (Network.delay net rng ~src:0 ~dst:1 <> None);
+  check "other side ok" true (Network.delay net rng ~src:2 ~dst:3 <> None);
+  Network.heal net;
+  check "healed" true (Network.delay net rng ~src:0 ~dst:2 <> None)
+
+(* --- Engine --------------------------------------------------------- *)
+
+type probe_msg = Ping | Pong
+
+let probe_handlers log : probe_msg Engine.handlers =
+  {
+    on_message =
+      (fun engine ~node ~src msg ->
+        log := (Engine.now engine, `Msg (node, src)) :: !log;
+        match msg with
+        | Ping -> Engine.send engine ~src:node ~dst:src Pong
+        | Pong -> ());
+    on_timer =
+      (fun engine ~node ~tag ->
+        log := (Engine.now engine, `Timer (node, tag)) :: !log);
+    on_crash = (fun engine ~node -> log := (Engine.now engine, `Crash node) :: !log);
+    on_recover =
+      (fun engine ~node -> log := (Engine.now engine, `Recover node) :: !log);
+  }
+
+let test_engine_ping_pong () =
+  let log = ref [] in
+  let e = Engine.create ~seed:5 ~nodes:3 (probe_handlers log) in
+  Engine.send e ~src:0 ~dst:1 Ping;
+  Engine.run e;
+  check_int "two deliveries" 2 (Engine.messages_delivered e);
+  check_int "two sends" 2 (Engine.messages_sent e);
+  check "time advanced" true (Engine.now e > 0.0)
+
+let test_engine_determinism () =
+  let run () =
+    let log = ref [] in
+    let e = Engine.create ~seed:9 ~nodes:4 (probe_handlers log) in
+    Engine.send e ~src:0 ~dst:1 Ping;
+    Engine.send e ~src:2 ~dst:3 Ping;
+    Engine.set_timer e ~node:0 ~delay:0.5 ~tag:7;
+    Engine.run e;
+    (!log, Engine.now e)
+  in
+  let a = run () and b = run () in
+  check "identical traces" true (a = b)
+
+let test_engine_crash_drops_messages () =
+  let log = ref [] in
+  let e = Engine.create ~seed:6 ~nodes:2 (probe_handlers log) in
+  Engine.crash_at e ~time:0.0 ~node:1;
+  Engine.schedule e ~time:1.0 (fun () -> Engine.send e ~src:0 ~dst:1 Ping);
+  Engine.run e;
+  let deliveries =
+    List.filter (fun (_, ev) -> match ev with `Msg _ -> true | _ -> false) !log
+  in
+  check_int "no deliveries to dead node" 0 (List.length deliveries)
+
+let test_engine_recover () =
+  let log = ref [] in
+  let e = Engine.create ~seed:6 ~nodes:2 (probe_handlers log) in
+  Engine.crash_at e ~time:0.0 ~node:1;
+  Engine.recover_at e ~time:5.0 ~node:1;
+  Engine.schedule e ~time:6.0 (fun () -> Engine.send e ~src:0 ~dst:1 Ping);
+  Engine.run e;
+  let deliveries =
+    List.filter (fun (_, ev) -> match ev with `Msg _ -> true | _ -> false) !log
+  in
+  (* ping delivered to 1, pong back to 0 *)
+  check_int "delivered after recovery" 2 (List.length deliveries)
+
+let test_engine_until () =
+  let log = ref [] in
+  let e = Engine.create ~seed:1 ~nodes:1 (probe_handlers log) in
+  Engine.set_timer e ~node:0 ~delay:1.0 ~tag:1;
+  Engine.set_timer e ~node:0 ~delay:10.0 ~tag:2;
+  Engine.run ~until:5.0 e;
+  check_int "only first timer" 1 (List.length !log);
+  Alcotest.(check (float 1e-9)) "clock clamped" 5.0 (Engine.now e)
+
+let test_engine_live_set () =
+  let log = ref [] in
+  let e = Engine.create ~seed:1 ~nodes:4 (probe_handlers log) in
+  Engine.crash_at e ~time:0.0 ~node:2;
+  Engine.run e;
+  let live = Engine.live_set e in
+  check "2 dead" false (Quorum.Bitset.mem live 2);
+  check_int "3 live" 3 (Quorum.Bitset.cardinal live)
+
+(* --- Failure injector ------------------------------------------------ *)
+
+let test_iid_faults_fraction () =
+  (* Measure the down-fraction of a node across a long horizon. *)
+  let log = ref [] in
+  let e = Engine.create ~seed:3 ~nodes:5 (probe_handlers log) in
+  Sim.Failure_injector.iid_faults e ~rng:(Rng.create 42) ~p:0.25
+    ~mean_downtime:2.0 ~horizon:5000.0;
+  (* Track downtime of node 0 through crash/recover events. *)
+  Engine.run e;
+  let events =
+    List.rev
+      (List.filter_map
+         (fun (t, ev) ->
+           match ev with
+           | `Crash 0 -> Some (t, `Down)
+           | `Recover 0 -> Some (t, `Up)
+           | _ -> None)
+         !log)
+  in
+  let rec downtime acc last_down = function
+    | [] -> (match last_down with Some t -> acc +. (5000.0 -. t) | None -> acc)
+    | (t, `Down) :: rest -> downtime acc (Some t) rest
+    | (t, `Up) :: rest ->
+        (match last_down with
+        | Some d -> downtime (acc +. (t -. d)) None rest
+        | None -> downtime acc None rest)
+  in
+  let frac = downtime 0.0 None events /. 5000.0 in
+  check "down fraction near p" true (abs_float (frac -. 0.25) < 0.06)
+
+let test_scripted () =
+  let log = ref [] in
+  let e = Engine.create ~seed:3 ~nodes:2 (probe_handlers log) in
+  Sim.Failure_injector.scripted e
+    [ (1.0, Sim.Failure_injector.Crash 0); (2.0, Sim.Failure_injector.Recover 0) ];
+  Engine.run e;
+  check_int "two events" 2 (List.length !log)
+
+let test_crash_random_subset () =
+  let log = ref [] in
+  let e = Engine.create ~seed:3 ~nodes:100 (probe_handlers log) in
+  Sim.Failure_injector.crash_random_subset e ~rng:(Rng.create 8) ~at:1.0
+    ~p:0.3;
+  Engine.run e;
+  let crashed = 100 - Quorum.Bitset.cardinal (Engine.live_set e) in
+  check "roughly 30 crashed" true (crashed > 15 && crashed < 45)
+
+(* --- Stats ----------------------------------------------------------- *)
+
+let test_stats () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 1.0; 2.0; 3.0; 4.0 ];
+  check_int "count" 4 (Stats.count s);
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Stats.mean s);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Stats.min_value s);
+  Alcotest.(check (float 1e-9)) "max" 4.0 (Stats.max_value s);
+  Alcotest.(check (float 1e-9)) "p50" 2.0 (Stats.percentile s 0.5);
+  Stats.incr s "x";
+  Stats.incr s "x";
+  check_int "counter" 2 (Stats.counter s "x");
+  check_int "missing counter" 0 (Stats.counter s "y")
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "heap",
+        [
+          Alcotest.test_case "order" `Quick test_heap_order;
+          Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+          QCheck_alcotest.to_alcotest heap_sorts;
+        ] );
+      ( "network",
+        [
+          Alcotest.test_case "latency" `Quick test_network_latency_positive;
+          Alcotest.test_case "loss" `Quick test_network_loss;
+          Alcotest.test_case "partition" `Quick test_network_partition;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "ping pong" `Quick test_engine_ping_pong;
+          Alcotest.test_case "determinism" `Quick test_engine_determinism;
+          Alcotest.test_case "crash drops" `Quick
+            test_engine_crash_drops_messages;
+          Alcotest.test_case "recover" `Quick test_engine_recover;
+          Alcotest.test_case "until" `Quick test_engine_until;
+          Alcotest.test_case "live set" `Quick test_engine_live_set;
+        ] );
+      ( "failure injector",
+        [
+          Alcotest.test_case "iid fraction" `Slow test_iid_faults_fraction;
+          Alcotest.test_case "scripted" `Quick test_scripted;
+          Alcotest.test_case "random subset" `Quick test_crash_random_subset;
+        ] );
+      ("stats", [ Alcotest.test_case "stats" `Quick test_stats ]);
+    ]
