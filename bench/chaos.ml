@@ -1,0 +1,52 @@
+(* Chaos harness comparison: every quorum system through every standard
+   fault scenario, for both protocols.  Violations and stale reads must
+   print as 0 everywhere — the scenarios stress liveness, never safety. *)
+
+module C = Protocols.Chaos
+
+let horizon () = if !Util.fast then 150.0 else 400.0
+
+(* n differs across systems (15 vs 16), so scenarios are built per
+   system: the partition group scales with n. *)
+let mutex_specs = [ "majority(15)"; "hgrid(4x4)"; "htgrid(4x4)"; "htriang(15)" ]
+
+let mutex_runs () =
+  Printf.printf "\n== chaos: mutual exclusion under fault scenarios ==\n";
+  Printf.printf "%s\n" (C.mutex_header ());
+  List.iter
+    (fun spec ->
+      let system = Core.Registry.build_exn spec in
+      List.iter
+        (fun scenario ->
+          let r = C.run_mutex ~seed:41 ~system scenario in
+          Printf.printf "%s\n" (C.mutex_row r))
+        (C.standard ~n:system.Quorum.System.n ~horizon:(horizon ())))
+    mutex_specs
+
+let store_runs () =
+  Printf.printf "\n== chaos: replicated store under fault scenarios ==\n";
+  Printf.printf "%s\n" (C.store_header ());
+  let pairs =
+    [
+      ("majority(15)", "majority(15)", "majority(15)");
+      ("hgrid-read(4x4)", "hgrid-write(4x4)", "hgrid-r/w(4x4)");
+      ("htgrid(4x4)", "htgrid(4x4)", "htgrid(4x4)");
+      ("htriang(15)", "htriang(15)", "htriang(15)");
+    ]
+  in
+  List.iter
+    (fun (rspec, wspec, name) ->
+      let read_system = Core.Registry.build_exn rspec in
+      let write_system = Core.Registry.build_exn wspec in
+      List.iter
+        (fun scenario ->
+          let r =
+            C.run_store ~seed:42 ~read_system ~write_system ~name scenario
+          in
+          Printf.printf "%s\n" (C.store_row r))
+        (C.standard ~n:read_system.Quorum.System.n ~horizon:(horizon ())))
+    pairs
+
+let run () =
+  mutex_runs ();
+  store_runs ()

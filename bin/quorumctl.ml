@@ -7,6 +7,7 @@
      quorums <spec>     list the minimal quorums
      pick <spec>        sample quorums with the selection strategy
      simulate <spec>    run the mutual-exclusion simulation
+     chaos <spec>       fault-scenario sweep (loss, partitions, churn...)
      list               the catalogue of system specs
 
    Specs are Registry specs, e.g. "htriang(15)", "htgrid(4x6)",
@@ -257,6 +258,80 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc)
     Term.(const run $ spec_arg $ requests_arg $ fault_arg)
 
+(* --- chaos ------------------------------------------------------------ *)
+
+let chaos_cmd =
+  let scenario_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "scenario" ]
+          ~doc:
+            "Run one scenario (baseline, loss+burst, partition, churn, gray) \
+             instead of all of them.")
+  in
+  let horizon_arg =
+    Arg.(
+      value & opt float 400.0
+      & info [ "horizon" ] ~doc:"Workload horizon in simulated time units.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 41
+      & info [ "seed" ] ~doc:"RNG seed (same seed = same run, exactly).")
+  in
+  let protocol_arg =
+    Arg.(
+      value
+      & opt (enum [ ("mutex", `Mutex); ("store", `Store) ]) `Mutex
+      & info [ "protocol" ] ~doc:"Protocol to stress: $(b,mutex) or $(b,store).")
+  in
+  let run spec scenario horizon seed protocol =
+    if horizon <= 0.0 then begin
+      Printf.eprintf "error: --horizon must be positive (got %g)\n" horizon;
+      exit 1
+    end;
+    with_system spec (fun system ->
+        let n = system.Quorum.System.n in
+        let scenarios =
+          match scenario with
+          | None -> Protocols.Chaos.standard ~n ~horizon
+          | Some label -> (
+              match Protocols.Chaos.scenario_of_label ~n ~horizon label with
+              | s -> [ s ]
+              | exception Invalid_argument msg ->
+                  Printf.eprintf "error: %s\n" msg;
+                  exit 1)
+        in
+        match protocol with
+        | `Mutex ->
+            Printf.printf "%s\n" (Protocols.Chaos.mutex_header ());
+            List.iter
+              (fun s ->
+                let r = Protocols.Chaos.run_mutex ~seed ~system s in
+                Printf.printf "%s\n" (Protocols.Chaos.mutex_row r))
+              scenarios
+        | `Store ->
+            Printf.printf "%s\n" (Protocols.Chaos.store_header ());
+            List.iter
+              (fun s ->
+                let r =
+                  Protocols.Chaos.run_store ~seed ~read_system:system
+                    ~write_system:system ~name:system.Quorum.System.name s
+                in
+                Printf.printf "%s\n" (Protocols.Chaos.store_row r))
+              scenarios)
+  in
+  let doc =
+    "Run the chaos harness (loss, bursts, partitions, churn, gray failures) \
+     against a quorum system."
+  in
+  Cmd.v
+    (Cmd.info "chaos" ~doc)
+    Term.(
+      const run $ spec_arg $ scenario_arg $ horizon_arg $ seed_arg
+      $ protocol_arg)
+
 (* --- nd --------------------------------------------------------------- *)
 
 let nd_cmd =
@@ -317,7 +392,7 @@ let () =
       (Cmd.info "quorumctl" ~version:"1.0" ~doc)
       [
         info_cmd; fp_cmd; load_cmd; quorums_cmd; pick_cmd; simulate_cmd;
-        nd_cmd; masking_cmd; list_cmd;
+        chaos_cmd; nd_cmd; masking_cmd; list_cmd;
       ]
   in
   exit (Cmd.eval' main)

@@ -1,0 +1,224 @@
+module Engine = Sim.Engine
+module Network = Sim.Network
+module Injector = Sim.Failure_injector
+module Rng = Quorum.Rng
+
+type plan = {
+  loss : float;
+  bursts : (float * float * float) list;
+  gray : (int * float * float * float) list;
+  partitions : (float * float * int list) list;
+  churn : (float * float) option;
+}
+
+let calm = { loss = 0.0; bursts = []; gray = []; partitions = []; churn = None }
+
+type scenario = { label : string; horizon : float; plan : plan }
+
+(* A minority group to cut off: small enough that the majority side
+   keeps quorums, so the interesting question is how fast the
+   protocols route around the cut. *)
+let minority n = List.init (max 1 (n / 4)) (fun i -> i)
+
+let standard ~n ~horizon =
+  let h = horizon in
+  [
+    { label = "baseline"; horizon = h; plan = calm };
+    {
+      label = "loss+burst";
+      horizon = h;
+      plan =
+        { calm with loss = 0.05; bursts = [ (0.3 *. h, 0.1 *. h, 0.30) ] };
+    };
+    {
+      label = "partition";
+      horizon = h;
+      plan =
+        {
+          calm with
+          loss = 0.05;
+          partitions = [ (0.25 *. h, 0.2 *. h, minority n) ];
+        };
+    };
+    {
+      label = "churn";
+      horizon = h;
+      plan = { calm with loss = 0.02; churn = Some (0.10, 0.05 *. h) };
+    };
+    {
+      label = "gray";
+      horizon = h;
+      plan =
+        {
+          calm with
+          loss = 0.02;
+          gray =
+            [ (0, 0.2 *. h, 0.25 *. h, 25.0); (1, 0.55 *. h, 0.2 *. h, 25.0) ];
+        };
+    };
+  ]
+
+let scenario_of_label ~n ~horizon label =
+  match
+    List.find_opt (fun s -> s.label = label) (standard ~n ~horizon)
+  with
+  | Some s -> s
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Chaos: unknown scenario %S (have: %s)" label
+           (String.concat ", "
+              (List.map (fun s -> s.label) (standard ~n ~horizon))))
+
+let apply engine ~rng scenario =
+  let p = scenario.plan in
+  List.iter
+    (fun (at, duration, loss) -> Injector.loss_burst engine ~at ~duration ~loss)
+    p.bursts;
+  List.iter
+    (fun (node, at, duration, slowdown) ->
+      Injector.gray_failure engine ~node ~at ~duration ~slowdown)
+    p.gray;
+  Injector.partition_schedule engine p.partitions;
+  match p.churn with
+  | Some (p_down, mean_downtime) ->
+      Injector.iid_faults engine ~rng ~p:p_down ~mean_downtime
+        ~horizon:scenario.horizon
+  | None -> ()
+
+(* --- Mutual exclusion under chaos ---------------------------------- *)
+
+type mutex_report = {
+  label : string;
+  system : string;
+  issued : int;
+  entries : int;
+  violations : int;
+  unavailable : int;
+  reselections : int;
+  abandoned : int;
+  dead_letters : int;
+  retransmissions : int;
+  mean_wait : float;
+  msgs_per_entry : float;
+  budget_hit : bool;
+}
+
+let run_mutex ?(seed = 7) ?(rate = 0.4) ?(cs_duration = 1.0)
+    ?(acquire_timeout = 80.0) ~system scenario =
+  let n = system.Quorum.System.n in
+  let rng = Rng.create seed in
+  let network = Network.create ~loss:scenario.plan.loss () in
+  let mx = Mutex.create ~system ~cs_duration ~acquire_timeout () in
+  let engine =
+    Engine.create ~seed:(seed + 1) ~nodes:n ~network (Mutex.handlers mx)
+  in
+  Mutex.bind mx engine;
+  apply engine ~rng scenario;
+  let issued =
+    Workload.poisson_ops engine ~rng ~rate ~horizon:scenario.horizon
+      (fun ~client -> Mutex.request mx ~node:client)
+  in
+  let outcome = Engine.run_status engine in
+  let entries = Mutex.entries mx in
+  let wait = Mutex.wait_stats mx in
+  {
+    label = scenario.label;
+    system = system.Quorum.System.name;
+    issued;
+    entries;
+    violations = Mutex.violations mx;
+    unavailable = Mutex.unavailable mx;
+    reselections = Mutex.reselections mx;
+    abandoned = Mutex.abandoned mx;
+    dead_letters = Mutex.dead_letters mx;
+    retransmissions = Mutex.retransmissions mx;
+    mean_wait = (if Sim.Stats.count wait = 0 then 0.0 else Sim.Stats.mean wait);
+    msgs_per_entry =
+      (if entries = 0 then 0.0
+       else float_of_int (Engine.messages_sent engine) /. float_of_int entries);
+    budget_hit = outcome = Engine.Budget_exhausted;
+  }
+
+(* --- Replicated store under chaos ---------------------------------- *)
+
+type store_report = {
+  label : string;
+  system : string;
+  issued : int;
+  reads_ok : int;
+  writes_ok : int;
+  unavailable : int;
+  timeouts : int;
+  retried : int;
+  stale_reads : int;
+  dead_letters : int;
+  retransmissions : int;
+  mean_latency : float;
+  budget_hit : bool;
+}
+
+let run_store ?(seed = 7) ?(rate = 2.0) ?(read_fraction = 0.7) ?(keys = 4)
+    ?(op_timeout = 25.0) ?(retries = 2) ~read_system ~write_system ~name
+    scenario =
+  let n = read_system.Quorum.System.n in
+  let rng = Rng.create seed in
+  let network = Network.create ~loss:scenario.plan.loss () in
+  let store =
+    Replicated_store.create ~retries ~read_system ~write_system
+      ~timeout:op_timeout ()
+  in
+  let engine =
+    Engine.create ~seed:(seed + 1) ~nodes:n ~network
+      (Replicated_store.handlers store)
+  in
+  Replicated_store.bind store engine;
+  apply engine ~rng scenario;
+  let issued =
+    Workload.read_write_mix engine ~rng ~rate ~horizon:scenario.horizon
+      ~read_fraction ~keys
+      ~read:(fun ~client ~key -> Replicated_store.read store ~client ~key)
+      ~write:(fun ~client ~key ~value ->
+        Replicated_store.write store ~client ~key ~value)
+  in
+  let outcome = Engine.run_status engine in
+  let lat = Replicated_store.latency store in
+  {
+    label = scenario.label;
+    system = name;
+    issued;
+    reads_ok = Replicated_store.reads_ok store;
+    writes_ok = Replicated_store.writes_ok store;
+    unavailable = Replicated_store.unavailable store;
+    timeouts = Replicated_store.timeouts store;
+    retried = Replicated_store.retried store;
+    stale_reads = Replicated_store.stale_reads store;
+    dead_letters = Replicated_store.dead_letters store;
+    retransmissions = Replicated_store.retransmissions store;
+    mean_latency = (if Sim.Stats.count lat = 0 then 0.0 else Sim.Stats.mean lat);
+    budget_hit = outcome = Engine.Budget_exhausted;
+  }
+
+(* --- Rendering ------------------------------------------------------ *)
+
+let mutex_header () =
+  Printf.sprintf "%-11s %-14s %6s %6s %4s %6s %6s %5s %5s %6s %8s %9s" "scenario"
+    "system" "issued" "entry" "viol" "unavl" "resel" "aband" "dead" "rexmt"
+    "wait" "msgs/ent"
+
+let mutex_row (r : mutex_report) =
+  Printf.sprintf "%-11s %-14s %6d %6d %4d %6d %6d %5d %5d %6d %8.2f %9.1f%s"
+    r.label r.system r.issued r.entries r.violations r.unavailable
+    r.reselections r.abandoned r.dead_letters r.retransmissions r.mean_wait
+    r.msgs_per_entry
+    (if r.budget_hit then "  [budget!]" else "")
+
+let store_header () =
+  Printf.sprintf "%-11s %-14s %6s %6s %6s %6s %5s %5s %5s %5s %6s %8s" "scenario"
+    "system" "issued" "reads" "writes" "unavl" "tmout" "retry" "stale" "dead"
+    "rexmt" "latency"
+
+let store_row (r : store_report) =
+  Printf.sprintf "%-11s %-14s %6d %6d %6d %6d %5d %5d %5d %5d %6d %8.2f%s"
+    r.label r.system r.issued r.reads_ok r.writes_ok r.unavailable r.timeouts
+    r.retried r.stale_reads r.dead_letters r.retransmissions r.mean_latency
+    (if r.budget_hit then "  [budget!]" else "")

@@ -1,0 +1,111 @@
+(** Chaos harness: run the quorum protocols through reproducible fault
+    scenarios and report protocol health.
+
+    A {!scenario} bundles a simulation horizon with a {!plan} — base
+    iid loss, loss bursts, gray failures (latency inflation), scheduled
+    partitions and crash/recovery churn.  {!standard} builds the
+    canonical scenario set used by [bench chaos], [quorumctl chaos] and
+    the chaos-smoke tests; everything is parameterized by the seed, so
+    a reported run is replayed exactly by re-running with the same seed
+    and scenario.
+
+    Safety counters ({!mutex_report.violations},
+    {!store_report.stale_reads}) must stay 0 in every scenario — the
+    fault plans may cost throughput and latency, never correctness. *)
+
+type plan = {
+  loss : float;  (** base iid message-drop probability *)
+  bursts : (float * float * float) list;
+      (** (at, duration, extra_loss) transient loss bursts *)
+  gray : (int * float * float * float) list;
+      (** (node, at, duration, slowdown) gray-failure windows *)
+  partitions : (float * float * int list) list;
+      (** (at, duration, group_a) network cuts, healed independently *)
+  churn : (float * float) option;
+      (** (p, mean_downtime) iid crash/recovery churn, see
+          {!Sim.Failure_injector.iid_faults} *)
+}
+
+val calm : plan
+(** No faults at all; the baseline. *)
+
+type scenario = { label : string; horizon : float; plan : plan }
+
+val standard : n:int -> horizon:float -> scenario list
+(** The canonical five: [baseline], [loss+burst] (5% iid + a 30%
+    burst), [partition] (5% iid + a transient minority cut), [churn]
+    (nodes down 10% of the time), [gray] (two slow-node windows). *)
+
+val scenario_of_label : n:int -> horizon:float -> string -> scenario
+(** Look a standard scenario up by label; raises [Invalid_argument]
+    listing the valid labels on a miss. *)
+
+val apply : 'msg Sim.Engine.t -> rng:Quorum.Rng.t -> scenario -> unit
+(** Install the scenario's fault plan on a freshly built engine (base
+    [loss] is {e not} applied — pass it to [Network.create]). *)
+
+type mutex_report = {
+  label : string;
+  system : string;
+  issued : int;
+  entries : int;
+  violations : int;  (** must be 0 *)
+  unavailable : int;
+  reselections : int;
+  abandoned : int;
+  dead_letters : int;
+  retransmissions : int;
+  mean_wait : float;
+  msgs_per_entry : float;  (** foreground messages only *)
+  budget_hit : bool;  (** event budget exhausted — run truncated *)
+}
+
+val run_mutex :
+  ?seed:int ->
+  ?rate:float ->
+  ?cs_duration:float ->
+  ?acquire_timeout:float ->
+  system:Quorum.System.t ->
+  scenario ->
+  mutex_report
+(** One seeded mutex run under the scenario: Poisson acquisition
+    requests at [rate] per time unit over the horizon, then drain. *)
+
+type store_report = {
+  label : string;
+  system : string;
+  issued : int;
+  reads_ok : int;
+  writes_ok : int;
+  unavailable : int;
+  timeouts : int;
+  retried : int;
+  stale_reads : int;  (** must be 0 *)
+  dead_letters : int;
+  retransmissions : int;
+  mean_latency : float;
+  budget_hit : bool;
+}
+
+val run_store :
+  ?seed:int ->
+  ?rate:float ->
+  ?read_fraction:float ->
+  ?keys:int ->
+  ?op_timeout:float ->
+  ?retries:int ->
+  read_system:Quorum.System.t ->
+  write_system:Quorum.System.t ->
+  name:string ->
+  scenario ->
+  store_report
+(** One seeded replicated-store run: a read/write mix at [rate] ops
+    per time unit; [name] labels the (read, write) system pair in the
+    report. *)
+
+val mutex_header : unit -> string
+val mutex_row : mutex_report -> string
+val store_header : unit -> string
+val store_row : store_report -> string
+(** Fixed-width table rendering shared by the bench target and the
+    [quorumctl chaos] subcommand. *)

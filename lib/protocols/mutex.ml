@@ -1,4 +1,6 @@
 module Engine = Sim.Engine
+module Rpc = Sim.Rpc
+module Failure_detector = Sim.Failure_detector
 module Bitset = Quorum.Bitset
 
 (* Requests are totally ordered by (timestamp, client); smaller wins. *)
@@ -6,13 +8,29 @@ type req = { ts : int; client : int }
 
 let priority a b = compare (a.ts, a.client) (b.ts, b.client)
 
-type msg =
+(* Grant / Inquire / Failed carry the request they refer to: with
+   retransmissions and quorum re-selection in play, a client may have
+   moved on to a newer request by the time a message for an old one
+   lands, and must be able to tell them apart. *)
+type app =
   | Request of req
-  | Grant
-  | Inquire
+  | Grant of req
+  | Inquire of req  (** the currently granted request, asked to yield *)
   | Yield of req
-  | Failed
+  | Failed of req
   | Release of req
+  | Alive of { ts : int }
+      (** recovery announcement: the sender lost its volatile client
+          state; grants and queue entries for its requests with
+          timestamps [<= ts] are void. *)
+
+type msg = Beat | App of app Rpc.msg
+
+(* Timer tags: [-1] heartbeats, [<= -2] rpc retransmissions,
+   [ts] critical-section exit, [ts + wd_offset] the waiting watchdog,
+   [probe_tag] the arbiter's stale-grant probe. *)
+let wd_offset = 0x2000_0000
+let probe_tag = 0x4000_0000
 
 type waiting = {
   req : req;
@@ -31,45 +49,83 @@ type client_phase =
 type arbiter = {
   mutable granted_to : req option;
   mutable inquired : bool;  (** an INQUIRE to the current grantee is in flight *)
+  mutable probe_req : req option;
+      (** grant seen at the last probe tick: the same grant two ticks
+          in a row draws a probing INQUIRE (stale-grant recovery) *)
   mutable queue : req list;  (** pending requests, sorted by priority *)
+  tombstones : (int * int, unit) Hashtbl.t;
+      (** (ts, client) of releases that overtook their request *)
+  alive_floor : int array;
+      (** per client: highest Alive watermark seen; requests at or
+          below it are from a previous incarnation and are dropped *)
 }
 
 type t = {
   system : Quorum.System.t;
   capacity : int;
   cs_duration : float;
+  acquire_timeout : float;
+  rpc : (app, msg) Rpc.t;
+  fd : msg Failure_detector.t;
   mutable engine : msg Engine.t option;
   mutable clock : int;  (** request timestamp source *)
   clients : client_phase array;
   pending : int array;  (** requests queued while the node was busy *)
   arbiters : arbiter array;
+  probe_due : float array;
+      (** fire time of each node's one legitimate probe chain (stale
+          chains left over from crash/recovery races are dropped) *)
   mutable in_cs_count : int;
   mutable max_concurrency : int;
   mutable entries : int;
   mutable violations : int;
   mutable unavailable : int;
+  mutable reselections : int;
+  mutable abandoned : int;
   wait_stats : Sim.Stats.t;
 }
 
-let create ?(capacity = 1) ~system ~cs_duration () =
+let create ?(capacity = 1) ?(acquire_timeout = 1000.0) ?(rpc_timeout = 4.0)
+    ?(rpc_backoff = 1.6) ?(rpc_attempts = 6) ?(fd_period = 1.0)
+    ?(fd_timeout = 5.0) ~system ~cs_duration () =
   if capacity < 1 then invalid_arg "Mutex.create: capacity >= 1";
+  if acquire_timeout <= 0.0 then invalid_arg "Mutex.create: acquire_timeout";
   let n = system.Quorum.System.n in
   {
     system;
     capacity;
     cs_duration;
+    acquire_timeout;
+    rpc =
+      Rpc.create ~timeout:rpc_timeout ~backoff:rpc_backoff
+        ~max_attempts:rpc_attempts
+        ~wrap:(fun m -> App m)
+        ();
+    fd =
+      Failure_detector.create ~period:fd_period ~timeout:fd_timeout ~nodes:n
+        ~beat:Beat ();
     engine = None;
     clock = 0;
     clients = Array.make n Idle;
     pending = Array.make n 0;
     arbiters =
       Array.init n (fun _ ->
-          { granted_to = None; inquired = false; queue = [] });
+          {
+            granted_to = None;
+            inquired = false;
+            probe_req = None;
+            queue = [];
+            tombstones = Hashtbl.create 8;
+            alive_floor = Array.make n 0;
+          });
+    probe_due = Array.make n infinity;
     in_cs_count = 0;
     max_concurrency = 0;
     entries = 0;
     violations = 0;
     unavailable = 0;
+    reselections = 0;
+    abandoned = 0;
     wait_stats = Sim.Stats.create ();
   }
 
@@ -78,16 +134,17 @@ let engine_exn t =
   | Some e -> e
   | None -> invalid_arg "Mutex: bind the engine first"
 
-let bind t engine =
-  if Engine.nodes engine <> t.system.Quorum.System.n then
-    invalid_arg "Mutex.bind: engine size mismatch";
-  t.engine <- Some engine
-
 let entries t = t.entries
 let violations t = t.violations
 let max_concurrency t = t.max_concurrency
 let unavailable t = t.unavailable
+let reselections t = t.reselections
+let abandoned t = t.abandoned
 let wait_stats t = t.wait_stats
+let dead_letters t = Rpc.dead_letters t.rpc
+let retransmissions t = Rpc.retransmissions t.rpc
+
+let rsend t ~src ~dst m = Rpc.send t.rpc ~src ~dst m
 
 let insert_sorted req queue =
   let rec go = function
@@ -99,58 +156,109 @@ let insert_sorted req queue =
 
 (* --- Arbiter side ------------------------------------------------- *)
 
-let arbiter_grant engine ~arbiter_id a req =
+let arbiter_grant t ~arbiter_id a req =
   a.granted_to <- Some req;
   a.inquired <- false;
-  Engine.send engine ~src:arbiter_id ~dst:req.client Grant
+  rsend t ~src:arbiter_id ~dst:req.client (Grant req)
 
-let arbiter_on_request t engine ~node:j req =
+let arbiter_on_request t ~node:j req =
   let a = t.arbiters.(j) in
-  match a.granted_to with
-  | None -> arbiter_grant engine ~arbiter_id:j a req
-  | Some current ->
-      a.queue <- insert_sorted req a.queue;
-      if priority req current < 0 then begin
-        (* The newcomer outranks the grant: ask the grantee to yield
-           (at most one outstanding inquire). *)
-        if not a.inquired then begin
-          a.inquired <- true;
-          Engine.send engine ~src:j ~dst:current.client Inquire
+  if req.ts <= a.alive_floor.(req.client) then
+    (* A pre-crash request from a client that has since announced
+       recovery: its grants would never be used. *)
+    ()
+  else if Hashtbl.mem a.tombstones (req.ts, req.client) then
+    (* Its Release overtook it (no delivery-order guarantee). *)
+    Hashtbl.remove a.tombstones (req.ts, req.client)
+  else
+    match a.granted_to with
+    | None -> arbiter_grant t ~arbiter_id:j a req
+    | Some current ->
+        a.queue <- insert_sorted req a.queue;
+        if priority req current < 0 then begin
+          (* The newcomer outranks the grant: ask the grantee to yield
+             (at most one outstanding inquire). *)
+          if not a.inquired then begin
+            a.inquired <- true;
+            rsend t ~src:j ~dst:current.client (Inquire current)
+          end
         end
-      end
-      else Engine.send engine ~src:j ~dst:req.client Failed
+        else rsend t ~src:j ~dst:req.client (Failed req)
 
-let arbiter_next engine ~node:j a =
+let arbiter_next t ~node:j a =
   match a.queue with
   | [] -> a.granted_to <- None
   | best :: rest ->
       a.queue <- rest;
-      arbiter_grant engine ~arbiter_id:j a best;
+      arbiter_grant t ~arbiter_id:j a best;
       (* Everyone left behind is now outranked by the new grantee and
          must learn it cannot currently win, or a waiting client that
          was never FAILED would sit on an INQUIRE forever (deadlock). *)
-      List.iter
-        (fun r -> Engine.send engine ~src:j ~dst:r.client Failed)
-        rest
+      List.iter (fun r -> rsend t ~src:j ~dst:r.client (Failed r)) rest
 
-let arbiter_on_release t engine ~node:j req =
+let arbiter_on_release t ~node:j req =
   let a = t.arbiters.(j) in
-  (match a.granted_to with
+  match a.granted_to with
   | Some current when priority current req = 0 ->
       a.inquired <- false;
-      arbiter_next engine ~node:j a
+      arbiter_next t ~node:j a
   | Some _ | None ->
-      (* Stale release (e.g. re-delivery after yield): drop the request
-         from the queue if it is still there. *)
-      a.queue <- List.filter (fun r -> priority r req <> 0) a.queue)
+      (* Stale release (e.g. after yield, or an aborted attempt): drop
+         the request from the queue if it is still there; if it has not
+         even arrived yet, tombstone it. *)
+      let len = List.length a.queue in
+      a.queue <- List.filter (fun r -> priority r req <> 0) a.queue;
+      if List.length a.queue = len then
+        Hashtbl.replace a.tombstones (req.ts, req.client) ()
 
-let arbiter_on_yield t engine ~node:j req =
+let arbiter_on_yield t ~node:j req =
   let a = t.arbiters.(j) in
   match a.granted_to with
   | Some current when priority current req = 0 ->
       a.inquired <- false;
       a.queue <- insert_sorted req a.queue;
-      arbiter_next engine ~node:j a
+      arbiter_next t ~node:j a
+  | Some _ | None -> ()
+
+(* The stale-grant probe.  A Release can be dead-lettered (its sender
+   unreachable long enough for the rpc layer to give up), leaving the
+   arbiter granted to a request its client has abandoned — and every
+   later request queued behind it, forever.  Each arbiter therefore
+   runs a background probe chain: a grant still held after two
+   consecutive ticks draws an INQUIRE.  A legitimately slow grantee
+   answers as usual (yield only if it cannot currently win); a client
+   that has moved past the request answers RELEASE, unsticking the
+   arbiter.  Background, so probes never keep an otherwise-drained
+   simulation alive. *)
+let schedule_probe t engine ~node =
+  let delay = Failure_detector.timeout t.fd in
+  t.probe_due.(node) <- Engine.now engine +. delay;
+  Engine.set_timer engine ~background:true ~node ~delay ~tag:probe_tag
+
+let arbiter_probe t ~node =
+  let engine = engine_exn t in
+  (* Only the chain matching [probe_due] survives; duplicates left over
+     from crash/recovery races die here. *)
+  if Float.abs (Engine.now engine -. t.probe_due.(node)) <= 1e-6 then begin
+    let a = t.arbiters.(node) in
+    (match (a.granted_to, a.probe_req) with
+    | Some r, Some p when priority r p = 0 ->
+        rsend t ~src:node ~dst:r.client (Inquire r)
+    | _ -> ());
+    a.probe_req <- a.granted_to;
+    schedule_probe t engine ~node
+  end
+
+let arbiter_on_alive t ~node:j ~client ~ts =
+  let a = t.arbiters.(j) in
+  if ts > a.alive_floor.(client) then a.alive_floor.(client) <- ts;
+  a.queue <-
+    List.filter (fun r -> not (r.client = client && r.ts <= ts)) a.queue;
+  match a.granted_to with
+  | Some r when r.client = client && r.ts <= ts ->
+      (* The grantee lost its state: the grant is void. *)
+      a.inquired <- false;
+      arbiter_next t ~node:j a
   | Some _ | None -> ()
 
 (* --- Client side -------------------------------------------------- *)
@@ -166,7 +274,7 @@ let enter_cs t engine ~node w_req w_quorum started =
   (* Leave after cs_duration: encoded as a timer tagged by ts. *)
   Engine.set_timer engine ~node ~delay:t.cs_duration ~tag:w_req.ts
 
-let client_answer_inquires engine ~node w =
+let client_answer_inquires t ~node w =
   (* Only yield when this request cannot currently win.  An INQUIRE can
      overtake the GRANT it refers to; such inquires stay pending until
      the grant lands. *)
@@ -176,7 +284,7 @@ let client_answer_inquires engine ~node w =
         (fun j ->
           if Bitset.mem w.grants j then begin
             Bitset.remove w.grants j;
-            Engine.send engine ~src:node ~dst:j (Yield w.req);
+            rsend t ~src:node ~dst:j (Yield w.req);
             false
           end
           else true)
@@ -185,44 +293,86 @@ let client_answer_inquires engine ~node w =
     w.pending_inquires <- still_pending
   end
 
-let client_on_grant t engine ~node ~src =
+let client_on_grant t ~node ~src req =
   match t.clients.(node) with
-  | Waiting w ->
+  | Waiting w when priority w.req req = 0 ->
       Bitset.add w.grants src;
-      let all =
-        List.for_all (fun j -> Bitset.mem w.grants j) w.quorum
-      in
-      if all then enter_cs t engine ~node w.req w.quorum w.started
+      let all = List.for_all (fun j -> Bitset.mem w.grants j) w.quorum in
+      if all then
+        enter_cs t (engine_exn t) ~node w.req w.quorum w.started
       else
         (* A pending inquire may have been waiting for this grant. *)
-        client_answer_inquires engine ~node w
-  | Idle | In_cs _ -> ()
-
-let client_on_inquire t engine ~node ~src =
-  match t.clients.(node) with
-  | Waiting w ->
-      if not (List.mem src w.pending_inquires) then
-        w.pending_inquires <- src :: w.pending_inquires;
-      client_answer_inquires engine ~node w
-  | In_cs _ | Idle ->
-      (* Already inside (the release will free the arbiter) or stale. *)
+        client_answer_inquires t ~node w
+  | Waiting _ | Idle | In_cs _ ->
+      (* A grant for an attempt we already abandoned; the Release we
+         sent when abandoning it frees the arbiter. *)
       ()
 
-let client_on_failed t engine ~node =
+let client_on_inquire t ~node ~src req =
   match t.clients.(node) with
-  | Waiting w ->
+  | Waiting w when priority w.req req = 0 ->
+      if not (List.mem src w.pending_inquires) then
+        w.pending_inquires <- src :: w.pending_inquires;
+      client_answer_inquires t ~node w
+  | In_cs { req = r; _ } when priority r req = 0 ->
+      (* Inside on this very request: the release comes at exit. *)
+      ()
+  | Waiting _ | In_cs _ | Idle ->
+      (* An inquire about a request that is no longer active here
+         (abandoned, yielded long ago, or pre-crash).  We will never
+         use a grant for it, so the safe answer is RELEASE — this is
+         what lets an arbiter's probe reclaim a stuck grant whose
+         original release was dead-lettered. *)
+      rsend t ~src:node ~dst:src (Release req)
+
+let client_on_failed t ~node req =
+  match t.clients.(node) with
+  | Waiting w when priority w.req req = 0 ->
       w.got_failed <- true;
-      client_answer_inquires engine ~node w
-  | Idle | In_cs _ -> ()
+      client_answer_inquires t ~node w
+  | Waiting _ | Idle | In_cs _ -> ()
 
-let exit_cs t engine ~node req quorum =
+let release_quorum t ~node req quorum =
+  List.iter (fun j -> rsend t ~src:node ~dst:j (Release req)) quorum
+
+(* Issue a fresh request from [node], choosing the quorum among the
+   nodes its failure detector currently trusts. *)
+let rec issue_request t ~node =
+  let engine = engine_exn t in
+  let view = Failure_detector.view t.fd ~node in
+  match t.system.Quorum.System.select (Engine.rng engine) ~live:view with
+  | None ->
+      t.unavailable <- t.unavailable + 1;
+      t.clients.(node) <- Idle
+  | Some quorum_set ->
+      t.clock <- t.clock + 1;
+      let req = { ts = t.clock; client = node } in
+      let quorum = Bitset.to_list quorum_set in
+      t.clients.(node) <-
+        Waiting
+          {
+            req;
+            quorum;
+            grants = Bitset.create (Array.length t.clients);
+            got_failed = false;
+            pending_inquires = [];
+            started = Engine.now engine;
+          };
+      List.iter (fun j -> rsend t ~src:node ~dst:j (Request req)) quorum;
+      Engine.set_timer engine ~node
+        ~delay:(Failure_detector.timeout t.fd)
+        ~tag:(req.ts + wd_offset)
+
+(* Abandon the current attempt (releasing any grants collected and any
+   queue positions held) and, if [retry], immediately re-select an
+   alternate quorum that avoids the nodes now suspected. *)
+and abort_attempt t ~node w ~retry =
+  release_quorum t ~node w.req w.quorum;
   t.clients.(node) <- Idle;
-  t.in_cs_count <- t.in_cs_count - 1;
-  List.iter
-    (fun j -> Engine.send engine ~src:node ~dst:j (Release req))
-    quorum
-
-(* --- Wiring ------------------------------------------------------- *)
+  if retry then begin
+    t.reselections <- t.reselections + 1;
+    issue_request t ~node
+  end
 
 let request t ~node =
   let engine = engine_exn t in
@@ -232,27 +382,76 @@ let request t ~node =
         (* One outstanding request per node: queue and reissue after
            the current critical section completes. *)
         t.pending.(node) <- t.pending.(node) + 1
-    | Idle ->
-        let live = Engine.live_set engine in
-        (match t.system.Quorum.System.select (Engine.rng engine) ~live with
-        | None -> t.unavailable <- t.unavailable + 1
-        | Some quorum_set ->
-            t.clock <- t.clock + 1;
-            let req = { ts = t.clock; client = node } in
-            let quorum = Bitset.to_list quorum_set in
-            t.clients.(node) <-
-              Waiting
-                {
-                  req;
-                  quorum;
-                  grants = Bitset.create (Array.length t.clients);
-                  got_failed = false;
-                  pending_inquires = [];
-                  started = Engine.now engine;
-                };
-            List.iter
-              (fun j -> Engine.send engine ~src:node ~dst:j (Request req))
-              quorum)
+    | Idle -> issue_request t ~node
+
+let drain_pending t ~node =
+  if t.pending.(node) > 0 then begin
+    t.pending.(node) <- t.pending.(node) - 1;
+    request t ~node
+  end
+
+(* The waiting watchdog: fires every failure-detector timeout while a
+   request is outstanding.  If a quorum member that has not granted yet
+   has become suspect, the attempt cannot complete — re-select around
+   it.  Attempts older than [acquire_timeout] are abandoned outright. *)
+let client_watchdog t ~node ~ts =
+  match t.clients.(node) with
+  | Waiting w when w.req.ts = ts ->
+      let engine = engine_exn t in
+      if Engine.now engine -. w.started >= t.acquire_timeout then begin
+        t.abandoned <- t.abandoned + 1;
+        abort_attempt t ~node w ~retry:false;
+        drain_pending t ~node
+      end
+      else begin
+        let blocked =
+          List.exists
+            (fun j ->
+              (not (Bitset.mem w.grants j))
+              && Failure_detector.suspects t.fd ~node j)
+            w.quorum
+        in
+        if blocked then abort_attempt t ~node w ~retry:true
+        else
+          Engine.set_timer engine ~node
+            ~delay:(Failure_detector.timeout t.fd)
+            ~tag:(ts + wd_offset)
+      end
+  | Waiting _ | Idle | In_cs _ -> ()
+
+let exit_cs t ~node req quorum =
+  t.clients.(node) <- Idle;
+  t.in_cs_count <- t.in_cs_count - 1;
+  release_quorum t ~node req quorum
+
+let on_dead_letter t ~src ~dst payload =
+  (* The rpc layer gave up on [dst].  Only an unanswered Request can
+     strand the sender: abandon that attempt and re-select around the
+     unreachable member.  Grants and releases to unreachable peers are
+     left to recovery announcements / acquire timeouts. *)
+  match payload with
+  | Request req -> (
+      match t.clients.(src) with
+      | Waiting w
+        when priority w.req req = 0 && (not (Bitset.mem w.grants dst)) ->
+          abort_attempt t ~node:src w ~retry:true
+      | Waiting _ | Idle | In_cs _ -> ())
+  | Grant _ | Inquire _ | Yield _ | Failed _ | Release _ | Alive _ -> ()
+
+(* --- Wiring ------------------------------------------------------- *)
+
+let bind t engine =
+  if Engine.nodes engine <> t.system.Quorum.System.n then
+    invalid_arg "Mutex.bind: engine size mismatch";
+  t.engine <- Some engine;
+  Rpc.bind t.rpc engine;
+  Rpc.set_dead_letter_handler t.rpc (fun ~src ~dst payload ->
+      on_dead_letter t ~src ~dst payload);
+  Failure_detector.bind t.fd engine;
+  Failure_detector.start t.fd;
+  for node = 0 to t.system.Quorum.System.n - 1 do
+    schedule_probe t engine ~node
+  done
 
 let debug_dump t =
   let buf = Buffer.create 256 in
@@ -285,27 +484,61 @@ let debug_dump t =
     t.arbiters;
   Buffer.contents buf
 
+let dispatch_app t ~node ~src = function
+  | Request req -> arbiter_on_request t ~node req
+  | Grant req -> client_on_grant t ~node ~src req
+  | Inquire req -> client_on_inquire t ~node ~src req
+  | Yield req -> arbiter_on_yield t ~node req
+  | Failed req -> client_on_failed t ~node req
+  | Release req -> arbiter_on_release t ~node req
+  | Alive { ts } -> arbiter_on_alive t ~node ~client:src ~ts
+
 let handlers t : msg Engine.handlers =
   {
     on_message =
-      (fun engine ~node ~src msg ->
+      (fun _engine ~node ~src msg ->
         match msg with
-        | Request req -> arbiter_on_request t engine ~node req
-        | Grant -> client_on_grant t engine ~node ~src
-        | Inquire -> client_on_inquire t engine ~node ~src
-        | Yield req -> arbiter_on_yield t engine ~node req
-        | Failed -> client_on_failed t engine ~node
-        | Release req -> arbiter_on_release t engine ~node req);
+        | Beat -> Failure_detector.heard t.fd ~node ~from:src
+        | App envelope ->
+            Rpc.on_message t.rpc ~node ~src envelope
+              ~deliver:(fun ~src payload -> dispatch_app t ~node ~src payload));
     on_timer =
-      (fun engine ~node ~tag ->
-        match t.clients.(node) with
-        | In_cs { req; quorum } when req.ts = tag ->
-            exit_cs t engine ~node req quorum;
-            if t.pending.(node) > 0 then begin
-              t.pending.(node) <- t.pending.(node) - 1;
-              request t ~node
-            end
-        | In_cs _ | Waiting _ | Idle -> ());
-    on_crash = (fun _ ~node:_ -> ());
-    on_recover = (fun _ ~node:_ -> ());
+      (fun _engine ~node ~tag ->
+        if Failure_detector.on_timer t.fd ~node ~tag then ()
+        else if Rpc.on_timer t.rpc ~node ~tag then ()
+        else if tag = probe_tag then arbiter_probe t ~node
+        else if tag >= wd_offset then
+          client_watchdog t ~node ~ts:(tag - wd_offset)
+        else
+          match t.clients.(node) with
+          | In_cs { req; quorum } when req.ts = tag ->
+              exit_cs t ~node req quorum;
+              drain_pending t ~node
+          | In_cs _ | Waiting _ | Idle -> ());
+    on_crash =
+      (fun _engine ~node ->
+        (* Volatile client state is lost; arbiter state (grants given)
+           survives on stable storage.  The node's unacked sends die
+           with it. *)
+        Rpc.on_crash t.rpc ~node;
+        (match t.clients.(node) with
+        | In_cs _ -> t.in_cs_count <- t.in_cs_count - 1
+        | Waiting _ | Idle -> ());
+        t.clients.(node) <- Idle;
+        t.pending.(node) <- 0);
+    on_recover =
+      (fun engine ~node ->
+        Failure_detector.on_recover t.fd ~node;
+        (* Crash dropped the node's timers: restart its probe chain
+           (the due-time check retires any duplicate survivors). *)
+        schedule_probe t engine ~node;
+        (* Announce the recovery: any grant or queued request of ours
+           with an older timestamp is void (we lost the state that
+           could have used it).  Reliable, to every arbiter. *)
+        t.clock <- t.clock + 1;
+        let ts = t.clock in
+        for j = 0 to Array.length t.clients - 1 do
+          if j = node then arbiter_on_alive t ~node:j ~client:node ~ts
+          else rsend t ~src:node ~dst:j (Alive { ts })
+        done);
   }

@@ -11,18 +11,41 @@
 
     Every node is simultaneously a {e client} (it may request the
     critical section) and an {e arbiter} (it grants its permission to
-    one client at a time).  Quorums are chosen by the system's
-    selection strategy against the currently live nodes.
+    one client at a time).
+
+    {2 Resilience}
+
+    All protocol traffic rides {!Sim.Rpc} (ack + bounded retransmission
+    with backoff), so the protocol runs correctly over lossy networks —
+    no zero-loss assumption.  Quorums are selected from the node's
+    {!Sim.Failure_detector} view (suspected-live nodes), not the
+    engine's omniscient live-set; while an acquisition is outstanding a
+    watchdog re-selects an alternate quorum when an ungranted member
+    becomes suspect ({!reselections}) and abandons the attempt outright
+    after [acquire_timeout] ({!abandoned}).
+
+    Safety never depends on the failure detector being right: arbiters
+    ignore suspicion entirely and release a grant only on RELEASE,
+    YIELD, or an [Alive] recovery announcement from the grantee itself
+    (clients lose their volatile state on crash; arbiter grant state is
+    stable).  A false suspicion can therefore cost liveness (an extra
+    re-selection) but never a safety violation.
+
+    Liveness survives dead-lettered releases too: a RELEASE whose
+    sender was unreachable long enough for the rpc layer to give up
+    would otherwise leave the arbiter granted to an abandoned request
+    forever.  Each arbiter runs a background {e stale-grant probe}: a
+    grant still held after two consecutive probe ticks draws an
+    INQUIRE, and a client inquired about a request that is no longer
+    its active one answers RELEASE (it can never use that grant), so
+    stuck grants are reclaimed once connectivity returns.
 
     Safety (at most [capacity] nodes in the critical section) is
-    asserted at runtime and surfaced through {!violations}.  The
-    protocol assumes reliable delivery between live nodes (no
-    retransmission layer): run it over a {!Sim.Network.t} with zero
-    loss; crashes are tolerated by live-aware quorum selection.
+    asserted at runtime and surfaced through {!violations}.
 
     Usage:
     {[
-      let mx = Mutex.create ~system ~cs_duration:1.0 in
+      let mx = Mutex.create ~system ~cs_duration:1.0 () in
       let engine = Engine.create ~seed ~nodes:system.n (Mutex.handlers mx) in
       Mutex.bind mx engine;
       Engine.schedule engine ~time:3.0 (fun () -> Mutex.request mx ~node:2);
@@ -33,20 +56,39 @@ type t
 type msg
 
 val create :
-  ?capacity:int -> system:Quorum.System.t -> cs_duration:float -> unit -> t
+  ?capacity:int ->
+  ?acquire_timeout:float ->
+  ?rpc_timeout:float ->
+  ?rpc_backoff:float ->
+  ?rpc_attempts:int ->
+  ?fd_period:float ->
+  ?fd_timeout:float ->
+  system:Quorum.System.t ->
+  cs_duration:float ->
+  unit ->
+  t
 (** [capacity] (default 1) is the number of simultaneous critical
     sections the system is supposed to allow: 1 for a coterie, [k] for
-    a k-coterie (see [Systems.K_coterie]). *)
+    a k-coterie (see [Systems.K_coterie]).
+
+    [acquire_timeout] (default 1000.) bounds how long a node keeps
+    retrying an acquisition (across quorum re-selections) before
+    abandoning it.  [rpc_timeout] / [rpc_backoff] / [rpc_attempts]
+    configure the reliable-delivery layer (see {!Sim.Rpc.create});
+    [rpc_timeout] defaults to 4.0 here — comfortably above the default
+    network round-trip, so retransmissions mean actual loss;
+    [fd_period] / [fd_timeout] the failure detector (see
+    {!Sim.Failure_detector.create}). *)
 
 val handlers : t -> msg Sim.Engine.handlers
 
 val bind : t -> msg Sim.Engine.t -> unit
 (** Must be called once, before the first request; the engine's node
-    count must equal [system.n]. *)
+    count must equal [system.n].  Starts the heartbeat traffic. *)
 
 val request : t -> node:int -> unit
-(** Ask [node] to acquire the critical section now (no-op if it is
-    already waiting, inside, or dead). *)
+(** Ask [node] to acquire the critical section now (queued if it is
+    already waiting or inside; no-op if it is dead). *)
 
 val entries : t -> int
 (** Completed critical-section entries. *)
@@ -60,7 +102,21 @@ val max_concurrency : t -> int
     k-coterie under contention this should reach [k]. *)
 
 val unavailable : t -> int
-(** Requests abandoned because no quorum was live at selection time. *)
+(** Requests dropped because the node's live-view contained no quorum
+    at selection time. *)
+
+val reselections : t -> int
+(** Attempts re-issued on an alternate quorum after a member was
+    suspected or a send was dead-lettered. *)
+
+val abandoned : t -> int
+(** Acquisitions given up after [acquire_timeout]. *)
+
+val dead_letters : t -> int
+(** Protocol messages the rpc layer gave up on. *)
+
+val retransmissions : t -> int
+(** Rpc retransmissions spent on protocol messages. *)
 
 val wait_stats : t -> Sim.Stats.t
 (** Request-to-entry latency samples. *)

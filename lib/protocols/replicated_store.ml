@@ -1,11 +1,15 @@
 module Engine = Sim.Engine
+module Rpc = Sim.Rpc
+module Failure_detector = Sim.Failure_detector
 module Bitset = Quorum.Bitset
 
-type msg =
+type app =
   | Version_req of { op : int; key : int }
   | Version_rep of { op : int; version : int; value : int }
   | Write_req of { op : int; key : int; version : int; value : int }
   | Write_ack of { op : int }
+
+type msg = Beat | App of app Rpc.msg
 
 type phase =
   | Reading of { waiting_for : Bitset.t; mutable best : int * int }
@@ -23,6 +27,9 @@ type op = {
   mutable phase : phase;
   mutable write_version : int;
   mutable retries_left : int;
+  mutable deadline : float;
+      (** current attempt's timeout instant; earlier timer fires are
+          stale leftovers from a superseded attempt *)
   mutable done_ : bool;
 }
 
@@ -31,6 +38,8 @@ type t = {
   write_system : Quorum.System.t;
   timeout : float;
   retries : int;
+  rpc : (app, msg) Rpc.t;
+  fd : msg Failure_detector.t;
   mutable engine : msg Engine.t option;
   ops : (int, op) Hashtbl.t;
   mutable next_op : int;
@@ -47,7 +56,9 @@ type t = {
   latency : Sim.Stats.t;
 }
 
-let create ?(retries = 0) ~read_system ~write_system ~timeout () =
+let create ?(retries = 2) ?(rpc_timeout = 4.0) ?(rpc_backoff = 1.6)
+    ?(rpc_attempts = 6) ?(fd_period = 1.0) ?(fd_timeout = 5.0) ~read_system
+    ~write_system ~timeout () =
   let n = read_system.Quorum.System.n in
   if write_system.Quorum.System.n <> n then
     invalid_arg "Replicated_store.create: universe mismatch";
@@ -56,6 +67,14 @@ let create ?(retries = 0) ~read_system ~write_system ~timeout () =
     write_system;
     timeout;
     retries;
+    rpc =
+      Rpc.create ~timeout:rpc_timeout ~backoff:rpc_backoff
+        ~max_attempts:rpc_attempts
+        ~wrap:(fun m -> App m)
+        ();
+    fd =
+      Failure_detector.create ~period:fd_period ~timeout:fd_timeout ~nodes:n
+        ~beat:Beat ();
     engine = None;
     ops = Hashtbl.create 64;
     next_op = 0;
@@ -75,18 +94,17 @@ let engine_exn t =
   | Some e -> e
   | None -> invalid_arg "Replicated_store: bind the engine first"
 
-let bind t engine =
-  if Engine.nodes engine <> t.read_system.Quorum.System.n then
-    invalid_arg "Replicated_store.bind: engine size mismatch";
-  t.engine <- Some engine
-
 let reads_ok t = t.reads_ok
 let writes_ok t = t.writes_ok
 let unavailable t = t.unavailable
 let timeouts t = t.timeouts
 let retried t = t.retried
 let stale_reads t = t.stale_reads
+let dead_letters t = Rpc.dead_letters t.rpc
+let retransmissions t = Rpc.retransmissions t.rpc
 let latency t = t.latency
+
+let rsend t ~src ~dst m = Rpc.send t.rpc ~src ~dst m
 
 (* Highest version whose write completed no later than [time]: a read
    that starts afterwards must not return anything older (writes still
@@ -100,19 +118,22 @@ let committed_version_before t key time =
           if commit_time <= time then max acc version else acc)
         0 history
 
-(* Select a fresh read quorum and (re)enter the version phase. *)
+(* Select a fresh read quorum — from the client's failure-detector
+   view, not the omniscient live-set — and (re)enter the version
+   phase. *)
 let launch_attempt t (op : op) =
   let engine = engine_exn t in
-  let live = Engine.live_set engine in
+  let live = Failure_detector.view t.fd ~node:op.client in
   match t.read_system.Quorum.System.select (Engine.rng engine) ~live with
   | None ->
       Hashtbl.remove t.ops op.id;
       t.unavailable <- t.unavailable + 1
   | Some quorum ->
       op.phase <- Reading { waiting_for = Bitset.copy quorum; best = (0, 0) };
+      op.deadline <- Engine.now engine +. t.timeout;
       Bitset.iter
         (fun j ->
-          Engine.send engine ~src:op.client ~dst:j
+          rsend t ~src:op.client ~dst:j
             (Version_req { op = op.id; key = op.key }))
         quorum;
       Engine.set_timer engine ~node:op.client ~delay:t.timeout ~tag:op.id
@@ -135,6 +156,7 @@ let start_op t ~client ~key kind =
         phase = Reading { waiting_for = Bitset.create 0; best = (0, 0) };
         write_version = 0;
         retries_left = t.retries;
+        deadline = 0.0;
         done_ = false;
       }
     in
@@ -167,6 +189,17 @@ let finish t op outcome =
         ((Engine.now engine, version) :: history)
   | `Timeout -> t.timeouts <- t.timeouts + 1
 
+(* The current attempt cannot complete (timeout or a dead-lettered
+   request): retry on a fresh quorum or give up. *)
+let attempt_failed t (op : op) =
+  let engine = engine_exn t in
+  if op.retries_left > 0 && Engine.is_live engine op.client then begin
+    op.retries_left <- op.retries_left - 1;
+    t.retried <- t.retried + 1;
+    launch_attempt t op
+  end
+  else finish t op `Timeout
+
 let on_version_rep t engine ~node op_id ~version ~value =
   match Hashtbl.find_opt t.ops op_id with
   | None -> ()
@@ -181,7 +214,7 @@ let on_version_rep t engine ~node op_id ~version ~value =
               | Read_op -> finish t op (`Read_done (fst r.best))
               | Write_op v ->
                   (* Version phase done; install on a write quorum. *)
-                  let live = Engine.live_set engine in
+                  let live = Failure_detector.view t.fd ~node:op.client in
                   (match
                      t.write_system.Quorum.System.select (Engine.rng engine)
                        ~live
@@ -195,7 +228,7 @@ let on_version_rep t engine ~node op_id ~version ~value =
                       op.phase <- Writing { waiting_for = Bitset.copy wq };
                       Bitset.iter
                         (fun j ->
-                          Engine.send engine ~src:op.client ~dst:j
+                          rsend t ~src:op.client ~dst:j
                             (Write_req
                                { op = op.id; key = op.key; version; value = v }))
                         wq)
@@ -216,47 +249,87 @@ let on_write_ack t op_id ~node =
           end
       | Reading _ -> ())
 
+let on_dead_letter t ~src ~dst payload =
+  ignore src;
+  (* The rpc layer gave up reaching a quorum member: the attempt can
+     never complete, so fail it over right away instead of waiting for
+     the attempt timeout — but only if that member is still part of the
+     current attempt (dead letters for superseded attempts are noise). *)
+  let relevant op =
+    match (payload, op.phase) with
+    | Version_req _, Reading r -> Bitset.mem r.waiting_for dst
+    | Write_req _, Writing w -> Bitset.mem w.waiting_for dst
+    | _ -> false
+  in
+  match payload with
+  | Version_req { op = op_id; _ } | Write_req { op = op_id; _ } -> (
+      match Hashtbl.find_opt t.ops op_id with
+      | Some op when (not op.done_) && relevant op -> attempt_failed t op
+      | Some _ | None -> ())
+  | Version_rep _ | Write_ack _ ->
+      (* A reply we could not push back: the client's own timeout and
+         retry machinery covers it. *)
+      ()
+
+let bind t engine =
+  if Engine.nodes engine <> t.read_system.Quorum.System.n then
+    invalid_arg "Replicated_store.bind: engine size mismatch";
+  t.engine <- Some engine;
+  Rpc.bind t.rpc engine;
+  Rpc.set_dead_letter_handler t.rpc (fun ~src ~dst payload ->
+      on_dead_letter t ~src ~dst payload);
+  Failure_detector.bind t.fd engine;
+  Failure_detector.start t.fd
+
+let dispatch_app t engine ~node ~src = function
+  | Version_req { op; key } ->
+      let version, value =
+        match Hashtbl.find_opt t.replicas.(node) key with
+        | Some vv -> vv
+        | None -> (0, 0)
+      in
+      rsend t ~src:node ~dst:src (Version_rep { op; version; value })
+  | Version_rep { op; version; value } ->
+      on_version_rep t engine ~node:src op ~version ~value
+  | Write_req { op; key; version; value } ->
+      let stale =
+        match Hashtbl.find_opt t.replicas.(node) key with
+        | Some (v, _) -> v >= version
+        | None -> false
+      in
+      if not stale then Hashtbl.replace t.replicas.(node) key (version, value);
+      rsend t ~src:node ~dst:src (Write_ack { op })
+  | Write_ack { op } -> on_write_ack t op ~node:src
+
 let handlers t : msg Engine.handlers =
   {
     on_message =
       (fun engine ~node ~src msg ->
         match msg with
-        | Version_req { op; key } ->
-            let version, value =
-              match Hashtbl.find_opt t.replicas.(node) key with
-              | Some vv -> vv
-              | None -> (0, 0)
-            in
-            Engine.send engine ~src:node ~dst:src
-              (Version_rep { op; version; value })
-        | Version_rep { op; version; value } ->
-            on_version_rep t engine ~node:src op ~version ~value
-        | Write_req { op; key; version; value } ->
-            let stale =
-              match Hashtbl.find_opt t.replicas.(node) key with
-              | Some (v, _) -> v >= version
-              | None -> false
-            in
-            if not stale then
-              Hashtbl.replace t.replicas.(node) key (version, value);
-            Engine.send engine ~src:node ~dst:src (Write_ack { op })
-        | Write_ack { op } -> on_write_ack t op ~node:src);
+        | Beat -> Failure_detector.heard t.fd ~node ~from:src
+        | App envelope ->
+            Rpc.on_message t.rpc ~node ~src envelope
+              ~deliver:(fun ~src payload ->
+                dispatch_app t engine ~node ~src payload));
     on_timer =
-      (fun engine ~node:_ ~tag ->
-        match Hashtbl.find_opt t.ops tag with
-        | Some op when not op.done_ ->
-            if op.retries_left > 0 && Engine.is_live engine op.client then begin
-              op.retries_left <- op.retries_left - 1;
-              t.retried <- t.retried + 1;
-              launch_attempt t op
-            end
-            else finish t op `Timeout
-        | Some _ | None -> ());
+      (fun engine ~node ~tag ->
+        if Failure_detector.on_timer t.fd ~node ~tag then ()
+        else if Rpc.on_timer t.rpc ~node ~tag then ()
+        else
+          match Hashtbl.find_opt t.ops tag with
+          | Some op when not op.done_ ->
+              (* A dead-letter fail-over re-arms the attempt with a
+                 later deadline; the original timer still fires and
+                 must be ignored. *)
+              if Engine.now engine +. 1e-9 >= op.deadline then
+                attempt_failed t op
+          | Some _ | None -> ());
     on_crash =
       (fun engine ~node ->
+        ignore engine;
+        Rpc.on_crash t.rpc ~node;
         (* A crashed client's timers are dropped by the engine, so its
            in-flight operations would leak: abort them here. *)
-        ignore engine;
         let doomed =
           Hashtbl.fold
             (fun _ op acc -> if op.client = node then op :: acc else acc)
@@ -266,5 +339,5 @@ let handlers t : msg Engine.handlers =
     on_recover =
       (fun _ ~node ->
         (* Transient crash model: replicas survive (stable storage). *)
-        ignore node);
+        Failure_detector.on_recover t.fd ~node);
   }

@@ -11,35 +11,61 @@
     paper's replicated-data setting, or one symmetric system (e.g.
     h-triang) for both.
 
-    Operations pick quorums among currently-live nodes; an operation
-    fails immediately ("unavailable") when no quorum is live, and
-    aborts on a timeout if quorum members crash mid-flight.
+    All requests and replies ride {!Sim.Rpc} (ack, retransmission,
+    duplicate suppression), so the store tolerates message loss, loss
+    bursts and transient partitions; duplicate-write installs are
+    impossible.  Quorums are selected from the client's
+    {!Sim.Failure_detector} view; when the rpc layer dead-letters a
+    request (an unreachable quorum member) the attempt fails over to a
+    freshly selected quorum immediately instead of waiting out the
+    attempt timeout.
+
     Consistency is monitored: each completed read must return a version
     at least as high as any write completed before it started
-    (regular-register semantics under the intersection property). *)
+    (regular-register semantics under the intersection property);
+    violations are surfaced through {!stale_reads}. *)
 
 type t
 type msg
 
 val create :
   ?retries:int ->
+  ?rpc_timeout:float ->
+  ?rpc_backoff:float ->
+  ?rpc_attempts:int ->
+  ?fd_period:float ->
+  ?fd_timeout:float ->
   read_system:Quorum.System.t ->
   write_system:Quorum.System.t ->
   timeout:float ->
   unit ->
   t
 (** Both systems must span the same universe.  [timeout] bounds each
-    attempt's lifetime in simulated time; on expiry the operation is
-    retried with a freshly selected quorum up to [retries] times
-    (default 0) before counting as a timeout.  Retries recover the
-    operations that lose a quorum member mid-flight (client crashes
-    still abort).  *)
+    attempt's lifetime in simulated time; on expiry (or an early
+    dead-letter fail-over) the operation is retried with a freshly
+    selected quorum up to [retries] times (default 2) before counting
+    as a timeout.
+
+    [retries] interacts with the rpc backoff: a single attempt already
+    survives transient loss via retransmission (up to [rpc_attempts]
+    sends spaced by [rpc_timeout] growing with [rpc_backoff] — see
+    {!Sim.Rpc.create}; [rpc_timeout] defaults to 4.0 here, above the
+    default network round-trip), so attempt-level retries only matter when a
+    quorum {e member} is down or cut off and a different quorum must be
+    chosen.  Keep [timeout] comfortably above [rpc_timeout] so the rpc
+    layer gets a chance to push a message through before the whole
+    attempt is abandoned.  The default of 2 retries rides out a
+    crash-and-reselect and a concurrent partition without inflating
+    latency on the happy path. *)
 
 val retried : t -> int
-(** Attempts that timed out and were retried. *)
+(** Attempts that failed (timeout or dead-letter) and were retried. *)
 
 val handlers : t -> msg Sim.Engine.handlers
+
 val bind : t -> msg Sim.Engine.t -> unit
+(** Must be called once, before the first operation.  Starts the
+    heartbeat traffic. *)
 
 val read : t -> client:int -> key:int -> unit
 val write : t -> client:int -> key:int -> value:int -> unit
@@ -48,11 +74,18 @@ val write : t -> client:int -> key:int -> value:int -> unit
 val reads_ok : t -> int
 val writes_ok : t -> int
 val unavailable : t -> int
-(** Operations refused at submission (no live quorum). *)
+(** Operations refused because the client's live-view contained no
+    quorum (at submission or between phases). *)
 
 val timeouts : t -> int
 val stale_reads : t -> int
 (** Completed reads that returned a version older than a write that
     finished before the read began — must be 0. *)
+
+val dead_letters : t -> int
+(** Messages the rpc layer gave up on. *)
+
+val retransmissions : t -> int
+(** Rpc retransmissions spent on store traffic. *)
 
 val latency : t -> Sim.Stats.t

@@ -17,7 +17,7 @@ type 'msg handlers = {
 
 and 'msg t = {
   n : int;
-  queue : 'msg event Heap.t;
+  queue : ('msg event * bool) Heap.t;  (** event, is_background *)
   live : bool array;
   network : Network.t;
   net_rng : Rng.t;
@@ -25,8 +25,13 @@ and 'msg t = {
   handlers : 'msg handlers;
   mutable time : float;
   mutable sent : int;
+  mutable background_sent : int;
   mutable delivered : int;
+  mutable foreground : int;  (** queued events that keep [run] alive *)
+  mutable budget_hits : int;
 }
+
+type outcome = Drained | Reached_until | Budget_exhausted
 
 let create ~seed ~nodes ?network handlers =
   if nodes <= 0 then invalid_arg "Engine.create: nodes";
@@ -41,12 +46,16 @@ let create ~seed ~nodes ?network handlers =
     handlers;
     time = 0.0;
     sent = 0;
+    background_sent = 0;
     delivered = 0;
+    foreground = 0;
+    budget_hits = 0;
   }
 
 let nodes t = t.n
 let now t = t.time
 let rng t = t.proto_rng
+let network t = t.network
 let is_live t i = t.live.(i)
 
 let live_set t =
@@ -54,38 +63,46 @@ let live_set t =
   Array.iteri (fun i alive -> if alive then Bitset.add s i) t.live;
   s
 
-let push t ~delay ev =
-  if delay < 0.0 then invalid_arg "Engine: negative delay";
-  Heap.push t.queue ~time:(t.time +. delay) ev
+let enqueue t ~time ~background ev =
+  if not background then t.foreground <- t.foreground + 1;
+  Heap.push t.queue ~time (ev, background)
 
-let send t ~src ~dst msg =
+let push t ~delay ?(background = false) ev =
+  if delay < 0.0 then invalid_arg "Engine: negative delay";
+  enqueue t ~time:(t.time +. delay) ~background ev
+
+let send ?(background = false) t ~src ~dst msg =
   if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
     invalid_arg "Engine.send: bad node id";
   if t.live.(src) then begin
-    t.sent <- t.sent + 1;
-    if src = dst then push t ~delay:0.0 (Deliver { src; dst; msg })
+    if background then t.background_sent <- t.background_sent + 1
+    else t.sent <- t.sent + 1;
+    if src = dst then push t ~delay:0.0 ~background (Deliver { src; dst; msg })
     else
       match Network.delay t.network t.net_rng ~src ~dst with
       | None -> ()
-      | Some d -> push t ~delay:d (Deliver { src; dst; msg })
+      | Some d -> push t ~delay:d ~background (Deliver { src; dst; msg })
   end
 
-let broadcast t ~src ~dsts msg = List.iter (fun dst -> send t ~src ~dst msg) dsts
+let broadcast ?(background = false) t ~src ~dsts msg =
+  List.iter (fun dst -> send ~background t ~src ~dst msg) dsts
 
-let set_timer t ~node ~delay ~tag =
+let set_timer ?(background = false) t ~node ~delay ~tag =
   if node < 0 || node >= t.n then invalid_arg "Engine.set_timer: bad node";
-  push t ~delay (Timer { node; tag })
+  push t ~delay ~background (Timer { node; tag })
 
 let at_absolute t ~time ev =
   if time < t.time then invalid_arg "Engine: scheduling in the past";
-  Heap.push t.queue ~time ev
+  enqueue t ~time ~background:false ev
 
 let crash_at t ~time ~node = at_absolute t ~time (Crash node)
 let recover_at t ~time ~node = at_absolute t ~time (Recover node)
 let schedule t ~time thunk = at_absolute t ~time (Thunk thunk)
 
 let messages_sent t = t.sent
+let messages_background t = t.background_sent
 let messages_delivered t = t.delivered
+let budget_exhaustions t = t.budget_hits
 
 let dispatch t = function
   | Deliver { src; dst; msg } ->
@@ -107,24 +124,47 @@ let dispatch t = function
       end
   | Thunk f -> f ()
 
-let run ?until ?(max_events = 10_000_000) t =
+let run_status ?until ?(max_events = 10_000_000) t =
+  let clamp_until () =
+    match until with Some u -> if u > t.time then t.time <- u | None -> ()
+  in
   let rec loop budget =
-    if budget = 0 then failwith "Engine.run: event budget exhausted";
-    match Heap.peek_time t.queue with
-    | None -> ()
-    | Some time ->
-        let stop =
-          match until with Some u -> time > u | None -> false
-        in
-        if not stop then begin
-          match Heap.pop t.queue with
-          | None -> ()
-          | Some (time, ev) ->
-              t.time <- time;
-              dispatch t ev;
-              loop (budget - 1)
-        end
-        else
-          (match until with Some u -> t.time <- u | None -> ())
+    if budget = 0 then begin
+      t.budget_hits <- t.budget_hits + 1;
+      Budget_exhausted
+    end
+    else if t.foreground = 0 then begin
+      (* Only background events (heartbeats, ...) remain: the
+         simulation's real work has drained. *)
+      clamp_until ();
+      Drained
+    end
+    else
+      match Heap.peek_time t.queue with
+      | None ->
+          clamp_until ();
+          Drained
+      | Some time ->
+          let stop = match until with Some u -> time > u | None -> false in
+          if stop then begin
+            clamp_until ();
+            Reached_until
+          end
+          else begin
+            match Heap.pop t.queue with
+            | None ->
+                clamp_until ();
+                Drained
+            | Some (time, (ev, background)) ->
+                if not background then t.foreground <- t.foreground - 1;
+                t.time <- time;
+                dispatch t ev;
+                loop (budget - 1)
+          end
   in
   loop max_events
+
+let run ?until ?max_events t =
+  match run_status ?until ?max_events t with
+  | Drained | Reached_until -> ()
+  | Budget_exhausted -> failwith "Engine.run: event budget exhausted"

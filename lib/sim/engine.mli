@@ -6,7 +6,14 @@
     from a single seed.
 
     The message payload type is a type parameter: protocols instantiate
-    ['msg] with their own variant. *)
+    ['msg] with their own variant.
+
+    Events come in two flavours.  {e Foreground} events (the default)
+    represent protocol work and keep {!run} alive; {e background}
+    events ([~background:true]) are maintenance traffic — failure
+    detector heartbeats, periodic probes — that should not by itself
+    prevent a run from draining.  [run] without [~until] returns as
+    soon as only background events remain. *)
 
 type 'msg t
 
@@ -27,18 +34,26 @@ val now : 'msg t -> float
 val rng : 'msg t -> Quorum.Rng.t
 (** Protocol-owned RNG stream (distinct from the network's). *)
 
+val network : 'msg t -> Network.t
+(** The network the engine routes messages through (for fault
+    injection that mutates loss / partitions mid-run). *)
+
 val is_live : 'msg t -> int -> bool
 val live_set : 'msg t -> Quorum.Bitset.t
-(** Fresh bitset of currently live nodes. *)
+(** Fresh bitset of currently live nodes.  This is omniscient,
+    simulation-level knowledge: protocols that claim realistic fault
+    handling should consult a {!Failure_detector.t} instead. *)
 
-val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
+val send : ?background:bool -> 'msg t -> src:int -> dst:int -> 'msg -> unit
 (** Enqueue a message; it is silently lost if dropped by the network,
     the source is dead now, or the destination is dead at delivery
     time.  Self-sends are delivered with zero latency. *)
 
-val broadcast : 'msg t -> src:int -> dsts:int list -> 'msg -> unit
+val broadcast :
+  ?background:bool -> 'msg t -> src:int -> dsts:int list -> 'msg -> unit
 
-val set_timer : 'msg t -> node:int -> delay:float -> tag:int -> unit
+val set_timer :
+  ?background:bool -> 'msg t -> node:int -> delay:float -> tag:int -> unit
 
 val crash_at : 'msg t -> time:float -> node:int -> unit
 val recover_at : 'msg t -> time:float -> node:int -> unit
@@ -48,9 +63,30 @@ val schedule : 'msg t -> time:float -> (unit -> unit) -> unit
     injection). *)
 
 val messages_sent : 'msg t -> int
+(** Foreground messages sent (protocol traffic, including
+    retransmissions and acks). *)
+
+val messages_background : 'msg t -> int
+(** Background messages sent (heartbeats etc.), counted separately so
+    per-operation message metrics stay meaningful. *)
+
 val messages_delivered : 'msg t -> int
 
+type outcome =
+  | Drained  (** no foreground events left *)
+  | Reached_until  (** stopped at the [until] horizon *)
+  | Budget_exhausted  (** [max_events] dispatched without draining *)
+
+val run_status : ?until:float -> ?max_events:int -> 'msg t -> outcome
+(** Drain the event queue up to time [until] (default: until no
+    foreground event remains).  [max_events] (default 10 million)
+    guards against runaway protocols — e.g. a retransmission loop that
+    never gives up; exhaustion is reported (and counted, see
+    {!budget_exhaustions}) rather than raised. *)
+
 val run : ?until:float -> ?max_events:int -> 'msg t -> unit
-(** Drain the event queue up to time [until] (default: until empty).
-    [max_events] (default 10 million) guards against runaway
-    protocols. *)
+(** Like {!run_status} but raises [Failure] when the event budget is
+    exhausted, so runaway protocols fail loudly. *)
+
+val budget_exhaustions : 'msg t -> int
+(** Number of times a run on this engine hit its event budget. *)

@@ -1,0 +1,115 @@
+module Bitset = Quorum.Bitset
+
+let fd_tag = -1
+let eps = 1e-9
+
+type 'wire t = {
+  period : float;
+  timeout : float;
+  n : int;
+  beat : 'wire;
+  mutable engine : 'wire Engine.t option;
+  last_heard : float array array;
+      (** [last_heard.(i).(j)]: when [i] last heard from [j]. *)
+  next_due : float array;
+      (** the one legitimate heartbeat chain per node; stale chains
+          (pre-crash timers still in the queue) are dropped by
+          comparing fire time against this. *)
+}
+
+let create ?(period = 1.0) ?(timeout = 5.0) ~nodes ~beat () =
+  if period <= 0.0 then invalid_arg "Failure_detector.create: period";
+  if timeout <= period then
+    invalid_arg "Failure_detector.create: timeout must exceed period";
+  if nodes <= 0 then invalid_arg "Failure_detector.create: nodes";
+  {
+    period;
+    timeout;
+    n = nodes;
+    beat;
+    engine = None;
+    last_heard = Array.make_matrix nodes nodes 0.0;
+    next_due = Array.make nodes infinity;
+  }
+
+let engine_exn t =
+  match t.engine with
+  | Some e -> e
+  | None -> invalid_arg "Failure_detector: bind the engine first"
+
+let bind t engine =
+  if Engine.nodes engine <> t.n then
+    invalid_arg "Failure_detector.bind: engine size mismatch";
+  t.engine <- Some engine
+
+let period t = t.period
+let timeout t = t.timeout
+
+let schedule_beat t ~node ~delay =
+  let engine = engine_exn t in
+  t.next_due.(node) <- Engine.now engine +. delay;
+  Engine.set_timer engine ~background:true ~node ~delay ~tag:fd_tag
+
+let start t =
+  let engine = engine_exn t in
+  let now = Engine.now engine in
+  for i = 0 to t.n - 1 do
+    (* Everyone starts presumed live. *)
+    for j = 0 to t.n - 1 do
+      t.last_heard.(i).(j) <- now
+    done;
+    (* Stagger first beats so the whole system does not pulse at once. *)
+    schedule_beat t ~node:i
+      ~delay:(t.period *. (0.25 +. (0.75 *. float_of_int i /. float_of_int t.n)))
+  done
+
+let on_timer t ~node ~tag =
+  if tag <> fd_tag then false
+  else begin
+    let engine = engine_exn t in
+    let now = Engine.now engine in
+    (* Drop duplicate chains left over from crash/recovery races. *)
+    if abs_float (now -. t.next_due.(node)) <= eps then begin
+      for dst = 0 to t.n - 1 do
+        if dst <> node then
+          Engine.send ~background:true engine ~src:node ~dst t.beat
+      done;
+      schedule_beat t ~node ~delay:t.period
+    end;
+    true
+  end
+
+let heard t ~node ~from =
+  let engine = engine_exn t in
+  t.last_heard.(node).(from) <- Engine.now engine
+
+let on_recover t ~node =
+  let engine = engine_exn t in
+  let now = Engine.now engine in
+  (* Fresh start: the recovered node presumes everyone live again and
+     resumes its own heartbeat chain. *)
+  for j = 0 to t.n - 1 do
+    t.last_heard.(node).(j) <- now
+  done;
+  schedule_beat t ~node ~delay:(t.period *. 0.5)
+
+let suspects t ~node j =
+  if j = node then false
+  else begin
+    let engine = engine_exn t in
+    Engine.now engine -. t.last_heard.(node).(j) > t.timeout
+  end
+
+let view t ~node =
+  let s = Bitset.create t.n in
+  for j = 0 to t.n - 1 do
+    if not (suspects t ~node j) then Bitset.add s j
+  done;
+  s
+
+let suspected_count t ~node =
+  let c = ref 0 in
+  for j = 0 to t.n - 1 do
+    if suspects t ~node j then incr c
+  done;
+  !c

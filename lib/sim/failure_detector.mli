@@ -1,0 +1,68 @@
+(** Heartbeat failure detector: suspected-live views without
+    simulation omniscience.
+
+    Every node broadcasts a heartbeat each [period]; node [i] {e
+    suspects} node [j] when it has not heard from [j] for more than
+    [timeout].  Protocols select quorums from {!view} — the set of
+    nodes the caller does {e not} suspect — instead of the engine's
+    omniscient live-set, so crash detection, gray failures (slow nodes
+    miss the timeout) and partitions (the far side goes silent) all
+    flow through one mechanism.
+
+    Properties under the simulator's fault model (matching the classic
+    eventually-perfect detector):
+    - {e completeness}: a crashed node stops beating and is suspected
+      by every live node within [timeout] + one period;
+    - {e eventual accuracy}: after recovery (or a partition heal)
+      heartbeats resume and suspicion clears within one period plus
+      network latency.
+
+    Heartbeats ride the engine as {e background} traffic: they do not
+    keep [Engine.run] alive and are counted in
+    [Engine.messages_background], not [messages_sent].
+
+    Wiring: embed a beat constructor in the protocol's wire type, pass
+    the constant as [beat], call {!heard} when it arrives, route
+    [on_timer] through {!on_timer} (tag [-1] is reserved) and call
+    {!on_recover} from the engine's recovery handler so the node's
+    heartbeat chain restarts and its stale opinions reset. *)
+
+type 'wire t
+
+val create :
+  ?period:float ->
+  ?timeout:float ->
+  nodes:int ->
+  beat:'wire ->
+  unit ->
+  'wire t
+(** [period] defaults to 1.0, [timeout] to 5.0; [timeout] must exceed
+    [period] or everyone would flap between beats. *)
+
+val bind : 'wire t -> 'wire Engine.t -> unit
+val start : 'wire t -> unit
+(** Begin heartbeating (staggered across nodes).  Call once, after
+    {!bind}. *)
+
+val heard : 'wire t -> node:int -> from:int -> unit
+(** Record that [node] received [from]'s heartbeat now. *)
+
+val on_timer : 'wire t -> node:int -> tag:int -> bool
+(** Handle a heartbeat timer; [false] when [tag] is not the detector's
+    (protocol should handle it). *)
+
+val on_recover : 'wire t -> node:int -> unit
+(** Restart the recovered node's heartbeat chain and reset its
+    suspicions (it presumes everyone live until proven otherwise). *)
+
+val suspects : 'wire t -> node:int -> int -> bool
+(** [suspects t ~node j]: does [node] currently suspect [j]?  A node
+    never suspects itself. *)
+
+val view : 'wire t -> node:int -> Quorum.Bitset.t
+(** The suspected-live set from [node]'s perspective (includes
+    [node]). *)
+
+val suspected_count : 'wire t -> node:int -> int
+val period : 'wire t -> float
+val timeout : 'wire t -> float

@@ -24,10 +24,8 @@ let iid_faults engine ~rng ~p ~mean_downtime ~horizon =
       if crash_time < horizon then begin
         Engine.crash_at engine ~time:crash_time ~node;
         let recover_time = crash_time +. down in
-        if recover_time < horizon then begin
-          Engine.recover_at engine ~time:recover_time ~node;
-          cycle recover_time
-        end
+        Engine.recover_at engine ~time:recover_time ~node;
+        if recover_time < horizon then cycle recover_time
       end
     in
     cycle 0.0
@@ -37,3 +35,43 @@ let crash_random_subset engine ~rng ~at ~p =
   for node = 0 to Engine.nodes engine - 1 do
     if Rng.bernoulli rng p then Engine.crash_at engine ~time:at ~node
   done
+
+(* --- Network fault plans (bursts, gray failures, partitions) -------- *)
+
+let check_window ~at ~duration name =
+  if at < 0.0 || duration <= 0.0 then
+    invalid_arg (Printf.sprintf "Failure_injector.%s: window" name)
+
+let loss_burst engine ~at ~duration ~loss =
+  check_window ~at ~duration "loss_burst";
+  if loss < 0.0 || loss >= 1.0 then
+    invalid_arg "Failure_injector.loss_burst: loss";
+  let net = Engine.network engine in
+  Engine.schedule engine ~time:at (fun () -> Network.set_extra_loss net loss);
+  Engine.schedule engine ~time:(at +. duration) (fun () ->
+      Network.set_extra_loss net 0.0)
+
+let gray_failure engine ~node ~at ~duration ~slowdown =
+  check_window ~at ~duration "gray_failure";
+  if slowdown <= 0.0 then invalid_arg "Failure_injector.gray_failure";
+  let net = Engine.network engine in
+  Engine.schedule engine ~time:at (fun () ->
+      Network.set_slowdown net ~node slowdown);
+  Engine.schedule engine ~time:(at +. duration) (fun () ->
+      Network.set_slowdown net ~node 0.0)
+
+let partition_schedule engine plans =
+  let net = Engine.network engine in
+  List.iter
+    (fun (at, duration, group_a) ->
+      check_window ~at ~duration "partition_schedule";
+      let handle = ref None in
+      Engine.schedule engine ~time:at (fun () ->
+          handle := Some (Network.partition net ~group_a));
+      Engine.schedule engine ~time:(at +. duration) (fun () ->
+          match !handle with
+          | Some cut ->
+              Network.heal net cut;
+              handle := None
+          | None -> ()))
+    plans

@@ -1,9 +1,15 @@
-(** Crash/recovery schedules for the engine.
+(** Fault schedules for the engine: crash/recovery processes plus
+    network-level fault plans (loss bursts, gray failures, partitions).
 
     The paper's availability model is iid transient crashes with
     probability [p]; {!iid_faults} realizes it as an up/down renewal
     process whose stationary down-fraction is [p].  {!scripted} installs
-    explicit (time, event) scenarios for targeted tests. *)
+    explicit (time, event) scenarios for targeted tests.
+
+    The network plans mutate the engine's {!Network.t} at scheduled
+    simulated times, so they compose freely with each other and with
+    the crash processes — the building blocks of the chaos harness
+    (see [Protocols.Chaos]). *)
 
 type event = Crash of int | Recover of int
 
@@ -20,9 +26,35 @@ val iid_faults :
 (** Every node alternates exponential up-times of mean
     [mean_downtime * (1-p)/p] and down-times of mean [mean_downtime],
     so each node is down a fraction [p] of the time, independently.
-    Events are pre-generated up to [horizon]. *)
+    Crashes are generated up to [horizon]; every crash gets its
+    matching recovery even when it lands past [horizon], so no node is
+    left permanently dead by an accident of scheduling. *)
 
 val crash_random_subset :
   'msg Engine.t -> rng:Quorum.Rng.t -> at:float -> p:float -> unit
 (** One-shot: at time [at], crash each node independently with
     probability [p] (the paper's static model snapshot). *)
+
+val loss_burst :
+  'msg Engine.t -> at:float -> duration:float -> loss:float -> unit
+(** Add [loss] extra iid drop probability on the engine's network over
+    [\[at, at + duration)].  Bursts must not overlap (the later end
+    resets the extra loss to zero). *)
+
+val gray_failure :
+  'msg Engine.t ->
+  node:int ->
+  at:float ->
+  duration:float ->
+  slowdown:float ->
+  unit
+(** Make [node] gray over the window: every message into or out of it
+    gains [slowdown] latency.  The node never crashes — only a
+    failure detector can notice. *)
+
+val partition_schedule :
+  'msg Engine.t -> (float * float * int list) list -> unit
+(** [(at, duration, group_a)] triples: install a cut isolating
+    [group_a] at [at] and heal {e that} cut at [at + duration].
+    Overlapping windows compose (each heal removes only its own cut —
+    see {!Network.partition}). *)

@@ -1,31 +1,89 @@
+type cut = int
+
 type t = {
   base_latency : float;
   jitter : float;
   loss : float;
   latency_of : int -> int -> float;
-  mutable cuts : (int -> bool) list;  (** side-of-cut predicates *)
+  mutable extra_loss : float;  (** transient additional loss (bursts) *)
+  mutable cuts : (cut * (int -> bool)) list;  (** side-of-cut predicates *)
+  mutable next_cut : cut;
+  link_loss : (int * int, float) Hashtbl.t;  (** directed extra loss *)
+  slowdown : (int, float) Hashtbl.t;  (** per-node added latency (gray) *)
 }
 
 let create ?(base_latency = 1.0) ?(jitter = 0.2) ?(loss = 0.0)
     ?(latency_of = fun _ _ -> 0.0) () =
   if base_latency < 0.0 || jitter < 0.0 then invalid_arg "Network.create";
   if loss < 0.0 || loss >= 1.0 then invalid_arg "Network.create: loss";
-  { base_latency; jitter; loss; latency_of; cuts = [] }
+  {
+    base_latency;
+    jitter;
+    loss;
+    latency_of;
+    extra_loss = 0.0;
+    cuts = [];
+    next_cut = 0;
+    link_loss = Hashtbl.create 16;
+    slowdown = Hashtbl.create 16;
+  }
 
 let partition t ~group_a =
   let side i = List.mem i group_a in
-  t.cuts <- side :: t.cuts
+  let id = t.next_cut in
+  t.next_cut <- t.next_cut + 1;
+  t.cuts <- (id, side) :: t.cuts;
+  id
 
-let heal t = t.cuts <- []
+let heal t cut = t.cuts <- List.filter (fun (id, _) -> id <> cut) t.cuts
+let heal_all t = t.cuts <- []
+let partitioned t = t.cuts <> []
+
+let set_extra_loss t p =
+  if p < 0.0 || p >= 1.0 then invalid_arg "Network.set_extra_loss";
+  t.extra_loss <- p
+
+let extra_loss t = t.extra_loss
+
+let set_link_loss t ~src ~dst p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Network.set_link_loss";
+  if p = 0.0 then Hashtbl.remove t.link_loss (src, dst)
+  else Hashtbl.replace t.link_loss (src, dst) p
+
+let link_loss t ~src ~dst =
+  match Hashtbl.find_opt t.link_loss (src, dst) with
+  | Some p -> p
+  | None -> 0.0
+
+let set_slowdown t ~node extra =
+  if extra < 0.0 then invalid_arg "Network.set_slowdown";
+  if extra = 0.0 then Hashtbl.remove t.slowdown node
+  else Hashtbl.replace t.slowdown node extra
+
+let slowdown t ~node =
+  match Hashtbl.find_opt t.slowdown node with Some s -> s | None -> 0.0
 
 let delay t rng ~src ~dst =
-  let blocked = List.exists (fun side -> side src <> side dst) t.cuts in
+  let blocked =
+    List.exists (fun (_, side) -> side src <> side dst) t.cuts
+  in
   if blocked then None
-  else if t.loss > 0.0 && Quorum.Rng.bernoulli rng t.loss then None
   else begin
-    let jitter =
-      if t.jitter = 0.0 then 0.0
-      else Quorum.Rng.exponential rng ~mean:t.jitter
+    (* Independent drop causes compose into one Bernoulli draw; no RNG
+       is consumed when the message cannot be dropped, so loss-free
+       runs keep the exact event streams of older seeds. *)
+    let keep =
+      (1.0 -. t.loss) *. (1.0 -. t.extra_loss)
+      *. (1.0 -. link_loss t ~src ~dst)
     in
-    Some (t.base_latency +. t.latency_of src dst +. jitter)
+    if keep < 1.0 && Quorum.Rng.bernoulli rng (1.0 -. keep) then None
+    else begin
+      let jitter =
+        if t.jitter = 0.0 then 0.0
+        else Quorum.Rng.exponential rng ~mean:t.jitter
+      in
+      Some
+        (t.base_latency +. t.latency_of src dst +. jitter
+        +. slowdown t ~node:src +. slowdown t ~node:dst)
+    end
   end

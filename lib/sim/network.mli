@@ -1,8 +1,17 @@
-(** Network model: per-message latency, loss, and partitions.
+(** Network model: per-message latency, loss, partitions, and gray
+    failures.
 
     Deterministic given the engine's RNG.  Partitions are symmetric
     cuts of the node set: a message crosses only if its endpoints are
-    on the same side of every active cut. *)
+    on the same side of every active cut.  Cuts are identified by
+    handles so overlapping partitions can be healed independently.
+
+    Loss composes from three independent sources — the base iid rate,
+    a transient {e burst} rate ({!set_extra_loss}), and per-directed-link
+    rates ({!set_link_loss}).  {e Gray failures} are modelled as
+    per-node latency inflation ({!set_slowdown}): the node is up but
+    everything through it is slow, which is exactly what makes a
+    heartbeat failure detector suspect it. *)
 
 type t
 
@@ -18,12 +27,39 @@ val create :
     probability.  [latency_of src dst] (default [fun _ _ -> 0.]) adds a
     deterministic per-pair propagation term — see {!Topology}. *)
 
-val partition : t -> group_a:int list -> unit
-(** Install a cut isolating [group_a] from everyone else.  Multiple
-    cuts compose. *)
+type cut
+(** Handle for one installed partition. *)
 
-val heal : t -> unit
-(** Remove all cuts. *)
+val partition : t -> group_a:int list -> cut
+(** Install a cut isolating [group_a] from everyone else.  Multiple
+    cuts compose; the returned handle heals this cut specifically. *)
+
+val heal : t -> cut -> unit
+(** Remove one cut (no-op if already healed). *)
+
+val heal_all : t -> unit
+(** Remove every active cut. *)
+
+val partitioned : t -> bool
+(** Whether any cut is currently active. *)
+
+val set_extra_loss : t -> float -> unit
+(** Transient loss added on top of the base rate — set at burst start,
+    reset to [0.] at burst end (see {!Failure_injector.loss_burst}). *)
+
+val extra_loss : t -> float
+
+val set_link_loss : t -> src:int -> dst:int -> float -> unit
+(** Extra drop probability for the directed link [src -> dst]
+    ([0.] clears it, [1.] severs the link). *)
+
+val link_loss : t -> src:int -> dst:int -> float
+
+val set_slowdown : t -> node:int -> float -> unit
+(** Gray failure: add [extra] latency to every message into or out of
+    [node] ([0.] clears it). *)
+
+val slowdown : t -> node:int -> float
 
 val delay : t -> Quorum.Rng.t -> src:int -> dst:int -> float option
 (** Latency for one message, or [None] if dropped / blocked. *)

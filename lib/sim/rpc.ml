@@ -1,0 +1,132 @@
+module Rng = Quorum.Rng
+
+type 'a msg = Data of { seq : int; payload : 'a } | Ack of { seq : int }
+
+(* Timer-tag namespace: tag = -seq - 2, so every rpc tag is <= -2.
+   Tag -1 belongs to Failure_detector; protocol tags are >= 0. *)
+let tag_of_seq seq = -seq - 2
+let seq_of_tag tag = -tag - 2
+let owns_tag tag = tag <= -2
+
+type 'a inflight = {
+  src : int;
+  dst : int;
+  payload : 'a;
+  mutable attempts : int;  (** transmissions performed so far *)
+  mutable rto : float;  (** delay before the next retransmission *)
+}
+
+type ('a, 'wire) t = {
+  timeout : float;
+  backoff : float;
+  jitter : float;
+  max_attempts : int;
+  wrap : 'a msg -> 'wire;
+  mutable engine : 'wire Engine.t option;
+  mutable next_seq : int;
+  inflight : (int, 'a inflight) Hashtbl.t;  (** seq -> record *)
+  seen : (int, unit) Hashtbl.t;  (** seqs already delivered *)
+  mutable retransmissions : int;
+  mutable duplicates : int;
+  mutable dead : int;
+  mutable on_dead_letter : src:int -> dst:int -> 'a -> unit;
+}
+
+let create ?(timeout = 2.0) ?(backoff = 1.6) ?(jitter = 0.3)
+    ?(max_attempts = 6) ~wrap () =
+  if timeout <= 0.0 then invalid_arg "Rpc.create: timeout";
+  if backoff < 1.0 then invalid_arg "Rpc.create: backoff";
+  if jitter < 0.0 then invalid_arg "Rpc.create: jitter";
+  if max_attempts < 1 then invalid_arg "Rpc.create: max_attempts";
+  {
+    timeout;
+    backoff;
+    jitter;
+    max_attempts;
+    wrap;
+    engine = None;
+    next_seq = 0;
+    inflight = Hashtbl.create 64;
+    seen = Hashtbl.create 256;
+    retransmissions = 0;
+    duplicates = 0;
+    dead = 0;
+    on_dead_letter = (fun ~src:_ ~dst:_ _ -> ());
+  }
+
+let engine_exn t =
+  match t.engine with
+  | Some e -> e
+  | None -> invalid_arg "Rpc: bind the engine first"
+
+let bind t engine = t.engine <- Some engine
+let set_dead_letter_handler t f = t.on_dead_letter <- f
+
+let retransmissions t = t.retransmissions
+let duplicates_suppressed t = t.duplicates
+let dead_letters t = t.dead
+let inflight_count t = Hashtbl.length t.inflight
+
+let jittered t engine delay =
+  if t.jitter = 0.0 then delay
+  else delay *. (1.0 +. (t.jitter *. Rng.float (Engine.rng engine)))
+
+let send t ~src ~dst payload =
+  let engine = engine_exn t in
+  let seq = t.next_seq in
+  t.next_seq <- t.next_seq + 1;
+  Hashtbl.replace t.inflight seq
+    { src; dst; payload; attempts = 1; rto = t.timeout };
+  Engine.send engine ~src ~dst (t.wrap (Data { seq; payload }));
+  Engine.set_timer engine ~node:src
+    ~delay:(jittered t engine t.timeout)
+    ~tag:(tag_of_seq seq)
+
+let on_message t ~node ~src msg ~deliver =
+  let engine = engine_exn t in
+  match msg with
+  | Data { seq; payload } ->
+      (* Always (re-)ack: the previous ack may have been lost. *)
+      Engine.send engine ~src:node ~dst:src (t.wrap (Ack { seq }));
+      if Hashtbl.mem t.seen seq then t.duplicates <- t.duplicates + 1
+      else begin
+        Hashtbl.replace t.seen seq ();
+        deliver ~src payload
+      end
+  | Ack { seq } -> Hashtbl.remove t.inflight seq
+
+let on_timer t ~node ~tag =
+  if not (owns_tag tag) then false
+  else begin
+    let seq = seq_of_tag tag in
+    (match Hashtbl.find_opt t.inflight seq with
+    | None -> ()  (* acked (or the sender crashed) in the meantime *)
+    | Some m ->
+        if m.attempts >= t.max_attempts then begin
+          Hashtbl.remove t.inflight seq;
+          t.dead <- t.dead + 1;
+          t.on_dead_letter ~src:m.src ~dst:m.dst m.payload
+        end
+        else begin
+          let engine = engine_exn t in
+          m.attempts <- m.attempts + 1;
+          m.rto <- m.rto *. t.backoff;
+          t.retransmissions <- t.retransmissions + 1;
+          Engine.send engine ~src:node ~dst:m.dst
+            (t.wrap (Data { seq; payload = m.payload }));
+          Engine.set_timer engine ~node ~delay:(jittered t engine m.rto)
+            ~tag
+        end);
+    true
+  end
+
+let on_crash t ~node =
+  (* Volatile sender state: a crashed node forgets its unacked sends.
+     (Receiver-side dedup state is kept, modelling per-channel sequence
+     numbers on stable storage.) *)
+  let doomed =
+    Hashtbl.fold
+      (fun seq m acc -> if m.src = node then seq :: acc else acc)
+      t.inflight []
+  in
+  List.iter (Hashtbl.remove t.inflight) doomed

@@ -1,0 +1,74 @@
+(** Ack-based reliable delivery on top of {!Engine} / {!Network}.
+
+    [Engine.send] is fire-and-forget: messages die to loss, bursts and
+    partitions.  [Rpc.send] gives at-most-once delivery with bounded
+    retransmission: each payload gets a sequence number, the receiver
+    acks and suppresses duplicates, and the sender retransmits on a
+    timeout with exponential backoff plus jitter until acked or
+    [max_attempts] transmissions have been spent — at which point the
+    message is {e dead-lettered} and the (optional) dead-letter handler
+    fires, letting the protocol treat the peer as unreachable and
+    degrade gracefully (e.g. pick a different quorum).
+
+    The module is polymorphic in both the protocol payload ['a] and the
+    engine wire type ['wire]: protocols embed [Rpc.msg] into their wire
+    variant and pass the injection as [wrap].  Timer tags [<= -2] are
+    reserved for rpc retransmissions ([-1] belongs to
+    {!Failure_detector}; protocol tags must be [>= 0]): route
+    [on_timer] through {!on_timer} first and fall through to protocol
+    timers only when it returns [false].
+
+    Crash semantics: a crashed sender forgets its unacked sends (call
+    {!on_crash} from the engine's crash handler); receiver-side dedup
+    state survives crashes, modelling sequence numbers on stable
+    storage — so a message is never handed to [deliver] twice, even
+    across crash/recovery cycles. *)
+
+type 'a msg = Data of { seq : int; payload : 'a } | Ack of { seq : int }
+
+type ('a, 'wire) t
+
+val create :
+  ?timeout:float ->
+  ?backoff:float ->
+  ?jitter:float ->
+  ?max_attempts:int ->
+  wrap:('a msg -> 'wire) ->
+  unit ->
+  ('a, 'wire) t
+(** [timeout] (default 2.0) is the initial retransmission timeout;
+    each retry multiplies it by [backoff] (default 1.6, must be >= 1)
+    and adds a uniform jitter of up to [jitter] (default 0.3, a
+    fraction of the delay).  [max_attempts] (default 6) counts total
+    transmissions including the first. *)
+
+val bind : ('a, 'wire) t -> 'wire Engine.t -> unit
+
+val send : ('a, 'wire) t -> src:int -> dst:int -> 'a -> unit
+(** Reliable send; retransmits until acked, dead-letters after
+    [max_attempts]. *)
+
+val on_message :
+  ('a, 'wire) t ->
+  node:int ->
+  src:int ->
+  'a msg ->
+  deliver:(src:int -> 'a -> unit) ->
+  unit
+(** Feed a received rpc envelope in; [deliver] is invoked exactly once
+    per distinct payload (duplicates are suppressed and re-acked). *)
+
+val on_timer : ('a, 'wire) t -> node:int -> tag:int -> bool
+(** Handle a retransmission timer.  Returns [false] when [tag] is not
+    an rpc tag (the protocol should then handle it itself). *)
+
+val on_crash : ('a, 'wire) t -> node:int -> unit
+(** Drop the crashed node's unacked sends (volatile sender state). *)
+
+val set_dead_letter_handler :
+  ('a, 'wire) t -> (src:int -> dst:int -> 'a -> unit) -> unit
+
+val retransmissions : ('a, 'wire) t -> int
+val duplicates_suppressed : ('a, 'wire) t -> int
+val dead_letters : ('a, 'wire) t -> int
+val inflight_count : ('a, 'wire) t -> int

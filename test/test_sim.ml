@@ -64,13 +64,75 @@ let test_network_loss () =
 
 let test_network_partition () =
   let net = Network.create () in
-  Network.partition net ~group_a:[ 0; 1 ];
+  let cut = Network.partition net ~group_a:[ 0; 1 ] in
   let rng = Rng.create 3 in
   check "cross-cut blocked" true (Network.delay net rng ~src:0 ~dst:2 = None);
   check "same side ok" true (Network.delay net rng ~src:0 ~dst:1 <> None);
   check "other side ok" true (Network.delay net rng ~src:2 ~dst:3 <> None);
-  Network.heal net;
+  Network.heal net cut;
   check "healed" true (Network.delay net rng ~src:0 ~dst:2 <> None)
+
+let test_network_overlapping_cuts () =
+  (* Two overlapping cuts heal independently; a link crosses only when
+     every cut containing it is gone. *)
+  let net = Network.create () in
+  let rng = Rng.create 4 in
+  let c1 = Network.partition net ~group_a:[ 0 ] in
+  let c2 = Network.partition net ~group_a:[ 0; 1 ] in
+  check "blocked by both" true (Network.delay net rng ~src:0 ~dst:2 = None);
+  Network.heal net c1;
+  check "still one cut" true (Network.partitioned net);
+  check "0-2 still blocked by c2" true
+    (Network.delay net rng ~src:0 ~dst:2 = None);
+  check "0-1 freed by healing c1" true
+    (Network.delay net rng ~src:0 ~dst:1 <> None);
+  Network.heal net c1;
+  (* double-heal is a no-op *)
+  check "0-2 blocked after double heal" true
+    (Network.delay net rng ~src:0 ~dst:2 = None);
+  Network.heal net c2;
+  check "all healed" false (Network.partitioned net);
+  check "0-2 open" true (Network.delay net rng ~src:0 ~dst:2 <> None)
+
+let test_network_heal_all () =
+  let net = Network.create () in
+  let rng = Rng.create 5 in
+  let _ = Network.partition net ~group_a:[ 0 ] in
+  let _ = Network.partition net ~group_a:[ 1 ] in
+  Network.heal_all net;
+  check "heal_all removes every cut" false (Network.partitioned net);
+  check "traffic flows" true (Network.delay net rng ~src:0 ~dst:1 <> None)
+
+let test_network_link_loss () =
+  let net = Network.create () in
+  let rng = Rng.create 6 in
+  Network.set_link_loss net ~src:0 ~dst:1 1.0;
+  check "lossy direction drops" true (Network.delay net rng ~src:0 ~dst:1 = None);
+  check "reverse direction flows" true
+    (Network.delay net rng ~src:1 ~dst:0 <> None);
+  Network.set_link_loss net ~src:0 ~dst:1 0.0;
+  check "cleared" true (Network.delay net rng ~src:0 ~dst:1 <> None)
+
+let test_network_slowdown () =
+  (* A gray node inflates latency on every adjacent link, both ways. *)
+  let net = Network.create ~jitter:0.0 () in
+  let rng = Rng.create 7 in
+  let base =
+    match Network.delay net rng ~src:1 ~dst:2 with
+    | Some d -> d
+    | None -> Alcotest.fail "unexpected drop"
+  in
+  Network.set_slowdown net ~node:1 10.0;
+  (match Network.delay net rng ~src:1 ~dst:2 with
+  | Some d -> check "outbound slowed" true (d >= base +. 10.0)
+  | None -> Alcotest.fail "unexpected drop");
+  (match Network.delay net rng ~src:0 ~dst:1 with
+  | Some d -> check "inbound slowed" true (d >= base +. 10.0)
+  | None -> Alcotest.fail "unexpected drop");
+  Network.set_slowdown net ~node:1 0.0;
+  match Network.delay net rng ~src:1 ~dst:2 with
+  | Some d -> check "slowdown cleared" true (d < base +. 10.0)
+  | None -> Alcotest.fail "unexpected drop"
 
 (* --- Engine --------------------------------------------------------- *)
 
@@ -156,6 +218,55 @@ let test_engine_live_set () =
   check "2 dead" false (Quorum.Bitset.mem live 2);
   check_int "3 live" 3 (Quorum.Bitset.cardinal live)
 
+let test_engine_background_drains () =
+  (* A perpetual background timer chain must not keep [run] alive. *)
+  let fired = ref 0 in
+  let handlers : probe_msg Engine.handlers =
+    {
+      on_message = (fun _ ~node:_ ~src:_ _ -> ());
+      on_timer =
+        (fun e ~node ~tag ->
+          incr fired;
+          Engine.set_timer ~background:true e ~node ~delay:1.0 ~tag);
+      on_crash = (fun _ ~node:_ -> ());
+      on_recover = (fun _ ~node:_ -> ());
+    }
+  in
+  let e = Engine.create ~seed:2 ~nodes:1 handlers in
+  Engine.set_timer ~background:true e ~node:0 ~delay:1.0 ~tag:0;
+  Engine.set_timer e ~node:0 ~delay:3.5 ~tag:1;
+  (* foreground *)
+  let outcome = Engine.run_status e in
+  check "drained" true (outcome = Engine.Drained);
+  (* Background beats at 1,2,3 ran while foreground work remained, plus
+     the foreground timer at 3.5. *)
+  check_int "heartbeats ran while foreground lived" 4 !fired;
+  check_int "background not in messages_sent" 0 (Engine.messages_sent e)
+
+let test_engine_budget_reported () =
+  (* A self-perpetuating foreground timer never drains: the event
+     budget must trip, be reported, and be counted. *)
+  let handlers : probe_msg Engine.handlers =
+    {
+      on_message = (fun _ ~node:_ ~src:_ _ -> ());
+      on_timer =
+        (fun e ~node ~tag -> Engine.set_timer e ~node ~delay:1.0 ~tag);
+      on_crash = (fun _ ~node:_ -> ());
+      on_recover = (fun _ ~node:_ -> ());
+    }
+  in
+  let e = Engine.create ~seed:2 ~nodes:1 handlers in
+  Engine.set_timer e ~node:0 ~delay:1.0 ~tag:0;
+  let outcome = Engine.run_status ~max_events:100 e in
+  check "budget exhausted" true (outcome = Engine.Budget_exhausted);
+  check_int "exhaustion counted" 1 (Engine.budget_exhaustions e);
+  check "run raises on exhaustion" true
+    (try
+       Engine.run ~max_events:100 e;
+       false
+     with Failure _ -> true);
+  check_int "counted again" 2 (Engine.budget_exhaustions e)
+
 (* --- Failure injector ------------------------------------------------ *)
 
 let test_iid_faults_fraction () =
@@ -233,6 +344,11 @@ let () =
           Alcotest.test_case "latency" `Quick test_network_latency_positive;
           Alcotest.test_case "loss" `Quick test_network_loss;
           Alcotest.test_case "partition" `Quick test_network_partition;
+          Alcotest.test_case "overlapping cuts" `Quick
+            test_network_overlapping_cuts;
+          Alcotest.test_case "heal all" `Quick test_network_heal_all;
+          Alcotest.test_case "link loss" `Quick test_network_link_loss;
+          Alcotest.test_case "slowdown" `Quick test_network_slowdown;
         ] );
       ( "engine",
         [
@@ -243,6 +359,10 @@ let () =
           Alcotest.test_case "recover" `Quick test_engine_recover;
           Alcotest.test_case "until" `Quick test_engine_until;
           Alcotest.test_case "live set" `Quick test_engine_live_set;
+          Alcotest.test_case "background drains" `Quick
+            test_engine_background_drains;
+          Alcotest.test_case "budget reported" `Quick
+            test_engine_budget_reported;
         ] );
       ( "failure injector",
         [
