@@ -6,6 +6,16 @@ module C = Protocols.Chaos
 
 let horizon () = if !Util.fast then 150.0 else 400.0
 
+(* Under --metrics, each run gets its own registry and dumps it after
+   the report row. *)
+let maybe_obs () = if !Util.metrics then Some (Obs.create ()) else None
+
+let dump_metrics ~spec ~label = function
+  | None -> ()
+  | Some obs ->
+      Printf.printf "--- metrics %s / %s ---\n%s" spec label
+        (Obs.Metrics.render (Obs.metrics obs))
+
 (* n differs across systems (15 vs 16), so scenarios are built per
    system: the partition group scales with n. *)
 let mutex_specs = [ "majority(15)"; "hgrid(4x4)"; "htgrid(4x4)"; "htriang(15)" ]
@@ -18,8 +28,10 @@ let mutex_runs () =
       let system = Core.Registry.build_exn spec in
       List.iter
         (fun scenario ->
-          let r = C.run_mutex ~seed:41 ~system scenario in
-          Printf.printf "%s\n" (C.mutex_row r))
+          let obs = maybe_obs () in
+          let r = C.run_mutex ~seed:41 ?obs ~system scenario in
+          Printf.printf "%s\n" (C.mutex_row r);
+          dump_metrics ~spec ~label:scenario.C.label obs)
         (C.standard ~n:system.Quorum.System.n ~horizon:(horizon ())))
     mutex_specs
 
@@ -40,10 +52,12 @@ let store_runs () =
       let write_system = Core.Registry.build_exn wspec in
       List.iter
         (fun scenario ->
+          let obs = maybe_obs () in
           let r =
-            C.run_store ~seed:42 ~read_system ~write_system ~name scenario
+            C.run_store ~seed:42 ?obs ~read_system ~write_system ~name scenario
           in
-          Printf.printf "%s\n" (C.store_row r))
+          Printf.printf "%s\n" (C.store_row r);
+          dump_metrics ~spec:name ~label:scenario.C.label obs)
         (C.standard ~n:read_system.Quorum.System.n ~horizon:(horizon ())))
     pairs
 

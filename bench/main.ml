@@ -2,13 +2,16 @@
    paper, the in-text section 4.3 / section 6 numbers, the ablations,
    the simulated-protocol comparison and the bechamel micro-benchmarks.
 
-   Usage: main.exe [--fast] [target ...]
+   Usage: main.exe [--fast] [--metrics] [target ...]
    Targets: table1 table2 table3 table4 table5 figure1 figure2 curves
             sect43 sect6 ablations sims chaos placement byzantine
             thresholds perf all (default: all)
 
    --fast replaces the 2^25..2^28 exact enumerations (h-T-grid(25),
-   Paths(24), Y(28)) with 1e6-trial Monte Carlo estimates. *)
+   Paths(24), Y(28)) with 1e6-trial Monte Carlo estimates.
+   --metrics makes the chaos target dump the full per-scenario metrics
+   registry (rpc, failure-detector and protocol instruments) after each
+   report row. *)
 
 let targets : (string * (unit -> unit)) list =
   [
@@ -43,6 +46,10 @@ let () =
       (fun a ->
         if a = "--fast" then begin
           Util.fast := true;
+          false
+        end
+        else if a = "--metrics" then begin
+          Util.metrics := true;
           false
         end
         else true)

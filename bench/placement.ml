@@ -66,10 +66,11 @@ let geo_simulation () =
       Protocols.Workload.staggered_requests engine ~every:4.0 ~count:30
         (fun ~client -> Protocols.Mutex.request mx ~node:client);
       Sim.Engine.run engine;
-      let stats = Protocols.Mutex.wait_stats mx in
+      let stats = Protocols.Mutex.acquire_latency mx in
       Printf.printf "  %-16s %-12.2f %.2f   (%d/30 served, %d violations)\n"
-        spec (Sim.Stats.mean stats)
-        (Sim.Stats.percentile stats 0.99)
+        spec
+        (Obs.Metrics.mean stats)
+        (Obs.Metrics.percentile_or ~default:0.0 stats 0.99)
         (Protocols.Mutex.entries mx)
         (Protocols.Mutex.violations mx))
     [ "majority(15)"; "cwlog(14)"; "htgrid(4x4)"; "htriang(15)" ]

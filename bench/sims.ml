@@ -29,7 +29,7 @@ let mutex_comparison () =
       Printf.printf "  %-16s %-8d %-10.1f %-12.2f %d\n" spec entries
         (float_of_int (Engine.messages_sent engine)
         /. float_of_int (max 1 entries))
-        (Sim.Stats.mean (Protocols.Mutex.wait_stats mx))
+        (Obs.Metrics.mean (Protocols.Mutex.acquire_latency mx))
         (Protocols.Mutex.violations mx))
     [
       "majority(15)"; "hqs(5-3)"; "cwlog(14)"; "htgrid(4x4)"; "y(15)";

@@ -5,6 +5,11 @@ let fast = ref false
 (* --fast replaces the 2^28-scale exact enumerations with Monte-Carlo
    estimates (1e6 trials). *)
 
+let metrics = ref false
+(* --metrics makes the chaos target dump each run's full metrics
+   registry (rpc retransmits, fd accuracy, latency histograms, ...)
+   after its report row. *)
+
 let line width = String.make width '-'
 
 let print_header title =

@@ -8,6 +8,8 @@
      pick <spec>        sample quorums with the selection strategy
      simulate <spec>    run the mutual-exclusion simulation
      chaos <spec>       fault-scenario sweep (loss, partitions, churn...)
+     metrics <spec>     chaos run -> metrics registry dump (table/jsonl/csv)
+     trace <spec>       chaos run -> causal event trace + causality check
      list               the catalogue of system specs
 
    Specs are Registry specs, e.g. "htriang(15)", "htgrid(4x6)",
@@ -23,21 +25,21 @@ let spec_arg =
    masking(n,f) and boost(k,<spec>). *)
 let build_extended spec =
   match Core.Registry.parse_spec spec with
-  | "masking", [ n; f ] ->
+  | Ok ("masking", [ n; f ]) ->
       (try
          Ok
            (Byzantine.Masking.majority_masking ~n:(int_of_string n)
               ~f:(int_of_string f))
        with Invalid_argument m | Failure m -> Error m)
-  | "boost", k :: rest ->
+  | Ok ("boost", k :: rest) ->
       let inner = String.concat "," rest in
       (match Core.Registry.build inner with
       | Ok base ->
           (try Ok (Byzantine.Masking.boost ~k:(int_of_string k) base)
            with Invalid_argument m | Failure m -> Error m)
       | Error m -> Error m)
-  | _ -> Core.Registry.build spec
-  | exception Invalid_argument m -> Error m
+  | Ok _ -> Core.Registry.build spec
+  | Error m -> Error m
 
 let with_system spec f =
   match build_extended spec with
@@ -251,7 +253,7 @@ let simulate_cmd =
           (float_of_int (Sim.Engine.messages_sent engine)
           /. float_of_int (max 1 (Protocols.Mutex.entries mx)));
         Printf.printf "wait: %s\n"
-          (Sim.Stats.summary (Protocols.Mutex.wait_stats mx)))
+          (Obs.Metrics.summary (Protocols.Mutex.acquire_latency mx)))
   in
   let doc = "Run the quorum mutual-exclusion simulation." in
   Cmd.v
@@ -332,6 +334,137 @@ let chaos_cmd =
       const run $ spec_arg $ scenario_arg $ horizon_arg $ seed_arg
       $ protocol_arg)
 
+(* --- metrics / trace --------------------------------------------------- *)
+
+(* Both commands drive one chaos scenario with an externally owned
+   Obs.t so the registry / trace survive the run and can be dumped. *)
+
+let obs_scenario_arg =
+  Arg.(
+    value & opt string "loss+burst"
+    & info [ "scenario" ]
+        ~doc:
+          "Chaos scenario to run: baseline, loss+burst, partition, churn or \
+           gray.")
+
+let obs_horizon_arg =
+  Arg.(
+    value & opt float 400.0
+    & info [ "horizon" ] ~doc:"Workload horizon in simulated time units.")
+
+let obs_seed_arg =
+  Arg.(
+    value & opt int 41
+    & info [ "seed" ] ~doc:"RNG seed (same seed = same run, exactly).")
+
+let obs_protocol_arg =
+  Arg.(
+    value
+    & opt (enum [ ("mutex", `Mutex); ("store", `Store) ]) `Mutex
+    & info [ "protocol" ] ~doc:"Protocol to run: $(b,mutex) or $(b,store).")
+
+let out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out" ] ~doc:"Write the dump to this file instead of stdout.")
+
+let run_chaos_scenario ~obs ~system ~scenario ~horizon ~seed protocol =
+  let n = system.Quorum.System.n in
+  match Protocols.Chaos.scenario_of_label ~n ~horizon scenario with
+  | exception Invalid_argument msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+  | s -> (
+      match protocol with
+      | `Mutex -> ignore (Protocols.Chaos.run_mutex ~seed ~obs ~system s)
+      | `Store ->
+          ignore
+            (Protocols.Chaos.run_store ~seed ~obs ~read_system:system
+               ~write_system:system ~name:system.Quorum.System.name s))
+
+let emit_to out emit =
+  match out with
+  | None -> emit stdout
+  | Some path ->
+      Obs.Sink.with_file path emit;
+      Printf.eprintf "wrote %s\n" path
+
+let metrics_cmd =
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("table", `Table); ("jsonl", `Jsonl); ("csv", `Csv) ]) `Table
+      & info [ "format" ] ~doc:"Output format: $(b,table), $(b,jsonl), $(b,csv).")
+  in
+  let run spec scenario horizon seed protocol format out =
+    with_system spec (fun system ->
+        let obs = Obs.create () in
+        run_chaos_scenario ~obs ~system ~scenario ~horizon ~seed protocol;
+        let m = Obs.metrics obs in
+        emit_to out (fun oc ->
+            match format with
+            | `Table -> output_string oc (Obs.Metrics.render m)
+            | `Jsonl -> Obs.Sink.metrics_jsonl oc m
+            | `Csv -> Obs.Sink.metrics_csv oc m))
+  in
+  let doc =
+    "Run one chaos scenario and dump the full metrics registry (message, \
+     rpc, failure-detector and protocol instruments)."
+  in
+  Cmd.v (Cmd.info "metrics" ~doc)
+    Term.(
+      const run $ spec_arg $ obs_scenario_arg $ obs_horizon_arg $ obs_seed_arg
+      $ obs_protocol_arg $ format_arg $ out_arg)
+
+let trace_cmd =
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("jsonl", `Jsonl); ("csv", `Csv) ]) `Jsonl
+      & info [ "format" ] ~doc:"Output format: $(b,jsonl) or $(b,csv).")
+  in
+  let capacity_arg =
+    Arg.(
+      value & opt int 65536
+      & info [ "capacity" ]
+          ~doc:"Trace ring capacity (events); oldest events are evicted first.")
+  in
+  let run spec scenario horizon seed protocol format capacity out =
+    match build_extended spec with
+    | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        1
+    | Ok system ->
+        let obs = Obs.create ~trace_capacity:capacity () in
+        run_chaos_scenario ~obs ~system ~scenario ~horizon ~seed protocol;
+        let tr = Obs.trace obs in
+        emit_to out (fun oc ->
+            match format with
+            | `Jsonl -> Obs.Sink.trace_jsonl oc tr
+            | `Csv -> Obs.Sink.trace_csv oc tr);
+        Printf.eprintf "trace: %d events recorded, %d buffered, %d evicted\n"
+          (Obs.Trace.recorded tr) (Obs.Trace.length tr) (Obs.Trace.dropped tr);
+        (match Obs.Trace.causality_violations tr with
+        | [] ->
+            Printf.eprintf
+              "causality: ok (every deliver links to a recorded send)\n";
+            0
+        | vs ->
+            Printf.eprintf "causality: %d deliver(s) without a matching send\n"
+              (List.length vs);
+            1)
+  in
+  let doc =
+    "Run one chaos scenario, dump the causal event trace \
+     (send/deliver/drop/crash/recover), and verify send->deliver causality \
+     (non-zero exit on violation)."
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(
+      const run $ spec_arg $ obs_scenario_arg $ obs_horizon_arg $ obs_seed_arg
+      $ obs_protocol_arg $ format_arg $ capacity_arg $ out_arg)
+
 (* --- nd --------------------------------------------------------------- *)
 
 let nd_cmd =
@@ -392,7 +525,7 @@ let () =
       (Cmd.info "quorumctl" ~version:"1.0" ~doc)
       [
         info_cmd; fp_cmd; load_cmd; quorums_cmd; pick_cmd; simulate_cmd;
-        chaos_cmd; nd_cmd; masking_cmd; list_cmd;
+        chaos_cmd; metrics_cmd; trace_cmd; nd_cmd; masking_cmd; list_cmd;
       ]
   in
   exit (Cmd.eval' main)

@@ -31,7 +31,7 @@ let run ~label ~faults ~requests =
     (float_of_int (Engine.messages_sent engine)
     /. float_of_int (max 1 (Protocols.Mutex.entries mx)));
   Printf.printf "  waiting time: %s\n\n"
-    (Sim.Stats.summary (Protocols.Mutex.wait_stats mx))
+    (Obs.Metrics.summary (Protocols.Mutex.acquire_latency mx))
 
 let () =
   Printf.printf

@@ -43,9 +43,11 @@ let run ~label ~read_system ~write_system =
     (Protocols.Replicated_store.unavailable store);
   Printf.printf "  consistency: %d stale reads (must be 0)\n"
     (Protocols.Replicated_store.stale_reads store);
-  Printf.printf "  messages: %d, op latency: %s\n\n"
+  let lat = Protocols.Replicated_store.op_latency store in
+  Printf.printf "  messages: %d\n  read latency:  %s\n  write latency: %s\n\n"
     (Engine.messages_sent engine)
-    (Sim.Stats.summary (Protocols.Replicated_store.latency store))
+    (Obs.Metrics.summary ~labels:[ ("op", "read") ] lat)
+    (Obs.Metrics.summary ~labels:[ ("op", "write") ] lat)
 
 let () =
   Printf.printf

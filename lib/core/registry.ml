@@ -1,14 +1,16 @@
 let parse_spec spec =
   match String.index_opt spec '(' with
-  | None -> (String.trim spec, [])
+  | None -> Ok (String.trim spec, [])
   | Some i ->
       if String.length spec = 0 || spec.[String.length spec - 1] <> ')' then
-        invalid_arg "Registry: expected name(args)";
-      let name = String.sub spec 0 i in
-      let args = String.sub spec (i + 1) (String.length spec - i - 2) in
-      ( String.trim name,
-        if String.trim args = "" then []
-        else String.split_on_char ',' args |> List.map String.trim )
+        Error "Registry: expected name(args)"
+      else
+        let name = String.sub spec 0 i in
+        let args = String.sub spec (i + 1) (String.length spec - i - 2) in
+        Ok
+          ( String.trim name,
+            if String.trim args = "" then []
+            else String.split_on_char ',' args |> List.map String.trim )
 
 let int_arg = int_of_string
 
@@ -115,10 +117,10 @@ let build_parsed name args =
 
 let build spec =
   match parse_spec spec with
-  | name, args ->
-      (try Ok (build_parsed name args) with
+  | Ok (name, args) -> (
+      try Ok (build_parsed name args) with
       | Invalid_argument msg | Failure msg -> Error msg)
-  | exception Invalid_argument msg -> Error msg
+  | Error _ as e -> e
 
 let build_exn spec =
   match build spec with

@@ -9,9 +9,10 @@
     ["wall(1-2-2-3)"], ["diamond(9)"], ["singleton(5)"],
     ["voting(1-1-2)"]. *)
 
-val parse_spec : string -> string * string list
-(** Split ["name(a,b)"] into [("name", ["a"; "b"])]; raises
-    [Invalid_argument] on malformed specs. *)
+val parse_spec : string -> (string * string list, string) result
+(** Split ["name(a,b)"] into [Ok ("name", ["a"; "b"])]; [Error]
+    carries a message on malformed specs (e.g. an unclosed paren).
+    Never raises. *)
 
 val build : string -> (Quorum.System.t, string) result
 (** Parse a spec and build the system; [Error] carries a message. *)

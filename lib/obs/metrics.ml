@@ -1,0 +1,259 @@
+type labels = (string * string) list
+
+let canon labels =
+  List.sort (fun (a, _) (b, _) -> compare (a : string) b) labels
+
+(* Exact-sample histogram: a growable array plus a sortedness flag so
+   repeated percentile queries sort at most once between observations. *)
+type hist = {
+  mutable data : float array;
+  mutable len : int;
+  mutable total : float;
+  mutable is_sorted : bool;
+}
+
+let hist_create () =
+  { data = [||]; len = 0; total = 0.0; is_sorted = true }
+
+let hist_add h x =
+  if h.len = Array.length h.data then begin
+    let grown = Array.make (max 16 (2 * h.len)) 0.0 in
+    Array.blit h.data 0 grown 0 h.len;
+    h.data <- grown
+  end;
+  h.data.(h.len) <- x;
+  h.len <- h.len + 1;
+  h.total <- h.total +. x;
+  h.is_sorted <- false
+
+let hist_ensure_sorted h =
+  if not h.is_sorted then begin
+    let prefix = Array.sub h.data 0 h.len in
+    Array.sort compare prefix;
+    Array.blit prefix 0 h.data 0 h.len;
+    h.is_sorted <- true
+  end
+
+(* Nearest-rank percentile (matches a sorted-list oracle exactly). *)
+let hist_percentile h q =
+  if q < 0.0 || q > 1.0 then invalid_arg "Metrics.percentile: q";
+  if h.len = 0 then None
+  else begin
+    hist_ensure_sorted h;
+    let rank =
+      min (h.len - 1)
+        (max 0 (int_of_float (ceil (q *. float_of_int h.len)) - 1))
+    in
+    Some h.data.(rank)
+  end
+
+type kind = KCounter | KGauge | KHistogram
+
+let kind_name = function
+  | KCounter -> "counter"
+  | KGauge -> "gauge"
+  | KHistogram -> "histogram"
+
+type cell = Ccounter of int ref | Cgauge of float ref | Chist of hist
+
+type family = {
+  fname : string;
+  mutable help : string;
+  kind : kind;
+  cells : (labels, cell) Hashtbl.t;
+}
+
+type t = { families : (string, family) Hashtbl.t }
+type counter = family
+type gauge = family
+type histogram = family
+
+let create () = { families = Hashtbl.create 32 }
+
+let register t kind ?(help = "") name =
+  match Hashtbl.find_opt t.families name with
+  | Some f ->
+      if f.kind <> kind then
+        invalid_arg
+          (Printf.sprintf "Metrics: %s already registered as a %s" name
+             (kind_name f.kind));
+      if help <> "" then f.help <- help;
+      f
+  | None ->
+      let f = { fname = name; help; kind; cells = Hashtbl.create 4 } in
+      Hashtbl.add t.families name f;
+      f
+
+let counter t ?help name = register t KCounter ?help name
+let gauge t ?help name = register t KGauge ?help name
+let histogram t ?help name = register t KHistogram ?help name
+
+(* Write path: create the cell on first touch. *)
+let cell f labels =
+  let key = canon labels in
+  match Hashtbl.find_opt f.cells key with
+  | Some c -> c
+  | None ->
+      let c =
+        match f.kind with
+        | KCounter -> Ccounter (ref 0)
+        | KGauge -> Cgauge (ref 0.0)
+        | KHistogram -> Chist (hist_create ())
+      in
+      Hashtbl.add f.cells key c;
+      c
+
+(* Read path: never allocates a cell. *)
+let peek f labels = Hashtbl.find_opt f.cells (canon labels)
+
+let incr ?(labels = []) ?(by = 1) f =
+  if by < 0 then invalid_arg "Metrics.incr: by < 0";
+  match cell f labels with
+  | Ccounter r -> r := !r + by
+  | Cgauge _ | Chist _ -> assert false
+
+let counter_value ?(labels = []) f =
+  match peek f labels with Some (Ccounter r) -> !r | _ -> 0
+
+let set ?(labels = []) f v =
+  match cell f labels with
+  | Cgauge r -> r := v
+  | Ccounter _ | Chist _ -> assert false
+
+let gauge_value ?(labels = []) f =
+  match peek f labels with Some (Cgauge r) -> !r | _ -> 0.0
+
+let observe ?(labels = []) f x =
+  match cell f labels with
+  | Chist h -> hist_add h x
+  | Ccounter _ | Cgauge _ -> assert false
+
+let hist_of ?(labels = []) f =
+  match peek f labels with Some (Chist h) -> Some h | _ -> None
+
+let count ?labels f =
+  match hist_of ?labels f with Some h -> h.len | None -> 0
+
+let sum ?labels f =
+  match hist_of ?labels f with Some h -> h.total | None -> 0.0
+
+let mean ?labels f =
+  match hist_of ?labels f with
+  | Some h when h.len > 0 -> h.total /. float_of_int h.len
+  | Some _ | None -> 0.0
+
+let percentile ?labels f q =
+  match hist_of ?labels f with
+  | Some h -> hist_percentile h q
+  | None ->
+      if q < 0.0 || q > 1.0 then invalid_arg "Metrics.percentile: q";
+      None
+
+let percentile_or ?labels ~default f q =
+  match percentile ?labels f q with Some v -> v | None -> default
+
+type hist_stats = {
+  n : int;
+  total : float;
+  avg : float;
+  min_v : float;
+  max_v : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+let hist_stats_of h =
+  if h.len = 0 then
+    { n = 0; total = 0.0; avg = 0.0; min_v = 0.0; max_v = 0.0;
+      p50 = 0.0; p90 = 0.0; p99 = 0.0 }
+  else begin
+    hist_ensure_sorted h;
+    let pct q = match hist_percentile h q with Some v -> v | None -> 0.0 in
+    {
+      n = h.len;
+      total = h.total;
+      avg = h.total /. float_of_int h.len;
+      min_v = h.data.(0);
+      max_v = h.data.(h.len - 1);
+      p50 = pct 0.50;
+      p90 = pct 0.90;
+      p99 = pct 0.99;
+    }
+  end
+
+type value = Counter of int | Gauge of float | Histogram of hist_stats
+
+type sample = {
+  name : string;
+  labels : labels;
+  help : string;
+  value : value;
+}
+
+let summary ?labels f =
+  match hist_of ?labels f with
+  | Some h when h.len > 0 ->
+      let s = hist_stats_of h in
+      Printf.sprintf "n=%d mean=%.3f p50=%.3f p99=%.3f max=%.3f" s.n s.avg
+        s.p50 s.p99 s.max_v
+  | Some _ | None -> "n=0"
+
+let sorted_families t =
+  Hashtbl.fold (fun _ f acc -> f :: acc) t.families []
+  |> List.sort (fun a b -> compare a.fname b.fname)
+
+let sorted_cells f =
+  Hashtbl.fold (fun labels c acc -> (labels, c) :: acc) f.cells []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let snapshot t =
+  List.concat_map
+    (fun f ->
+      List.map
+        (fun (labels, c) ->
+          let value =
+            match c with
+            | Ccounter r -> Counter !r
+            | Cgauge r -> Gauge !r
+            | Chist h -> Histogram (hist_stats_of h)
+          in
+          { name = f.fname; labels; help = f.help; value })
+        (sorted_cells f))
+    (sorted_families t)
+
+let label_string labels =
+  if labels = [] then ""
+  else
+    "{"
+    ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) labels)
+    ^ "}"
+
+let render t =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun f ->
+      let cells = sorted_cells f in
+      if cells = [] then
+        Buffer.add_string buf
+          (Printf.sprintf "%-42s %-9s (no data)\n" f.fname
+             (kind_name f.kind))
+      else
+        List.iter
+          (fun (labels, c) ->
+            let id = f.fname ^ label_string labels in
+            let body =
+              match c with
+              | Ccounter r -> Printf.sprintf "counter   %d" !r
+              | Cgauge r -> Printf.sprintf "gauge     %g" !r
+              | Chist h ->
+                  let s = hist_stats_of h in
+                  Printf.sprintf
+                    "histogram n=%d mean=%.3f min=%.3f p50=%.3f p90=%.3f \
+                     p99=%.3f max=%.3f"
+                    s.n s.avg s.min_v s.p50 s.p90 s.p99 s.max_v
+            in
+            Buffer.add_string buf (Printf.sprintf "%-42s %s\n" id body))
+          cells)
+    (sorted_families t);
+  Buffer.contents buf

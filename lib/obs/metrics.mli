@@ -1,0 +1,112 @@
+(** Typed metrics registry: counters, gauges and histograms, each
+    optionally split by labels.
+
+    A {e family} is registered once under a dotted name
+    (e.g. ["rpc.retransmits"]) and returns a typed handle; updates may
+    carry labels (e.g. [[("node", "3")]]) and land in a per-label-value
+    {e cell} of the family, so ["rpc.retransmits{node=3}"] and
+    ["rpc.retransmits{node=5}"] accumulate independently.  Label lists
+    are canonicalized by key, so label order never matters.
+
+    Registration is idempotent: registering the same name twice returns
+    the same family (so subsystems can register independently), but
+    re-registering a name as a different metric kind raises
+    [Invalid_argument] — the type of a metric is part of its contract.
+
+    Reads are non-allocating on the registry: asking for a cell that
+    was never written returns the zero value (0, 0.0, empty histogram)
+    without creating it.
+
+    Histograms keep exact samples, so {!percentile} is nearest-rank on
+    the true sample set, not a bucket approximation.  All histogram
+    accessors are empty-safe: {!mean} and {!sum} return [0.0] on an
+    empty cell, {!percentile} returns [None], {!summary} renders
+    ["n=0"] — nothing raises on "no data yet". *)
+
+type t
+(** A registry: a mutable collection of metric families. *)
+
+type labels = (string * string) list
+(** Label key/value pairs; order is irrelevant. *)
+
+type counter
+type gauge
+type histogram
+
+val create : unit -> t
+
+(** {2 Registration} *)
+
+val counter : t -> ?help:string -> string -> counter
+(** Register (or look up) a monotone integer counter family. *)
+
+val gauge : t -> ?help:string -> string -> gauge
+(** Register (or look up) a last-value-wins float gauge family. *)
+
+val histogram : t -> ?help:string -> string -> histogram
+(** Register (or look up) an exact-sample histogram family. *)
+
+(** {2 Updates} *)
+
+val incr : ?labels:labels -> ?by:int -> counter -> unit
+(** Bump a counter cell by [by] (default 1; must be >= 0). *)
+
+val set : ?labels:labels -> gauge -> float -> unit
+
+val observe : ?labels:labels -> histogram -> float -> unit
+(** Record one sample (e.g. a latency). *)
+
+(** {2 Reads} *)
+
+val counter_value : ?labels:labels -> counter -> int
+val gauge_value : ?labels:labels -> gauge -> float
+
+val count : ?labels:labels -> histogram -> int
+val sum : ?labels:labels -> histogram -> float
+
+val mean : ?labels:labels -> histogram -> float
+(** [0.0] when the cell is empty. *)
+
+val percentile : ?labels:labels -> histogram -> float -> float option
+(** [percentile h 0.99] — nearest-rank on the recorded samples; [None]
+    when the cell is empty.  Raises [Invalid_argument] when the
+    quantile is outside [0, 1]. *)
+
+val percentile_or :
+  ?labels:labels -> default:float -> histogram -> float -> float
+(** {!percentile} with an explicit value for the empty case. *)
+
+val summary : ?labels:labels -> histogram -> string
+(** One-line ["n=.. mean=.. p50=.. p99=.. max=.."] rendering;
+    ["n=0"] when empty. *)
+
+(** {2 Snapshots} *)
+
+type hist_stats = {
+  n : int;
+  total : float;
+  avg : float;  (** 0.0 when empty *)
+  min_v : float;  (** 0.0 when empty *)
+  max_v : float;  (** 0.0 when empty *)
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+type value = Counter of int | Gauge of float | Histogram of hist_stats
+
+type sample = {
+  name : string;
+  labels : labels;  (** canonicalized (sorted by key) *)
+  help : string;
+  value : value;
+}
+
+val snapshot : t -> sample list
+(** Every cell of every family, sorted by [(name, labels)] — the order
+    is deterministic, so snapshot dumps diff cleanly across runs. *)
+
+val render : t -> string
+(** Aligned human-readable table of the whole registry, one line per
+    cell.  Families registered but never written still get a line
+    (["(no data)"]), so a dump shows which instruments exist. *)

@@ -1,0 +1,11 @@
+module Metrics = Metrics
+module Trace = Trace
+module Sink = Sink
+
+type t = { metrics : Metrics.t; trace : Trace.t }
+
+let create ?(trace_capacity = 8192) () =
+  { metrics = Metrics.create (); trace = Trace.create ~capacity:trace_capacity () }
+
+let metrics t = t.metrics
+let trace t = t.trace

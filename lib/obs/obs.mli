@@ -1,0 +1,21 @@
+(** Observability: typed metrics plus causal event tracing.
+
+    An {!t} bundles one {!Metrics} registry and one {!Trace} ring.
+    Pass a single [Obs.t] to everything that participates in a run —
+    the simulation engine, the rpc layer, the failure detector, the
+    protocol — and every subsystem registers its instruments in the
+    same registry and appends to the same trace, giving one unified,
+    dumpable view of the run (see {!Sink}). *)
+
+module Metrics = Metrics
+module Trace = Trace
+module Sink = Sink
+
+type t
+
+val create : ?trace_capacity:int -> unit -> t
+(** [trace_capacity] (default 8192) sizes the trace ring; [0] disables
+    tracing (metrics only). *)
+
+val metrics : t -> Metrics.t
+val trace : t -> Trace.t

@@ -1,0 +1,15 @@
+(** JSONL / CSV serialization of metric snapshots and trace buffers.
+
+    JSONL: one self-describing JSON object per line — greppable,
+    streamable, trivially loadable from pandas/jq.  CSV: one flat
+    header plus one row per cell/event.  Both are written in the
+    deterministic order of {!Metrics.snapshot} / {!Trace.iter}, so
+    dumps from the same seed are byte-identical. *)
+
+val metrics_jsonl : out_channel -> Metrics.t -> unit
+val metrics_csv : out_channel -> Metrics.t -> unit
+val trace_jsonl : out_channel -> Trace.t -> unit
+val trace_csv : out_channel -> Trace.t -> unit
+
+val with_file : string -> (out_channel -> unit) -> unit
+(** Open [path] for writing, run the sink, close (also on raise). *)

@@ -1,0 +1,75 @@
+type kind = Send | Deliver | Drop | Crash | Recover | Note
+
+let kind_name = function
+  | Send -> "send"
+  | Deliver -> "deliver"
+  | Drop -> "drop"
+  | Crash -> "crash"
+  | Recover -> "recover"
+  | Note -> "note"
+
+type event = {
+  seq : int;
+  time : float;
+  kind : kind;
+  node : int;
+  peer : int;
+  msg_id : int;
+  label : string;
+}
+
+let dummy =
+  { seq = -1; time = 0.0; kind = Note; node = -1; peer = -1; msg_id = -1;
+    label = "" }
+
+type t = { buf : event array; cap : int; mutable next_seq : int }
+
+let create ?(capacity = 8192) () =
+  if capacity < 0 then invalid_arg "Trace.create: capacity";
+  { buf = Array.make (max capacity 1) dummy; cap = capacity; next_seq = 0 }
+
+let capacity t = t.cap
+let recorded t = t.next_seq
+let length t = min t.next_seq t.cap
+let dropped t = max 0 (t.next_seq - t.cap)
+let clear t = t.next_seq <- 0
+
+let record t ~time ~node ?(peer = -1) ?(msg_id = -1) ?(label = "") kind =
+  if t.cap > 0 then begin
+    let seq = t.next_seq in
+    t.buf.(seq mod t.cap) <- { seq; time; kind; node; peer; msg_id; label };
+    t.next_seq <- seq + 1
+  end
+
+let iter t f =
+  let first = t.next_seq - length t in
+  for seq = first to t.next_seq - 1 do
+    f t.buf.(seq mod t.cap)
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter t (fun e -> acc := e :: !acc);
+  List.rev !acc
+
+let causality_violations t =
+  let sent = Hashtbl.create 256 in
+  (* Message ids are assigned monotonically, so the first Send in the
+     (chronological) buffer carries the smallest id still recorded:
+     delivers linking to anything older lost their send to ring
+     eviction and cannot be judged. *)
+  let oldest_sent = ref max_int in
+  let evicted = dropped t > 0 in
+  let violations = ref [] in
+  iter t (fun e ->
+      match e.kind with
+      | Send when e.msg_id >= 0 ->
+          if e.msg_id < !oldest_sent then oldest_sent := e.msg_id;
+          Hashtbl.replace sent e.msg_id ()
+      | Deliver when e.msg_id >= 0 ->
+          if
+            (not (Hashtbl.mem sent e.msg_id))
+            && not (evicted && e.msg_id < !oldest_sent)
+          then violations := e :: !violations
+      | Send | Deliver | Drop | Crash | Recover | Note -> ());
+  List.rev !violations

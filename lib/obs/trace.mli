@@ -1,0 +1,74 @@
+(** Ring-buffered structured event trace with message-causality links.
+
+    Every event carries a simulated timestamp, the node it happened on,
+    an optional peer node, an optional message id and a free-form
+    label.  Message ids are the causality links: the event stream of a
+    healthy run contains, for every [Deliver] of message [m], an
+    earlier [Send] of [m] — send → deliver → (the ack's own send →
+    deliver) chains are reconstructible from the ids alone.
+
+    The buffer is a fixed-capacity ring: recording never allocates
+    beyond the initial array and never slows down a long run; once full,
+    the oldest events are overwritten ({!dropped} counts them).  A
+    capacity of [0] disables recording entirely ({!record} becomes a
+    no-op), which is how metrics-only runs avoid trace overhead. *)
+
+type kind =
+  | Send  (** a message left [node] for [peer] *)
+  | Deliver  (** a message from [peer] was handed to [node] *)
+  | Drop  (** the network or a dead destination ate the message *)
+  | Crash
+  | Recover
+  | Note  (** protocol-level event; see [label] *)
+
+type event = {
+  seq : int;  (** global record index, monotone from 0 *)
+  time : float;
+  kind : kind;
+  node : int;
+  peer : int;  (** -1 when there is no other endpoint *)
+  msg_id : int;  (** causality link; -1 when not a message event *)
+  label : string;  (** detail, e.g. ["mutex.enter_cs"]; may be empty *)
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] (default 8192) is the ring size in events; [0] disables
+    recording. *)
+
+val capacity : t -> int
+
+val record :
+  t ->
+  time:float ->
+  node:int ->
+  ?peer:int ->
+  ?msg_id:int ->
+  ?label:string ->
+  kind ->
+  unit
+
+val recorded : t -> int
+(** Total events ever recorded (including overwritten ones). *)
+
+val dropped : t -> int
+(** Events lost to ring overwrites. *)
+
+val length : t -> int
+(** Events currently held. *)
+
+val iter : t -> (event -> unit) -> unit
+(** Oldest to newest. *)
+
+val to_list : t -> event list
+val clear : t -> unit
+val kind_name : kind -> string
+
+val causality_violations : t -> event list
+(** The [Deliver] events whose [msg_id] has no earlier [Send] in the
+    buffer.  Delivers whose matching send may have been evicted by ring
+    wrap-around (their id precedes the oldest buffered send — message
+    ids are assigned monotonically) are not reported; on a buffer with
+    [dropped = 0] the check is exact.  An empty list is the pass
+    verdict: every delivery is causally explained. *)

@@ -104,13 +104,13 @@ type mutex_report = {
 }
 
 let run_mutex ?(seed = 7) ?(rate = 0.4) ?(cs_duration = 1.0)
-    ?(acquire_timeout = 80.0) ~system scenario =
+    ?(acquire_timeout = 80.0) ?obs ~system scenario =
   let n = system.Quorum.System.n in
   let rng = Rng.create seed in
   let network = Network.create ~loss:scenario.plan.loss () in
   let mx = Mutex.create ~system ~cs_duration ~acquire_timeout () in
   let engine =
-    Engine.create ~seed:(seed + 1) ~nodes:n ~network (Mutex.handlers mx)
+    Engine.create ~seed:(seed + 1) ~nodes:n ~network ?obs (Mutex.handlers mx)
   in
   Mutex.bind mx engine;
   apply engine ~rng scenario;
@@ -120,7 +120,7 @@ let run_mutex ?(seed = 7) ?(rate = 0.4) ?(cs_duration = 1.0)
   in
   let outcome = Engine.run_status engine in
   let entries = Mutex.entries mx in
-  let wait = Mutex.wait_stats mx in
+  let wait = Mutex.acquire_latency mx in
   {
     label = scenario.label;
     system = system.Quorum.System.name;
@@ -132,7 +132,7 @@ let run_mutex ?(seed = 7) ?(rate = 0.4) ?(cs_duration = 1.0)
     abandoned = Mutex.abandoned mx;
     dead_letters = Mutex.dead_letters mx;
     retransmissions = Mutex.retransmissions mx;
-    mean_wait = (if Sim.Stats.count wait = 0 then 0.0 else Sim.Stats.mean wait);
+    mean_wait = Obs.Metrics.mean wait;
     msgs_per_entry =
       (if entries = 0 then 0.0
        else float_of_int (Engine.messages_sent engine) /. float_of_int entries);
@@ -158,7 +158,7 @@ type store_report = {
 }
 
 let run_store ?(seed = 7) ?(rate = 2.0) ?(read_fraction = 0.7) ?(keys = 4)
-    ?(op_timeout = 25.0) ?(retries = 2) ~read_system ~write_system ~name
+    ?(op_timeout = 25.0) ?(retries = 2) ?obs ~read_system ~write_system ~name
     scenario =
   let n = read_system.Quorum.System.n in
   let rng = Rng.create seed in
@@ -168,7 +168,7 @@ let run_store ?(seed = 7) ?(rate = 2.0) ?(read_fraction = 0.7) ?(keys = 4)
       ~timeout:op_timeout ()
   in
   let engine =
-    Engine.create ~seed:(seed + 1) ~nodes:n ~network
+    Engine.create ~seed:(seed + 1) ~nodes:n ~network ?obs
       (Replicated_store.handlers store)
   in
   Replicated_store.bind store engine;
@@ -181,7 +181,18 @@ let run_store ?(seed = 7) ?(rate = 2.0) ?(read_fraction = 0.7) ?(keys = 4)
         Replicated_store.write store ~client ~key ~value)
   in
   let outcome = Engine.run_status engine in
-  let lat = Replicated_store.latency store in
+  (* Both op=read and op=write cells of store.op_latency, combined. *)
+  let lat = Replicated_store.op_latency store in
+  let mean_latency =
+    let cells = [ [ ("op", "read") ]; [ ("op", "write") ] ] in
+    let n =
+      List.fold_left (fun a l -> a + Obs.Metrics.count ~labels:l lat) 0 cells
+    in
+    let s =
+      List.fold_left (fun a l -> a +. Obs.Metrics.sum ~labels:l lat) 0.0 cells
+    in
+    if n = 0 then 0.0 else s /. float_of_int n
+  in
   {
     label = scenario.label;
     system = name;
@@ -194,7 +205,7 @@ let run_store ?(seed = 7) ?(rate = 2.0) ?(read_fraction = 0.7) ?(keys = 4)
     stale_reads = Replicated_store.stale_reads store;
     dead_letters = Replicated_store.dead_letters store;
     retransmissions = Replicated_store.retransmissions store;
-    mean_latency = (if Sim.Stats.count lat = 0 then 0.0 else Sim.Stats.mean lat);
+    mean_latency;
     budget_hit = outcome = Engine.Budget_exhausted;
   }
 

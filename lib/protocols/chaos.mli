@@ -65,11 +65,15 @@ val run_mutex :
   ?rate:float ->
   ?cs_duration:float ->
   ?acquire_timeout:float ->
+  ?obs:Obs.t ->
   system:Quorum.System.t ->
   scenario ->
   mutex_report
 (** One seeded mutex run under the scenario: Poisson acquisition
-    requests at [rate] per time unit over the horizon, then drain. *)
+    requests at [rate] per time unit over the horizon, then drain.
+    Pass [?obs] to keep the run's metrics registry and trace for
+    inspection or dumping; omitted, the run still records into a
+    private one. *)
 
 type store_report = {
   label : string;
@@ -94,6 +98,7 @@ val run_store :
   ?keys:int ->
   ?op_timeout:float ->
   ?retries:int ->
+  ?obs:Obs.t ->
   read_system:Quorum.System.t ->
   write_system:Quorum.System.t ->
   name:string ->

@@ -2,6 +2,8 @@ module Engine = Sim.Engine
 module Rpc = Sim.Rpc
 module Failure_detector = Sim.Failure_detector
 module Bitset = Quorum.Bitset
+module Metrics = Obs.Metrics
+module Trace = Obs.Trace
 
 (* Requests are totally ordered by (timestamp, client); smaller wins. *)
 type req = { ts : int; client : int }
@@ -60,6 +62,15 @@ type arbiter = {
           below it are from a previous incarnation and are dropped *)
 }
 
+type instruments = {
+  mx_entries : Metrics.counter;
+  mx_violations : Metrics.counter;
+  mx_unavailable : Metrics.counter;
+  mx_reselections : Metrics.counter;
+  mx_abandoned : Metrics.counter;
+  mx_latency : Metrics.histogram;
+}
+
 type t = {
   system : Quorum.System.t;
   capacity : int;
@@ -82,7 +93,7 @@ type t = {
   mutable unavailable : int;
   mutable reselections : int;
   mutable abandoned : int;
-  wait_stats : Sim.Stats.t;
+  mutable ins : instruments option;
 }
 
 let create ?(capacity = 1) ?(acquire_timeout = 1000.0) ?(rpc_timeout = 4.0)
@@ -126,12 +137,17 @@ let create ?(capacity = 1) ?(acquire_timeout = 1000.0) ?(rpc_timeout = 4.0)
     unavailable = 0;
     reselections = 0;
     abandoned = 0;
-    wait_stats = Sim.Stats.create ();
+    ins = None;
   }
 
 let engine_exn t =
   match t.engine with
   | Some e -> e
+  | None -> invalid_arg "Mutex: bind the engine first"
+
+let ins_exn t =
+  match t.ins with
+  | Some i -> i
   | None -> invalid_arg "Mutex: bind the engine first"
 
 let entries t = t.entries
@@ -140,7 +156,7 @@ let max_concurrency t = t.max_concurrency
 let unavailable t = t.unavailable
 let reselections t = t.reselections
 let abandoned t = t.abandoned
-let wait_stats t = t.wait_stats
+let acquire_latency t = (ins_exn t).mx_latency
 let dead_letters t = Rpc.dead_letters t.rpc
 let retransmissions t = Rpc.retransmissions t.rpc
 
@@ -268,9 +284,17 @@ let enter_cs t engine ~node w_req w_quorum started =
   t.in_cs_count <- t.in_cs_count + 1;
   if t.in_cs_count > t.max_concurrency then
     t.max_concurrency <- t.in_cs_count;
-  if t.in_cs_count > t.capacity then t.violations <- t.violations + 1;
+  let ins = ins_exn t in
+  if t.in_cs_count > t.capacity then begin
+    t.violations <- t.violations + 1;
+    Metrics.incr ins.mx_violations
+  end;
   t.entries <- t.entries + 1;
-  Sim.Stats.add t.wait_stats (Engine.now engine -. started);
+  Metrics.incr ins.mx_entries;
+  Metrics.observe ins.mx_latency (Engine.now engine -. started);
+  Trace.record
+    (Obs.trace (Engine.obs engine))
+    ~time:(Engine.now engine) ~node ~label:"mutex.enter" Trace.Note;
   (* Leave after cs_duration: encoded as a timer tagged by ts. *)
   Engine.set_timer engine ~node ~delay:t.cs_duration ~tag:w_req.ts
 
@@ -343,6 +367,7 @@ let rec issue_request t ~node =
   match t.system.Quorum.System.select (Engine.rng engine) ~live:view with
   | None ->
       t.unavailable <- t.unavailable + 1;
+      Metrics.incr (ins_exn t).mx_unavailable;
       t.clients.(node) <- Idle
   | Some quorum_set ->
       t.clock <- t.clock + 1;
@@ -371,6 +396,8 @@ and abort_attempt t ~node w ~retry =
   t.clients.(node) <- Idle;
   if retry then begin
     t.reselections <- t.reselections + 1;
+    Metrics.incr (ins_exn t).mx_reselections
+      ~labels:[ ("node", string_of_int node) ];
     issue_request t ~node
   end
 
@@ -400,6 +427,7 @@ let client_watchdog t ~node ~ts =
       let engine = engine_exn t in
       if Engine.now engine -. w.started >= t.acquire_timeout then begin
         t.abandoned <- t.abandoned + 1;
+        Metrics.incr (ins_exn t).mx_abandoned;
         abort_attempt t ~node w ~retry:false;
         drain_pending t ~node
       end
@@ -444,6 +472,31 @@ let bind t engine =
   if Engine.nodes engine <> t.system.Quorum.System.n then
     invalid_arg "Mutex.bind: engine size mismatch";
   t.engine <- Some engine;
+  let m = Obs.metrics (Engine.obs engine) in
+  t.ins <-
+    Some
+      {
+        mx_entries =
+          Metrics.counter m ~help:"critical-section entries" "mutex.entries";
+        mx_violations =
+          Metrics.counter m ~help:"concurrent entries beyond capacity"
+            "mutex.violations";
+        mx_unavailable =
+          Metrics.counter m
+            ~help:"requests with no live quorum to select"
+            "mutex.unavailable";
+        mx_reselections =
+          Metrics.counter m
+            ~help:"attempts re-issued around suspected members, by node"
+            "mutex.reselections";
+        mx_abandoned =
+          Metrics.counter m ~help:"attempts given up at acquire_timeout"
+            "mutex.abandoned";
+        mx_latency =
+          Metrics.histogram m
+            ~help:"request-to-entry latency (simulated time)"
+            "mutex.acquire_latency";
+      };
   Rpc.bind t.rpc engine;
   Rpc.set_dead_letter_handler t.rpc (fun ~src ~dst payload ->
       on_dead_letter t ~src ~dst payload);

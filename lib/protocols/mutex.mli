@@ -118,8 +118,10 @@ val dead_letters : t -> int
 val retransmissions : t -> int
 (** Rpc retransmissions spent on protocol messages. *)
 
-val wait_stats : t -> Sim.Stats.t
-(** Request-to-entry latency samples. *)
+val acquire_latency : t -> Obs.Metrics.histogram
+(** Request-to-entry latency samples ([mutex.acquire_latency] in the
+    engine's metrics registry).  Raises [Invalid_argument] before
+    {!bind}: instruments live in the engine's {!Obs.t}. *)
 
 val debug_dump : t -> string
 (** Human-readable dump of client and arbiter states (diagnostics). *)

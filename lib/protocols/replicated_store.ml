@@ -2,6 +2,7 @@ module Engine = Sim.Engine
 module Rpc = Sim.Rpc
 module Failure_detector = Sim.Failure_detector
 module Bitset = Quorum.Bitset
+module Metrics = Obs.Metrics
 
 type app =
   | Version_req of { op : int; key : int }
@@ -33,6 +34,16 @@ type op = {
   mutable done_ : bool;
 }
 
+type instruments = {
+  st_reads_ok : Metrics.counter;
+  st_writes_ok : Metrics.counter;
+  st_unavailable : Metrics.counter;
+  st_timeouts : Metrics.counter;
+  st_retries : Metrics.counter;
+  st_stale : Metrics.counter;
+  st_latency : Metrics.histogram;
+}
+
 type t = {
   read_system : Quorum.System.t;
   write_system : Quorum.System.t;
@@ -53,7 +64,7 @@ type t = {
   (* Consistency monitor: per key, the (commit time, version) history
      of completed writes, newest first. *)
   committed : (int, (float * int) list) Hashtbl.t;
-  latency : Sim.Stats.t;
+  mutable ins : instruments option;
 }
 
 let create ?(retries = 2) ?(rpc_timeout = 4.0) ?(rpc_backoff = 1.6)
@@ -86,12 +97,17 @@ let create ?(retries = 2) ?(rpc_timeout = 4.0) ?(rpc_backoff = 1.6)
     retried = 0;
     stale_reads = 0;
     committed = Hashtbl.create 16;
-    latency = Sim.Stats.create ();
+    ins = None;
   }
 
 let engine_exn t =
   match t.engine with
   | Some e -> e
+  | None -> invalid_arg "Replicated_store: bind the engine first"
+
+let ins_exn t =
+  match t.ins with
+  | Some i -> i
   | None -> invalid_arg "Replicated_store: bind the engine first"
 
 let reads_ok t = t.reads_ok
@@ -102,7 +118,11 @@ let retried t = t.retried
 let stale_reads t = t.stale_reads
 let dead_letters t = Rpc.dead_letters t.rpc
 let retransmissions t = Rpc.retransmissions t.rpc
-let latency t = t.latency
+let op_latency t = (ins_exn t).st_latency
+
+let mark_unavailable t =
+  t.unavailable <- t.unavailable + 1;
+  Metrics.incr (ins_exn t).st_unavailable
 
 let rsend t ~src ~dst m = Rpc.send t.rpc ~src ~dst m
 
@@ -127,7 +147,7 @@ let launch_attempt t (op : op) =
   match t.read_system.Quorum.System.select (Engine.rng engine) ~live with
   | None ->
       Hashtbl.remove t.ops op.id;
-      t.unavailable <- t.unavailable + 1
+      mark_unavailable t
   | Some quorum ->
       op.phase <- Reading { waiting_for = Bitset.copy quorum; best = (0, 0) };
       op.deadline <- Engine.now engine +. t.timeout;
@@ -142,7 +162,7 @@ let start_op t ~client ~key kind =
   let engine = engine_exn t in
   if not (Engine.is_live engine client) then
     (* A dead client cannot submit: counted with the refused ops. *)
-    t.unavailable <- t.unavailable + 1
+    mark_unavailable t
   else begin
     let id = t.next_op in
     t.next_op <- t.next_op + 1;
@@ -171,15 +191,24 @@ let finish t op outcome =
   op.done_ <- true;
   Hashtbl.remove t.ops op.id;
   let engine = engine_exn t in
+  let ins = ins_exn t in
   match outcome with
   | `Read_done version ->
       t.reads_ok <- t.reads_ok + 1;
-      Sim.Stats.add t.latency (Engine.now engine -. op.started);
-      if version < committed_version_before t op.key op.started then
-        t.stale_reads <- t.stale_reads + 1
+      Metrics.incr ins.st_reads_ok;
+      Metrics.observe ins.st_latency
+        ~labels:[ ("op", "read") ]
+        (Engine.now engine -. op.started);
+      if version < committed_version_before t op.key op.started then begin
+        t.stale_reads <- t.stale_reads + 1;
+        Metrics.incr ins.st_stale
+      end
   | `Write_done version ->
       t.writes_ok <- t.writes_ok + 1;
-      Sim.Stats.add t.latency (Engine.now engine -. op.started);
+      Metrics.incr ins.st_writes_ok;
+      Metrics.observe ins.st_latency
+        ~labels:[ ("op", "write") ]
+        (Engine.now engine -. op.started);
       let history =
         match Hashtbl.find_opt t.committed op.key with
         | Some h -> h
@@ -187,7 +216,9 @@ let finish t op outcome =
       in
       Hashtbl.replace t.committed op.key
         ((Engine.now engine, version) :: history)
-  | `Timeout -> t.timeouts <- t.timeouts + 1
+  | `Timeout ->
+      t.timeouts <- t.timeouts + 1;
+      Metrics.incr ins.st_timeouts
 
 (* The current attempt cannot complete (timeout or a dead-lettered
    request): retry on a fresh quorum or give up. *)
@@ -196,6 +227,7 @@ let attempt_failed t (op : op) =
   if op.retries_left > 0 && Engine.is_live engine op.client then begin
     op.retries_left <- op.retries_left - 1;
     t.retried <- t.retried + 1;
+    Metrics.incr (ins_exn t).st_retries;
     launch_attempt t op
   end
   else finish t op `Timeout
@@ -221,7 +253,7 @@ let on_version_rep t engine ~node op_id ~version ~value =
                    with
                   | None ->
                       Hashtbl.remove t.ops op.id;
-                      t.unavailable <- t.unavailable + 1
+                      mark_unavailable t
                   | Some wq ->
                       let version = fst r.best + 1 in
                       op.write_version <- version;
@@ -275,6 +307,30 @@ let bind t engine =
   if Engine.nodes engine <> t.read_system.Quorum.System.n then
     invalid_arg "Replicated_store.bind: engine size mismatch";
   t.engine <- Some engine;
+  let m = Obs.metrics (Engine.obs engine) in
+  t.ins <-
+    Some
+      {
+        st_reads_ok = Metrics.counter m ~help:"completed reads" "store.reads_ok";
+        st_writes_ok =
+          Metrics.counter m ~help:"completed writes" "store.writes_ok";
+        st_unavailable =
+          Metrics.counter m ~help:"operations refused for lack of a quorum"
+            "store.unavailable";
+        st_timeouts =
+          Metrics.counter m ~help:"operations failed after all retries"
+            "store.timeouts";
+        st_retries =
+          Metrics.counter m ~help:"attempts re-launched on a fresh quorum"
+            "store.retries";
+        st_stale =
+          Metrics.counter m ~help:"reads older than a prior committed write"
+            "store.stale_reads";
+        st_latency =
+          Metrics.histogram m
+            ~help:"operation latency (simulated time), by op=read|write"
+            "store.op_latency";
+      };
   Rpc.bind t.rpc engine;
   Rpc.set_dead_letter_handler t.rpc (fun ~src ~dst payload ->
       on_dead_letter t ~src ~dst payload);

@@ -88,4 +88,7 @@ val dead_letters : t -> int
 val retransmissions : t -> int
 (** Rpc retransmissions spent on store traffic. *)
 
-val latency : t -> Sim.Stats.t
+val op_latency : t -> Obs.Metrics.histogram
+(** Completed-operation latency samples ([store.op_latency] in the
+    engine's metrics registry, split by the [op=read|write] label).
+    Raises [Invalid_argument] before [bind]. *)

@@ -1,8 +1,12 @@
 module Rng = Quorum.Rng
 module Bitset = Quorum.Bitset
+module Metrics = Obs.Metrics
+module Trace = Obs.Trace
 
 type 'msg event =
-  | Deliver of { src : int; dst : int; msg : 'msg }
+  | Deliver of { src : int; dst : int; msg : 'msg; uid : int }
+      (** [uid] identifies the message for trace causality links; [-1]
+          for background traffic, which is metered but not traced. *)
   | Timer of { node : int; tag : int }
   | Crash of int
   | Recover of int
@@ -15,6 +19,15 @@ type 'msg handlers = {
   on_recover : 'msg t -> node:int -> unit;
 }
 
+and instruments = {
+  m_sent : Metrics.counter;
+  m_background : Metrics.counter;
+  m_delivered : Metrics.counter;
+  m_dropped : Metrics.counter;
+  m_crashes : Metrics.counter;
+  m_recoveries : Metrics.counter;
+}
+
 and 'msg t = {
   n : int;
   queue : ('msg event * bool) Heap.t;  (** event, is_background *)
@@ -23,19 +36,43 @@ and 'msg t = {
   net_rng : Rng.t;
   proto_rng : Rng.t;
   handlers : 'msg handlers;
+  obs : Obs.t;
+  ins : instruments;
+  mutable next_uid : int;
   mutable time : float;
   mutable sent : int;
   mutable background_sent : int;
   mutable delivered : int;
+  mutable dropped : int;
   mutable foreground : int;  (** queued events that keep [run] alive *)
   mutable budget_hits : int;
 }
 
 type outcome = Drained | Reached_until | Budget_exhausted
 
-let create ~seed ~nodes ?network handlers =
+let make_instruments m =
+  {
+    m_sent =
+      Metrics.counter m ~help:"foreground messages sent" "sim.messages_sent";
+    m_background =
+      Metrics.counter m ~help:"background messages sent (heartbeats...)"
+        "sim.messages_background";
+    m_delivered =
+      Metrics.counter m ~help:"messages handed to on_message"
+        "sim.messages_delivered";
+    m_dropped =
+      Metrics.counter m
+        ~help:"messages lost in flight, by reason (net | dead_dst)"
+        "sim.messages_dropped";
+    m_crashes = Metrics.counter m ~help:"node crash events" "sim.crashes";
+    m_recoveries =
+      Metrics.counter m ~help:"node recovery events" "sim.recoveries";
+  }
+
+let create ~seed ~nodes ?network ?obs handlers =
   if nodes <= 0 then invalid_arg "Engine.create: nodes";
   let root = Rng.create seed in
+  let obs = match obs with Some o -> o | None -> Obs.create () in
   {
     n = nodes;
     queue = Heap.create ();
@@ -44,10 +81,14 @@ let create ~seed ~nodes ?network handlers =
     net_rng = Rng.split root;
     proto_rng = Rng.split root;
     handlers;
+    obs;
+    ins = make_instruments (Obs.metrics obs);
+    next_uid = 0;
     time = 0.0;
     sent = 0;
     background_sent = 0;
     delivered = 0;
+    dropped = 0;
     foreground = 0;
     budget_hits = 0;
   }
@@ -56,12 +97,15 @@ let nodes t = t.n
 let now t = t.time
 let rng t = t.proto_rng
 let network t = t.network
+let obs t = t.obs
 let is_live t i = t.live.(i)
 
 let live_set t =
   let s = Bitset.create t.n in
   Array.iteri (fun i alive -> if alive then Bitset.add s i) t.live;
   s
+
+let trace t = Obs.trace t.obs
 
 let enqueue t ~time ~background ev =
   if not background then t.foreground <- t.foreground + 1;
@@ -71,17 +115,43 @@ let push t ~delay ?(background = false) ev =
   if delay < 0.0 then invalid_arg "Engine: negative delay";
   enqueue t ~time:(t.time +. delay) ~background ev
 
+let drop t ~reason =
+  t.dropped <- t.dropped + 1;
+  Metrics.incr t.ins.m_dropped ~labels:[ ("reason", reason) ]
+
 let send ?(background = false) t ~src ~dst msg =
   if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
     invalid_arg "Engine.send: bad node id";
   if t.live.(src) then begin
-    if background then t.background_sent <- t.background_sent + 1
-    else t.sent <- t.sent + 1;
-    if src = dst then push t ~delay:0.0 ~background (Deliver { src; dst; msg })
+    let uid =
+      (* Background traffic (heartbeats) would flood the trace ring and
+         evict the protocol messages the causality check cares about,
+         so it is metered but never traced. *)
+      if background then begin
+        t.background_sent <- t.background_sent + 1;
+        Metrics.incr t.ins.m_background;
+        -1
+      end
+      else begin
+        t.sent <- t.sent + 1;
+        Metrics.incr t.ins.m_sent;
+        let uid = t.next_uid in
+        t.next_uid <- uid + 1;
+        Trace.record (trace t) ~time:t.time ~node:src ~peer:dst ~msg_id:uid
+          Trace.Send;
+        uid
+      end
+    in
+    if src = dst then
+      push t ~delay:0.0 ~background (Deliver { src; dst; msg; uid })
     else
       match Network.delay t.network t.net_rng ~src ~dst with
-      | None -> ()
-      | Some d -> push t ~delay:d ~background (Deliver { src; dst; msg })
+      | None ->
+          drop t ~reason:"net";
+          if not background then
+            Trace.record (trace t) ~time:t.time ~node:src ~peer:dst
+              ~msg_id:uid ~label:"net" Trace.Drop
+      | Some d -> push t ~delay:d ~background (Deliver { src; dst; msg; uid })
   end
 
 let broadcast ?(background = false) t ~src ~dsts msg =
@@ -91,35 +161,54 @@ let set_timer ?(background = false) t ~node ~delay ~tag =
   if node < 0 || node >= t.n then invalid_arg "Engine.set_timer: bad node";
   push t ~delay ~background (Timer { node; tag })
 
-let at_absolute t ~time ev =
+let at_absolute t ~time ~background ev =
   if time < t.time then invalid_arg "Engine: scheduling in the past";
-  enqueue t ~time ~background:false ev
+  enqueue t ~time ~background ev
 
-let crash_at t ~time ~node = at_absolute t ~time (Crash node)
-let recover_at t ~time ~node = at_absolute t ~time (Recover node)
-let schedule t ~time thunk = at_absolute t ~time (Thunk thunk)
+let crash_at t ~time ~node = at_absolute t ~time ~background:false (Crash node)
+
+let recover_at t ~time ~node =
+  at_absolute t ~time ~background:false (Recover node)
+
+let schedule ?(background = false) t ~time thunk =
+  at_absolute t ~time ~background (Thunk thunk)
 
 let messages_sent t = t.sent
 let messages_background t = t.background_sent
 let messages_delivered t = t.delivered
+let messages_dropped t = t.dropped
 let budget_exhaustions t = t.budget_hits
 
-let dispatch t = function
-  | Deliver { src; dst; msg } ->
+let dispatch t ~background = function
+  | Deliver { src; dst; msg; uid } ->
       if t.live.(dst) then begin
         t.delivered <- t.delivered + 1;
+        Metrics.incr t.ins.m_delivered;
+        if not background then
+          Trace.record (trace t) ~time:t.time ~node:dst ~peer:src ~msg_id:uid
+            Trace.Deliver;
         t.handlers.on_message t ~node:dst ~src msg
+      end
+      else begin
+        drop t ~reason:"dead_dst";
+        if not background then
+          Trace.record (trace t) ~time:t.time ~node:dst ~peer:src ~msg_id:uid
+            ~label:"dead_dst" Trace.Drop
       end
   | Timer { node; tag } ->
       if t.live.(node) then t.handlers.on_timer t ~node ~tag
   | Crash node ->
       if t.live.(node) then begin
         t.live.(node) <- false;
+        Metrics.incr t.ins.m_crashes;
+        Trace.record (trace t) ~time:t.time ~node Trace.Crash;
         t.handlers.on_crash t ~node
       end
   | Recover node ->
       if not t.live.(node) then begin
         t.live.(node) <- true;
+        Metrics.incr t.ins.m_recoveries;
+        Trace.record (trace t) ~time:t.time ~node Trace.Recover;
         t.handlers.on_recover t ~node
       end
   | Thunk f -> f ()
@@ -158,7 +247,7 @@ let run_status ?until ?(max_events = 10_000_000) t =
             | Some (time, (ev, background)) ->
                 if not background then t.foreground <- t.foreground - 1;
                 t.time <- time;
-                dispatch t ev;
+                dispatch t ~background ev;
                 loop (budget - 1)
           end
   in

@@ -13,7 +13,16 @@
     events ([~background:true]) are maintenance traffic — failure
     detector heartbeats, periodic probes — that should not by itself
     prevent a run from draining.  [run] without [~until] returns as
-    soon as only background events remain. *)
+    soon as only background events remain.
+
+    Every engine carries an {!Obs.t}: message, crash and drop counters
+    land in its metrics registry, and foreground message lifecycles
+    (send, deliver, drop — linked by a per-message uid) plus crash /
+    recover transitions are appended to its trace ring.  Background
+    traffic is metered but never traced, so heartbeats cannot evict the
+    protocol events a causality check needs.  Observability never
+    touches the engine's RNG streams: runs are bit-identical with or
+    without a trace attached. *)
 
 type 'msg t
 
@@ -27,7 +36,17 @@ type 'msg handlers = {
     live destination nodes. *)
 
 val create :
-  seed:int -> nodes:int -> ?network:Network.t -> 'msg handlers -> 'msg t
+  seed:int ->
+  nodes:int ->
+  ?network:Network.t ->
+  ?obs:Obs.t ->
+  'msg handlers ->
+  'msg t
+(** [?obs] is the observability sink shared by everything bound to this
+    engine (rpc layer, failure detector, protocols); a fresh private
+    one is created when omitted, so instrumentation is always on. *)
+
+val obs : 'msg t -> Obs.t
 
 val nodes : 'msg t -> int
 val now : 'msg t -> float
@@ -58,9 +77,10 @@ val set_timer :
 val crash_at : 'msg t -> time:float -> node:int -> unit
 val recover_at : 'msg t -> time:float -> node:int -> unit
 
-val schedule : 'msg t -> time:float -> (unit -> unit) -> unit
+val schedule : ?background:bool -> 'msg t -> time:float -> (unit -> unit) -> unit
 (** Run an arbitrary thunk at an absolute simulated time (workload
-    injection). *)
+    injection).  [~background:true] schedules maintenance work that
+    should not keep {!run} alive on its own. *)
 
 val messages_sent : 'msg t -> int
 (** Foreground messages sent (protocol traffic, including
@@ -71,6 +91,10 @@ val messages_background : 'msg t -> int
     per-operation message metrics stay meaningful. *)
 
 val messages_delivered : 'msg t -> int
+
+val messages_dropped : 'msg t -> int
+(** Messages lost in flight — by the network or to a dead destination
+    (see the [sim.messages_dropped{reason=..}] metric for the split). *)
 
 type outcome =
   | Drained  (** no foreground events left *)

@@ -1,7 +1,14 @@
 module Bitset = Quorum.Bitset
+module Metrics = Obs.Metrics
 
 let fd_tag = -1
 let eps = 1e-9
+
+type instruments = {
+  f_beats : Metrics.counter;
+  f_suspected : Metrics.gauge;
+  f_false : Metrics.counter;
+}
 
 type 'wire t = {
   period : float;
@@ -9,6 +16,7 @@ type 'wire t = {
   n : int;
   beat : 'wire;
   mutable engine : 'wire Engine.t option;
+  mutable ins : instruments option;
   last_heard : float array array;
       (** [last_heard.(i).(j)]: when [i] last heard from [j]. *)
   next_due : float array;
@@ -28,6 +36,7 @@ let create ?(period = 1.0) ?(timeout = 5.0) ~nodes ~beat () =
     n = nodes;
     beat;
     engine = None;
+    ins = None;
     last_heard = Array.make_matrix nodes nodes 0.0;
     next_due = Array.make nodes infinity;
   }
@@ -40,7 +49,21 @@ let engine_exn t =
 let bind t engine =
   if Engine.nodes engine <> t.n then
     invalid_arg "Failure_detector.bind: engine size mismatch";
-  t.engine <- Some engine
+  t.engine <- Some engine;
+  let m = Obs.metrics (Engine.obs engine) in
+  t.ins <-
+    Some
+      {
+        f_beats = Metrics.counter m ~help:"heartbeats sent" "fd.beats_sent";
+        f_suspected =
+          Metrics.gauge m
+            ~help:"peers currently suspected, sampled each beat period"
+            "fd.suspected";
+        f_false =
+          Metrics.counter m
+            ~help:"suspicion samples where the suspect was actually live"
+            "fd.false_suspicions";
+      }
 
 let period t = t.period
 let timeout t = t.timeout
@@ -63,6 +86,31 @@ let start t =
       ~delay:(t.period *. (0.25 +. (0.75 *. float_of_int i /. float_of_int t.n)))
   done
 
+let suspects t ~node j =
+  if j = node then false
+  else begin
+    let engine = engine_exn t in
+    Engine.now engine -. t.last_heard.(node).(j) > t.timeout
+  end
+
+(* Detector accuracy, sampled once per beat period at the observing
+   node: how many peers it suspects, and how many of those are in fact
+   live (a false suspicion from the simulation's omniscient view). *)
+let sample_accuracy t ~node engine =
+  match t.ins with
+  | None -> ()
+  | Some ins ->
+      let suspected = ref 0 in
+      for j = 0 to t.n - 1 do
+        if suspects t ~node j then begin
+          incr suspected;
+          if Engine.is_live engine j then Metrics.incr ins.f_false
+        end
+      done;
+      Metrics.set ins.f_suspected
+        ~labels:[ ("node", string_of_int node) ]
+        (float_of_int !suspected)
+
 let on_timer t ~node ~tag =
   if tag <> fd_tag then false
   else begin
@@ -71,9 +119,14 @@ let on_timer t ~node ~tag =
     (* Drop duplicate chains left over from crash/recovery races. *)
     if abs_float (now -. t.next_due.(node)) <= eps then begin
       for dst = 0 to t.n - 1 do
-        if dst <> node then
+        if dst <> node then begin
+          (match t.ins with
+          | Some ins -> Metrics.incr ins.f_beats
+          | None -> ());
           Engine.send ~background:true engine ~src:node ~dst t.beat
+        end
       done;
+      sample_accuracy t ~node engine;
       schedule_beat t ~node ~delay:t.period
     end;
     true
@@ -92,13 +145,6 @@ let on_recover t ~node =
     t.last_heard.(node).(j) <- now
   done;
   schedule_beat t ~node ~delay:(t.period *. 0.5)
-
-let suspects t ~node j =
-  if j = node then false
-  else begin
-    let engine = engine_exn t in
-    Engine.now engine -. t.last_heard.(node).(j) > t.timeout
-  end
 
 let view t ~node =
   let s = Bitset.create t.n in

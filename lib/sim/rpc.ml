@@ -1,6 +1,15 @@
 module Rng = Quorum.Rng
+module Metrics = Obs.Metrics
+module Trace = Obs.Trace
 
 type 'a msg = Data of { seq : int; payload : 'a } | Ack of { seq : int }
+
+type instruments = {
+  i_sends : Metrics.counter;
+  i_retransmits : Metrics.counter;
+  i_duplicates : Metrics.counter;
+  i_dead : Metrics.counter;
+}
 
 (* Timer-tag namespace: tag = -seq - 2, so every rpc tag is <= -2.
    Tag -1 belongs to Failure_detector; protocol tags are >= 0. *)
@@ -23,6 +32,7 @@ type ('a, 'wire) t = {
   max_attempts : int;
   wrap : 'a msg -> 'wire;
   mutable engine : 'wire Engine.t option;
+  mutable ins : instruments option;
   mutable next_seq : int;
   inflight : (int, 'a inflight) Hashtbl.t;  (** seq -> record *)
   seen : (int, unit) Hashtbl.t;  (** seqs already delivered *)
@@ -45,6 +55,7 @@ let create ?(timeout = 2.0) ?(backoff = 1.6) ?(jitter = 0.3)
     max_attempts;
     wrap;
     engine = None;
+    ins = None;
     next_seq = 0;
     inflight = Hashtbl.create 64;
     seen = Hashtbl.create 256;
@@ -59,8 +70,35 @@ let engine_exn t =
   | Some e -> e
   | None -> invalid_arg "Rpc: bind the engine first"
 
-let bind t engine = t.engine <- Some engine
+let bind t engine =
+  t.engine <- Some engine;
+  let m = Obs.metrics (Engine.obs engine) in
+  t.ins <-
+    Some
+      {
+        i_sends =
+          Metrics.counter m ~help:"rpc sends (first transmissions)"
+            "rpc.sends";
+        i_retransmits =
+          Metrics.counter m ~help:"rpc retransmissions, by sender node"
+            "rpc.retransmits";
+        i_duplicates =
+          Metrics.counter m ~help:"duplicate deliveries suppressed"
+            "rpc.duplicates_suppressed";
+        i_dead =
+          Metrics.counter m
+            ~help:"messages abandoned after max_attempts, by sender node"
+            "rpc.dead_letters";
+      }
+
 let set_dead_letter_handler t f = t.on_dead_letter <- f
+
+let ins_exn t =
+  match t.ins with
+  | Some i -> i
+  | None -> invalid_arg "Rpc: bind the engine first"
+
+let node_label node = [ ("node", string_of_int node) ]
 
 let retransmissions t = t.retransmissions
 let duplicates_suppressed t = t.duplicates
@@ -77,6 +115,7 @@ let send t ~src ~dst payload =
   t.next_seq <- t.next_seq + 1;
   Hashtbl.replace t.inflight seq
     { src; dst; payload; attempts = 1; rto = t.timeout };
+  Metrics.incr (ins_exn t).i_sends;
   Engine.send engine ~src ~dst (t.wrap (Data { seq; payload }));
   Engine.set_timer engine ~node:src
     ~delay:(jittered t engine t.timeout)
@@ -88,7 +127,10 @@ let on_message t ~node ~src msg ~deliver =
   | Data { seq; payload } ->
       (* Always (re-)ack: the previous ack may have been lost. *)
       Engine.send engine ~src:node ~dst:src (t.wrap (Ack { seq }));
-      if Hashtbl.mem t.seen seq then t.duplicates <- t.duplicates + 1
+      if Hashtbl.mem t.seen seq then begin
+        t.duplicates <- t.duplicates + 1;
+        Metrics.incr (ins_exn t).i_duplicates
+      end
       else begin
         Hashtbl.replace t.seen seq ();
         deliver ~src payload
@@ -105,6 +147,12 @@ let on_timer t ~node ~tag =
         if m.attempts >= t.max_attempts then begin
           Hashtbl.remove t.inflight seq;
           t.dead <- t.dead + 1;
+          Metrics.incr (ins_exn t).i_dead ~labels:(node_label m.src);
+          let engine = engine_exn t in
+          Trace.record
+            (Obs.trace (Engine.obs engine))
+            ~time:(Engine.now engine) ~node:m.src ~peer:m.dst
+            ~label:"rpc.dead_letter" Trace.Note;
           t.on_dead_letter ~src:m.src ~dst:m.dst m.payload
         end
         else begin
@@ -112,6 +160,7 @@ let on_timer t ~node ~tag =
           m.attempts <- m.attempts + 1;
           m.rto <- m.rto *. t.backoff;
           t.retransmissions <- t.retransmissions + 1;
+          Metrics.incr (ins_exn t).i_retransmits ~labels:(node_label node);
           Engine.send engine ~src:node ~dst:m.dst
             (t.wrap (Data { seq; payload = m.payload }));
           Engine.set_timer engine ~node ~delay:(jittered t engine m.rto)

@@ -136,11 +136,20 @@ let test_registry_whitespace () =
   check "malformed" true (Result.is_error (Core.Registry.build "htriang(15"))
 
 let test_stats_empty () =
-  let s = Sim.Stats.create () in
-  check_int "count 0" 0 (Sim.Stats.count s);
-  Alcotest.(check (float 1e-12)) "mean 0" 0.0 (Sim.Stats.mean s);
-  check "percentile raises" true
-    (raises_invalid (fun () -> Sim.Stats.percentile s 0.5))
+  (* Regression: the old Stats.percentile raised on an empty series;
+     the Obs histogram API is empty-safe across the board. *)
+  let m = Obs.Metrics.create () in
+  let h = Obs.Metrics.histogram m "empty.hist" in
+  check_int "count 0" 0 (Obs.Metrics.count h);
+  Alcotest.(check (float 1e-12)) "mean 0" 0.0 (Obs.Metrics.mean h);
+  Alcotest.(check (float 1e-12)) "sum 0" 0.0 (Obs.Metrics.sum h);
+  check "percentile None" true (Obs.Metrics.percentile h 0.5 = None);
+  Alcotest.(check (float 1e-12))
+    "percentile_or default" 42.0
+    (Obs.Metrics.percentile_or ~default:42.0 h 0.99);
+  check "summary n=0" true (Obs.Metrics.summary h = "n=0");
+  check "bad quantile raises" true
+    (raises_invalid (fun () -> Obs.Metrics.percentile h 1.5))
 
 let test_engine_validation () =
   let handlers : unit Sim.Engine.handlers =

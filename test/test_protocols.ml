@@ -71,9 +71,9 @@ let test_mutex_with_dead_nodes () =
 
 let test_mutex_waits_positive () =
   let mx = run_mutex ~requests:10 ~spacing:0.01 "majority(7)" in
-  let stats = Protocols.Mutex.wait_stats mx in
-  check_int "latency samples" 10 (Sim.Stats.count stats);
-  check "waits positive" true (Sim.Stats.mean stats > 0.0)
+  let stats = Protocols.Mutex.acquire_latency mx in
+  check_int "latency samples" 10 (Obs.Metrics.count stats);
+  check "waits positive" true (Obs.Metrics.mean stats > 0.0)
 
 (* --- Replicated store ---------------------------------------------- *)
 

@@ -3,7 +3,6 @@
 module Engine = Sim.Engine
 module Heap = Sim.Heap
 module Network = Sim.Network
-module Stats = Sim.Stats
 module Rng = Quorum.Rng
 
 let check = Alcotest.(check bool)
@@ -315,21 +314,6 @@ let test_crash_random_subset () =
   let crashed = 100 - Quorum.Bitset.cardinal (Engine.live_set e) in
   check "roughly 30 crashed" true (crashed > 15 && crashed < 45)
 
-(* --- Stats ----------------------------------------------------------- *)
-
-let test_stats () =
-  let s = Stats.create () in
-  List.iter (Stats.add s) [ 1.0; 2.0; 3.0; 4.0 ];
-  check_int "count" 4 (Stats.count s);
-  Alcotest.(check (float 1e-9)) "mean" 2.5 (Stats.mean s);
-  Alcotest.(check (float 1e-9)) "min" 1.0 (Stats.min_value s);
-  Alcotest.(check (float 1e-9)) "max" 4.0 (Stats.max_value s);
-  Alcotest.(check (float 1e-9)) "p50" 2.0 (Stats.percentile s 0.5);
-  Stats.incr s "x";
-  Stats.incr s "x";
-  check_int "counter" 2 (Stats.counter s "x");
-  check_int "missing counter" 0 (Stats.counter s "y")
-
 let () =
   Alcotest.run "sim"
     [
@@ -370,5 +354,4 @@ let () =
           Alcotest.test_case "scripted" `Quick test_scripted;
           Alcotest.test_case "random subset" `Quick test_crash_random_subset;
         ] );
-      ("stats", [ Alcotest.test_case "stats" `Quick test_stats ]);
     ]
