@@ -1,6 +1,12 @@
 (* Chaos harness comparison: every quorum system through every standard
    fault scenario, for both protocols.  Violations and stale reads must
-   print as 0 everywhere — the scenarios stress liveness, never safety. *)
+   print as 0 everywhere — the scenarios stress liveness, never safety.
+
+   With --jobs N the (system, scenario) grid is flattened into one pool
+   task per run; every task builds its own system (nothing mutable is
+   shared across domains) and renders its row — and metrics dump, under
+   --metrics — to a string.  Rows print in grid order, so the output is
+   byte-identical to the sequential sweep. *)
 
 module C = Protocols.Chaos
 
@@ -10,11 +16,21 @@ let horizon () = if !Util.fast then 150.0 else 400.0
    the report row. *)
 let maybe_obs () = if !Util.metrics then Some (Obs.create ()) else None
 
-let dump_metrics ~spec ~label = function
-  | None -> ()
+let metrics_dump ~spec ~label = function
+  | None -> ""
   | Some obs ->
-      Printf.printf "--- metrics %s / %s ---\n%s" spec label
+      Printf.sprintf "--- metrics %s / %s ---\n%s" spec label
         (Obs.Metrics.render (Obs.metrics obs))
+
+(* Run the flattened task list, sequentially or on the bench pool, and
+   print the rendered outputs in order. *)
+let sweep tasks =
+  let outputs =
+    match Util.pool () with
+    | None -> Array.map (fun task -> task ()) tasks
+    | Some pool -> Exec.Pool.map_array pool (fun task -> task ()) tasks
+  in
+  Array.iter print_string outputs
 
 (* n differs across systems (15 vs 16), so scenarios are built per
    system: the partition group scales with n. *)
@@ -23,17 +39,21 @@ let mutex_specs = [ "majority(15)"; "hgrid(4x4)"; "htgrid(4x4)"; "htriang(15)" ]
 let mutex_runs () =
   Printf.printf "\n== chaos: mutual exclusion under fault scenarios ==\n";
   Printf.printf "%s\n" (C.mutex_header ());
-  List.iter
-    (fun spec ->
-      let system = Core.Registry.build_exn spec in
-      List.iter
-        (fun scenario ->
-          let obs = maybe_obs () in
-          let r = C.run_mutex ~seed:41 ?obs ~system scenario in
-          Printf.printf "%s\n" (C.mutex_row r);
-          dump_metrics ~spec ~label:scenario.C.label obs)
-        (C.standard ~n:system.Quorum.System.n ~horizon:(horizon ())))
-    mutex_specs
+  let tasks =
+    List.concat_map
+      (fun spec ->
+        let n = (Util.system spec).Quorum.System.n in
+        List.map
+          (fun scenario () ->
+            let system = Util.system spec in
+            let obs = maybe_obs () in
+            let r = C.run_mutex ~seed:41 ?obs ~system scenario in
+            Printf.sprintf "%s\n%s" (C.mutex_row r)
+              (metrics_dump ~spec ~label:scenario.C.label obs))
+          (C.standard ~n ~horizon:(horizon ())))
+      mutex_specs
+  in
+  sweep (Array.of_list tasks)
 
 let store_runs () =
   Printf.printf "\n== chaos: replicated store under fault scenarios ==\n";
@@ -46,20 +66,25 @@ let store_runs () =
       ("htriang(15)", "htriang(15)", "htriang(15)");
     ]
   in
-  List.iter
-    (fun (rspec, wspec, name) ->
-      let read_system = Core.Registry.build_exn rspec in
-      let write_system = Core.Registry.build_exn wspec in
-      List.iter
-        (fun scenario ->
-          let obs = maybe_obs () in
-          let r =
-            C.run_store ~seed:42 ?obs ~read_system ~write_system ~name scenario
-          in
-          Printf.printf "%s\n" (C.store_row r);
-          dump_metrics ~spec:name ~label:scenario.C.label obs)
-        (C.standard ~n:read_system.Quorum.System.n ~horizon:(horizon ())))
-    pairs
+  let tasks =
+    List.concat_map
+      (fun (rspec, wspec, name) ->
+        let n = (Util.system rspec).Quorum.System.n in
+        List.map
+          (fun scenario () ->
+            let read_system = Util.system rspec in
+            let write_system = Util.system wspec in
+            let obs = maybe_obs () in
+            let r =
+              C.run_store ~seed:42 ?obs ~read_system ~write_system ~name
+                scenario
+            in
+            Printf.sprintf "%s\n%s" (C.store_row r)
+              (metrics_dump ~spec:name ~label:scenario.C.label obs))
+          (C.standard ~n ~horizon:(horizon ())))
+      pairs
+  in
+  sweep (Array.of_list tasks)
 
 let run () =
   mutex_runs ();

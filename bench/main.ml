@@ -2,16 +2,19 @@
    paper, the in-text section 4.3 / section 6 numbers, the ablations,
    the simulated-protocol comparison and the bechamel micro-benchmarks.
 
-   Usage: main.exe [--fast] [--metrics] [target ...]
+   Usage: main.exe [--fast] [--metrics] [--jobs N] [target ...]
    Targets: table1 table2 table3 table4 table5 figure1 figure2 curves
             sect43 sect6 ablations sims chaos placement byzantine
-            thresholds perf all (default: all)
+            thresholds perf parallel all (default: all)
 
    --fast replaces the 2^25..2^28 exact enumerations (h-T-grid(25),
    Paths(24), Y(28)) with 1e6-trial Monte Carlo estimates.
    --metrics makes the chaos target dump the full per-scenario metrics
    registry (rpc, failure-detector and protocol instruments) after each
-   report row. *)
+   report row.
+   --jobs N runs the analysis hot paths on an N-domain pool; results
+   are identical for any N (the parallel target reports the speedups
+   and writes BENCH_parallel.json). *)
 
 let targets : (string * (unit -> unit)) list =
   [
@@ -37,24 +40,33 @@ let targets : (string * (unit -> unit)) list =
     ("byzantine", Byz.run);
     ("thresholds", Thresholds.run);
     ("perf", Perf.run);
+    ("parallel", Parallel.run);
   ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let args =
-    List.filter
-      (fun a ->
-        if a = "--fast" then begin
-          Util.fast := true;
-          false
-        end
-        else if a = "--metrics" then begin
-          Util.metrics := true;
-          false
-        end
-        else true)
-      args
+  let rec parse_flags acc = function
+    | [] -> List.rev acc
+    | "--fast" :: rest ->
+        Util.fast := true;
+        parse_flags acc rest
+    | "--metrics" :: rest ->
+        Util.metrics := true;
+        parse_flags acc rest
+    | "--jobs" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 ->
+            Util.jobs := n;
+            parse_flags acc rest
+        | _ ->
+            Printf.eprintf "error: --jobs expects a positive integer\n";
+            exit 1)
+    | "--jobs" :: [] ->
+        Printf.eprintf "error: --jobs expects a positive integer\n";
+        exit 1
+    | a :: rest -> parse_flags (a :: acc) rest
   in
+  let args = parse_flags [] args in
   let selected =
     match args with [] | [ "all" ] -> List.map fst targets | l -> l
   in
@@ -71,4 +83,7 @@ let () =
           Printf.eprintf "unknown target %s (known: %s)\n" name
             (String.concat " " (List.map fst targets));
           exit 1)
-    selected
+    selected;
+  match !Util.the_pool with
+  | Some p -> Exec.Pool.shutdown p
+  | None -> ()

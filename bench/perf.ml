@@ -6,7 +6,7 @@ open Bechamel
 open Toolkit
 
 let systems () =
-  List.map Core.Registry.build_exn
+  List.map Util.system
     [
       "majority(15)";
       "hqs(5-3)";

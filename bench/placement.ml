@@ -12,6 +12,18 @@ let three_clusters rng n =
   let c = n - a - b in
   Topology.clusters rng ~sizes:[ a; b; c ] ~spread:1.0 ~separation:10.0
 
+(* Each spec's line is an independent computation (fresh system, fresh
+   RNGs), so the sweeps run one spec per pool task under --jobs and
+   print the collected lines in spec order. *)
+let spec_lines specs line =
+  let tasks = Array.of_list (List.map (fun spec () -> line spec) specs) in
+  let lines =
+    match Util.pool () with
+    | None -> Array.map (fun task -> task ()) tasks
+    | Some pool -> Exec.Pool.map_array pool (fun task -> task ()) tasks
+  in
+  Array.iter print_string lines
+
 let analysis () =
   Util.print_header
     "Placement (extension): quorum RTT on a 3-datacenter topology";
@@ -20,9 +32,13 @@ let analysis () =
     \   members within 1; lower is better)\n";
   Printf.printf "  %-16s %-22s %-22s\n" "system" "latency-aware RTT"
     "load-balancing RTT";
-  List.iter
+  spec_lines
+    [
+      "majority(15)"; "hqs(5-3)"; "cwlog(14)"; "htgrid(4x4)"; "htriang(15)";
+      "fpp(13)";
+    ]
     (fun spec ->
-      let system = Core.Registry.build_exn spec in
+      let system = Util.system spec in
       let rng = Rng.create 41 in
       let topology = three_clusters rng system.Quorum.System.n in
       let best = Analysis.Placement.mean_best_rtt system topology in
@@ -30,22 +46,18 @@ let analysis () =
         Analysis.Placement.mean_strategy_rtt ~trials:3000 (Rng.create 42)
           system topology
       in
-      Printf.printf "  %-16s %-22.2f %-22.2f\n" spec best strat)
-    [
-      "majority(15)"; "hqs(5-3)"; "cwlog(14)"; "htgrid(4x4)"; "htriang(15)";
-      "fpp(13)";
-    ];
+      Printf.sprintf "  %-16s %-22.2f %-22.2f\n" spec best strat);
   Printf.printf
     "\n  Ring topology (radius 10) for contrast - no locality to exploit:\n";
-  List.iter
+  spec_lines
+    [ "majority(15)"; "cwlog(14)"; "htriang(15)" ]
     (fun spec ->
-      let system = Core.Registry.build_exn spec in
+      let system = Util.system spec in
       let topology = Topology.ring ~n:system.Quorum.System.n ~radius:10.0 in
-      Printf.printf "  %-16s best %-8.2f strategy %-8.2f\n" spec
+      Printf.sprintf "  %-16s best %-8.2f strategy %-8.2f\n" spec
         (Analysis.Placement.mean_best_rtt system topology)
         (Analysis.Placement.mean_strategy_rtt ~trials:3000 (Rng.create 43)
            system topology))
-    [ "majority(15)"; "cwlog(14)"; "htriang(15)" ]
 
 let geo_simulation () =
   Util.print_header
@@ -53,7 +65,7 @@ let geo_simulation () =
   Printf.printf "  %-16s %-12s %s\n" "system" "mean wait" "p99 wait";
   List.iter
     (fun spec ->
-      let system = Core.Registry.build_exn spec in
+      let system = Util.system spec in
       let rng = Rng.create 44 in
       let topology = three_clusters rng system.Quorum.System.n in
       let network = Topology.network ~base_latency:0.5 ~jitter:0.1 topology in

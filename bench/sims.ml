@@ -15,7 +15,7 @@ let mutex_comparison () =
     "msgs/entry" "mean wait" "violations";
   List.iter
     (fun spec ->
-      let system = Core.Registry.build_exn spec in
+      let system = Util.system spec in
       let mx = Protocols.Mutex.create ~system ~cs_duration:0.5 () in
       let engine =
         Engine.create ~seed:101 ~nodes:system.Quorum.System.n
@@ -51,7 +51,7 @@ let store_comparison () =
   Printf.printf "  %-16s %-10s %-14s %-11s %s\n" "system" "ok ratio"
     "ok (retry=3)" "predicted" "stale";
   let run_store spec retries =
-    let system = Core.Registry.build_exn spec in
+    let system = Util.system spec in
     let store =
       Protocols.Replicated_store.create ~retries ~read_system:system
         ~write_system:system ~timeout:30.0 ()
@@ -81,7 +81,7 @@ let store_comparison () =
   in
   List.iter
     (fun spec ->
-      let system = Core.Registry.build_exn spec in
+      let system = Util.system spec in
       let ratio0, stale0 = run_store spec 0 in
       let ratio3, stale3 = run_store spec 3 in
       let predicted =
@@ -92,8 +92,8 @@ let store_comparison () =
     [ "majority(15)"; "cwlog(14)"; "htgrid(4x4)"; "htriang(15)" ];
   Printf.printf
     "(h-grid read/write split for the replicated-data setting of 4.1:)\n";
-  let read_system = Core.Registry.build_exn "hgrid-read(4x4)" in
-  let write_system = Core.Registry.build_exn "hgrid-write(4x4)" in
+  let read_system = Util.system "hgrid-read(4x4)" in
+  let write_system = Util.system "hgrid-write(4x4)" in
   let store =
     Protocols.Replicated_store.create ~read_system ~write_system ~timeout:30.0 ()
   in

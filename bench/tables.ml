@@ -77,13 +77,13 @@ let fp_of_spec spec p =
   | "cwlog(29)" -> Systems.Cwlog.failure_probability ~n:29 ~p
   | "htriang(28)" ->
       Htriang.failure_probability (Htriang.standard ~rows:7 ()) ~p
-  | _ -> Util.failure_probability (Registry.build_exn spec) ~p
+  | _ -> Util.failure_probability (Util.system spec) ~p
 
 let fp_row_of_spec spec =
   match spec with
   | "majority(28)" | "hqs(3-3-3)" | "cwlog(29)" | "htriang(28)" ->
       List.map (fp_of_spec spec) ps
-  | _ -> Util.failure_row (Registry.build_exn spec) ps
+  | _ -> Util.failure_row (Util.system spec) ps
 
 let cross_table title lineup =
   Util.print_header title;

@@ -10,6 +10,34 @@ let metrics = ref false
    registry (rpc retransmits, fd accuracy, latency histograms, ...)
    after its report row. *)
 
+let jobs = ref 1
+(* --jobs N runs the analysis hot paths (exact enumerations, Monte
+   Carlo, chaos sweeps) on an N-domain pool.  Results are identical
+   for any value; 1 keeps the sequential code paths. *)
+
+let the_pool : Exec.Pool.t option ref = ref None
+
+(* The shared bench pool, created on first use once --jobs is known.
+   [None] when --jobs <= 1 so callers fall back to sequential code. *)
+let pool () =
+  if !jobs <= 1 then None
+  else
+    match !the_pool with
+    | Some _ as p -> p
+    | None ->
+        let p = Exec.Pool.create ~name:"bench" ~jobs:!jobs () in
+        the_pool := Some p;
+        Some p
+
+(* Result-typed system construction with uniform error rendering: the
+   bench never calls the raising Registry/System entry points. *)
+let system spec =
+  match Core.Registry.build spec with
+  | Ok s -> s
+  | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+
 let line width = String.make width '-'
 
 let print_header title =
@@ -33,16 +61,16 @@ let row label cells =
    universes. *)
 let failure_probability system ~p =
   if !fast && system.Quorum.System.n > 24 then
-    (Analysis.Failure.monte_carlo ~trials:1_000_000 (Quorum.Rng.create 1)
-       system ~p)
+    (Analysis.Failure.monte_carlo ?pool:(pool ()) ~trials:1_000_000
+       (Quorum.Rng.create 1) system ~p)
       .mean
-  else Analysis.Failure.exact system ~p
+  else Analysis.Failure.exact ?pool:(pool ()) system ~p
 
 (* Evaluate several p values off one polynomial (one enumeration). *)
 let failure_row system ps =
   if !fast && system.Quorum.System.n > 24 then
     List.map (fun p -> failure_probability system ~p) ps
   else begin
-    let poly = Analysis.Failure.exact_poly system in
+    let poly = Analysis.Failure.exact_poly ?pool:(pool ()) system in
     List.map (fun p -> Quorum.Failure_poly.eval poly ~p) ps
   end

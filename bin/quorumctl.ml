@@ -50,6 +50,19 @@ let with_system spec f =
       Printf.eprintf "error: %s\n" msg;
       1
 
+(* --- parallelism ---------------------------------------------------- *)
+
+let jobs_arg =
+  let doc =
+    "Worker domains for the analysis pool (1 = the sequential code path; \
+     results are identical for any value)."
+  in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+let with_jobs jobs f =
+  if jobs <= 1 then f None
+  else Exec.Pool.with_pool ~name:"quorumctl" ~jobs (fun pool -> f (Some pool))
+
 (* --- info --------------------------------------------------------- *)
 
 let info_cmd =
@@ -107,43 +120,44 @@ let fp_cmd =
            | [ id; p ] -> (int_of_string (String.trim id), float_of_string p)
            | _ -> invalid_arg "expected id:p")
   in
-  let run spec ps trials hetero =
+  let run spec ps trials hetero jobs =
     with_system spec (fun system ->
-        match hetero with
-        | Some overrides ->
-            let overrides = parse_hetero overrides in
-            let base = List.hd ps in
-            let p_of i =
-              match List.assoc_opt i overrides with
-              | Some p -> p
-              | None -> base
-            in
-            let fp =
-              if system.Quorum.System.n <= 24 then
-                Analysis.Failure.exact_hetero system ~p_of
-              else
-                (Analysis.Failure.monte_carlo_hetero ~trials
-                   (Quorum.Rng.create 0) system ~p_of)
-                  .mean
-            in
-            Printf.printf "%s, base p = %.3f with %d overrides: F = %.6f\n"
-              system.Quorum.System.name base (List.length overrides) fp
-        | None ->
-            let exact = system.Quorum.System.n <= 26 in
-            Printf.printf "%s (%s)\n" system.Quorum.System.name
-              (if exact then "exact enumeration" else "Monte Carlo");
-            List.iter
-              (fun p ->
-                let fp =
-                  Analysis.Failure.failure_probability ~mc_trials:trials
-                    system ~p
+        with_jobs jobs (fun pool ->
+            match hetero with
+            | Some overrides ->
+                let overrides = parse_hetero overrides in
+                let base = List.hd ps in
+                let p_of i =
+                  match List.assoc_opt i overrides with
+                  | Some p -> p
+                  | None -> base
                 in
-                Printf.printf "  F(%.3f) = %.6f\n" p fp)
-              ps)
+                let fp =
+                  if system.Quorum.System.n <= 24 then
+                    Analysis.Failure.exact_hetero ?pool system ~p_of
+                  else
+                    (Analysis.Failure.monte_carlo_hetero ?pool ~trials
+                       (Quorum.Rng.create 0) system ~p_of)
+                      .mean
+                in
+                Printf.printf "%s, base p = %.3f with %d overrides: F = %.6f\n"
+                  system.Quorum.System.name base (List.length overrides) fp
+            | None ->
+                let exact = system.Quorum.System.n <= 26 in
+                Printf.printf "%s (%s)\n" system.Quorum.System.name
+                  (if exact then "exact enumeration" else "Monte Carlo");
+                List.iter
+                  (fun p ->
+                    let fp =
+                      Analysis.Failure.failure_probability ?pool
+                        ~mc_trials:trials system ~p
+                    in
+                    Printf.printf "  F(%.3f) = %.6f\n" p fp)
+                  ps))
   in
   let doc = "Failure probability over a sweep of crash probabilities." in
   Cmd.v (Cmd.info "fp" ~doc)
-    Term.(const run $ spec_arg $ ps_arg $ trials_arg $ hetero_arg)
+    Term.(const run $ spec_arg $ ps_arg $ trials_arg $ hetero_arg $ jobs_arg)
 
 (* --- load ---------------------------------------------------------- *)
 
@@ -288,7 +302,7 @@ let chaos_cmd =
       & opt (enum [ ("mutex", `Mutex); ("store", `Store) ]) `Mutex
       & info [ "protocol" ] ~doc:"Protocol to stress: $(b,mutex) or $(b,store).")
   in
-  let run spec scenario horizon seed protocol =
+  let run spec scenario horizon seed protocol jobs =
     if horizon <= 0.0 then begin
       Printf.eprintf "error: --horizon must be positive (got %g)\n" horizon;
       exit 1
@@ -305,24 +319,43 @@ let chaos_cmd =
                   Printf.eprintf "error: %s\n" msg;
                   exit 1)
         in
-        match protocol with
-        | `Mutex ->
-            Printf.printf "%s\n" (Protocols.Chaos.mutex_header ());
-            List.iter
-              (fun s ->
-                let r = Protocols.Chaos.run_mutex ~seed ~system s in
-                Printf.printf "%s\n" (Protocols.Chaos.mutex_row r))
-              scenarios
-        | `Store ->
-            Printf.printf "%s\n" (Protocols.Chaos.store_header ());
-            List.iter
-              (fun s ->
-                let r =
-                  Protocols.Chaos.run_store ~seed ~read_system:system
-                    ~write_system:system ~name:system.Quorum.System.name s
-                in
-                Printf.printf "%s\n" (Protocols.Chaos.store_row r))
-              scenarios)
+        (* One scenario per pool task; each task builds its own system
+           so no mutable state is shared across domains.  Rows are
+           collected and printed in scenario order. *)
+        let fresh_system () =
+          match build_extended spec with
+          | Ok s -> s
+          | Error msg -> failwith msg
+        in
+        let row =
+          match protocol with
+          | `Mutex ->
+              fun s ->
+                let system = fresh_system () in
+                Protocols.Chaos.mutex_row
+                  (Protocols.Chaos.run_mutex ~seed ~system s)
+          | `Store ->
+              fun s ->
+                let system = fresh_system () in
+                Protocols.Chaos.store_row
+                  (Protocols.Chaos.run_store ~seed ~read_system:system
+                     ~write_system:system ~name:system.Quorum.System.name s)
+        in
+        let header =
+          match protocol with
+          | `Mutex -> Protocols.Chaos.mutex_header ()
+          | `Store -> Protocols.Chaos.store_header ()
+        in
+        let rows =
+          with_jobs jobs (fun pool ->
+              match pool with
+              | None -> List.map row scenarios
+              | Some pool ->
+                  Array.to_list
+                    (Exec.Pool.map_array pool row (Array.of_list scenarios)))
+        in
+        Printf.printf "%s\n" header;
+        List.iter (fun r -> Printf.printf "%s\n" r) rows)
   in
   let doc =
     "Run the chaos harness (loss, bursts, partitions, churn, gray failures) \
@@ -332,7 +365,7 @@ let chaos_cmd =
     (Cmd.info "chaos" ~doc)
     Term.(
       const run $ spec_arg $ scenario_arg $ horizon_arg $ seed_arg
-      $ protocol_arg)
+      $ protocol_arg $ jobs_arg)
 
 (* --- metrics / trace --------------------------------------------------- *)
 
@@ -511,18 +544,43 @@ let masking_cmd =
 let list_cmd =
   let run () =
     List.iter
-      (fun (family, example) -> Printf.printf "%-22s %s\n" family example)
-      (Core.Registry.known ());
+      (fun (e : Core.Registry.entry) ->
+        Printf.printf "%-15s %-16s %-18s %s\n" e.family e.arity e.example
+          e.doc)
+      Core.Registry.catalogue;
     0
   in
-  let doc = "List the catalogue of system families." in
+  let doc =
+    "List the catalogue of system families (family, arguments, example, \
+     description)."
+  in
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+(* The SPECS manual section is generated from the registry catalogue,
+   so the CLI help can never drift from what actually builds. *)
+let specs_man =
+  `S "SYSTEM SPECS"
+  :: `P
+       "Every subcommand takes a system spec of the form \
+        $(i,family)($(i,args)). Known families (also: $(b,quorumctl \
+        list)):"
+  :: List.map
+       (fun (e : Core.Registry.entry) ->
+         `I
+           ( Printf.sprintf "$(b,%s)(%s)" e.family e.arity,
+             Printf.sprintf "%s — e.g. %s" e.doc e.example ))
+       Core.Registry.catalogue
+  @ [
+      `P
+        "The CLI additionally accepts the Byzantine wrappers \
+         $(b,masking)(n,f) and $(b,boost)(k,spec).";
+    ]
 
 let () =
   let doc = "Inspect and analyze the quorum systems of the reproduction." in
   let main =
     Cmd.group
-      (Cmd.info "quorumctl" ~version:"1.0" ~doc)
+      (Cmd.info "quorumctl" ~version:"1.0" ~doc ~man:specs_man)
       [
         info_cmd; fp_cmd; load_cmd; quorums_cmd; pick_cmd; simulate_cmd;
         chaos_cmd; metrics_cmd; trace_cmd; nd_cmd; masking_cmd; list_cmd;

@@ -24,6 +24,15 @@ let default_specs =
 
 let sweep = [ 0.02; 0.05; 0.1; 0.15; 0.2; 0.3; 0.4; 0.5 ]
 
+(* Examples use the result-typed registry API and render errors
+   uniformly. *)
+let build_system spec =
+  match Core.Registry.build spec with
+  | Ok s -> s
+  | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+
 let () =
   let specs =
     match List.tl (Array.to_list Sys.argv) with
@@ -60,7 +69,7 @@ let () =
   (* Monte-Carlo cross-check for one system: the estimate must bracket
      the exact value. *)
   print_newline ();
-  let system = Core.Registry.build_exn "htriang(15)" in
+  let system = build_system "htriang(15)" in
   let rng = Quorum.Rng.create 99 in
   Printf.printf "Monte-Carlo vs exact, %s:\n" system.Quorum.System.name;
   List.iter

@@ -29,7 +29,13 @@ let () =
 
   (* Naive alternative: uniform over all 84 quorums. *)
   let system = Core.Htriang.system triangle in
-  let naive = Quorum.Strategy.uniform (Quorum.System.quorums_exn system) in
+  let naive =
+    match Quorum.System.quorums system with
+    | Ok qs -> Quorum.Strategy.uniform qs
+    | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 1
+  in
   show_loads "h-triang(15), naive uniform-over-quorums strategy:"
     (Quorum.Strategy.element_loads naive);
 

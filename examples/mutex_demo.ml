@@ -10,8 +10,17 @@
 
 module Engine = Sim.Engine
 
+(* Examples use the result-typed registry API and render errors
+   uniformly. *)
+let build_system spec =
+  match Core.Registry.build spec with
+  | Ok s -> s
+  | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+
 let run ~label ~faults ~requests =
-  let system = Core.Registry.build_exn "htriang(15)" in
+  let system = build_system "htriang(15)" in
   let mx = Protocols.Mutex.create ~system ~cs_duration:1.0 () in
   let engine = Engine.create ~seed:7 ~nodes:15 (Protocols.Mutex.handlers mx) in
   Protocols.Mutex.bind mx engine;
@@ -50,7 +59,7 @@ let () =
     ~requests:45;
   (* For contrast: the singleton coterie is a single point of failure;
      crash its only member and nothing can be served. *)
-  let system = Core.Registry.build_exn "singleton(15)" in
+  let system = build_system "singleton(15)" in
   let mx = Protocols.Mutex.create ~system ~cs_duration:1.0 () in
   let engine = Engine.create ~seed:8 ~nodes:15 (Protocols.Mutex.handlers mx) in
   Protocols.Mutex.bind mx engine;

@@ -12,7 +12,13 @@ let () =
   print_string (Core.Htriang.render triangle);
 
   (* Every pair of quorums intersects (Definition 3.1 / Theorem 5.1). *)
-  let quorums = Quorum.System.quorums_exn system in
+  let quorums =
+    match Quorum.System.quorums system with
+    | Ok qs -> qs
+    | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 1
+  in
   Printf.printf "\n%d quorums, intersection property: %b\n"
     (List.length quorums)
     (Quorum.Coterie.all_intersect quorums);

@@ -13,6 +13,15 @@
 module Engine = Sim.Engine
 module Rng = Quorum.Rng
 
+(* Examples use the result-typed registry API and render errors
+   uniformly. *)
+let build_system spec =
+  match Core.Registry.build spec with
+  | Ok s -> s
+  | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+
 let run ~label ~read_system ~write_system =
   let store =
     Protocols.Replicated_store.create ~read_system ~write_system ~timeout:25.0 ()
@@ -56,13 +65,13 @@ let () =
      from the hierarchical grid — cheap reads (4 replicas), write
      quorums that any read intersects. *)
   run ~label:"h-grid read (row-cover) / write (full-line) quorums:"
-    ~read_system:(Core.Registry.build_exn "hgrid-read(4x4)")
-    ~write_system:(Core.Registry.build_exn "hgrid-write(4x4)");
+    ~read_system:(build_system "hgrid-read(4x4)")
+    ~write_system:(build_system "hgrid-write(4x4)");
   (* Symmetric baseline: majority for both operations. *)
   run ~label:"majority quorums for both reads and writes:"
-    ~read_system:(Core.Registry.build_exn "majority(16)")
-    ~write_system:(Core.Registry.build_exn "majority(16)");
+    ~read_system:(build_system "majority(16)")
+    ~write_system:(build_system "majority(16)");
   (* Symmetric h-T-grid: one mutual-exclusion quorum family. *)
   run ~label:"h-T-grid quorums for both (mutual-exclusion family):"
-    ~read_system:(Core.Registry.build_exn "htgrid(4x4)")
-    ~write_system:(Core.Registry.build_exn "htgrid(4x4)")
+    ~read_system:(build_system "htgrid(4x4)")
+    ~write_system:(build_system "htgrid(4x4)")

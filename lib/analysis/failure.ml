@@ -2,45 +2,96 @@ module Bitset = Quorum.Bitset
 module System = Quorum.System
 module Failure_poly = Quorum.Failure_poly
 module Rng = Quorum.Rng
+module Pool = Exec.Pool
 
-let exact_poly (s : System.t) =
-  if s.n > 30 then
-    invalid_arg "Failure.exact_poly: universe too large for enumeration";
-  let avail = System.avail_mask_exn s in
-  let counts = Array.make (s.n + 1) 0.0 in
-  for live = 0 to (1 lsl s.n) - 1 do
+(* Chunk counts for the parallel paths are chosen from the problem
+   alone (never from the pool's domain count), so results are
+   bit-identical for any number of domains: the 2^n scans shard by
+   live-set prefix (the high [k] mask bits), the sampling estimators
+   use a fixed 64-way split with one RNG stream per chunk. *)
+
+let prefix_bits ~n ~seq_bits = min 8 (max 0 (n - seq_bits))
+let mc_chunks = 64
+
+let count_fails ~n avail ~lo ~hi =
+  let counts = Array.make (n + 1) 0.0 in
+  for live = lo to hi - 1 do
     if not (avail live) then begin
       let k = Bitset.popcount live in
       counts.(k) <- counts.(k) +. 1.0
     end
   done;
+  counts
+
+let exact_poly ?pool (s : System.t) =
+  if s.n > 30 then
+    invalid_arg "Failure.exact_poly: universe too large for enumeration";
+  let avail = System.avail_mask_exn s in
+  let counts =
+    match pool with
+    | None -> count_fails ~n:s.n avail ~lo:0 ~hi:(1 lsl s.n)
+    | Some pool ->
+        (* Shard by live-set prefix: chunk [c] scans the masks whose
+           top [k] bits equal [c].  Counts are integer-valued floats
+           (< 2^53), so summing them in any fixed order is exact. *)
+        let k = prefix_bits ~n:s.n ~seq_bits:14 in
+        let shift = s.n - k in
+        Pool.map_reduce_chunks pool ~chunks:(1 lsl k)
+          ~map:(fun c ->
+            count_fails ~n:s.n avail ~lo:(c lsl shift) ~hi:((c + 1) lsl shift))
+          ~reduce:(fun a b -> Array.map2 ( +. ) a b)
+  in
   Failure_poly.of_fail_counts ~n:s.n counts
 
-let exact s ~p = Failure_poly.eval (exact_poly s) ~p
+let exact ?pool s ~p = Failure_poly.eval (exact_poly ?pool s) ~p
 
 type estimate = { mean : float; half_width : float; trials : int }
 
-let monte_carlo ?(trials = 100_000) rng (s : System.t) ~p =
-  if trials <= 0 then invalid_arg "Failure.monte_carlo: trials";
-  let live = Bitset.create s.n in
-  let failures = ref 0 in
-  for _ = 1 to trials do
-    Bitset.clear live;
-    for i = 0 to s.n - 1 do
-      if not (Rng.bernoulli rng p) then Bitset.add live i
-    done;
-    if not (s.avail live) then incr failures
-  done;
-  let mean = float_of_int !failures /. float_of_int trials in
+let estimate_of ~failures ~trials =
+  let mean = float_of_int failures /. float_of_int trials in
   let half_width =
     1.96 *. sqrt (mean *. (1.0 -. mean) /. float_of_int trials)
   in
   { mean; half_width; trials }
 
-let exact_hetero (s : System.t) ~p_of =
-  if s.n > 26 then
-    invalid_arg "Failure.exact_hetero: universe too large for enumeration";
-  let avail = System.avail_mask_exn s in
+let mc_count_failures rng (s : System.t) ~p_of ~trials =
+  let live = Bitset.create s.n in
+  let failures = ref 0 in
+  for _ = 1 to trials do
+    Bitset.clear live;
+    for i = 0 to s.n - 1 do
+      if not (Rng.bernoulli rng (p_of i)) then Bitset.add live i
+    done;
+    if not (s.avail live) then incr failures
+  done;
+  !failures
+
+(* Shared sampler: the sequential path consumes [rng] directly
+   (bit-compatible with the pre-pool implementation); the pooled path
+   splits one stream per chunk, in chunk order, so the estimate is
+   identical for any domain count. *)
+let mc_estimate ?pool ~trials rng (s : System.t) ~p_of =
+  let failures =
+    match pool with
+    | None -> mc_count_failures rng s ~p_of ~trials
+    | Some pool ->
+        let rngs = Array.init mc_chunks (fun _ -> Rng.split rng) in
+        let share c =
+          (trials / mc_chunks) + (if c < trials mod mc_chunks then 1 else 0)
+        in
+        let parts =
+          Pool.map_chunks pool ~chunks:mc_chunks (fun c ->
+              mc_count_failures rngs.(c) s ~p_of ~trials:(share c))
+        in
+        Array.fold_left ( + ) 0 parts
+  in
+  estimate_of ~failures ~trials
+
+let monte_carlo ?pool ?(trials = 100_000) rng (s : System.t) ~p =
+  if trials <= 0 then invalid_arg "Failure.monte_carlo: trials";
+  mc_estimate ?pool ~trials rng s ~p_of:(fun _ -> p)
+
+let hetero_walk (s : System.t) avail ~p_of ~from ~mask ~prob =
   (* DFS over processes: each node multiplies in one survival factor,
      so the full scan costs one multiply per visited subset. *)
   let rec walk i mask prob =
@@ -52,28 +103,37 @@ let exact_hetero (s : System.t) ~p_of =
       +. walk (i + 1) (mask lor (1 lsl i)) (prob *. (1.0 -. p))
     end
   in
-  walk 0 0 1.0
+  walk from mask prob
 
-let monte_carlo_hetero ?(trials = 100_000) rng (s : System.t) ~p_of =
+let exact_hetero ?pool (s : System.t) ~p_of =
+  if s.n > 26 then
+    invalid_arg "Failure.exact_hetero: universe too large for enumeration";
+  let avail = System.avail_mask_exn s in
+  match pool with
+  | None -> hetero_walk s avail ~p_of ~from:0 ~mask:0 ~prob:1.0
+  | Some pool ->
+      (* Shard on the liveness of the first [k] processes; chunk [c]'s
+         bit [i] decides process [i].  The per-chunk sums are combined
+         by a deterministic tree reduction, so the floating-point
+         result does not depend on the domain count. *)
+      let k = prefix_bits ~n:s.n ~seq_bits:12 in
+      Pool.map_reduce_chunks pool ~chunks:(1 lsl k)
+        ~map:(fun c ->
+          let prob = ref 1.0 in
+          for i = 0 to k - 1 do
+            let p = p_of i in
+            prob := !prob *. (if c land (1 lsl i) <> 0 then 1.0 -. p else p)
+          done;
+          hetero_walk s avail ~p_of ~from:k ~mask:c ~prob:!prob)
+        ~reduce:( +. )
+
+let monte_carlo_hetero ?pool ?(trials = 100_000) rng (s : System.t) ~p_of =
   if trials <= 0 then invalid_arg "Failure.monte_carlo_hetero: trials";
-  let live = Bitset.create s.n in
-  let failures = ref 0 in
-  for _ = 1 to trials do
-    Bitset.clear live;
-    for i = 0 to s.n - 1 do
-      if not (Rng.bernoulli rng (p_of i)) then Bitset.add live i
-    done;
-    if not (s.avail live) then incr failures
-  done;
-  let mean = float_of_int !failures /. float_of_int trials in
-  let half_width =
-    1.96 *. sqrt (mean *. (1.0 -. mean) /. float_of_int trials)
-  in
-  { mean; half_width; trials }
+  mc_estimate ?pool ~trials rng s ~p_of
 
-let failure_probability ?mc_trials ?rng (s : System.t) ~p =
-  if s.n <= 26 then exact s ~p
+let failure_probability ?pool ?mc_trials ?rng (s : System.t) ~p =
+  if s.n <= 26 then exact ?pool s ~p
   else begin
     let rng = match rng with Some r -> r | None -> Rng.create 0 in
-    (monte_carlo ?trials:mc_trials rng s ~p).mean
+    (monte_carlo ?pool ?trials:mc_trials rng s ~p).mean
   end

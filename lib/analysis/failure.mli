@@ -11,12 +11,24 @@
       [Hgrid.failure_probability], [Htriang.failure_probability], ...)
       and are cross-checked against the enumeration in the test suite;
     - {!monte_carlo}: iid sampling of live-sets at a fixed [p], with a
-      95% confidence half-width, for universes beyond enumeration. *)
+      95% confidence half-width, for universes beyond enumeration.
 
-val exact_poly : Quorum.System.t -> Quorum.Failure_poly.t
-(** Requires [n <= 30] (2^30 availability evaluations). *)
+    {b Parallelism.}  Every route takes an optional [?pool]
+    ([Exec.Pool]): the 2^n scans shard by live-set prefix, the
+    samplers split one RNG stream per fixed chunk.  Chunking never
+    depends on the pool's domain count, so a pooled result is
+    bit-identical for jobs of 1, 2, 4, ...; {!exact_poly} (integer
+    counting) and the samplers at [jobs = 1] moreover match the
+    sequential route exactly.  Omitting [?pool] keeps the original
+    single-domain code path. *)
 
-val exact : Quorum.System.t -> p:float -> float
+val exact_poly : ?pool:Exec.Pool.t -> Quorum.System.t -> Quorum.Failure_poly.t
+(** Requires [n <= 30] (2^30 availability evaluations).  With a pool,
+    the mask range is sharded by live-set prefix (up to 256 chunks);
+    counts are integer-valued floats, so the pooled result equals the
+    sequential one bit-for-bit. *)
+
+val exact : ?pool:Exec.Pool.t -> Quorum.System.t -> p:float -> float
 (** [eval (exact_poly s) ~p] — prefer {!exact_poly} when sweeping
     over [p]. *)
 
@@ -24,11 +36,25 @@ type estimate = { mean : float; half_width : float; trials : int }
 (** [mean] plus/minus [half_width] is a 95% confidence interval. *)
 
 val monte_carlo :
-  ?trials:int -> Quorum.Rng.t -> Quorum.System.t -> p:float -> estimate
-(** Default 100_000 trials. *)
+  ?pool:Exec.Pool.t ->
+  ?trials:int ->
+  Quorum.Rng.t ->
+  Quorum.System.t ->
+  p:float ->
+  estimate
+(** Default 100_000 trials.  With a pool the trials are split into 64
+    fixed chunks, each consuming its own stream split off [rng] in
+    chunk order — the estimate is the same for any domain count (but
+    differs from the unpooled single-stream estimate, which is kept
+    bit-compatible with the pre-pool implementation). *)
 
 val failure_probability :
-  ?mc_trials:int -> ?rng:Quorum.Rng.t -> Quorum.System.t -> p:float -> float
+  ?pool:Exec.Pool.t ->
+  ?mc_trials:int ->
+  ?rng:Quorum.Rng.t ->
+  Quorum.System.t ->
+  p:float ->
+  float
 (** Auto-dispatch: exact enumeration when [n <= 26], Monte-Carlo
     otherwise (seed 0 unless [rng] given). *)
 
@@ -40,10 +66,19 @@ val failure_probability :
     [failure_probability_hetero] functions, cross-checked against
     {!exact_hetero} in the test suite. *)
 
-val exact_hetero : Quorum.System.t -> p_of:(int -> float) -> float
+val exact_hetero :
+  ?pool:Exec.Pool.t -> Quorum.System.t -> p_of:(int -> float) -> float
 (** Exact by depth-first enumeration of live-sets with their
-    probabilities; requires [n <= 26]. *)
+    probabilities; requires [n <= 26].  With a pool the DFS is sharded
+    on the liveness of the first processes and the per-chunk sums are
+    combined by a deterministic tree reduction: pooled results are
+    identical across domain counts (though the summation order — and
+    hence the last ulp — may differ from the unpooled DFS). *)
 
 val monte_carlo_hetero :
-  ?trials:int -> Quorum.Rng.t -> Quorum.System.t -> p_of:(int -> float) ->
+  ?pool:Exec.Pool.t ->
+  ?trials:int ->
+  Quorum.Rng.t ->
+  Quorum.System.t ->
+  p_of:(int -> float) ->
   estimate

@@ -32,122 +32,170 @@ let triangle_rows n =
       (Printf.sprintf "Registry: %d is not a triangular number" n);
   d
 
-let build_parsed name args =
-  match (name, args) with
-  | "majority", [ n ] -> Systems.Majority.make (int_arg n)
-  | "majority-plain", [ n ] -> Systems.Majority.make_plain (int_arg n)
-  | "singleton", [ n ] -> Systems.Singleton.make (int_arg n)
-  | "voting", [ votes ] ->
-      Systems.Weighted_voting.system
-        ~votes:(Array.of_list (ints_dash votes))
-        ()
-  | "hqs", [ branching ] ->
-      let branching =
-        match ints_dash branching with
-        | [ n ] ->
-            (* a bare size: factor as the paper does (5x3, 3x3x3) *)
-            (match n with
-            | 15 -> [ 5; 3 ]
-            | 27 -> [ 3; 3; 3 ]
-            | 9 -> [ 3; 3 ]
-            | n -> [ n ])
-        | l -> l
-      in
-      Systems.Hqs.system ~branching ()
-  | "hqs", branching when branching <> [] ->
-      Systems.Hqs.system ~branching:(List.map int_arg branching) ()
-  | "cwlog", [ n ] -> Systems.Cwlog.system ~n:(int_arg n) ()
-  | "tree", [ n ] ->
-      let n = int_arg n in
-      let rec height_of k acc = if k <= 1 then acc else height_of (k / 2) (acc + 1) in
-      let h = height_of (n + 1) 0 in
-      if (1 lsl h) - 1 <> n then
-        invalid_arg "Registry: tree size must be 2^h - 1";
-      Systems.Tree_quorum.system ~height:h ()
-  | "fpp", [ n ] ->
-      let n = int_arg n in
-      let rec find q = if q * q + q + 1 >= n then q else find (q + 1) in
-      let q = find 1 in
-      if q * q + q + 1 <> n then
-        invalid_arg "Registry: fpp size must be q^2+q+1";
-      Systems.Fpp.system ~order:q ()
-  | "triangle", [ n ] ->
-      Systems.Triangle.system ~rows:(triangle_rows (int_arg n)) ()
-  | "y", [ n ] -> Systems.Y_system.system ~rows:(triangle_rows (int_arg n)) ()
-  | "paths", [ d ] -> Systems.Paths.system ~d:(int_arg d) ()
-  | "diamond", [ n ] ->
-      let n = int_arg n in
-      let rec find m = if m * m - 1 >= n then m else find (m + 1) in
-      let m = find 2 in
-      if m * m - 1 <> n then
-        invalid_arg "Registry: diamond size must be m^2 - 1";
-      Systems.Diamond.system ~half_rows:m ()
-  | "wall", [ widths ] ->
-      Systems.Wall.system (Array.of_list (ints_dash widths))
-  | "grid-read", [ d ] ->
+let one_int f = function
+  | [ n ] -> f (int_arg n)
+  | _ -> invalid_arg "Registry: expected one integer argument"
+
+let one_dims f = function
+  | [ d ] ->
       let rows, cols = dims_arg d in
-      Systems.Grid.system ~rows ~cols Systems.Grid.Read
-  | "grid-write", [ d ] ->
-      let rows, cols = dims_arg d in
-      Systems.Grid.system ~rows ~cols Systems.Grid.Write
-  | "grid-rw", [ d ] ->
-      let rows, cols = dims_arg d in
-      Systems.Grid.system ~rows ~cols Systems.Grid.Read_write
-  | "tgrid", [ d ] ->
-      let rows, cols = dims_arg d in
-      Systems.Grid.t_grid ~rows ~cols ()
-  | "hgrid", [ d ] ->
-      let rows, cols = dims_arg d in
-      Hgrid.rw_system (Hgrid.auto_2x2 ~rows ~cols ())
-  | "hgrid-read", [ d ] ->
-      let rows, cols = dims_arg d in
-      Hgrid.read_system (Hgrid.auto_2x2 ~rows ~cols ())
-  | "hgrid-write", [ d ] ->
-      let rows, cols = dims_arg d in
-      Hgrid.write_system (Hgrid.auto_2x2 ~rows ~cols ())
-  | "htgrid", [ d ] ->
-      let rows, cols = dims_arg d in
-      Htgrid.system (Hgrid.auto_2x2 ~rows ~cols ())
-  | "htriang", [ n ] ->
-      Htriang.system (Htriang.standard ~rows:(triangle_rows (int_arg n)) ())
-  | _ ->
-      invalid_arg
-        (Printf.sprintf "Registry: unknown system spec %s(%s)" name
-           (String.concat "," args))
+      f ~rows ~cols
+  | _ -> invalid_arg "Registry: expected RxC dimensions"
+
+(* ------------------------------------------------------------------ *)
+(* The catalogue: one entry per spec name, the single source of truth  *)
+(* for the CLI help, bench spec validation and the registry tests.     *)
+(* ------------------------------------------------------------------ *)
+
+type entry = {
+  family : string;
+  arity : string;
+  example : string;
+  doc : string;
+  builder : string list -> Quorum.System.t;
+}
+
+let entry family arity example doc builder =
+  { family; arity; example; doc; builder }
+
+let catalogue =
+  [
+    entry "majority" "n" "majority(15)"
+      "simple majority voting; one process gets 2 votes on even n"
+      (one_int Systems.Majority.make);
+    entry "majority-plain" "n" "majority-plain(28)"
+      "majority of n with no tie-breaking weights"
+      (one_int Systems.Majority.make_plain);
+    entry "singleton" "n" "singleton(5)"
+      "one distinguished process is the only quorum"
+      (one_int Systems.Singleton.make);
+    entry "voting" "v1-v2-..." "voting(1-1-2)"
+      "weighted voting with the given per-process votes"
+      (function
+        | [ votes ] ->
+            Systems.Weighted_voting.system
+              ~votes:(Array.of_list (ints_dash votes))
+              ()
+        | _ -> invalid_arg "Registry: expected votes v1-v2-...");
+    entry "hqs" "b1-b2-... | n" "hqs(5-3)"
+      "hierarchical quorum system; a bare size is factored as the paper does"
+      (function
+        | [ branching ] ->
+            let branching =
+              match ints_dash branching with
+              | [ n ] ->
+                  (* a bare size: factor as the paper does (5x3, 3x3x3) *)
+                  (match n with
+                  | 15 -> [ 5; 3 ]
+                  | 27 -> [ 3; 3; 3 ]
+                  | 9 -> [ 3; 3 ]
+                  | n -> [ n ])
+              | l -> l
+            in
+            Systems.Hqs.system ~branching ()
+        | branching when branching <> [] ->
+            Systems.Hqs.system ~branching:(List.map int_arg branching) ()
+        | _ -> invalid_arg "Registry: expected hqs branching");
+    entry "cwlog" "n" "cwlog(14)"
+      "crumbling-wall CWlog with log-profile row widths"
+      (one_int (fun n -> Systems.Cwlog.system ~n ()));
+    entry "tree" "n = 2^h - 1" "tree(15)"
+      "Agrawal-El Abbadi tree quorums on a complete binary tree"
+      (one_int (fun n ->
+           let rec height_of k acc =
+             if k <= 1 then acc else height_of (k / 2) (acc + 1)
+           in
+           let h = height_of (n + 1) 0 in
+           if (1 lsl h) - 1 <> n then
+             invalid_arg "Registry: tree size must be 2^h - 1";
+           Systems.Tree_quorum.system ~height:h ()));
+    entry "fpp" "n = q^2+q+1" "fpp(13)"
+      "finite projective plane of order q; quorums are the lines"
+      (one_int (fun n ->
+           let rec find q = if (q * q) + q + 1 >= n then q else find (q + 1) in
+           let q = find 1 in
+           if (q * q) + q + 1 <> n then
+             invalid_arg "Registry: fpp size must be q^2+q+1";
+           Systems.Fpp.system ~order:q ()));
+    entry "triangle" "n (triangular)" "triangle(15)"
+      "Lovasz triangle: one full row or one element per row"
+      (one_int (fun n -> Systems.Triangle.system ~rows:(triangle_rows n) ()));
+    entry "y" "n (triangular)" "y(15)"
+      "Y systems: connected left-right-bottom triangle crossings"
+      (one_int (fun n -> Systems.Y_system.system ~rows:(triangle_rows n) ()));
+    entry "paths" "d  [n = 2d(d+1)]" "paths(3)"
+      "Naor-Wool paths: crossing paths in a d x (d+1) grid pair"
+      (one_int (fun d -> Systems.Paths.system ~d ()));
+    entry "diamond" "n = m^2 - 1" "diamond(8)"
+      "Kumar-Cheung diamond hierarchy of half rows"
+      (one_int (fun n ->
+           let rec find m = if (m * m) - 1 >= n then m else find (m + 1) in
+           let m = find 2 in
+           if (m * m) - 1 <> n then
+             invalid_arg "Registry: diamond size must be m^2 - 1";
+           Systems.Diamond.system ~half_rows:m ()));
+    entry "wall" "w1-w2-..." "wall(1-2-2-3)"
+      "wall with the given row widths: a full row plus one per lower row"
+      (function
+        | [ widths ] -> Systems.Wall.system (Array.of_list (ints_dash widths))
+        | _ -> invalid_arg "Registry: expected wall widths w1-w2-...");
+    entry "grid-read" "RxC | k" "grid-read(4x4)"
+      "flat grid, read quorums (one element per row)"
+      (one_dims (fun ~rows ~cols ->
+           Systems.Grid.system ~rows ~cols Systems.Grid.Read));
+    entry "grid-write" "RxC | k" "grid-write(4x4)"
+      "flat grid, write quorums (one full row + row cover)"
+      (one_dims (fun ~rows ~cols ->
+           Systems.Grid.system ~rows ~cols Systems.Grid.Write));
+    entry "grid-rw" "RxC | k" "grid-rw(4x4)"
+      "flat grid, symmetric read/write quorums"
+      (one_dims (fun ~rows ~cols ->
+           Systems.Grid.system ~rows ~cols Systems.Grid.Read_write));
+    entry "tgrid" "RxC | k" "tgrid(4x4)"
+      "flat T-grid: full line plus the row cover below it"
+      (one_dims (fun ~rows ~cols -> Systems.Grid.t_grid ~rows ~cols ()));
+    entry "hgrid" "RxC | k" "hgrid(6x4)"
+      "hierarchical grid (sect. 4.1), 2x2 logical blocks, read/write"
+      (one_dims (fun ~rows ~cols ->
+           Hgrid.rw_system (Hgrid.auto_2x2 ~rows ~cols ())));
+    entry "hgrid-read" "RxC | k" "hgrid-read(6x4)"
+      "hierarchical grid, read quorums"
+      (one_dims (fun ~rows ~cols ->
+           Hgrid.read_system (Hgrid.auto_2x2 ~rows ~cols ())));
+    entry "hgrid-write" "RxC | k" "hgrid-write(6x4)"
+      "hierarchical grid, write quorums"
+      (one_dims (fun ~rows ~cols ->
+           Hgrid.write_system (Hgrid.auto_2x2 ~rows ~cols ())));
+    entry "htgrid" "RxC | k" "htgrid(4x4)"
+      "hierarchical T-grid (sect. 4.2), the paper's first construction"
+      (one_dims (fun ~rows ~cols ->
+           Htgrid.system (Hgrid.auto_2x2 ~rows ~cols ())));
+    entry "htriang" "n (triangular)" "htriang(15)"
+      "hierarchical triangle (sect. 5), the paper's second construction"
+      (one_int (fun n ->
+           Htriang.system (Htriang.standard ~rows:(triangle_rows n) ())));
+  ]
+
+let find name = List.find_opt (fun e -> e.family = name) catalogue
 
 let build spec =
   match parse_spec spec with
-  | Ok (name, args) -> (
-      try Ok (build_parsed name args) with
-      | Invalid_argument msg | Failure msg -> Error msg)
   | Error _ as e -> e
+  | Ok (name, args) -> (
+      match find name with
+      | None ->
+          Error
+            (Printf.sprintf
+               "Registry: unknown system family %s (known: %s)" name
+               (String.concat ", " (List.map (fun e -> e.family) catalogue)))
+      | Some e -> (
+          try Ok (e.builder args) with
+          | Invalid_argument msg | Failure msg -> Error msg))
 
 let build_exn spec =
   match build spec with
   | Ok s -> s
   | Error msg -> invalid_arg msg
-
-let known () =
-  [
-    ("majority", "majority(15)");
-    ("majority-plain", "majority-plain(28)");
-    ("singleton", "singleton(5)");
-    ("voting", "voting(1-1-2)");
-    ("hqs", "hqs(5-3) or hqs(15)");
-    ("cwlog", "cwlog(14)");
-    ("tree", "tree(15)");
-    ("fpp", "fpp(13)");
-    ("triangle", "triangle(15)");
-    ("y", "y(15)");
-    ("paths", "paths(3)  [n = 2d(d+1)]");
-    ("diamond", "diamond(8)");
-    ("wall", "wall(1-2-2-3)");
-    ("grid-read/write/rw", "grid-rw(4x4)");
-    ("tgrid", "tgrid(4x4)");
-    ("hgrid[-read|-write]", "hgrid(6x4)");
-    ("htgrid", "htgrid(4x4)");
-    ("htriang", "htriang(15)");
-  ]
 
 let paper_lineup_15 () =
   List.map build_exn

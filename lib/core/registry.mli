@@ -3,24 +3,47 @@
     cross-construction tests.
 
     Spec syntax: [name(arg1,arg2)], e.g. ["majority(15)"],
-    ["hgrid(4x4)"], ["htgrid(6x4)"], ["htriang(28)"], ["hqs(5x3)"],
+    ["hgrid(4x4)"], ["htgrid(6x4)"], ["htriang(28)"], ["hqs(5-3)"],
     ["cwlog(14)"], ["paths(3)"], ["y(15)"], ["triangle(15)"],
     ["tree(15)"], ["fpp(13)"], ["grid-rw(4x4)"], ["tgrid(4x4)"],
-    ["wall(1-2-2-3)"], ["diamond(9)"], ["singleton(5)"],
-    ["voting(1-1-2)"]. *)
+    ["wall(1-2-2-3)"], ["diamond(8)"], ["singleton(5)"],
+    ["voting(1-1-2)"].
+
+    The {!catalogue} is the single source of truth: the CLI help, the
+    bench spec validation and the registry tests are all generated from
+    it, so adding a construction means adding exactly one {!entry}. *)
 
 val parse_spec : string -> (string * string list, string) result
 (** Split ["name(a,b)"] into [Ok ("name", ["a"; "b"])]; [Error]
     carries a message on malformed specs (e.g. an unclosed paren).
     Never raises. *)
 
+type entry = {
+  family : string;  (** spec name, e.g. ["htriang"] *)
+  arity : string;  (** human description of the argument shape *)
+  example : string;  (** a spec that builds, e.g. ["htriang(15)"] *)
+  doc : string;  (** one-line description for help output *)
+  builder : string list -> Quorum.System.t;
+      (** raises [Invalid_argument]/[Failure] on bad arguments — call
+          through {!build} for the result-typed path *)
+}
+
+val catalogue : entry list
+(** One entry per spec family, in help-output order.  Every
+    [example] is a valid spec (the test suite builds them all). *)
+
+val find : string -> entry option
+(** Look up a family by its spec name. *)
+
 val build : string -> (Quorum.System.t, string) result
-(** Parse a spec and build the system; [Error] carries a message. *)
+(** Parse a spec, look the family up in {!catalogue} and build the
+    system; [Error] carries a message (including the list of known
+    families when the name is unknown).  Never raises — this is the
+    entry point for library and bench code. *)
 
 val build_exn : string -> Quorum.System.t
-
-val known : unit -> (string * string) list
-(** [(family, example spec)] pairs for help output. *)
+(** [build] or [Invalid_argument].  CLI/test convenience only —
+    library code should use {!build} and render the error. *)
 
 val paper_lineup_15 : unit -> Quorum.System.t list
 (** The Table 2 lineup: Majority(15), HQS(15), CWlog(14),

@@ -40,10 +40,22 @@ type empirical = {
 }
 
 val empirical_of_select :
+  ?pool:Exec.Pool.t ->
+  ?live:Bitset.t ->
   n:int ->
   trials:int ->
   Rng.t ->
   (Rng.t -> live:Bitset.t -> Bitset.t option) ->
   empirical
 (** Evaluate a structural selection procedure by sampling it [trials]
-    times against the fully-live universe. *)
+    times against [live] (default: the fully-live universe, the
+    paper's setting; pass a partial [live] to measure strategy load
+    under failures — selections returning [None] count as [misses]).
+
+    With [~pool] the trials are sharded over the pool's domains in 64
+    fixed chunks, each with its own RNG stream split off [rng] by
+    chunk index — the result is bit-identical whatever the pool's
+    domain count.  The parallel path invokes [select] concurrently, so
+    the closure must be safe for concurrent use (structural selectors
+    are; a selector that forces a shared lazy quorum list needs
+    [System.prepare] first). *)

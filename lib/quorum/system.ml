@@ -69,17 +69,29 @@ let avail_mask_exn t =
   | None ->
       if t.n > Bitset.bits_per_word then
         invalid_arg "System.avail_mask_exn: universe too large";
-      let scratch = Bitset.create t.n in
+      (* Domain-local scratch: the derived closure is re-entrant across
+         domains, so one closure can serve a whole parallel scan. *)
+      let scratch = Domain.DLS.new_key (fun () -> Bitset.create t.n) in
       fun mask ->
+        let scratch = Domain.DLS.get scratch in
         Bitset.blit_mask scratch mask;
         t.avail scratch
 
-let quorums_exn t =
+let quorums t =
   match t.min_quorums with
-  | Some q -> Lazy.force q
+  | Some q -> Ok (Lazy.force q)
   | None ->
-      invalid_arg
-        (Printf.sprintf "System %s does not enumerate its quorums" t.name)
+      Error (Printf.sprintf "system %s does not enumerate its quorums" t.name)
+
+let quorums_exn t =
+  match quorums t with
+  | Ok q -> q
+  | Error msg -> invalid_arg ("System.quorums_exn: " ^ msg)
+
+let prepare t =
+  match t.min_quorums with
+  | Some q -> ignore (Lazy.force q : Bitset.t list)
+  | None -> ()
 
 let rename t name = { t with name }
 

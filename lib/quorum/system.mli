@@ -45,12 +45,27 @@ val of_quorums : name:string -> n:int -> Bitset.t list -> t
 val avail_mask_exn : t -> int -> bool
 (** The mask fast-path, derived from [avail] through a reused scratch
     bitset when the construction did not provide one.  Requires
-    [n <= 62].  The derived closure is not re-entrant; the enumeration
-    loops that use it are single-threaded. *)
+    [n <= 62].  The scratch is domain-local, so the derived closure is
+    safe to share across the domains of a parallel scan (each domain
+    gets its own scratch; see [Exec.Pool]). *)
+
+val quorums : t -> (Bitset.t list, string) result
+(** Force [min_quorums]; [Error] when the construction does not
+    enumerate its quorums.  Never raises. *)
 
 val quorums_exn : t -> Bitset.t list
-(** Force [min_quorums]; raises [Invalid_argument] if the construction
-    does not enumerate. *)
+(** CLI/test convenience over {!quorums}; raises [Invalid_argument]
+    when the construction does not enumerate.  Library, bench and
+    example code should match on {!quorums} instead. *)
+
+val prepare : t -> unit
+(** Force the lazy quorum list (a no-op when absent) so the system can
+    be shared across domains: concurrently forcing a [lazy] from two
+    domains raises [CamlinternalLazy.Undefined], so call [prepare]
+    before handing [select] or [quorum_of_live] to a parallel driver.
+    Beware: for large constructions the quorum list may be huge —
+    only prepare systems whose quorums you could afford to enumerate
+    anyway (structural [select]s, e.g. h-triang's, never force it). *)
 
 val rename : t -> string -> t
 

@@ -104,11 +104,19 @@ let system ?name ~d () =
   let left = List.init (d + 1) (fun r -> r * (d + 1)) in
   let is_right v = v mod (d + 1) = d in
   let make_avail () =
-    (* Fresh scratch per closure: the mask fast-path and the bitset
-       path each own their own buffers. *)
-    let visited_v = Array.make nv false and stack_v = Array.make nv 0 in
-    let visited_f = Array.make nf false and stack_f = Array.make nf 0 in
+    (* Fresh DFS scratch per domain (not per system): these closures are
+       handed to the analysis layer, which may call them from several
+       pool domains at once.  Domain-local buffers keep the predicates
+       re-entrant without allocating on every call. *)
+    let scratch =
+      Domain.DLS.new_key (fun () ->
+          ( Array.make nv false,
+            Array.make nv 0,
+            Array.make nf false,
+            Array.make nf 0 ))
+    in
     fun edge_live ->
+      let visited_v, stack_v, visited_f, stack_f = Domain.DLS.get scratch in
       reaches primal ~visited:visited_v ~stack:stack_v ~edge_live
         ~sources:left ~is_target:is_right
       && reaches dual ~visited:visited_f ~stack:stack_f ~edge_live

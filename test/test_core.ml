@@ -396,17 +396,19 @@ let test_htriang_growth_chain () =
 (* --- Registry ------------------------------------------------------- *)
 
 let test_registry_builds () =
+  (* Every catalogue example must build, and must build its own family. *)
   List.iter
-    (fun (_, example) ->
-      let spec =
-        match String.index_opt example ' ' with
-        | Some i -> String.sub example 0 i
-        | None -> example
-      in
-      match Registry.build spec with
+    (fun (e : Registry.entry) ->
+      (match Registry.build e.example with
       | Ok _ -> ()
-      | Error msg -> Alcotest.failf "registry %s: %s" spec msg)
-    (Registry.known ())
+      | Error msg -> Alcotest.failf "registry %s: %s" e.example msg);
+      match Registry.parse_spec e.example with
+      | Ok (name, _) ->
+          Alcotest.(check string) (e.family ^ " example family") e.family name
+      | Error msg -> Alcotest.failf "registry %s: %s" e.example msg)
+    Registry.catalogue;
+  check "find htriang" true (Registry.find "htriang" <> None);
+  check "find unknown" true (Registry.find "nonsense" = None)
 
 let test_registry_rejects () =
   check "unknown" true (Result.is_error (Registry.build "nonsense(3)"));
