@@ -50,6 +50,16 @@ let with_system spec f =
       Printf.eprintf "error: %s\n" msg;
       1
 
+(* Every "error:" line must come with a non-zero exit: commands below
+   go through [die] (or [with_system]) instead of raising entry points,
+   so scripts can trust the exit code. *)
+let die msg =
+  Printf.eprintf "error: %s\n" msg;
+  exit 1
+
+let quorums_or_die system =
+  match Quorum.System.quorums system with Ok q -> q | Error msg -> die msg
+
 (* --- parallelism ---------------------------------------------------- *)
 
 let jobs_arg =
@@ -72,7 +82,7 @@ let info_cmd =
           system.Quorum.System.n;
         match system.Quorum.System.min_quorums with
         | Some _ ->
-            let quorums = Quorum.System.quorums_exn system in
+            let quorums = quorums_or_die system in
             let stats = Analysis.Metrics.of_quorums quorums in
             Printf.printf
               "%d minimal quorums; sizes min %d avg %.2f max %d\n"
@@ -164,7 +174,10 @@ let fp_cmd =
 let load_cmd =
   let run spec =
     with_system spec (fun system ->
-        let r = Analysis.Load.optimal system in
+        let quorums = quorums_or_die system in
+        let r =
+          Analysis.Load.optimal_of_quorums ~n:system.Quorum.System.n quorums
+        in
         let cn, inv = Analysis.Load.lower_bounds system in
         Printf.printf "%s\n" system.Quorum.System.name;
         Printf.printf "LP-optimal load: %.4f\n" r.load;
@@ -185,7 +198,7 @@ let quorums_cmd =
   in
   let run spec limit =
     with_system spec (fun system ->
-        let quorums = Quorum.System.quorums_exn system in
+        let quorums = quorums_or_die system in
         Printf.printf "%d minimal quorums%s\n" (List.length quorums)
           (if List.length quorums > limit then
              Printf.sprintf " (showing %d)" limit
@@ -283,8 +296,8 @@ let chaos_cmd =
       & opt (some string) None
       & info [ "scenario" ]
           ~doc:
-            "Run one scenario (baseline, loss+burst, partition, churn, gray) \
-             instead of all of them.")
+            "Run one scenario (baseline, loss+burst, partition, churn, gray, \
+             restart, amnesia, amnesia-maj) instead of all of them.")
   in
   let horizon_arg =
     Arg.(
@@ -299,52 +312,87 @@ let chaos_cmd =
   let protocol_arg =
     Arg.(
       value
-      & opt (enum [ ("mutex", `Mutex); ("store", `Store) ]) `Mutex
-      & info [ "protocol" ] ~doc:"Protocol to stress: $(b,mutex) or $(b,store).")
+      & opt
+          (enum
+             [ ("mutex", `Mutex); ("store", `Store); ("reconfig", `Reconfig) ])
+          `Mutex
+      & info [ "protocol" ]
+          ~doc:
+            "Protocol to stress: $(b,mutex), $(b,store) or $(b,reconfig) \
+             (register under epoch switches; see $(b,--next)).")
   in
-  let run spec scenario horizon seed protocol jobs =
+  let next_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "next" ]
+          ~doc:
+            "With --protocol reconfig: the system to switch to mid-run \
+             (default: the spec itself).")
+  in
+  let run spec scenario horizon seed protocol next jobs =
     if horizon <= 0.0 then begin
       Printf.eprintf "error: --horizon must be positive (got %g)\n" horizon;
       exit 1
     end;
     with_system spec (fun system ->
-        let n = system.Quorum.System.n in
+        let next_spec = Option.value next ~default:spec in
+        (match (protocol, next) with
+        | (`Mutex | `Store), Some _ ->
+            die "--next only applies to --protocol reconfig"
+        | _ -> ());
+        (* Fail on a bad --next before any runs start. *)
+        let next_system =
+          match build_extended next_spec with
+          | Ok s -> s
+          | Error msg -> die msg
+        in
+        let n = max system.Quorum.System.n next_system.Quorum.System.n in
         let scenarios =
           match scenario with
-          | None -> Protocols.Chaos.standard ~n ~horizon
+          | None ->
+              Protocols.Chaos.standard ~n ~horizon
+              @ Protocols.Chaos.recovery ~n ~horizon
           | Some label -> (
               match Protocols.Chaos.scenario_of_label ~n ~horizon label with
               | s -> [ s ]
-              | exception Invalid_argument msg ->
-                  Printf.eprintf "error: %s\n" msg;
-                  exit 1)
+              | exception Invalid_argument msg -> die msg)
         in
         (* One scenario per pool task; each task builds its own system
            so no mutable state is shared across domains.  Rows are
            collected and printed in scenario order. *)
-        let fresh_system () =
-          match build_extended spec with
-          | Ok s -> s
-          | Error msg -> failwith msg
+        let fresh_system sp =
+          match build_extended sp with Ok s -> s | Error msg -> die msg
         in
         let row =
           match protocol with
           | `Mutex ->
               fun s ->
-                let system = fresh_system () in
+                let system = fresh_system spec in
                 Protocols.Chaos.mutex_row
                   (Protocols.Chaos.run_mutex ~seed ~system s)
           | `Store ->
               fun s ->
-                let system = fresh_system () in
+                let system = fresh_system spec in
                 Protocols.Chaos.store_row
                   (Protocols.Chaos.run_store ~seed ~read_system:system
                      ~write_system:system ~name:system.Quorum.System.name s)
+          | `Reconfig ->
+              fun s ->
+                let initial = fresh_system spec in
+                let next = fresh_system next_spec in
+                Protocols.Chaos.reconfig_row
+                  (Protocols.Chaos.run_reconfig ~seed ~initial ~next
+                     ~name:
+                       (initial.Quorum.System.name ^ "->"
+                      ^ next.Quorum.System.name)
+                     s)
         in
         let header =
           match protocol with
           | `Mutex -> Protocols.Chaos.mutex_header ()
           | `Store -> Protocols.Chaos.store_header ()
+          | `Reconfig -> Protocols.Chaos.reconfig_header ()
         in
         let rows =
           with_jobs jobs (fun pool ->
@@ -358,14 +406,14 @@ let chaos_cmd =
         List.iter (fun r -> Printf.printf "%s\n" r) rows)
   in
   let doc =
-    "Run the chaos harness (loss, bursts, partitions, churn, gray failures) \
-     against a quorum system."
+    "Run the chaos harness (loss, bursts, partitions, churn, gray failures, \
+     crash-restart and amnesia windows) against a quorum system."
   in
   Cmd.v
     (Cmd.info "chaos" ~doc)
     Term.(
       const run $ spec_arg $ scenario_arg $ horizon_arg $ seed_arg
-      $ protocol_arg $ jobs_arg)
+      $ protocol_arg $ next_arg $ jobs_arg)
 
 (* --- metrics / trace --------------------------------------------------- *)
 
@@ -377,8 +425,8 @@ let obs_scenario_arg =
     value & opt string "loss+burst"
     & info [ "scenario" ]
         ~doc:
-          "Chaos scenario to run: baseline, loss+burst, partition, churn or \
-           gray.")
+          "Chaos scenario to run: baseline, loss+burst, partition, churn, \
+           gray, restart, amnesia or amnesia-maj.")
 
 let obs_horizon_arg =
   Arg.(
@@ -529,7 +577,7 @@ let masking_cmd =
             Printf.printf "%s: quorums not enumerable\n"
               system.Quorum.System.name
         | Some _ ->
-            let quorums = Quorum.System.quorums_exn system in
+            let quorums = quorums_or_die system in
             let k = Byzantine.Masking.min_pairwise_intersection quorums in
             Printf.printf
               "%s: min pairwise intersection %d -> masks f = %d Byzantine, \

@@ -42,10 +42,15 @@ let () =
   Printf.printf "%-14s" "p:";
   List.iter (Printf.printf " %8.2f") sweep;
   print_newline ();
+  (* A bad spec renders its error in place but the sweep continues —
+     and the process must still exit non-zero so scripts notice. *)
+  let failed = ref false in
   List.iter
     (fun spec ->
       match Core.Registry.build spec with
-      | Error msg -> Printf.printf "%-14s error: %s\n" spec msg
+      | Error msg ->
+          failed := true;
+          Printf.printf "%-14s error: %s\n" spec msg
       | Ok system ->
           let poly =
             if system.Quorum.System.n <= 24 then
@@ -81,4 +86,5 @@ let () =
         est.half_width
         (if abs_float (est.mean -. exact) <= est.half_width then "ok"
          else "OUTSIDE CI"))
-    [ 0.1; 0.3; 0.5 ]
+    [ 0.1; 0.3; 0.5 ];
+  if !failed then exit 1

@@ -30,7 +30,7 @@ let () =
     ];
   let universe = 21 in
   let rc =
-    Reconfig.create ~initial:(Core.Htriang.system t0) ~universe ~timeout:40.0
+    Reconfig.create ~initial:(Core.Htriang.system t0) ~universe ~timeout:40.0 ()
   in
   let engine = Engine.create ~seed:3 ~nodes:universe (Reconfig.handlers rc) in
   Reconfig.bind rc engine;

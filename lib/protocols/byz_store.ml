@@ -258,5 +258,5 @@ let handlers t : msg Engine.handlers =
             Hashtbl.remove t.ops op.id;
             t.timeouts <- t.timeouts + 1)
           doomed);
-    on_recover = (fun _ ~node:_ -> ());
+    on_recover = (fun _ ~node:_ ~amnesia:_ -> ());
   }

@@ -1,7 +1,9 @@
 module Engine = Sim.Engine
 module Network = Sim.Network
 module Injector = Sim.Failure_injector
+module Durable = Sim.Durable
 module Rng = Quorum.Rng
+module Bitset = Quorum.Bitset
 
 type plan = {
   loss : float;
@@ -9,9 +11,24 @@ type plan = {
   gray : (int * float * float * float) list;
   partitions : (float * float * int list) list;
   churn : (float * float) option;
+  restarts : (float * float * int list) list;
+  amnesia : bool;
+  fsync : float;
 }
 
-let calm = { loss = 0.0; bursts = []; gray = []; partitions = []; churn = None }
+let calm =
+  {
+    loss = 0.0;
+    bursts = [];
+    gray = [];
+    partitions = [];
+    churn = None;
+    restarts = [];
+    amnesia = false;
+    fsync = 0.0;
+  }
+
+let durability_of_plan p = Durable.config ~fsync_latency:p.fsync ()
 
 type scenario = { label : string; horizon : float; plan : plan }
 
@@ -58,16 +75,72 @@ let standard ~n ~horizon =
     };
   ]
 
+(* Crash-restart and amnesia scenarios.  Every plan uses a non-zero
+   fsync latency, so the write-ahead gating in the protocols is
+   actually exercised: acks are delayed past the state they cover, and
+   a crash inside that window loses exactly the unacknowledged tail. *)
+let recovery ~n ~horizon =
+  let h = horizon in
+  let majority = List.init ((n / 2) + 1) (fun i -> i) in
+  [
+    {
+      (* Restarts (memory intact) landing while writes are in flight. *)
+      label = "restart";
+      horizon = h;
+      plan =
+        {
+          calm with
+          loss = 0.02;
+          fsync = 0.5;
+          restarts =
+            [
+              (0.30 *. h, 0.10 *. h, minority n);
+              (0.60 *. h, 0.10 *. h, minority n);
+            ];
+        };
+    };
+    {
+      (* Amnesiac minority restart: recovered nodes must replay their
+         durable log and re-join before serving. *)
+      label = "amnesia";
+      horizon = h;
+      plan =
+        {
+          calm with
+          loss = 0.02;
+          fsync = 0.5;
+          amnesia = true;
+          restarts = [ (0.35 *. h, 0.08 *. h, minority n) ];
+        };
+    };
+    {
+      (* The hard one: a majority loses its memory at once, so any
+         state that only lived in volatile memory is gone from every
+         quorum. *)
+      label = "amnesia-maj";
+      horizon = h;
+      plan =
+        {
+          calm with
+          fsync = 0.5;
+          amnesia = true;
+          restarts = [ (0.40 *. h, 0.10 *. h, majority) ];
+        };
+    };
+  ]
+
+let all_scenarios ~n ~horizon = standard ~n ~horizon @ recovery ~n ~horizon
+
 let scenario_of_label ~n ~horizon label =
   match
-    List.find_opt (fun s -> s.label = label) (standard ~n ~horizon)
+    List.find_opt (fun s -> s.label = label) (all_scenarios ~n ~horizon)
   with
   | Some s -> s
   | None ->
       invalid_arg
         (Printf.sprintf "Chaos: unknown scenario %S (have: %s)" label
            (String.concat ", "
-              (List.map (fun s -> s.label) (standard ~n ~horizon))))
+              (List.map (fun s -> s.label) (all_scenarios ~n ~horizon))))
 
 let apply engine ~rng scenario =
   let p = scenario.plan in
@@ -79,6 +152,7 @@ let apply engine ~rng scenario =
       Injector.gray_failure engine ~node ~at ~duration ~slowdown)
     p.gray;
   Injector.partition_schedule engine p.partitions;
+  Injector.restarts ~amnesia:p.amnesia engine p.restarts;
   match p.churn with
   | Some (p_down, mean_downtime) ->
       Injector.iid_faults engine ~rng ~p:p_down ~mean_downtime
@@ -90,6 +164,7 @@ let apply engine ~rng scenario =
 type mutex_report = {
   label : string;
   system : string;
+  seed : int;
   issued : int;
   entries : int;
   violations : int;
@@ -108,7 +183,11 @@ let run_mutex ?(seed = 7) ?(rate = 0.4) ?(cs_duration = 1.0)
   let n = system.Quorum.System.n in
   let rng = Rng.create seed in
   let network = Network.create ~loss:scenario.plan.loss () in
-  let mx = Mutex.create ~system ~cs_duration ~acquire_timeout () in
+  let mx =
+    Mutex.create ~system ~cs_duration ~acquire_timeout
+      ~durability:(durability_of_plan scenario.plan)
+      ()
+  in
   let engine =
     Engine.create ~seed:(seed + 1) ~nodes:n ~network ?obs (Mutex.handlers mx)
   in
@@ -124,6 +203,7 @@ let run_mutex ?(seed = 7) ?(rate = 0.4) ?(cs_duration = 1.0)
   {
     label = scenario.label;
     system = system.Quorum.System.name;
+    seed;
     issued;
     entries;
     violations = Mutex.violations mx;
@@ -144,6 +224,7 @@ let run_mutex ?(seed = 7) ?(rate = 0.4) ?(cs_duration = 1.0)
 type store_report = {
   label : string;
   system : string;
+  seed : int;
   issued : int;
   reads_ok : int;
   writes_ok : int;
@@ -151,6 +232,8 @@ type store_report = {
   timeouts : int;
   retried : int;
   stale_reads : int;
+  rejoins : int;
+  rejoin_refusals : int;
   dead_letters : int;
   retransmissions : int;
   mean_latency : float;
@@ -165,7 +248,9 @@ let run_store ?(seed = 7) ?(rate = 2.0) ?(read_fraction = 0.7) ?(keys = 4)
   let network = Network.create ~loss:scenario.plan.loss () in
   let store =
     Replicated_store.create ~retries ~read_system ~write_system
-      ~timeout:op_timeout ()
+      ~timeout:op_timeout
+      ~durability:(durability_of_plan scenario.plan)
+      ()
   in
   let engine =
     Engine.create ~seed:(seed + 1) ~nodes:n ~network ?obs
@@ -196,6 +281,7 @@ let run_store ?(seed = 7) ?(rate = 2.0) ?(read_fraction = 0.7) ?(keys = 4)
   {
     label = scenario.label;
     system = name;
+    seed;
     issued;
     reads_ok = Replicated_store.reads_ok store;
     writes_ok = Replicated_store.writes_ok store;
@@ -203,9 +289,80 @@ let run_store ?(seed = 7) ?(rate = 2.0) ?(read_fraction = 0.7) ?(keys = 4)
     timeouts = Replicated_store.timeouts store;
     retried = Replicated_store.retried store;
     stale_reads = Replicated_store.stale_reads store;
+    rejoins = Replicated_store.rejoins store;
+    rejoin_refusals = Replicated_store.rejoin_refusals store;
     dead_letters = Replicated_store.dead_letters store;
     retransmissions = Replicated_store.retransmissions store;
     mean_latency;
+    budget_hit = outcome = Engine.Budget_exhausted;
+  }
+
+(* --- Reconfiguration under chaos ------------------------------------ *)
+
+type reconfig_report = {
+  label : string;
+  system : string;
+  seed : int;
+  issued : int;
+  reads_ok : int;
+  writes_ok : int;
+  retries : int;
+  failed : int;
+  stale_reads : int;
+  epoch_switches : int;
+  final_epoch : int;
+  budget_hit : bool;
+}
+
+(* A register being reconfigured back and forth between two systems
+   while the scenario's faults land — with restart windows, restarts
+   hit {e during} the seal / install sequence. *)
+let run_reconfig ?(seed = 7) ?(rate = 1.0) ?(op_timeout = 25.0) ?obs ~initial
+    ~next ~name scenario =
+  let universe = max initial.Quorum.System.n next.Quorum.System.n in
+  let rng = Rng.create seed in
+  let network = Network.create ~loss:scenario.plan.loss () in
+  let rc =
+    Reconfig.create
+      ~durability:(durability_of_plan scenario.plan)
+      ~initial ~universe ~timeout:op_timeout ()
+  in
+  let engine =
+    Engine.create ~seed:(seed + 1) ~nodes:universe ~network ?obs
+      (Reconfig.handlers rc)
+  in
+  Reconfig.bind rc engine;
+  apply engine ~rng scenario;
+  (* Two switches, timed to overlap the scenario's fault windows. *)
+  let switch_at frac target =
+    Engine.schedule engine ~time:(frac *. scenario.horizon) (fun () ->
+        match Bitset.to_list (Engine.live_set engine) with
+        | [] -> ()
+        | c :: _ -> Reconfig.reconfigure rc ~coordinator:c target)
+  in
+  switch_at 0.35 next;
+  switch_at 0.70 initial;
+  let k = ref 0 in
+  let issued =
+    Workload.poisson_ops engine ~rng ~rate ~horizon:scenario.horizon
+      (fun ~client ->
+        incr k;
+        if !k mod 3 = 0 then Reconfig.write rc ~client ~value:!k
+        else Reconfig.read rc ~client)
+  in
+  let outcome = Engine.run_status engine in
+  {
+    label = scenario.label;
+    system = name;
+    seed;
+    issued;
+    reads_ok = Reconfig.reads_ok rc;
+    writes_ok = Reconfig.writes_ok rc;
+    retries = Reconfig.retries rc;
+    failed = Reconfig.failed rc;
+    stale_reads = Reconfig.stale_reads rc;
+    epoch_switches = Reconfig.epoch_switches rc;
+    final_epoch = Reconfig.current_epoch rc;
     budget_hit = outcome = Engine.Budget_exhausted;
   }
 
@@ -224,12 +381,24 @@ let mutex_row (r : mutex_report) =
     (if r.budget_hit then "  [budget!]" else "")
 
 let store_header () =
-  Printf.sprintf "%-11s %-14s %6s %6s %6s %6s %5s %5s %5s %5s %6s %8s" "scenario"
-    "system" "issued" "reads" "writes" "unavl" "tmout" "retry" "stale" "dead"
-    "rexmt" "latency"
+  Printf.sprintf "%-11s %-14s %6s %6s %6s %6s %5s %5s %5s %6s %5s %6s %8s"
+    "scenario" "system" "issued" "reads" "writes" "unavl" "tmout" "retry"
+    "stale" "rejoin" "dead" "rexmt" "latency"
 
 let store_row (r : store_report) =
-  Printf.sprintf "%-11s %-14s %6d %6d %6d %6d %5d %5d %5d %5d %6d %8.2f%s"
+  Printf.sprintf "%-11s %-14s %6d %6d %6d %6d %5d %5d %5d %6d %5d %6d %8.2f%s"
     r.label r.system r.issued r.reads_ok r.writes_ok r.unavailable r.timeouts
-    r.retried r.stale_reads r.dead_letters r.retransmissions r.mean_latency
+    r.retried r.stale_reads r.rejoins r.dead_letters r.retransmissions
+    r.mean_latency
+    (if r.budget_hit then "  [budget!]" else "")
+
+let reconfig_header () =
+  Printf.sprintf "%-11s %-14s %6s %6s %6s %5s %6s %5s %6s %5s" "scenario"
+    "system" "issued" "reads" "writes" "retry" "failed" "stale" "switch"
+    "epoch"
+
+let reconfig_row (r : reconfig_report) =
+  Printf.sprintf "%-11s %-14s %6d %6d %6d %5d %6d %5d %6d %5d%s" r.label
+    r.system r.issued r.reads_ok r.writes_ok r.retries r.failed r.stale_reads
+    r.epoch_switches r.final_epoch
     (if r.budget_hit then "  [budget!]" else "")

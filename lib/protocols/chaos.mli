@@ -24,6 +24,15 @@ type plan = {
   churn : (float * float) option;
       (** (p, mean_downtime) iid crash/recovery churn, see
           {!Sim.Failure_injector.iid_faults} *)
+  restarts : (float * float * int list) list;
+      (** (at, down_for, nodes) scripted crash-restart windows, see
+          {!Sim.Failure_injector.restarts} *)
+  amnesia : bool;
+      (** make every recovery in this plan (restarts {e and} churn)
+          amnesiac: recovered nodes keep only what they persisted *)
+  fsync : float;
+      (** modeled fsync latency of the protocols' durable stores;
+          0 restores the classic free-stable-storage model *)
 }
 
 val calm : plan
@@ -36,9 +45,21 @@ val standard : n:int -> horizon:float -> scenario list
     burst), [partition] (5% iid + a transient minority cut), [churn]
     (nodes down 10% of the time), [gray] (two slow-node windows). *)
 
+val recovery : n:int -> horizon:float -> scenario list
+(** The crash-recovery family, all with a non-zero fsync latency so
+    write-ahead ack gating is actually exercised: [restart] (two
+    minority crash-restart windows landing mid-traffic), [amnesia] (a
+    minority restarts having lost volatile state and must replay +
+    re-join), [amnesia-maj] (a majority loses its memory at once — any
+    state not persisted is gone from every quorum). *)
+
 val scenario_of_label : n:int -> horizon:float -> string -> scenario
-(** Look a standard scenario up by label; raises [Invalid_argument]
-    listing the valid labels on a miss. *)
+(** Look a scenario up by label across {!standard} and {!recovery};
+    raises [Invalid_argument] listing the valid labels on a miss. *)
+
+val durability_of_plan : plan -> Sim.Durable.config
+(** The durable-store configuration a plan implies (its [fsync]
+    latency), as passed to the protocols by the runners below. *)
 
 val apply : 'msg Sim.Engine.t -> rng:Quorum.Rng.t -> scenario -> unit
 (** Install the scenario's fault plan on a freshly built engine (base
@@ -47,6 +68,7 @@ val apply : 'msg Sim.Engine.t -> rng:Quorum.Rng.t -> scenario -> unit
 type mutex_report = {
   label : string;
   system : string;
+  seed : int;  (** the run is replayed exactly by reusing this seed *)
   issued : int;
   entries : int;
   violations : int;  (** must be 0 *)
@@ -78,6 +100,7 @@ val run_mutex :
 type store_report = {
   label : string;
   system : string;
+  seed : int;  (** the run is replayed exactly by reusing this seed *)
   issued : int;
   reads_ok : int;
   writes_ok : int;
@@ -85,6 +108,9 @@ type store_report = {
   timeouts : int;
   retried : int;
   stale_reads : int;  (** must be 0 *)
+  rejoins : int;  (** amnesiac re-join syncs completed *)
+  rejoin_refusals : int;
+      (** requests nacked by replicas still re-joining *)
   dead_letters : int;
   retransmissions : int;
   mean_latency : float;
@@ -108,9 +134,41 @@ val run_store :
     per time unit; [name] labels the (read, write) system pair in the
     report. *)
 
+type reconfig_report = {
+  label : string;
+  system : string;
+  seed : int;  (** the run is replayed exactly by reusing this seed *)
+  issued : int;
+  reads_ok : int;
+  writes_ok : int;
+  retries : int;
+  failed : int;
+  stale_reads : int;  (** must be 0 *)
+  epoch_switches : int;
+  final_epoch : int;
+  budget_hit : bool;
+}
+
+val run_reconfig :
+  ?seed:int ->
+  ?rate:float ->
+  ?op_timeout:float ->
+  ?obs:Obs.t ->
+  initial:Quorum.System.t ->
+  next:Quorum.System.t ->
+  name:string ->
+  scenario ->
+  reconfig_report
+(** One seeded reconfiguration run: a read/write mix on the register
+    while the configuration is switched [initial → next → initial] at
+    0.35 and 0.70 of the horizon — under a recovery scenario the
+    restart windows land {e during} the seal / install sequence. *)
+
 val mutex_header : unit -> string
 val mutex_row : mutex_report -> string
 val store_header : unit -> string
 val store_row : store_report -> string
+val reconfig_header : unit -> string
+val reconfig_row : reconfig_report -> string
 (** Fixed-width table rendering shared by the bench target and the
     [quorumctl chaos] subcommand. *)

@@ -1,6 +1,7 @@
 module Engine = Sim.Engine
 module Rpc = Sim.Rpc
 module Failure_detector = Sim.Failure_detector
+module Durable = Sim.Durable
 module Bitset = Quorum.Bitset
 module Metrics = Obs.Metrics
 module Trace = Obs.Trace
@@ -78,6 +79,13 @@ type t = {
   acquire_timeout : float;
   rpc : (app, msg) Rpc.t;
   fd : msg Failure_detector.t;
+  durability : Durable.config;
+  mutable dur : (int * int) Durable.t option;
+      (** durable log of tombstones [(ts, client)] per arbiter *)
+  mutable granted : req option Durable.cell option;
+      (** durable register of each arbiter's current grant *)
+  incarnation : int array;
+      (** bumped on crash to retire fsync-gated scheduled sends *)
   mutable engine : msg Engine.t option;
   mutable clock : int;  (** request timestamp source *)
   clients : client_phase array;
@@ -98,7 +106,8 @@ type t = {
 
 let create ?(capacity = 1) ?(acquire_timeout = 1000.0) ?(rpc_timeout = 4.0)
     ?(rpc_backoff = 1.6) ?(rpc_attempts = 6) ?(fd_period = 1.0)
-    ?(fd_timeout = 5.0) ~system ~cs_duration () =
+    ?(fd_timeout = 5.0) ?(durability = Durable.instant) ~system ~cs_duration ()
+    =
   if capacity < 1 then invalid_arg "Mutex.create: capacity >= 1";
   if acquire_timeout <= 0.0 then invalid_arg "Mutex.create: acquire_timeout";
   let n = system.Quorum.System.n in
@@ -115,6 +124,10 @@ let create ?(capacity = 1) ?(acquire_timeout = 1000.0) ?(rpc_timeout = 4.0)
     fd =
       Failure_detector.create ~period:fd_period ~timeout:fd_timeout ~nodes:n
         ~beat:Beat ();
+    durability;
+    dur = None;
+    granted = None;
+    incarnation = Array.make n 0;
     engine = None;
     clock = 0;
     clients = Array.make n Idle;
@@ -150,6 +163,16 @@ let ins_exn t =
   | Some i -> i
   | None -> invalid_arg "Mutex: bind the engine first"
 
+let dur_exn t =
+  match t.dur with
+  | Some d -> d
+  | None -> invalid_arg "Mutex: bind the engine first"
+
+let granted_cell_exn t =
+  match t.granted with
+  | Some c -> c
+  | None -> invalid_arg "Mutex: bind the engine first"
+
 let entries t = t.entries
 let violations t = t.violations
 let max_concurrency t = t.max_concurrency
@@ -172,10 +195,44 @@ let insert_sorted req queue =
 
 (* --- Arbiter side ------------------------------------------------- *)
 
+(* Grants are the mutex's only safety-critical state: an arbiter that
+   forgets who it granted to can grant again, and two simultaneous
+   grants from an intersecting-quorum member break mutual exclusion.
+   So the decision is persisted write-ahead — the Grant message leaves
+   only once the durable register holds it.  Everything else an
+   arbiter keeps (queue, inquire flag, probe state, alive floors,
+   tombstones) is liveness-only: the probe chain and client watchdogs
+   reconstruct progress after any loss. *)
 let arbiter_grant t ~arbiter_id a req =
   a.granted_to <- Some req;
   a.inquired <- false;
-  rsend t ~src:arbiter_id ~dst:req.client (Grant req)
+  let engine = engine_exn t in
+  let now = Engine.now engine in
+  let durable_at =
+    Durable.set (granted_cell_exn t) ~node:arbiter_id ~now (Some req)
+  in
+  if durable_at <= now then rsend t ~src:arbiter_id ~dst:req.client (Grant req)
+  else begin
+    let inc = t.incarnation.(arbiter_id) in
+    Engine.schedule engine ~time:durable_at (fun () ->
+        let still_current =
+          match a.granted_to with
+          | Some r -> priority r req = 0
+          | None -> false
+        in
+        if
+          t.incarnation.(arbiter_id) = inc
+          && Engine.is_live engine arbiter_id
+          && still_current
+        then rsend t ~src:arbiter_id ~dst:req.client (Grant req))
+  end
+
+let arbiter_clear_grant t ~arbiter_id a =
+  a.granted_to <- None;
+  ignore
+    (Durable.set (granted_cell_exn t) ~node:arbiter_id
+       ~now:(Engine.now (engine_exn t))
+       None)
 
 let arbiter_on_request t ~node:j req =
   let a = t.arbiters.(j) in
@@ -203,7 +260,7 @@ let arbiter_on_request t ~node:j req =
 
 let arbiter_next t ~node:j a =
   match a.queue with
-  | [] -> a.granted_to <- None
+  | [] -> arbiter_clear_grant t ~arbiter_id:j a
   | best :: rest ->
       a.queue <- rest;
       arbiter_grant t ~arbiter_id:j a best;
@@ -224,8 +281,15 @@ let arbiter_on_release t ~node:j req =
          even arrived yet, tombstone it. *)
       let len = List.length a.queue in
       a.queue <- List.filter (fun r -> priority r req <> 0) a.queue;
-      if List.length a.queue = len then
-        Hashtbl.replace a.tombstones (req.ts, req.client) ()
+      if List.length a.queue = len then begin
+        Hashtbl.replace a.tombstones (req.ts, req.client) ();
+        (* Persisted fire-and-forget: losing a tombstone to a crash
+           only risks a stuck grant, which the probe chain reclaims. *)
+        ignore
+          (Durable.append (dur_exn t) ~node:j
+             ~now:(Engine.now (engine_exn t))
+             (req.ts, req.client))
+      end
 
 let arbiter_on_yield t ~node:j req =
   let a = t.arbiters.(j) in
@@ -497,6 +561,12 @@ let bind t engine =
             ~help:"request-to-entry latency (simulated time)"
             "mutex.acquire_latency";
       };
+  let dur =
+    Durable.create ~obs:(Engine.obs engine) ~nodes:t.system.Quorum.System.n
+      t.durability
+  in
+  t.dur <- Some dur;
+  t.granted <- Some (Durable.cell dur ~name:"mutex.granted");
   Rpc.bind t.rpc engine;
   Rpc.set_dead_letter_handler t.rpc (fun ~src ~dst payload ->
       on_dead_letter t ~src ~dst payload);
@@ -569,19 +639,44 @@ let handlers t : msg Engine.handlers =
               drain_pending t ~node
           | In_cs _ | Waiting _ | Idle -> ());
     on_crash =
-      (fun _engine ~node ->
-        (* Volatile client state is lost; arbiter state (grants given)
-           survives on stable storage.  The node's unacked sends die
+      (fun engine ~node ->
+        (* Volatile client state is lost; the arbiter's grant register
+           and tombstone log live in the durable store (whether the
+           in-memory arbiter state survives depends on how the node
+           recovers — see [on_recover]).  The node's unacked sends die
            with it. *)
         Rpc.on_crash t.rpc ~node;
+        t.incarnation.(node) <- t.incarnation.(node) + 1;
+        Durable.crash (dur_exn t) ~node ~now:(Engine.now engine);
         (match t.clients.(node) with
         | In_cs _ -> t.in_cs_count <- t.in_cs_count - 1
         | Waiting _ | Idle -> ());
         t.clients.(node) <- Idle;
         t.pending.(node) <- 0);
     on_recover =
-      (fun engine ~node ->
+      (fun engine ~node ~amnesia ->
         Failure_detector.on_recover t.fd ~node;
+        if amnesia then begin
+          (* The arbiter's memory is gone: restore the safety-critical
+             grant register from its durable value and the tombstones
+             from the log; everything else (queue, inquire flag, probe
+             state, alive floors) resets and is rebuilt by the probe
+             chain, client watchdogs and fresh Alive floors. *)
+          let a = t.arbiters.(node) in
+          let now = Engine.now engine in
+          a.granted_to <-
+            (match Durable.durable_value (granted_cell_exn t) ~node ~now with
+            | Some g -> g
+            | None -> None);
+          a.inquired <- false;
+          a.probe_req <- None;
+          a.queue <- [];
+          Array.fill a.alive_floor 0 (Array.length a.alive_floor) 0;
+          Hashtbl.reset a.tombstones;
+          List.iter
+            (fun tc -> Hashtbl.replace a.tombstones tc ())
+            (Durable.replay (dur_exn t) ~node ~now)
+        end;
         (* Crash dropped the node's timers: restart its probe chain
            (the due-time check retires any duplicate survivors). *)
         schedule_probe t engine ~node;

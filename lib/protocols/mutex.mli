@@ -43,6 +43,19 @@
     Safety (at most [capacity] nodes in the critical section) is
     asserted at runtime and surfaced through {!violations}.
 
+    {2 Durability and amnesia}
+
+    The grant register is the one piece of arbiter state mutual
+    exclusion depends on: it is held in a {!Sim.Durable} cell and a
+    GRANT leaves the arbiter only once the decision has fsynced
+    (write-ahead), so even an {e amnesiac} recovery (see
+    {!Sim.Engine.recover_at}) restores it faithfully.  Release
+    tombstones ride the durable log.  Everything else an arbiter keeps
+    (queue, inquire flag, probe state, alive floors) is liveness-only
+    and is rebuilt after amnesia by the stale-grant probe, client
+    watchdogs and fresh [Alive] announcements — at worst costing extra
+    re-selections, never a violation.
+
     Usage:
     {[
       let mx = Mutex.create ~system ~cs_duration:1.0 () in
@@ -63,6 +76,7 @@ val create :
   ?rpc_attempts:int ->
   ?fd_period:float ->
   ?fd_timeout:float ->
+  ?durability:Sim.Durable.config ->
   system:Quorum.System.t ->
   cs_duration:float ->
   unit ->
@@ -78,7 +92,10 @@ val create :
     [rpc_timeout] defaults to 4.0 here — comfortably above the default
     network round-trip, so retransmissions mean actual loss;
     [fd_period] / [fd_timeout] the failure detector (see
-    {!Sim.Failure_detector.create}). *)
+    {!Sim.Failure_detector.create}); [durability] (default
+    {!Sim.Durable.instant}) the arbiters' durable store — a non-zero
+    fsync latency delays GRANTs, torn-tail mode corrupts the last
+    in-flight tombstone on crash. *)
 
 val handlers : t -> msg Sim.Engine.handlers
 

@@ -1,4 +1,5 @@
 module Engine = Sim.Engine
+module Durable = Sim.Durable
 module Bitset = Quorum.Bitset
 module System = Quorum.System
 
@@ -12,6 +13,13 @@ type msg =
   | Install_req of { epoch : int; version : int; value : int }
   | Install_ack of { epoch : int }
   | Announce of { epoch : int }
+  | Epoch_req  (** an amnesiac replica asking peers for their epoch *)
+  | Epoch_rep of { epoch : int }
+
+(* Timer tags: op ids are >= 0; the coordinator's switch-retry tick and
+   the replicas' unseal self-heal tick use reserved negatives. *)
+let switch_tag = -2
+let unseal_tag = -3
 
 type kind = Read_op | Write_op of int
 
@@ -45,11 +53,18 @@ type switch = {
   mutable seal_best : int * int;
   install_waiting : Bitset.t;
   mutable installing : bool;
+  mutable sw_retries : int;
+      (** idempotent re-sends left before the switch is abandoned *)
 }
 
 type t = {
   universe : int;
   timeout : float;
+  durability : Durable.config;
+  mutable dur : unit Durable.t option;
+  mutable cell : (int * bool * (int * int)) Durable.cell option;
+      (** per replica: (r_epoch, sealed, state) *)
+  incarnation : int array;
   mutable engine : msg Engine.t option;
   mutable configs : System.t list;  (** index = epoch *)
   mutable epoch : int;  (** latest announced epoch (global knowledge) *)
@@ -67,12 +82,16 @@ type t = {
   mutable committed : (float * int) list;
 }
 
-let create ~initial ~universe ~timeout =
+let create ?(durability = Durable.instant) ~initial ~universe ~timeout () =
   if initial.System.n > universe then
     invalid_arg "Reconfig.create: configuration exceeds universe";
   {
     universe;
     timeout;
+    durability;
+    dur = None;
+    cell = None;
+    incarnation = Array.make universe 0;
     engine = None;
     configs = [ initial ];
     epoch = 0;
@@ -100,7 +119,43 @@ let engine_exn t =
 let bind t engine =
   if Engine.nodes engine <> t.universe then
     invalid_arg "Reconfig.bind: engine size mismatch";
-  t.engine <- Some engine
+  t.engine <- Some engine;
+  let dur =
+    Durable.create ~obs:(Engine.obs engine) ~nodes:t.universe t.durability
+  in
+  t.dur <- Some dur;
+  t.cell <- Some (Durable.cell dur ~name:"reconfig.replica")
+
+let dur_exn t =
+  match t.dur with
+  | Some d -> d
+  | None -> invalid_arg "Reconfig: bind the engine first"
+
+let cell_exn t =
+  match t.cell with
+  | Some c -> c
+  | None -> invalid_arg "Reconfig: bind the engine first"
+
+(* Persist a replica's whole durable image: epoch, seal flag, state. *)
+let persist t ~node =
+  let r = t.replicas.(node) in
+  Durable.set (cell_exn t) ~node
+    ~now:(Engine.now (engine_exn t))
+    (r.r_epoch, r.sealed, r.state)
+
+(* Write-ahead reply: the durable image is fsynced before the message
+   that makes it observable (write ack, seal ack, install ack) leaves,
+   so no acknowledged transition is ever lost to an amnesiac crash. *)
+let reply_after_fsync t engine ~node ~dst msg =
+  let durable_at = persist t ~node in
+  let now = Engine.now engine in
+  if durable_at <= now then Engine.send engine ~src:node ~dst msg
+  else begin
+    let inc = t.incarnation.(node) in
+    Engine.schedule engine ~time:durable_at (fun () ->
+        if t.incarnation.(node) = inc && Engine.is_live engine node then
+          Engine.send engine ~src:node ~dst msg)
+  end
 
 let current_epoch t = t.epoch
 let epoch_switches t = t.epoch_switches
@@ -230,6 +285,70 @@ let begin_install t (op : op) =
 
 (* --- Reconfiguration -------------------------------------------------- *)
 
+let arm_switch_timer t engine ~coordinator =
+  Engine.set_timer engine ~background:true ~node:coordinator ~delay:t.timeout
+    ~tag:switch_tag
+
+let arm_unseal_timer t engine ~node =
+  Engine.set_timer engine ~background:true ~node ~delay:(2.0 *. t.timeout)
+    ~tag:unseal_tag
+
+let abandon_switch t engine ~coordinator =
+  (* Give up: drop the switch and re-announce the old epoch so sealed
+     replicas reopen for service. *)
+  t.switch <- None;
+  t.refused_switches <- t.refused_switches + 1;
+  for j = 0 to t.universe - 1 do
+    Engine.send engine ~src:coordinator ~dst:j (Announce { epoch = t.epoch })
+  done
+
+(* The coordinator's retry tick: seal and install handlers are
+   idempotent (re-sealing re-acks, re-installing always acks), so
+   members that were down or cut off when the first round went out are
+   simply asked again once they return; a bounded number of rounds
+   keeps a switch from outliving a permanently lost member. *)
+let switch_tick t ~node =
+  match t.switch with
+  | Some sw when sw.coordinator = node ->
+      let engine = engine_exn t in
+      if sw.sw_retries = 0 then abandon_switch t engine ~coordinator:node
+      else begin
+        sw.sw_retries <- sw.sw_retries - 1;
+        (if sw.installing then
+           let version, value = sw.seal_best in
+           Bitset.iter
+             (fun j ->
+               Engine.send engine ~src:node ~dst:j
+                 (Install_req { epoch = sw.next_epoch; version; value }))
+             sw.install_waiting
+         else
+           Bitset.iter
+             (fun j ->
+               Engine.send engine ~src:node ~dst:j
+                 (Seal_req { epoch = t.epoch }))
+             sw.seal_waiting);
+        arm_switch_timer t engine ~coordinator:node
+      end
+  | Some _ | None -> ()
+
+(* A sealed replica's self-heal tick.  Sealing must not outlive the
+   switch that asked for it (a dead coordinator would otherwise leave
+   the replica refusing service forever) — but unsealing while that
+   switch is still in flight could let an old-epoch write slip past
+   the seal quorum and be lost by the install.  The tick therefore
+   re-arms while the sealing switch is alive (global knowledge
+   standing in for a coordinator lease, like [t.epoch]) and unseals
+   only once it is gone. *)
+let unseal_tick t ~node =
+  let r = t.replicas.(node) in
+  if r.sealed then
+    match t.switch with
+    | Some sw when sw.next_epoch = r.r_epoch + 1 ->
+        arm_unseal_timer t (engine_exn t) ~node
+    | Some _ | None ->
+        r.sealed <- false;
+        ignore (persist t ~node)
+
 let reconfigure t ~coordinator next_system =
   let engine = engine_exn t in
   if next_system.System.n > t.universe then
@@ -255,6 +374,7 @@ let reconfigure t ~coordinator next_system =
               seal_best = (0, 0);
               install_waiting = Bitset.create t.universe;
               installing = false;
+              sw_retries = 8;
             }
           in
           t.switch <- Some sw;
@@ -262,7 +382,8 @@ let reconfigure t ~coordinator next_system =
             (fun j ->
               Engine.send engine ~src:coordinator ~dst:j
                 (Seal_req { epoch = t.epoch }))
-            seal_quorum)
+            seal_quorum;
+          arm_switch_timer t engine ~coordinator)
 
 let on_seal_ack t sw ~src ~version ~value =
   let engine = engine_exn t in
@@ -330,13 +451,16 @@ let handlers t : msg Engine.handlers =
               Engine.send engine ~src:node ~dst:src
                 (Op_nack { op; epoch = r.r_epoch })
             else begin
-              (match write with
+              match write with
               | Some (version, value) ->
-                  if version > fst r.state then r.state <- (version, value)
-              | None -> ());
-              let version, value = r.state in
-              Engine.send engine ~src:node ~dst:src
-                (Op_rep { op; version; value })
+                  if version > fst r.state then r.state <- (version, value);
+                  let version, value = r.state in
+                  reply_after_fsync t engine ~node ~dst:src
+                    (Op_rep { op; version; value })
+              | None ->
+                  let version, value = r.state in
+                  Engine.send engine ~src:node ~dst:src
+                    (Op_rep { op; version; value })
             end
         | Op_rep { op = op_id; version; value } ->
             (match Hashtbl.find_opt t.ops op_id with
@@ -367,8 +491,9 @@ let handlers t : msg Engine.handlers =
             if epoch = r.r_epoch then begin
               r.sealed <- true;
               let version, value = r.state in
-              Engine.send engine ~src:node ~dst:src
-                (Seal_ack { epoch; version; value })
+              reply_after_fsync t engine ~node ~dst:src
+                (Seal_ack { epoch; version; value });
+              arm_unseal_timer t engine ~node
             end
         | Seal_ack { epoch; version; value } ->
             (match t.switch with
@@ -382,7 +507,7 @@ let handlers t : msg Engine.handlers =
               r.sealed <- false;
               if version > fst r.state then r.state <- (version, value)
             end;
-            Engine.send engine ~src:node ~dst:src (Install_ack { epoch })
+            reply_after_fsync t engine ~node ~dst:src (Install_ack { epoch })
         | Install_ack { epoch } ->
             (match t.switch with
             | Some sw when sw.next_epoch = epoch -> on_install_ack t sw ~src
@@ -391,17 +516,46 @@ let handlers t : msg Engine.handlers =
             let r = t.replicas.(node) in
             if epoch >= r.r_epoch then begin
               r.r_epoch <- epoch;
-              r.sealed <- false
+              r.sealed <- false;
+              (* Fire-and-forget: nothing observes this transition
+                 before it settles, so losing it only means re-learning
+                 the epoch on the next announce or Epoch_rep. *)
+              ignore (persist t ~node)
+            end
+        | Epoch_req ->
+            Engine.send engine ~src:node ~dst:src
+              (Epoch_rep { epoch = t.replicas.(node).r_epoch })
+        | Epoch_rep { epoch } ->
+            (* Adopt strictly newer epochs only: an equal-epoch reply
+               must not unseal a replica whose seal may be counted by
+               an in-flight switch. *)
+            let r = t.replicas.(node) in
+            if epoch > r.r_epoch then begin
+              r.r_epoch <- epoch;
+              r.sealed <- false;
+              ignore (persist t ~node)
             end);
     on_timer =
-      (fun _engine ~node:_ ~tag ->
-        match Hashtbl.find_opt t.ops tag with
-        | Some op ->
-            Hashtbl.remove t.ops op.id;
-            t.failed <- t.failed + 1
-        | None -> ());
+      (fun _engine ~node ~tag ->
+        if tag = switch_tag then switch_tick t ~node
+        else if tag = unseal_tag then unseal_tick t ~node
+        else
+          match Hashtbl.find_opt t.ops tag with
+          | Some op ->
+              Hashtbl.remove t.ops op.id;
+              t.failed <- t.failed + 1
+          | None -> ());
     on_crash =
-      (fun _ ~node ->
+      (fun engine ~node ->
+        t.incarnation.(node) <- t.incarnation.(node) + 1;
+        Durable.crash (dur_exn t) ~node ~now:(Engine.now engine);
+        (* A crashed coordinator takes its switch down with it; sealed
+           replicas self-heal through their unseal tick. *)
+        (match t.switch with
+        | Some sw when sw.coordinator = node ->
+            t.switch <- None;
+            t.refused_switches <- t.refused_switches + 1
+        | Some _ | None -> ());
         let doomed =
           Hashtbl.fold
             (fun _ op acc -> if op.client = node then op :: acc else acc)
@@ -412,5 +566,27 @@ let handlers t : msg Engine.handlers =
             Hashtbl.remove t.ops op.id;
             t.failed <- t.failed + 1)
           doomed);
-    on_recover = (fun _ ~node:_ -> ());
+    on_recover =
+      (fun engine ~node ~amnesia ->
+        if amnesia then begin
+          (* Restore the durable image and re-learn the current epoch
+             from peers over the announce path. *)
+          let r = t.replicas.(node) in
+          let now = Engine.now engine in
+          (match Durable.durable_value (cell_exn t) ~node ~now with
+          | Some (epoch, sealed, state) ->
+              r.r_epoch <- epoch;
+              r.sealed <- sealed;
+              r.state <- state
+          | None ->
+              r.r_epoch <- 0;
+              r.sealed <- false;
+              r.state <- (0, 0));
+          for j = 0 to t.universe - 1 do
+            if j <> node then Engine.send engine ~src:node ~dst:j Epoch_req
+          done
+        end;
+        (* Timers died with the crash: a still-sealed replica needs its
+           self-heal tick back. *)
+        if t.replicas.(node).sealed then arm_unseal_timer t engine ~node);
   }

@@ -19,15 +19,41 @@
     epochs and clients retry under the announced configuration.  The
     consistency monitor checks that no read — before, during or after
     any number of reconfigurations — misses a write completed before it
-    started. *)
+    started.
+
+    {2 Crash recovery}
+
+    Each replica's (epoch, seal flag, state) image lives in a
+    {!Sim.Durable} cell, fsynced {e before} the reply that makes a
+    transition observable (write reply, seal ack, install ack) leaves
+    — so an amnesiac recovery (see {!Sim.Engine.recover_at}) restores
+    everything any peer could have counted on, and then re-learns the
+    current epoch by asking peers over the announce path.
+
+    A switch survives restarts of its participants: the coordinator
+    re-sends seal / install requests (both handlers are idempotent) on
+    a retry tick, bounded before the switch is abandoned with a
+    re-announce of the old epoch.  A coordinator crash drops its
+    switch; replicas it sealed reopen through a self-heal tick that
+    fires only once no switch referencing their seal is in flight, so
+    an early unseal can never leak an old-epoch write past a counted
+    seal. *)
 
 type t
 type msg
 
-val create : initial:Quorum.System.t -> universe:int -> timeout:float -> t
+val create :
+  ?durability:Sim.Durable.config ->
+  initial:Quorum.System.t ->
+  universe:int ->
+  timeout:float ->
+  unit ->
+  t
 (** [universe] is the engine size and must accommodate every future
     configuration ([initial.n <= universe]); processes beyond the
-    current configuration's [n] are spares. *)
+    current configuration's [n] are spares.  [durability] (default
+    {!Sim.Durable.instant}) configures the replicas' durable store;
+    a non-zero fsync latency delays write / seal / install acks. *)
 
 val handlers : t -> msg Sim.Engine.handlers
 val bind : t -> msg Sim.Engine.t -> unit

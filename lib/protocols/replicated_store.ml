@@ -1,6 +1,7 @@
 module Engine = Sim.Engine
 module Rpc = Sim.Rpc
 module Failure_detector = Sim.Failure_detector
+module Durable = Sim.Durable
 module Bitset = Quorum.Bitset
 module Metrics = Obs.Metrics
 
@@ -9,6 +10,12 @@ type app =
   | Version_rep of { op : int; version : int; value : int }
   | Write_req of { op : int; key : int; version : int; value : int }
   | Write_ack of { op : int }
+  | Recovering of { op : int }
+      (** nack: the replica is an amnesiac recoverer that has not
+          finished its re-join sync and refuses to serve *)
+  | Sync_req of { sync : int }
+  | Sync_rep of { sync : int; entries : (int * int * int) list }
+      (** (key, version, value) dump of the helper's replica table *)
 
 type msg = Beat | App of app Rpc.msg
 
@@ -41,7 +48,15 @@ type instruments = {
   st_timeouts : Metrics.counter;
   st_retries : Metrics.counter;
   st_stale : Metrics.counter;
+  st_rejoins : Metrics.counter;
+  st_refusals : Metrics.counter;
   st_latency : Metrics.histogram;
+}
+
+type sync = {
+  sync_id : int;
+  sync_waiting : Bitset.t;
+  sync_acc : (int, int * int) Hashtbl.t;  (** key -> best (version, value) *)
 }
 
 type t = {
@@ -49,18 +64,29 @@ type t = {
   write_system : Quorum.System.t;
   timeout : float;
   retries : int;
+  durability : Durable.config;
   rpc : (app, msg) Rpc.t;
   fd : msg Failure_detector.t;
   mutable engine : msg Engine.t option;
+  mutable dur : (int * int * int) Durable.t option;
+      (** write-ahead log of installed (key, version, value) records *)
   ops : (int, op) Hashtbl.t;
   mutable next_op : int;
   replicas : (int, int * int) Hashtbl.t array;  (** key -> (version, value) *)
+  rejoining : bool array;
+      (** amnesiac recoverers that have not completed their sync yet *)
+  incarnation : int array;
+      (** bumped on crash: retires acks scheduled behind an fsync *)
+  syncs : sync option array;
+  mutable next_sync : int;
   mutable reads_ok : int;
   mutable writes_ok : int;
   mutable unavailable : int;
   mutable timeouts : int;
   mutable retried : int;
   mutable stale_reads : int;
+  mutable rejoins : int;
+  mutable refusals : int;
   (* Consistency monitor: per key, the (commit time, version) history
      of completed writes, newest first. *)
   committed : (int, (float * int) list) Hashtbl.t;
@@ -68,8 +94,8 @@ type t = {
 }
 
 let create ?(retries = 2) ?(rpc_timeout = 4.0) ?(rpc_backoff = 1.6)
-    ?(rpc_attempts = 6) ?(fd_period = 1.0) ?(fd_timeout = 5.0) ~read_system
-    ~write_system ~timeout () =
+    ?(rpc_attempts = 6) ?(fd_period = 1.0) ?(fd_timeout = 5.0)
+    ?(durability = Durable.instant) ~read_system ~write_system ~timeout () =
   let n = read_system.Quorum.System.n in
   if write_system.Quorum.System.n <> n then
     invalid_arg "Replicated_store.create: universe mismatch";
@@ -78,6 +104,7 @@ let create ?(retries = 2) ?(rpc_timeout = 4.0) ?(rpc_backoff = 1.6)
     write_system;
     timeout;
     retries;
+    durability;
     rpc =
       Rpc.create ~timeout:rpc_timeout ~backoff:rpc_backoff
         ~max_attempts:rpc_attempts
@@ -87,15 +114,22 @@ let create ?(retries = 2) ?(rpc_timeout = 4.0) ?(rpc_backoff = 1.6)
       Failure_detector.create ~period:fd_period ~timeout:fd_timeout ~nodes:n
         ~beat:Beat ();
     engine = None;
+    dur = None;
     ops = Hashtbl.create 64;
     next_op = 0;
     replicas = Array.init n (fun _ -> Hashtbl.create 16);
+    rejoining = Array.make n false;
+    incarnation = Array.make n 0;
+    syncs = Array.make n None;
+    next_sync = 0;
     reads_ok = 0;
     writes_ok = 0;
     unavailable = 0;
     timeouts = 0;
     retried = 0;
     stale_reads = 0;
+    rejoins = 0;
+    refusals = 0;
     committed = Hashtbl.create 16;
     ins = None;
   }
@@ -110,12 +144,24 @@ let ins_exn t =
   | Some i -> i
   | None -> invalid_arg "Replicated_store: bind the engine first"
 
+let dur_exn t =
+  match t.dur with
+  | Some d -> d
+  | None -> invalid_arg "Replicated_store: bind the engine first"
+
 let reads_ok t = t.reads_ok
 let writes_ok t = t.writes_ok
 let unavailable t = t.unavailable
 let timeouts t = t.timeouts
 let retried t = t.retried
 let stale_reads t = t.stale_reads
+let rejoins t = t.rejoins
+let rejoin_refusals t = t.refusals
+let rejoining t ~node = t.rejoining.(node)
+
+let replica_value t ~node ~key = Hashtbl.find_opt t.replicas.(node) key
+
+let log_length t ~node = Durable.log_length (dur_exn t) ~node
 let dead_letters t = Rpc.dead_letters t.rpc
 let retransmissions t = Rpc.retransmissions t.rpc
 let op_latency t = (ins_exn t).st_latency
@@ -281,8 +327,95 @@ let on_write_ack t op_id ~node =
           end
       | Reading _ -> ())
 
+(* --- Re-join protocol ---------------------------------------------- *)
+
+(* Merge a (key, version, value) record into a replica table, newest
+   version wins. *)
+let merge_record table (key, version, value) =
+  match Hashtbl.find_opt table key with
+  | Some (v0, _) when v0 >= version -> ()
+  | Some _ | None -> Hashtbl.replace table key (version, value)
+
+(* An amnesiac recoverer refuses to serve until it has pulled the
+   state of a full read quorum: its replayed durable log already
+   covers everything it ever acknowledged (write-ahead), but the sync
+   is what re-establishes freshness before the replica can again count
+   toward quorum intersection. *)
+let rec start_rejoin t ~node =
+  let engine = engine_exn t in
+  t.rejoining.(node) <- true;
+  let live = Failure_detector.view t.fd ~node in
+  match t.read_system.Quorum.System.select (Engine.rng engine) ~live with
+  | None ->
+      (* No sync quorum in view: retry once the detector settles.
+         Background, so a hopeless rejoin never keeps a run alive. *)
+      Engine.schedule engine ~background:true
+        ~time:(Engine.now engine +. Failure_detector.timeout t.fd)
+        (fun () ->
+          if Engine.is_live engine node && t.rejoining.(node) then
+            start_rejoin t ~node)
+  | Some q ->
+      let sync_id = t.next_sync in
+      t.next_sync <- sync_id + 1;
+      t.syncs.(node) <-
+        Some
+          {
+            sync_id;
+            sync_waiting = Bitset.copy q;
+            sync_acc = Hashtbl.create 16;
+          };
+      Bitset.iter
+        (fun j -> rsend t ~src:node ~dst:j (Sync_req { sync = sync_id }))
+        q
+
+let on_sync_rep t ~node ~src ~sync entries =
+  match t.syncs.(node) with
+  | Some s when s.sync_id = sync && Bitset.mem s.sync_waiting src ->
+      Bitset.remove s.sync_waiting src;
+      List.iter (merge_record s.sync_acc) entries;
+      if Bitset.is_empty s.sync_waiting then begin
+        Hashtbl.iter
+          (fun key (version, value) ->
+            merge_record t.replicas.(node) (key, version, value))
+          s.sync_acc;
+        t.syncs.(node) <- None;
+        t.rejoining.(node) <- false;
+        t.rejoins <- t.rejoins + 1;
+        Metrics.incr (ins_exn t).st_rejoins;
+        Obs.Trace.record
+          (Obs.trace (Engine.obs (engine_exn t)))
+          ~time:(Engine.now (engine_exn t))
+          ~node ~label:"store.rejoin" Obs.Trace.Note
+      end
+  | Some _ | None -> ()
+
+(* A rejoining replica nacked the request: fail the attempt over to a
+   fresh quorum, but only after a beat (the rejoin usually completes
+   within a round trip) and only if no other fail-over superseded the
+   attempt meanwhile (the deadline identifies the attempt). *)
+let on_recovering t ~node ~src op_id =
+  match Hashtbl.find_opt t.ops op_id with
+  | Some op when not op.done_ ->
+      let relevant =
+        match op.phase with
+        | Reading r -> Bitset.mem r.waiting_for src
+        | Writing w -> Bitset.mem w.waiting_for src
+      in
+      ignore node;
+      if relevant then begin
+        let engine = engine_exn t in
+        let attempt = op.deadline in
+        Engine.schedule engine
+          ~time:(Engine.now engine +. 1.0)
+          (fun () ->
+            match Hashtbl.find_opt t.ops op_id with
+            | Some op when (not op.done_) && op.deadline = attempt ->
+                attempt_failed t op
+            | Some _ | None -> ())
+      end
+  | Some _ | None -> ()
+
 let on_dead_letter t ~src ~dst payload =
-  ignore src;
   (* The rpc layer gave up reaching a quorum member: the attempt can
      never complete, so fail it over right away instead of waiting for
      the attempt timeout — but only if that member is still part of the
@@ -298,9 +431,18 @@ let on_dead_letter t ~src ~dst payload =
       match Hashtbl.find_opt t.ops op_id with
       | Some op when (not op.done_) && relevant op -> attempt_failed t op
       | Some _ | None -> ())
-  | Version_rep _ | Write_ack _ ->
+  | Sync_req { sync } -> (
+      (* A sync-quorum member is unreachable: the rejoin cannot
+         complete on this quorum — reselect. *)
+      match t.syncs.(src) with
+      | Some s when s.sync_id = sync && Bitset.mem s.sync_waiting dst ->
+          t.syncs.(src) <- None;
+          if Engine.is_live (engine_exn t) src then start_rejoin t ~node:src
+      | Some _ | None -> ())
+  | Version_rep _ | Write_ack _ | Recovering _ | Sync_rep _ ->
       (* A reply we could not push back: the client's own timeout and
-         retry machinery covers it. *)
+         retry machinery covers it (and a lost sync reply stalls the
+         rejoin until its own dead letter fires). *)
       ()
 
 let bind t engine =
@@ -326,36 +468,81 @@ let bind t engine =
         st_stale =
           Metrics.counter m ~help:"reads older than a prior committed write"
             "store.stale_reads";
+        st_rejoins =
+          Metrics.counter m ~help:"completed amnesiac re-join syncs"
+            "store.rejoins";
+        st_refusals =
+          Metrics.counter m
+            ~help:"requests nacked by a replica still re-joining"
+            "store.rejoin_refusals";
         st_latency =
           Metrics.histogram m
             ~help:"operation latency (simulated time), by op=read|write"
             "store.op_latency";
       };
+  t.dur <-
+    Some
+      (Durable.create ~obs:(Engine.obs engine)
+         ~nodes:t.read_system.Quorum.System.n t.durability);
   Rpc.bind t.rpc engine;
   Rpc.set_dead_letter_handler t.rpc (fun ~src ~dst payload ->
       on_dead_letter t ~src ~dst payload);
   Failure_detector.bind t.fd engine;
   Failure_detector.start t.fd
 
+let refuse t ~node ~src op =
+  t.refusals <- t.refusals + 1;
+  Metrics.incr (ins_exn t).st_refusals;
+  rsend t ~src:node ~dst:src (Recovering { op })
+
 let dispatch_app t engine ~node ~src = function
   | Version_req { op; key } ->
-      let version, value =
-        match Hashtbl.find_opt t.replicas.(node) key with
-        | Some vv -> vv
-        | None -> (0, 0)
-      in
-      rsend t ~src:node ~dst:src (Version_rep { op; version; value })
+      if t.rejoining.(node) then refuse t ~node ~src op
+      else
+        let version, value =
+          match Hashtbl.find_opt t.replicas.(node) key with
+          | Some vv -> vv
+          | None -> (0, 0)
+        in
+        rsend t ~src:node ~dst:src (Version_rep { op; version; value })
   | Version_rep { op; version; value } ->
       on_version_rep t engine ~node:src op ~version ~value
   | Write_req { op; key; version; value } ->
-      let stale =
-        match Hashtbl.find_opt t.replicas.(node) key with
-        | Some (v, _) -> v >= version
-        | None -> false
-      in
-      if not stale then Hashtbl.replace t.replicas.(node) key (version, value);
-      rsend t ~src:node ~dst:src (Write_ack { op })
+      if t.rejoining.(node) then refuse t ~node ~src op
+      else begin
+        merge_record t.replicas.(node) (key, version, value);
+        (* Write-ahead: the record is logged unconditionally and the
+           ack leaves only once its fsync completes, so an acked write
+           can never be lost to a crash.  With zero fsync latency the
+           ack is synchronous, exactly the old stable-storage model. *)
+        let now = Engine.now engine in
+        let durable_at =
+          Durable.append (dur_exn t) ~node ~now (key, version, value)
+        in
+        if durable_at <= now then
+          rsend t ~src:node ~dst:src (Write_ack { op })
+        else begin
+          let inc = t.incarnation.(node) in
+          Engine.schedule engine ~time:durable_at (fun () ->
+              if t.incarnation.(node) = inc && Engine.is_live engine node then
+                rsend t ~src:node ~dst:src (Write_ack { op }))
+        end
+      end
   | Write_ack { op } -> on_write_ack t op ~node:src
+  | Recovering { op } -> on_recovering t ~node ~src op
+  | Sync_req { sync } ->
+      (* Answered even while rejoining, from the replayed durable
+         state: write-ahead acking means the log already covers
+         everything this replica ever acknowledged, so this cannot
+         launder stale state — and refusing would deadlock a majority
+         amnesia restart (no sync quorum could ever assemble). *)
+      let entries =
+        Hashtbl.fold
+          (fun key (version, value) acc -> (key, version, value) :: acc)
+          t.replicas.(node) []
+      in
+      rsend t ~src:node ~dst:src (Sync_rep { sync; entries })
+  | Sync_rep { sync; entries } -> on_sync_rep t ~node ~src ~sync entries
 
 let handlers t : msg Engine.handlers =
   {
@@ -382,8 +569,10 @@ let handlers t : msg Engine.handlers =
           | Some _ | None -> ());
     on_crash =
       (fun engine ~node ->
-        ignore engine;
         Rpc.on_crash t.rpc ~node;
+        t.incarnation.(node) <- t.incarnation.(node) + 1;
+        Durable.crash (dur_exn t) ~node ~now:(Engine.now engine);
+        t.syncs.(node) <- None;
         (* A crashed client's timers are dropped by the engine, so its
            in-flight operations would leak: abort them here. *)
         let doomed =
@@ -393,7 +582,20 @@ let handlers t : msg Engine.handlers =
         in
         List.iter (fun op -> finish t op `Timeout) doomed);
     on_recover =
-      (fun _ ~node ->
-        (* Transient crash model: replicas survive (stable storage). *)
-        Failure_detector.on_recover t.fd ~node);
+      (fun engine ~node ~amnesia ->
+        Failure_detector.on_recover t.fd ~node;
+        if amnesia then begin
+          (* The in-memory table is gone: rebuild the durable prefix
+             from the log, then refuse to serve until a read-quorum
+             sync re-establishes freshness. *)
+          Hashtbl.reset t.replicas.(node);
+          List.iter
+            (merge_record t.replicas.(node))
+            (Durable.replay (dur_exn t) ~node ~now:(Engine.now engine));
+          start_rejoin t ~node
+        end
+        else if t.rejoining.(node) then
+          (* Crashed mid-rejoin with memory intact: the crash canceled
+             the sync round, start a fresh one. *)
+          start_rejoin t ~node);
   }

@@ -23,7 +23,29 @@
     Consistency is monitored: each completed read must return a version
     at least as high as any write completed before it started
     (regular-register semantics under the intersection property);
-    violations are surfaced through {!stale_reads}. *)
+    violations are surfaced through {!stale_reads}.
+
+    {2 Durability and crash recovery}
+
+    Replicas persist through a {!Sim.Durable} store with write-ahead
+    acknowledgement: an incoming write is appended to the replica's
+    durable log and the [Write_ack] leaves only once the append has
+    fsynced, so an acknowledged write can never be lost to a crash.
+    With the default {!Sim.Durable.instant} configuration the fsync is
+    free and the protocol behaves exactly like the classic
+    stable-storage model.
+
+    Recovery distinguishes the two models of
+    {!Sim.Engine.handlers.on_recover}.  A plain recovery resumes with
+    memory intact.  An {e amnesiac} recovery wipes the in-memory table,
+    replays the durable log prefix, and then runs an explicit re-join
+    protocol: the replica refuses [Version_req]/[Write_req] (clients
+    see a [Recovering] nack and fail over to another quorum) until it
+    has synchronized state from a full read quorum, which restores
+    regular-register freshness before it serves again.  Rejoining
+    replicas still answer sync requests from their replayed state —
+    write-ahead acking makes that safe, and it keeps a majority-amnesia
+    restart from deadlocking. *)
 
 type t
 type msg
@@ -35,12 +57,16 @@ val create :
   ?rpc_attempts:int ->
   ?fd_period:float ->
   ?fd_timeout:float ->
+  ?durability:Sim.Durable.config ->
   read_system:Quorum.System.t ->
   write_system:Quorum.System.t ->
   timeout:float ->
   unit ->
   t
-(** Both systems must span the same universe.  [timeout] bounds each
+(** Both systems must span the same universe.  [durability] (default
+    {!Sim.Durable.instant}) configures the per-replica durable store:
+    a non-zero fsync latency delays write acks, and torn-tail mode
+    makes crashes corrupt the last in-flight log record.  [timeout] bounds each
     attempt's lifetime in simulated time; on expiry (or an early
     dead-letter fail-over) the operation is retried with a freshly
     selected quorum up to [retries] times (default 2) before counting
@@ -92,3 +118,25 @@ val op_latency : t -> Obs.Metrics.histogram
 (** Completed-operation latency samples ([store.op_latency] in the
     engine's metrics registry, split by the [op=read|write] label).
     Raises [Invalid_argument] before [bind]. *)
+
+(** {2 Crash-recovery introspection} *)
+
+val rejoins : t -> int
+(** Amnesiac re-join syncs completed ([store.rejoins] metric). *)
+
+val rejoin_refusals : t -> int
+(** Requests nacked by a replica that was still re-joining
+    ([store.rejoin_refusals] metric). *)
+
+val rejoining : t -> node:int -> bool
+(** Whether [node] is currently refusing service pending a re-join
+    sync. *)
+
+val replica_value : t -> node:int -> key:int -> (int * int) option
+(** The replica's in-memory [(version, value)] for [key] — test
+    visibility into what a recovery replayed or a sync installed. *)
+
+val log_length : t -> node:int -> int
+(** Durable log records currently held for [node] (see
+    {!Sim.Durable.log_length}).  Raises [Invalid_argument] before
+    [bind]. *)

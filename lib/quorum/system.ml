@@ -79,7 +79,12 @@ let avail_mask_exn t =
 
 let quorums t =
   match t.min_quorums with
-  | Some q -> Ok (Lazy.force q)
+  | Some q -> (
+      (* Forcing can itself refuse (e.g. enumeration caps on large
+         universes); that is an [Error], not a crash. *)
+      match Lazy.force q with
+      | q -> Ok q
+      | exception (Invalid_argument msg | Failure msg) -> Error msg)
   | None ->
       Error (Printf.sprintf "system %s does not enumerate its quorums" t.name)
 

@@ -1,0 +1,164 @@
+module Metrics = Obs.Metrics
+
+type config = { fsync_latency : float; torn_tail : bool }
+
+let config ?(fsync_latency = 0.0) ?(torn_tail = false) () =
+  if fsync_latency < 0.0 then invalid_arg "Durable.config: fsync_latency";
+  { fsync_latency; torn_tail }
+
+let instant = config ()
+
+type ins = {
+  d_appends : Metrics.counter;
+  d_cell_writes : Metrics.counter;
+  d_lost : Metrics.counter;
+  d_replayed : Metrics.counter;
+}
+
+type 'e t = {
+  n : int;
+  cfg : config;
+  ins : ins;
+  logs : (float * 'e) list array;  (** newest first: (durable_at, entry) *)
+  mutable cell_hooks : (int -> float -> unit) list;
+      (** crash propagation into every cell created from this store *)
+}
+
+let create ~obs ~nodes cfg =
+  if nodes <= 0 then invalid_arg "Durable.create: nodes";
+  let m = Obs.metrics obs in
+  {
+    n = nodes;
+    cfg;
+    ins =
+      {
+        d_appends =
+          Metrics.counter m ~help:"log records appended" "durable.appends";
+        d_cell_writes =
+          Metrics.counter m ~help:"cell writes, by cell" "durable.cell_writes";
+        d_lost =
+          Metrics.counter m
+            ~help:"writes destroyed by a crash, by kind (tail | torn | cell)"
+            "durable.lost_writes";
+        d_replayed =
+          Metrics.counter m ~help:"log entries handed back by replay"
+            "durable.replayed_entries";
+      };
+    logs = Array.make nodes [];
+    cell_hooks = [];
+  }
+
+let nodes t = t.n
+let fsync_latency t = t.cfg.fsync_latency
+
+let check_node t node name =
+  if node < 0 || node >= t.n then invalid_arg ("Durable." ^ name ^ ": node")
+
+(* --- Append-only log ------------------------------------------------ *)
+
+let append t ~node ~now e =
+  check_node t node "append";
+  Metrics.incr t.ins.d_appends;
+  let durable_at = now +. t.cfg.fsync_latency in
+  t.logs.(node) <- (durable_at, e) :: t.logs.(node);
+  durable_at
+
+let log_length t ~node =
+  check_node t node "log_length";
+  List.length t.logs.(node)
+
+let replay t ~node ~now =
+  check_node t node "replay";
+  let durable =
+    List.filter (fun (at, _) -> at <= now) t.logs.(node) |> List.rev_map snd
+  in
+  Metrics.incr t.ins.d_replayed ~by:(List.length durable);
+  durable
+
+(* Newest-first and durable_at is monotone in append order, so the
+   in-flight writes are exactly a prefix of the list. *)
+let split_in_flight ~now entries =
+  let rec go = function
+    | (at, e) :: rest when at > now ->
+        let lost, kept = go rest in
+        ((at, e) :: lost, kept)
+    | durable -> ([], durable)
+  in
+  go entries
+
+let crash t ~node ~now =
+  check_node t node "crash";
+  let lost, survived = split_in_flight ~now t.logs.(node) in
+  let n_lost = List.length lost in
+  let survived, torn =
+    (* A torn tail only makes sense when the crash interrupted a
+       flush: the partially written block damages the record before
+       it. *)
+    if t.cfg.torn_tail && n_lost > 0 then
+      match survived with _ :: rest -> (rest, 1) | [] -> ([], 0)
+    else (survived, 0)
+  in
+  t.logs.(node) <- survived;
+  if n_lost > 0 then
+    Metrics.incr t.ins.d_lost ~by:n_lost ~labels:[ ("kind", "tail") ];
+  if torn > 0 then
+    Metrics.incr t.ins.d_lost ~by:torn ~labels:[ ("kind", "torn") ];
+  List.iter (fun hook -> hook node now) t.cell_hooks
+
+(* --- Typed cells ---------------------------------------------------- *)
+
+type 'a cell = {
+  c_cfg : config;
+  c_ins : ins;
+  c_name : string;
+  pending : (float * 'a) list array;  (** newest first *)
+  durable : 'a option array;
+}
+
+(* Promote every pending write whose fsync window has closed. *)
+let settle c node ~now =
+  let in_flight, landed = split_in_flight ~now c.pending.(node) in
+  (match landed with (_, v) :: _ -> c.durable.(node) <- Some v | [] -> ());
+  c.pending.(node) <- in_flight
+
+let cell (type a) t ~name : a cell =
+  let c =
+    {
+      c_cfg = t.cfg;
+      c_ins = t.ins;
+      c_name = name;
+      pending = (Array.make t.n [] : (float * a) list array);
+      durable = Array.make t.n None;
+    }
+  in
+  t.cell_hooks <-
+    (fun node now ->
+      settle c node ~now;
+      let lost = List.length c.pending.(node) in
+      if lost > 0 then
+        Metrics.incr c.c_ins.d_lost ~by:lost ~labels:[ ("kind", "cell") ];
+      c.pending.(node) <- [])
+    :: t.cell_hooks;
+  c
+
+let set c ~node ~now v =
+  Metrics.incr c.c_ins.d_cell_writes ~labels:[ ("cell", c.c_name) ];
+  if c.c_cfg.fsync_latency = 0.0 then begin
+    c.durable.(node) <- Some v;
+    now
+  end
+  else begin
+    settle c node ~now;
+    let durable_at = now +. c.c_cfg.fsync_latency in
+    c.pending.(node) <- (durable_at, v) :: c.pending.(node);
+    durable_at
+  end
+
+let get c ~node =
+  match c.pending.(node) with
+  | (_, v) :: _ -> Some v
+  | [] -> c.durable.(node)
+
+let durable_value c ~node ~now =
+  settle c node ~now;
+  c.durable.(node)

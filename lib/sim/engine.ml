@@ -9,14 +9,14 @@ type 'msg event =
           for background traffic, which is metered but not traced. *)
   | Timer of { node : int; tag : int }
   | Crash of int
-  | Recover of int
+  | Recover of { node : int; amnesia : bool }
   | Thunk of (unit -> unit)
 
 type 'msg handlers = {
   on_message : 'msg t -> node:int -> src:int -> 'msg -> unit;
   on_timer : 'msg t -> node:int -> tag:int -> unit;
   on_crash : 'msg t -> node:int -> unit;
-  on_recover : 'msg t -> node:int -> unit;
+  on_recover : 'msg t -> node:int -> amnesia:bool -> unit;
 }
 
 and instruments = {
@@ -167,8 +167,8 @@ let at_absolute t ~time ~background ev =
 
 let crash_at t ~time ~node = at_absolute t ~time ~background:false (Crash node)
 
-let recover_at t ~time ~node =
-  at_absolute t ~time ~background:false (Recover node)
+let recover_at ?(amnesia = false) t ~time ~node =
+  at_absolute t ~time ~background:false (Recover { node; amnesia })
 
 let schedule ?(background = false) t ~time thunk =
   at_absolute t ~time ~background (Thunk thunk)
@@ -204,12 +204,16 @@ let dispatch t ~background = function
         Trace.record (trace t) ~time:t.time ~node Trace.Crash;
         t.handlers.on_crash t ~node
       end
-  | Recover node ->
+  | Recover { node; amnesia } ->
       if not t.live.(node) then begin
         t.live.(node) <- true;
-        Metrics.incr t.ins.m_recoveries;
-        Trace.record (trace t) ~time:t.time ~node Trace.Recover;
-        t.handlers.on_recover t ~node
+        Metrics.incr t.ins.m_recoveries
+          ~labels:[ ("amnesia", if amnesia then "true" else "false") ];
+        if amnesia then
+          Trace.record (trace t) ~time:t.time ~node ~label:"amnesia"
+            Trace.Recover
+        else Trace.record (trace t) ~time:t.time ~node Trace.Recover;
+        t.handlers.on_recover t ~node ~amnesia
       end
   | Thunk f -> f ()
 

@@ -30,10 +30,18 @@ type 'msg handlers = {
   on_message : 'msg t -> node:int -> src:int -> 'msg -> unit;
   on_timer : 'msg t -> node:int -> tag:int -> unit;
   on_crash : 'msg t -> node:int -> unit;
-  on_recover : 'msg t -> node:int -> unit;
+  on_recover : 'msg t -> node:int -> amnesia:bool -> unit;
 }
 (** Protocol callbacks.  [on_message]/[on_timer] are only invoked for
-    live destination nodes. *)
+    live destination nodes.
+
+    Recovery is an explicit, adversarial event: [on_recover] tells the
+    protocol {e how} the node came back.  With [amnesia = false] the
+    node resumes with its in-memory state intact (the classic kind
+    transient-crash model); with [amnesia = true] it has lost
+    everything not explicitly persisted and must rebuild from its
+    {!Durable} store (replay) and/or its peers (re-join) before it may
+    serve again. *)
 
 val create :
   seed:int ->
@@ -75,7 +83,13 @@ val set_timer :
   ?background:bool -> 'msg t -> node:int -> delay:float -> tag:int -> unit
 
 val crash_at : 'msg t -> time:float -> node:int -> unit
-val recover_at : 'msg t -> time:float -> node:int -> unit
+
+val recover_at : ?amnesia:bool -> 'msg t -> time:float -> node:int -> unit
+(** Schedule the node's recovery.  [~amnesia:true] (default false)
+    delivers an amnesiac recovery — the handler sees
+    [on_recover ~amnesia:true], the [sim.recoveries] counter is
+    labeled [amnesia=true] and the trace event carries an ["amnesia"]
+    label. *)
 
 val schedule : ?background:bool -> 'msg t -> time:float -> (unit -> unit) -> unit
 (** Run an arbitrary thunk at an absolute simulated time (workload

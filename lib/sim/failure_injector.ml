@@ -1,16 +1,30 @@
 module Rng = Quorum.Rng
 
-type event = Crash of int | Recover of int
+type event = Crash of int | Recover of int | Recover_amnesiac of int
 
 let scripted engine events =
   List.iter
     (fun (time, ev) ->
       match ev with
       | Crash node -> Engine.crash_at engine ~time ~node
-      | Recover node -> Engine.recover_at engine ~time ~node)
+      | Recover node -> Engine.recover_at engine ~time ~node
+      | Recover_amnesiac node ->
+          Engine.recover_at ~amnesia:true engine ~time ~node)
     events
 
-let iid_faults engine ~rng ~p ~mean_downtime ~horizon =
+let restarts ?(amnesia = false) engine windows =
+  List.iter
+    (fun (at, down_for, nodes) ->
+      if at < 0.0 || down_for <= 0.0 then
+        invalid_arg "Failure_injector.restarts: window";
+      List.iter
+        (fun node ->
+          Engine.crash_at engine ~time:at ~node;
+          Engine.recover_at ~amnesia engine ~time:(at +. down_for) ~node)
+        nodes)
+    windows
+
+let iid_faults ?(amnesia = false) engine ~rng ~p ~mean_downtime ~horizon =
   if p <= 0.0 || p >= 1.0 then invalid_arg "Failure_injector.iid_faults: p";
   if mean_downtime <= 0.0 || horizon <= 0.0 then
     invalid_arg "Failure_injector.iid_faults: times";
@@ -24,7 +38,7 @@ let iid_faults engine ~rng ~p ~mean_downtime ~horizon =
       if crash_time < horizon then begin
         Engine.crash_at engine ~time:crash_time ~node;
         let recover_time = crash_time +. down in
-        Engine.recover_at engine ~time:recover_time ~node;
+        Engine.recover_at ~amnesia engine ~time:recover_time ~node;
         if recover_time < horizon then cycle recover_time
       end
     in

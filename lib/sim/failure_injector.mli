@@ -11,12 +11,23 @@
     the crash processes — the building blocks of the chaos harness
     (see [Protocols.Chaos]). *)
 
-type event = Crash of int | Recover of int
+type event = Crash of int | Recover of int | Recover_amnesiac of int
 
 val scripted : 'msg Engine.t -> (float * event) list -> unit
-(** Install the listed transitions at their absolute times. *)
+(** Install the listed transitions at their absolute times.
+    [Recover_amnesiac] delivers the recovery with [~amnesia:true] (see
+    {!Engine.recover_at}): the node comes back having lost everything
+    it did not persist in a {!Durable} store. *)
+
+val restarts :
+  ?amnesia:bool -> 'msg Engine.t -> (float * float * int list) list -> unit
+(** [(at, down_for, nodes)] windows: crash every listed node at [at]
+    and recover it at [at + down_for] — amnesiac when [~amnesia:true]
+    (default false).  The crash-restart building block of the chaos
+    recovery scenarios. *)
 
 val iid_faults :
+  ?amnesia:bool ->
   'msg Engine.t ->
   rng:Quorum.Rng.t ->
   p:float ->
@@ -28,7 +39,8 @@ val iid_faults :
     so each node is down a fraction [p] of the time, independently.
     Crashes are generated up to [horizon]; every crash gets its
     matching recovery even when it lands past [horizon], so no node is
-    left permanently dead by an accident of scheduling. *)
+    left permanently dead by an accident of scheduling (tested in
+    [test_recovery.ml]).  [~amnesia] makes every recovery amnesiac. *)
 
 val crash_random_subset :
   'msg Engine.t -> rng:Quorum.Rng.t -> at:float -> p:float -> unit

@@ -31,7 +31,7 @@ let make_rpc_world ?(loss = 0.0) ?(seed = 3) ?(max_attempts = 6) ~nodes () =
           if not (Rpc.on_timer rpc ~node ~tag) then
             Alcotest.fail "unexpected non-rpc timer");
       on_crash = (fun _ ~node -> Rpc.on_crash rpc ~node);
-      on_recover = (fun _ ~node:_ -> ());
+      on_recover = (fun _ ~node:_ ~amnesia:_ -> ());
     }
   in
   let network = Network.create ~loss () in
@@ -103,7 +103,7 @@ let make_fd_world ?(seed = 5) ~nodes () =
           (* non-fd tags are the tests' keep-alive timers *)
           ignore (Fd.on_timer fd ~node ~tag));
       on_crash = (fun _ ~node:_ -> ());
-      on_recover = (fun _ ~node -> Fd.on_recover fd ~node);
+      on_recover = (fun _ ~node ~amnesia:_ -> Fd.on_recover fd ~node);
     }
   in
   let engine = Engine.create ~seed ~nodes handlers in

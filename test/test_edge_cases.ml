@@ -157,7 +157,7 @@ let test_engine_validation () =
       on_message = (fun _ ~node:_ ~src:_ _ -> ());
       on_timer = (fun _ ~node:_ ~tag:_ -> ());
       on_crash = (fun _ ~node:_ -> ());
-      on_recover = (fun _ ~node:_ -> ());
+      on_recover = (fun _ ~node:_ ~amnesia:_ -> ());
     }
   in
   check "zero nodes" true

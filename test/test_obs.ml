@@ -179,7 +179,7 @@ let probe_handlers : msg Sim.Engine.handlers =
         | Pong -> ());
     on_timer = (fun _ ~node:_ ~tag:_ -> ());
     on_crash = (fun _ ~node:_ -> ());
-    on_recover = (fun _ ~node:_ -> ());
+    on_recover = (fun _ ~node:_ ~amnesia:_ -> ());
   }
 
 let test_engine_traces_message_lifecycle () =

@@ -8,7 +8,7 @@ let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 
 let setup ~universe ~initial =
-  let rc = Reconfig.create ~initial ~universe ~timeout:40.0 in
+  let rc = Reconfig.create ~initial ~universe ~timeout:40.0 () in
   let engine = Engine.create ~seed:31 ~nodes:universe (Reconfig.handlers rc) in
   Reconfig.bind rc engine;
   (rc, engine)

@@ -150,7 +150,8 @@ let probe_handlers log : probe_msg Engine.handlers =
         log := (Engine.now engine, `Timer (node, tag)) :: !log);
     on_crash = (fun engine ~node -> log := (Engine.now engine, `Crash node) :: !log);
     on_recover =
-      (fun engine ~node -> log := (Engine.now engine, `Recover node) :: !log);
+      (fun engine ~node ~amnesia:_ ->
+        log := (Engine.now engine, `Recover node) :: !log);
   }
 
 let test_engine_ping_pong () =
@@ -228,7 +229,7 @@ let test_engine_background_drains () =
           incr fired;
           Engine.set_timer ~background:true e ~node ~delay:1.0 ~tag);
       on_crash = (fun _ ~node:_ -> ());
-      on_recover = (fun _ ~node:_ -> ());
+      on_recover = (fun _ ~node:_ ~amnesia:_ -> ());
     }
   in
   let e = Engine.create ~seed:2 ~nodes:1 handlers in
@@ -251,7 +252,7 @@ let test_engine_budget_reported () =
       on_timer =
         (fun e ~node ~tag -> Engine.set_timer e ~node ~delay:1.0 ~tag);
       on_crash = (fun _ ~node:_ -> ());
-      on_recover = (fun _ ~node:_ -> ());
+      on_recover = (fun _ ~node:_ ~amnesia:_ -> ());
     }
   in
   let e = Engine.create ~seed:2 ~nodes:1 handlers in
