@@ -4,7 +4,7 @@
 
    Usage: main.exe [--fast] [--metrics] [--jobs N] [target ...]
    Targets: table1 table2 table3 table4 table5 figure1 figure2 curves
-            sect43 sect6 ablations sims chaos placement byzantine
+            sect43 sect6 ablations sims chaos latency placement byzantine
             thresholds perf parallel all (default: all)
 
    --fast replaces the 2^25..2^28 exact enumerations (h-T-grid(25),
@@ -36,6 +36,7 @@ let targets : (string * (unit -> unit)) list =
         Ablations.refinement () );
     ("sims", Sims.run);
     ("chaos", Chaos.run);
+    ("latency", Latency.run);
     ("placement", Placement.run);
     ("byzantine", Byz.run);
     ("thresholds", Thresholds.run);

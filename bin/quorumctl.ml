@@ -8,8 +8,11 @@
      pick <spec>        sample quorums with the selection strategy
      simulate <spec>    run the mutual-exclusion simulation
      chaos <spec>       fault-scenario sweep (loss, partitions, churn...)
-     metrics <spec>     chaos run -> metrics registry dump (table/jsonl/csv)
+     metrics <spec>     chaos run -> metrics registry dump
+                        (table/jsonl/csv/prometheus)
      trace <spec>       chaos run -> causal event trace + causality check
+     report <spec>      chaos run -> markdown dashboard (latency breakdown,
+                        consistency audit, trace health)
      list               the catalogue of system specs
 
    Specs are Registry specs, e.g. "htriang(15)", "htgrid(4x6)",
@@ -475,8 +478,20 @@ let metrics_cmd =
   let format_arg =
     Arg.(
       value
-      & opt (enum [ ("table", `Table); ("jsonl", `Jsonl); ("csv", `Csv) ]) `Table
-      & info [ "format" ] ~doc:"Output format: $(b,table), $(b,jsonl), $(b,csv).")
+      & opt
+          (enum
+             [
+               ("table", `Table); ("jsonl", `Jsonl); ("csv", `Csv);
+               ("prometheus", `Prometheus);
+             ])
+          `Table
+      & info [ "format" ]
+          ~doc:
+            "Output format: $(b,table) (human-readable registry dump, the \
+             default), $(b,jsonl) (one JSON object per sample), $(b,csv), \
+             or $(b,prometheus) (text exposition format 0.0.4: counters as \
+             *_total, histograms as summaries with 0.5/0.9/0.99 \
+             quantiles).")
   in
   let run spec scenario horizon seed protocol format out =
     with_system spec (fun system ->
@@ -487,7 +502,8 @@ let metrics_cmd =
             match format with
             | `Table -> output_string oc (Obs.Metrics.render m)
             | `Jsonl -> Obs.Sink.metrics_jsonl oc m
-            | `Csv -> Obs.Sink.metrics_csv oc m))
+            | `Csv -> Obs.Sink.metrics_csv oc m
+            | `Prometheus -> Obs.Sink.metrics_prometheus oc m))
   in
   let doc =
     "Run one chaos scenario and dump the full metrics registry (message, \
@@ -526,6 +542,15 @@ let trace_cmd =
             | `Csv -> Obs.Sink.trace_csv oc tr);
         Printf.eprintf "trace: %d events recorded, %d buffered, %d evicted\n"
           (Obs.Trace.recorded tr) (Obs.Trace.length tr) (Obs.Trace.dropped tr);
+        (* Loud but exit-code-neutral: an overwritten ring is a degraded
+           dump, not a failed run. *)
+        if Obs.Trace.dropped tr > 0 then
+          Printf.eprintf
+            "WARNING: the ring overwrote %d events (metered as \
+             obs.trace.dropped); causal chains through the evicted prefix \
+             are broken — re-run with a larger --capacity for a complete \
+             trace\n"
+            (Obs.Trace.dropped tr);
         (match Obs.Trace.causality_violations tr with
         | [] ->
             Printf.eprintf
@@ -545,6 +570,87 @@ let trace_cmd =
     Term.(
       const run $ spec_arg $ obs_scenario_arg $ obs_horizon_arg $ obs_seed_arg
       $ obs_protocol_arg $ format_arg $ capacity_arg $ out_arg)
+
+(* --- report ----------------------------------------------------------- *)
+
+let report_cmd =
+  let protocol_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("mutex", Protocols.Run_report.Mutex);
+               ("store", Protocols.Run_report.Store);
+               ("reconfig", Protocols.Run_report.Reconfig);
+             ])
+          Protocols.Run_report.Store
+      & info [ "protocol" ]
+          ~doc:
+            "Protocol to report on: $(b,mutex), $(b,store) (default) or \
+             $(b,reconfig).")
+  in
+  let seed_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed" ]
+          ~doc:
+            "RNG seed (default: the protocol's pinned chaos seed — mutex \
+             41, store 42, reconfig 43 — matching bench chaos).")
+  in
+  let next_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "next" ]
+          ~doc:
+            "With --protocol reconfig: the system to switch to mid-run \
+             (default: the spec itself).")
+  in
+  let capacity_arg =
+    Arg.(
+      value
+      & opt int (1 lsl 19)
+      & info [ "capacity" ]
+          ~doc:
+            "Trace ring capacity (events); the default is large enough \
+             that standard runs evict nothing.")
+  in
+  let run spec scenario horizon seed protocol next capacity out =
+    with_system spec (fun system ->
+        let next =
+          match next with
+          | None -> None
+          | Some _ when protocol <> Protocols.Run_report.Reconfig ->
+              die "--next only applies to --protocol reconfig"
+          | Some sp -> (
+              match build_extended sp with
+              | Ok s -> Some s
+              | Error msg -> die msg)
+        in
+        let r =
+          match
+            Protocols.Run_report.run ?seed ~horizon ~trace_capacity:capacity
+              ?next ~protocol ~system ~scenario ()
+          with
+          | r -> r
+          | exception Invalid_argument msg -> die msg
+        in
+        emit_to out (fun oc ->
+            output_string oc (Protocols.Run_report.to_markdown r)))
+  in
+  let doc =
+    "Run one fully-observed chaos scenario and render a markdown dashboard: \
+     chaos summary, per-operation latency percentiles with critical-path \
+     breakdown (network / fsync / queueing / retransmit), the \
+     consistency-audit verdict with witnessing evidence, trace-ring health \
+     and the metrics registry."
+  in
+  Cmd.v (Cmd.info "report" ~doc)
+    Term.(
+      const run $ spec_arg $ obs_scenario_arg $ obs_horizon_arg $ seed_arg
+      $ protocol_arg $ next_arg $ capacity_arg $ out_arg)
 
 (* --- nd --------------------------------------------------------------- *)
 
@@ -631,7 +737,8 @@ let () =
       (Cmd.info "quorumctl" ~version:"1.0" ~doc ~man:specs_man)
       [
         info_cmd; fp_cmd; load_cmd; quorums_cmd; pick_cmd; simulate_cmd;
-        chaos_cmd; metrics_cmd; trace_cmd; nd_cmd; masking_cmd; list_cmd;
+        chaos_cmd; metrics_cmd; trace_cmd; report_cmd; nd_cmd; masking_cmd;
+        list_cmd;
       ]
   in
   exit (Cmd.eval' main)

@@ -4,27 +4,75 @@ let canon labels =
   List.sort (fun (a, _) (b, _) -> compare (a : string) b) labels
 
 (* Exact-sample histogram: a growable array plus a sortedness flag so
-   repeated percentile queries sort at most once between observations. *)
+   repeated percentile queries sort at most once between observations.
+   With [cap > 0] the array is a reservoir (Algorithm R): count, sum,
+   mean, min and max stay exact forever, percentiles are exact until
+   [seen] exceeds [cap] and an unbiased sample afterwards. *)
 type hist = {
   mutable data : float array;
   mutable len : int;
   mutable total : float;
   mutable is_sorted : bool;
+  cap : int;  (* 0 = unbounded (exact) *)
+  mutable seen : int;
+  mutable min_v : float;
+  mutable max_v : float;
+  mutable rng : int64;
 }
 
-let hist_create () =
-  { data = [||]; len = 0; total = 0.0; is_sorted = true }
+let hist_create ?(cap = 0) ?(seed = 0) () =
+  {
+    data = [||];
+    len = 0;
+    total = 0.0;
+    is_sorted = true;
+    cap;
+    seen = 0;
+    min_v = infinity;
+    max_v = neg_infinity;
+    rng = Int64.add (Int64.of_int seed) 0x5DEECE66DL;
+  }
+
+(* splitmix64: deterministic per-cell stream, independent of the global
+   [Random] state so sampling can never perturb a seeded simulation. *)
+let hist_rand h bound =
+  let z = Int64.add h.rng 0x9E3779B97F4A7C15L in
+  h.rng <- z;
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL
+  in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  Int64.to_int (Int64.rem (Int64.logand z Int64.max_int) (Int64.of_int bound))
 
 let hist_add h x =
-  if h.len = Array.length h.data then begin
-    let grown = Array.make (max 16 (2 * h.len)) 0.0 in
-    Array.blit h.data 0 grown 0 h.len;
-    h.data <- grown
-  end;
-  h.data.(h.len) <- x;
-  h.len <- h.len + 1;
+  h.seen <- h.seen + 1;
   h.total <- h.total +. x;
-  h.is_sorted <- false
+  if x < h.min_v then h.min_v <- x;
+  if x > h.max_v then h.max_v <- x;
+  if h.cap > 0 && h.len >= h.cap then begin
+    (* Reservoir full: keep x with probability cap/seen, evicting a
+       uniformly random resident. *)
+    let j = hist_rand h h.seen in
+    if j < h.cap then begin
+      h.data.(j) <- x;
+      h.is_sorted <- false
+    end
+  end
+  else begin
+    if h.len = Array.length h.data then begin
+      let grown = Array.make (max 16 (2 * h.len)) 0.0 in
+      Array.blit h.data 0 grown 0 h.len;
+      h.data <- grown
+    end;
+    h.data.(h.len) <- x;
+    h.len <- h.len + 1;
+    h.is_sorted <- false
+  end
 
 let hist_ensure_sorted h =
   if not h.is_sorted then begin
@@ -60,6 +108,7 @@ type family = {
   fname : string;
   mutable help : string;
   kind : kind;
+  mutable hcap : int;  (* histogram reservoir cap; 0 = exact *)
   cells : (labels, cell) Hashtbl.t;
 }
 
@@ -70,7 +119,8 @@ type histogram = family
 
 let create () = { families = Hashtbl.create 32 }
 
-let register t kind ?(help = "") name =
+let register t kind ?(help = "") ?(max_samples = 0) name =
+  if max_samples < 0 then invalid_arg "Metrics: max_samples < 0";
   match Hashtbl.find_opt t.families name with
   | Some f ->
       if f.kind <> kind then
@@ -78,15 +128,21 @@ let register t kind ?(help = "") name =
           (Printf.sprintf "Metrics: %s already registered as a %s" name
              (kind_name f.kind));
       if help <> "" then f.help <- help;
+      if max_samples > 0 then f.hcap <- max_samples;
       f
   | None ->
-      let f = { fname = name; help; kind; cells = Hashtbl.create 4 } in
+      let f =
+        { fname = name; help; kind; hcap = max_samples;
+          cells = Hashtbl.create 4 }
+      in
       Hashtbl.add t.families name f;
       f
 
 let counter t ?help name = register t KCounter ?help name
 let gauge t ?help name = register t KGauge ?help name
-let histogram t ?help name = register t KHistogram ?help name
+
+let histogram t ?help ?max_samples name =
+  register t KHistogram ?help ?max_samples name
 
 (* Write path: create the cell on first touch. *)
 let cell f labels =
@@ -98,7 +154,14 @@ let cell f labels =
         match f.kind with
         | KCounter -> Ccounter (ref 0)
         | KGauge -> Cgauge (ref 0.0)
-        | KHistogram -> Chist (hist_create ())
+        | KHistogram ->
+            (* Seeded from the cell identity: reservoir contents are a
+               pure function of the observation stream, never of wall
+               clock or global Random state. *)
+            Chist
+              (hist_create ~cap:f.hcap
+                 ~seed:(Hashtbl.hash (f.fname, key))
+                 ())
       in
       Hashtbl.add f.cells key c;
       c
@@ -132,6 +195,9 @@ let hist_of ?(labels = []) f =
   match peek f labels with Some (Chist h) -> Some h | _ -> None
 
 let count ?labels f =
+  match hist_of ?labels f with Some h -> h.seen | None -> 0
+
+let sample_count ?labels f =
   match hist_of ?labels f with Some h -> h.len | None -> 0
 
 let sum ?labels f =
@@ -139,7 +205,7 @@ let sum ?labels f =
 
 let mean ?labels f =
   match hist_of ?labels f with
-  | Some h when h.len > 0 -> h.total /. float_of_int h.len
+  | Some h when h.seen > 0 -> h.total /. float_of_int h.seen
   | Some _ | None -> 0.0
 
 let percentile ?labels f q =
@@ -164,18 +230,17 @@ type hist_stats = {
 }
 
 let hist_stats_of h =
-  if h.len = 0 then
+  if h.seen = 0 then
     { n = 0; total = 0.0; avg = 0.0; min_v = 0.0; max_v = 0.0;
       p50 = 0.0; p90 = 0.0; p99 = 0.0 }
   else begin
-    hist_ensure_sorted h;
     let pct q = match hist_percentile h q with Some v -> v | None -> 0.0 in
     {
-      n = h.len;
+      n = h.seen;
       total = h.total;
-      avg = h.total /. float_of_int h.len;
-      min_v = h.data.(0);
-      max_v = h.data.(h.len - 1);
+      avg = h.total /. float_of_int h.seen;
+      min_v = h.min_v;
+      max_v = h.max_v;
       p50 = pct 0.50;
       p90 = pct 0.90;
       p99 = pct 0.99;
@@ -193,7 +258,7 @@ type sample = {
 
 let summary ?labels f =
   match hist_of ?labels f with
-  | Some h when h.len > 0 ->
+  | Some h when h.seen > 0 ->
       let s = hist_stats_of h in
       Printf.sprintf "n=%d mean=%.3f p50=%.3f p99=%.3f max=%.3f" s.n s.avg
         s.p50 s.p99 s.max_v
@@ -228,6 +293,72 @@ let label_string labels =
     "{"
     ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) labels)
     ^ "}"
+
+let diff ~before ~after =
+  (* Snapshots are sorted by (name, labels); a single merge pass pairs
+     the cells.  Cells only present in [before] describe instruments
+     that ceased to exist — impossible for one registry — so they are
+     skipped rather than invented as negative samples. *)
+  let key (s : sample) = (s.name, s.labels) in
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun s -> Hashtbl.replace tbl (key s) s) before;
+  List.filter_map
+    (fun (a : sample) ->
+      let changed value = Some { a with value } in
+      match Hashtbl.find_opt tbl (key a) with
+      | None -> (
+          match a.value with
+          | Counter 0 | Gauge 0.0 -> None
+          | Histogram h when h.n = 0 -> None
+          | _ -> Some a)
+      | Some b -> (
+          match (a.value, b.value) with
+          | Counter va, Counter vb ->
+              if va = vb then None else changed (Counter (va - vb))
+          | Gauge va, Gauge vb ->
+              if va = vb then None else changed (Gauge (va -. vb))
+          | Histogram ha, Histogram hb ->
+              let n = ha.n - hb.n in
+              if n = 0 then None
+              else
+                (* Counts and sums subtract exactly; the distribution
+                   shape (min/max/percentiles) is not decomposable, so
+                   the diff reports the [after] shape. *)
+                changed
+                  (Histogram
+                     {
+                       ha with
+                       n;
+                       total = ha.total -. hb.total;
+                       avg = (ha.total -. hb.total) /. float_of_int n;
+                     })
+          | _ ->
+              (* Same name, different kind: registries forbid this. *)
+              Some a))
+    after
+
+let value_string = function
+  | Counter v -> Printf.sprintf "counter   %d" v
+  | Gauge v -> Printf.sprintf "gauge     %g" v
+  | Histogram h ->
+      Printf.sprintf
+        "histogram n=%d mean=%.3f min=%.3f p50=%.3f p90=%.3f p99=%.3f \
+         max=%.3f"
+        h.n h.avg h.min_v h.p50 h.p90 h.p99 h.max_v
+
+let render_diff ~before ~after =
+  let buf = Buffer.create 512 in
+  let rows = diff ~before ~after in
+  if rows = [] then Buffer.add_string buf "(no change)\n"
+  else
+    List.iter
+      (fun (s : sample) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%-42s %s\n"
+             (s.name ^ label_string s.labels)
+             (value_string s.value)))
+      rows;
+  Buffer.contents buf
 
 let render t =
   let buf = Buffer.create 1024 in

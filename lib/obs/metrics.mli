@@ -43,8 +43,18 @@ val counter : t -> ?help:string -> string -> counter
 val gauge : t -> ?help:string -> string -> gauge
 (** Register (or look up) a last-value-wins float gauge family. *)
 
-val histogram : t -> ?help:string -> string -> histogram
-(** Register (or look up) an exact-sample histogram family. *)
+val histogram : t -> ?help:string -> ?max_samples:int -> string -> histogram
+(** Register (or look up) an exact-sample histogram family.
+
+    [max_samples] (default 0 = unbounded) caps per-cell memory with a
+    reservoir sample (Algorithm R): {!count}, {!sum}, {!mean}, min and
+    max stay exact regardless, and {!percentile} is exact until a cell
+    has seen more than [max_samples] observations, an unbiased
+    fixed-size sample after that.  The reservoir's random stream is
+    seeded from the cell identity, so results are reproducible and the
+    global [Random] state of a seeded simulation is never touched.
+    Cells created before a re-registration supplied [max_samples] keep
+    their original cap. *)
 
 (** {2 Updates} *)
 
@@ -62,6 +72,11 @@ val counter_value : ?labels:labels -> counter -> int
 val gauge_value : ?labels:labels -> gauge -> float
 
 val count : ?labels:labels -> histogram -> int
+(** Observations ever recorded (exact even with [max_samples]). *)
+
+val sample_count : ?labels:labels -> histogram -> int
+(** Samples currently held; [< count] once a reservoir cap kicked in. *)
+
 val sum : ?labels:labels -> histogram -> float
 
 val mean : ?labels:labels -> histogram -> float
@@ -110,3 +125,16 @@ val render : t -> string
 (** Aligned human-readable table of the whole registry, one line per
     cell.  Families registered but never written still get a line
     (["(no data)"]), so a dump shows which instruments exist. *)
+
+(** {2 Snapshot diffing} *)
+
+val diff : before:sample list -> after:sample list -> sample list
+(** What changed between two snapshots of the {e same} registry, cell
+    by cell: counters and gauges report [after - before], histograms
+    report the delta [n]/[total]/[avg] with the distribution shape
+    (min/max/percentiles) taken from [after] — shapes are not
+    decomposable.  Unchanged cells are omitted; cells new in [after]
+    appear as-is (zero-valued new cells are still omitted). *)
+
+val render_diff : before:sample list -> after:sample list -> string
+(** {!diff} rendered like {!render}; ["(no change)"] when empty. *)

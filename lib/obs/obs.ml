@@ -1,11 +1,25 @@
 module Metrics = Metrics
 module Trace = Trace
+module Span = Span
+module Trace_analysis = Trace_analysis
 module Sink = Sink
 
-type t = { metrics : Metrics.t; trace : Trace.t }
+type t = { metrics : Metrics.t; trace : Trace.t; spans : Span.t }
 
 let create ?(trace_capacity = 8192) () =
-  { metrics = Metrics.create (); trace = Trace.create ~capacity:trace_capacity () }
+  let metrics = Metrics.create () in
+  let dropped =
+    Metrics.counter metrics
+      ~help:"trace events lost to ring-buffer overwrite"
+      "obs.trace.dropped"
+  in
+  let trace =
+    Trace.create ~capacity:trace_capacity
+      ~on_drop:(fun () -> Metrics.incr dropped)
+      ()
+  in
+  { metrics; trace; spans = Span.create () }
 
 let metrics t = t.metrics
 let trace t = t.trace
+let spans t = t.spans

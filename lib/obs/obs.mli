@@ -1,14 +1,22 @@
-(** Observability: typed metrics plus causal event tracing.
+(** Observability: typed metrics, causal event tracing and spans.
 
-    An {!t} bundles one {!Metrics} registry and one {!Trace} ring.
-    Pass a single [Obs.t] to everything that participates in a run —
-    the simulation engine, the rpc layer, the failure detector, the
-    protocol — and every subsystem registers its instruments in the
-    same registry and appends to the same trace, giving one unified,
-    dumpable view of the run (see {!Sink}). *)
+    An {!t} bundles one {!Metrics} registry, one {!Trace} ring and one
+    {!Span} collector.  Pass a single [Obs.t] to everything that
+    participates in a run — the simulation engine, the rpc layer, the
+    failure detector, the protocol — and every subsystem registers its
+    instruments in the same registry, appends to the same trace and
+    opens spans in the same collector, giving one unified, dumpable
+    view of the run (see {!Sink}) that {!Trace_analysis} can later
+    rebuild into per-operation causal trees.
+
+    Trace-ring overwrites are metered automatically: every event lost
+    to the ring bumps the ["obs.trace.dropped"] counter, so a metrics
+    dump reveals a truncated trace even after the ring itself is gone. *)
 
 module Metrics = Metrics
 module Trace = Trace
+module Span = Span
+module Trace_analysis = Trace_analysis
 module Sink = Sink
 
 type t
@@ -19,3 +27,4 @@ val create : ?trace_capacity:int -> unit -> t
 
 val metrics : t -> Metrics.t
 val trace : t -> Trace.t
+val spans : t -> Span.t

@@ -79,16 +79,101 @@ let trace_jsonl oc tr =
   Trace.iter tr (fun (e : Trace.event) ->
       Printf.fprintf oc
         "{\"seq\":%d,\"t\":%s,\"kind\":%s,\"node\":%d,\"peer\":%d,\
-         \"msg\":%d,\"label\":%s}\n"
+         \"msg\":%d,\"span\":%d,\"label\":%s}\n"
         e.seq (fl e.time)
         (json_string (Trace.kind_name e.kind))
-        e.node e.peer e.msg_id (json_string e.label))
+        e.node e.peer e.msg_id e.span (json_string e.label))
 
 let trace_csv oc tr =
-  output_string oc "seq,time,kind,node,peer,msg_id,label\n";
+  output_string oc "seq,time,kind,node,peer,msg_id,span,label\n";
   Trace.iter tr (fun (e : Trace.event) ->
-      Printf.fprintf oc "%d,%s,%s,%d,%d,%d,%s\n" e.seq (fl e.time)
-        (Trace.kind_name e.kind) e.node e.peer e.msg_id (csv_field e.label))
+      Printf.fprintf oc "%d,%s,%s,%d,%d,%d,%d,%s\n" e.seq (fl e.time)
+        (Trace.kind_name e.kind) e.node e.peer e.msg_id e.span
+        (csv_field e.label))
+
+let spans_jsonl oc sp =
+  Span.iter sp (fun (s : Span.span) ->
+      Printf.fprintf oc
+        "{\"id\":%d,\"parent\":%d,\"root\":%d,\"node\":%d,\"name\":%s,\
+         \"start\":%s,\"end\":%s,\"status\":%s}\n"
+        s.id s.parent s.root s.node (json_string s.name)
+        (fl s.start_time)
+        (if Span.is_open s then "null" else fl s.end_time)
+        (json_string (Span.status_name s.status)))
+
+(* Prometheus text exposition format, version 0.0.4.  Counters get the
+   conventional [_total] suffix; exact-sample histograms are closest to
+   Prometheus summaries (pre-computed quantiles), so that is how they
+   are exposed. *)
+let prom_name s =
+  String.map
+    (function
+      | ('a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':') as c -> c
+      | _ -> '_')
+    s
+
+let prom_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let prom_labels ?extra labels =
+  let labels =
+    match extra with None -> labels | Some kv -> labels @ [ kv ]
+  in
+  if labels = [] then ""
+  else
+    "{"
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) ->
+             Printf.sprintf "%s=\"%s\"" (prom_name k) (prom_escape v))
+           labels)
+    ^ "}"
+
+let metrics_prometheus oc m =
+  let last_header = ref "" in
+  List.iter
+    (fun (s : Metrics.sample) ->
+      let name = prom_name s.name in
+      let header typ suffix =
+        (* One HELP/TYPE block per family; the snapshot is sorted by
+           name, so cells of a family are adjacent. *)
+        if !last_header <> name then begin
+          last_header := name;
+          if s.help <> "" then
+            Printf.fprintf oc "# HELP %s%s %s\n" name suffix
+              (prom_escape s.help);
+          Printf.fprintf oc "# TYPE %s%s %s\n" name suffix typ
+        end
+      in
+      match s.value with
+      | Metrics.Counter v ->
+          header "counter" "_total";
+          Printf.fprintf oc "%s_total%s %d\n" name (prom_labels s.labels) v
+      | Metrics.Gauge v ->
+          header "gauge" "";
+          Printf.fprintf oc "%s%s %s\n" name (prom_labels s.labels) (fl v)
+      | Metrics.Histogram h ->
+          header "summary" "";
+          List.iter
+            (fun (q, v) ->
+              Printf.fprintf oc "%s%s %s\n" name
+                (prom_labels ~extra:("quantile", q) s.labels)
+                (fl v))
+            [ ("0.5", h.p50); ("0.9", h.p90); ("0.99", h.p99) ];
+          Printf.fprintf oc "%s_sum%s %s\n" name (prom_labels s.labels)
+            (fl h.total);
+          Printf.fprintf oc "%s_count%s %d\n" name (prom_labels s.labels)
+            h.n)
+    (Metrics.snapshot m)
 
 let with_file path f =
   let oc = open_out path in

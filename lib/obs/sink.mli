@@ -8,8 +8,20 @@
 
 val metrics_jsonl : out_channel -> Metrics.t -> unit
 val metrics_csv : out_channel -> Metrics.t -> unit
+
+val metrics_prometheus : out_channel -> Metrics.t -> unit
+(** Prometheus text exposition (format 0.0.4): [# HELP]/[# TYPE] block
+    per family, counters suffixed [_total], histograms exposed as
+    summaries (pre-computed [quantile] series plus [_sum]/[_count]).
+    Metric and label names have non-identifier characters mapped to
+    ['_'] (["rpc.retransmits"] becomes [rpc_retransmits_total]). *)
+
 val trace_jsonl : out_channel -> Trace.t -> unit
 val trace_csv : out_channel -> Trace.t -> unit
+
+val spans_jsonl : out_channel -> Span.t -> unit
+(** One span per line; open spans serialize with ["end":null] and
+    status ["open"]. *)
 
 val with_file : string -> (out_channel -> unit) -> unit
 (** Open [path] for writing, run the sink, close (also on raise). *)

@@ -1,0 +1,119 @@
+type status = Open | Ok | Error of string
+
+let status_name = function
+  | Open -> "open"
+  | Ok -> "ok"
+  | Error "" -> "error"
+  | Error reason -> "error:" ^ reason
+
+type span = {
+  id : int;
+  parent : int;
+  root : int;
+  node : int;
+  name : string;
+  start_time : float;
+  mutable end_time : float;
+  mutable status : status;
+}
+
+let dummy =
+  { id = -1; parent = -1; root = -1; node = -1; name = "";
+    start_time = 0.0; end_time = nan; status = Open }
+
+type t = { mutable data : span array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+let count t = t.len
+let get t id = if id >= 0 && id < t.len then Some t.data.(id) else None
+
+let get_exn t id =
+  match get t id with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Span.get_exn: unknown span %d" id)
+
+let start t ~time ~node ?(parent = -1) name =
+  let root =
+    if parent < 0 then t.len
+    else
+      match get t parent with
+      | Some p -> p.root
+      | None -> invalid_arg "Span.start: unknown parent"
+  in
+  let s =
+    { id = t.len; parent; root; node; name; start_time = time;
+      end_time = nan; status = Open }
+  in
+  if t.len = Array.length t.data then begin
+    let grown = Array.make (max 16 (2 * t.len)) dummy in
+    Array.blit t.data 0 grown 0 t.len;
+    t.data <- grown
+  end;
+  t.data.(t.len) <- s;
+  t.len <- t.len + 1;
+  s.id
+
+let is_open s = s.status = Open
+let duration s = if is_open s then nan else s.end_time -. s.start_time
+
+let finish t ~time ?(status = Ok) id =
+  if status = Open then invalid_arg "Span.finish: status Open";
+  let s = get_exn t id in
+  (* First close wins: a watchdog and a late reply may both try to end
+     the same span, and the earlier verdict is the operation's truth. *)
+  if is_open s then begin
+    if time < s.start_time then invalid_arg "Span.finish: time before start";
+    s.end_time <- time;
+    s.status <- status
+  end
+
+let iter t f =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter t (fun s -> acc := s :: !acc);
+  List.rev !acc
+
+let roots t =
+  let acc = ref [] in
+  iter t (fun s -> if s.parent < 0 then acc := s :: !acc);
+  List.rev !acc
+
+let children t id =
+  let acc = ref [] in
+  iter t (fun s -> if s.parent = id then acc := s :: !acc);
+  List.rev !acc
+
+let open_count t =
+  let n = ref 0 in
+  iter t (fun s -> if is_open s then incr n);
+  !n
+
+let clear t = t.len <- 0
+
+let validate t =
+  let faults = ref [] in
+  let fault fmt = Printf.ksprintf (fun m -> faults := m :: !faults) fmt in
+  iter t (fun s ->
+      if s.parent >= 0 then begin
+        match get t s.parent with
+        | None -> fault "span %d: parent %d does not exist" s.id s.parent
+        | Some p ->
+            if p.id >= s.id then
+              fault "span %d: parent %d not started before child" s.id p.id;
+            if s.root <> p.root then
+              fault "span %d: root %d disagrees with parent's root %d" s.id
+                s.root p.root;
+            if s.start_time < p.start_time then
+              fault "span %d: starts %g before parent %d at %g" s.id
+                s.start_time p.id p.start_time
+      end
+      else if s.root <> s.id then
+        fault "span %d: root span with root field %d" s.id s.root;
+      if (not (is_open s)) && s.end_time < s.start_time then
+        fault "span %d: ends %g before it starts %g" s.id s.end_time
+          s.start_time);
+  List.rev !faults

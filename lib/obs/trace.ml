@@ -15,18 +15,29 @@ type event = {
   node : int;
   peer : int;
   msg_id : int;
+  span : int;
   label : string;
 }
 
 let dummy =
   { seq = -1; time = 0.0; kind = Note; node = -1; peer = -1; msg_id = -1;
-    label = "" }
+    span = -1; label = "" }
 
-type t = { buf : event array; cap : int; mutable next_seq : int }
+type t = {
+  buf : event array;
+  cap : int;
+  on_drop : unit -> unit;
+  mutable next_seq : int;
+}
 
-let create ?(capacity = 8192) () =
+let create ?(capacity = 8192) ?(on_drop = fun () -> ()) () =
   if capacity < 0 then invalid_arg "Trace.create: capacity";
-  { buf = Array.make (max capacity 1) dummy; cap = capacity; next_seq = 0 }
+  {
+    buf = Array.make (max capacity 1) dummy;
+    cap = capacity;
+    on_drop;
+    next_seq = 0;
+  }
 
 let capacity t = t.cap
 let recorded t = t.next_seq
@@ -34,10 +45,13 @@ let length t = min t.next_seq t.cap
 let dropped t = max 0 (t.next_seq - t.cap)
 let clear t = t.next_seq <- 0
 
-let record t ~time ~node ?(peer = -1) ?(msg_id = -1) ?(label = "") kind =
+let record t ~time ~node ?(peer = -1) ?(msg_id = -1) ?(span = -1)
+    ?(label = "") kind =
   if t.cap > 0 then begin
     let seq = t.next_seq in
-    t.buf.(seq mod t.cap) <- { seq; time; kind; node; peer; msg_id; label };
+    if seq >= t.cap then t.on_drop ();
+    t.buf.(seq mod t.cap) <-
+      { seq; time; kind; node; peer; msg_id; span; label };
     t.next_seq <- seq + 1
   end
 

@@ -1,17 +1,22 @@
 (** Ring-buffered structured event trace with message-causality links.
 
     Every event carries a simulated timestamp, the node it happened on,
-    an optional peer node, an optional message id and a free-form
-    label.  Message ids are the causality links: the event stream of a
-    healthy run contains, for every [Deliver] of message [m], an
-    earlier [Send] of [m] — send → deliver → (the ack's own send →
-    deliver) chains are reconstructible from the ids alone.
+    an optional peer node, an optional message id, an optional span id
+    (see {!Span}) and a free-form label.  Message ids are the causality
+    links: the event stream of a healthy run contains, for every
+    [Deliver] of message [m], an earlier [Send] of [m] — send → deliver
+    → (the ack's own send → deliver) chains are reconstructible from
+    the ids alone.  Span ids tie message events to the operation whose
+    causal context they were emitted under, which is what
+    {!Trace_analysis} uses to rebuild per-operation critical paths.
 
     The buffer is a fixed-capacity ring: recording never allocates
     beyond the initial array and never slows down a long run; once full,
-    the oldest events are overwritten ({!dropped} counts them).  A
-    capacity of [0] disables recording entirely ({!record} becomes a
-    no-op), which is how metrics-only runs avoid trace overhead. *)
+    the oldest events are overwritten ({!dropped} counts them, and
+    [on_drop] fires once per overwritten event so an owner can meter
+    the loss).  A capacity of [0] disables recording entirely
+    ({!record} becomes a no-op), which is how metrics-only runs avoid
+    trace overhead. *)
 
 type kind =
   | Send  (** a message left [node] for [peer] *)
@@ -28,14 +33,16 @@ type event = {
   node : int;
   peer : int;  (** -1 when there is no other endpoint *)
   msg_id : int;  (** causality link; -1 when not a message event *)
+  span : int;  (** {!Span} context the event happened under; -1 if none *)
   label : string;  (** detail, e.g. ["mutex.enter_cs"]; may be empty *)
 }
 
 type t
 
-val create : ?capacity:int -> unit -> t
+val create : ?capacity:int -> ?on_drop:(unit -> unit) -> unit -> t
 (** [capacity] (default 8192) is the ring size in events; [0] disables
-    recording. *)
+    recording.  [on_drop] (default a no-op) is invoked once for every
+    event that overwrites an older one. *)
 
 val capacity : t -> int
 
@@ -45,6 +52,7 @@ val record :
   node:int ->
   ?peer:int ->
   ?msg_id:int ->
+  ?span:int ->
   ?label:string ->
   kind ->
   unit

@@ -1,0 +1,119 @@
+(** Offline analysis over a recorded run: causal-tree reconstruction,
+    per-operation critical paths with latency breakdowns, and a
+    consistency auditor over recorded operation histories.
+
+    The analyzer consumes the {!Trace} ring and the {!Span} collector
+    of one {!Obs.t}.  Spans group trace events into operations (every
+    event carries the span context it happened under, and every span
+    knows its tree's root), message ids stitch cross-node causality
+    (Send → Deliver), and the two together let the analyzer walk the
+    {e critical path} of each operation backward from its completion:
+    the last message delivered on a node explains how control got
+    there, its send→deliver interval is a network edge, and the gaps
+    between hops are local time — split into fsync (overlap with the
+    op's fsync spans), retransmit (a retransmission timer fired in the
+    gap) and queueing (the rest).  The walk partitions the operation's
+    [start, end] interval, so breakdown components sum to the
+    end-to-end latency {e exactly}; analysis never perturbs the run
+    (it happens after the fact, on recorded data). *)
+
+(** {2 Critical paths and latency breakdowns} *)
+
+type breakdown = {
+  network : float;  (** time in flight between nodes *)
+  fsync : float;  (** waiting on modeled durable writes *)
+  queueing : float;  (** local residue: handler/queue/think time *)
+  retransmit : float;  (** waiting out retransmission timers *)
+}
+
+val zero_breakdown : breakdown
+val breakdown_total : breakdown -> float
+val breakdown_add : breakdown -> breakdown -> breakdown
+
+type op_profile = {
+  root : Span.span;  (** the operation's root span (finished) *)
+  events : Trace.event list;  (** the op's events, chronological *)
+  latency : float;  (** root end - start *)
+  breakdown : breakdown;  (** partitions [latency] exactly *)
+  complete : bool;
+      (** false when ring eviction broke the causal chain; the
+          unexplained remainder is attributed to queueing *)
+}
+
+val profile_ops :
+  ?is_fsync:(string -> bool) -> trace:Trace.t -> spans:Span.t -> unit ->
+  op_profile list
+(** One profile per {e finished} root span (open roots — operations
+    still running when the run stopped — are skipped).  [is_fsync]
+    decides which span names count as fsync time (default: name
+    contains ["fsync"]). *)
+
+val events_of_op : trace:Trace.t -> spans:Span.t -> int -> Trace.event list
+(** All surviving trace events of the operation rooted at the given
+    span id, chronological — the op's causal tree as evidence. *)
+
+val percentile : float list -> float -> float option
+(** Nearest-rank percentile (same convention as {!Metrics}); [None] on
+    an empty list. *)
+
+type aggregate = {
+  count : int;
+  complete : int;  (** profiles with an unbroken causal chain *)
+  mean : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  max_v : float;
+  total : breakdown;  (** component sums across all ops *)
+}
+
+val aggregate : op_profile list -> aggregate
+
+val by_name : op_profile list -> (string * op_profile list) list
+(** Group profiles by root-span name (e.g. ["store.read"] vs
+    ["store.write"]), first-seen order. *)
+
+(** {2 History auditor}
+
+    Protocols record one {!hop} per completed client operation; the
+    auditor replays the history and checks session guarantees.  All
+    checks use strict real-time order ([finished < started]) — an
+    operation concurrent with a write may legitimately return either
+    version, so overlapping pairs are never flagged and the auditor
+    cannot false-positive on a linearizable history. *)
+
+type hop = {
+  client : int;  (** issuing client/node *)
+  key : int;
+  is_write : bool;
+  version : int;  (** version written, or version observed by a read *)
+  started : float;
+  finished : float;
+  span : int;  (** the op's root span id; -1 when unknown *)
+}
+
+type violation = {
+  check : string;
+      (** ["stale-read"], ["read-your-writes"] or ["monotonic-reads"] *)
+  detail : string;  (** human-readable explanation with times/versions *)
+  offending : hop;  (** the read that observed too little *)
+  expected : hop option;  (** the operation it should have observed *)
+  witness : Trace.event list;
+      (** surviving trace events of the operations involved — the
+          causal evidence chain (empty when trace/spans not given) *)
+}
+
+type audit = { reads : int; writes : int; violations : violation list }
+
+val audit_history : ?trace:Trace.t -> ?spans:Span.t -> hop list -> audit
+(** Checks every read against three guarantees: {e stale-read} (a read
+    must observe at least the largest version whose write finished
+    before the read started), {e read-your-writes} (same, restricted
+    to the reader's own writes) and {e monotonic-reads} (a client's
+    non-overlapping reads of a key must observe non-decreasing
+    versions).  Pass [trace]/[spans] to attach witnessing event chains
+    to violations. *)
+
+val passed : audit -> bool
+val verdict : audit -> string
+(** ["pass"] or ["FAIL (n violations)"]. *)

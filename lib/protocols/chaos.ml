@@ -178,7 +178,7 @@ type mutex_report = {
   budget_hit : bool;
 }
 
-let run_mutex ?(seed = 7) ?(rate = 0.4) ?(cs_duration = 1.0)
+let run_mutex_h ?(seed = 7) ?(rate = 0.4) ?(cs_duration = 1.0)
     ?(acquire_timeout = 80.0) ?obs ~system scenario =
   let n = system.Quorum.System.n in
   let rng = Rng.create seed in
@@ -200,24 +200,29 @@ let run_mutex ?(seed = 7) ?(rate = 0.4) ?(cs_duration = 1.0)
   let outcome = Engine.run_status engine in
   let entries = Mutex.entries mx in
   let wait = Mutex.acquire_latency mx in
-  {
-    label = scenario.label;
-    system = system.Quorum.System.name;
-    seed;
-    issued;
-    entries;
-    violations = Mutex.violations mx;
-    unavailable = Mutex.unavailable mx;
-    reselections = Mutex.reselections mx;
-    abandoned = Mutex.abandoned mx;
-    dead_letters = Mutex.dead_letters mx;
-    retransmissions = Mutex.retransmissions mx;
-    mean_wait = Obs.Metrics.mean wait;
-    msgs_per_entry =
-      (if entries = 0 then 0.0
-       else float_of_int (Engine.messages_sent engine) /. float_of_int entries);
-    budget_hit = outcome = Engine.Budget_exhausted;
-  }
+  ( {
+      label = scenario.label;
+      system = system.Quorum.System.name;
+      seed;
+      issued;
+      entries;
+      violations = Mutex.violations mx;
+      unavailable = Mutex.unavailable mx;
+      reselections = Mutex.reselections mx;
+      abandoned = Mutex.abandoned mx;
+      dead_letters = Mutex.dead_letters mx;
+      retransmissions = Mutex.retransmissions mx;
+      mean_wait = Obs.Metrics.mean wait;
+      msgs_per_entry =
+        (if entries = 0 then 0.0
+         else
+           float_of_int (Engine.messages_sent engine) /. float_of_int entries);
+      budget_hit = outcome = Engine.Budget_exhausted;
+    },
+    mx )
+
+let run_mutex ?seed ?rate ?cs_duration ?acquire_timeout ?obs ~system scenario =
+  fst (run_mutex_h ?seed ?rate ?cs_duration ?acquire_timeout ?obs ~system scenario)
 
 (* --- Replicated store under chaos ---------------------------------- *)
 
@@ -240,7 +245,7 @@ type store_report = {
   budget_hit : bool;
 }
 
-let run_store ?(seed = 7) ?(rate = 2.0) ?(read_fraction = 0.7) ?(keys = 4)
+let run_store_h ?(seed = 7) ?(rate = 2.0) ?(read_fraction = 0.7) ?(keys = 4)
     ?(op_timeout = 25.0) ?(retries = 2) ?obs ~read_system ~write_system ~name
     scenario =
   let n = read_system.Quorum.System.n in
@@ -278,24 +283,31 @@ let run_store ?(seed = 7) ?(rate = 2.0) ?(read_fraction = 0.7) ?(keys = 4)
     in
     if n = 0 then 0.0 else s /. float_of_int n
   in
-  {
-    label = scenario.label;
-    system = name;
-    seed;
-    issued;
-    reads_ok = Replicated_store.reads_ok store;
-    writes_ok = Replicated_store.writes_ok store;
-    unavailable = Replicated_store.unavailable store;
-    timeouts = Replicated_store.timeouts store;
-    retried = Replicated_store.retried store;
-    stale_reads = Replicated_store.stale_reads store;
-    rejoins = Replicated_store.rejoins store;
-    rejoin_refusals = Replicated_store.rejoin_refusals store;
-    dead_letters = Replicated_store.dead_letters store;
-    retransmissions = Replicated_store.retransmissions store;
-    mean_latency;
-    budget_hit = outcome = Engine.Budget_exhausted;
-  }
+  ( {
+      label = scenario.label;
+      system = name;
+      seed;
+      issued;
+      reads_ok = Replicated_store.reads_ok store;
+      writes_ok = Replicated_store.writes_ok store;
+      unavailable = Replicated_store.unavailable store;
+      timeouts = Replicated_store.timeouts store;
+      retried = Replicated_store.retried store;
+      stale_reads = Replicated_store.stale_reads store;
+      rejoins = Replicated_store.rejoins store;
+      rejoin_refusals = Replicated_store.rejoin_refusals store;
+      dead_letters = Replicated_store.dead_letters store;
+      retransmissions = Replicated_store.retransmissions store;
+      mean_latency;
+      budget_hit = outcome = Engine.Budget_exhausted;
+    },
+    store )
+
+let run_store ?seed ?rate ?read_fraction ?keys ?op_timeout ?retries ?obs
+    ~read_system ~write_system ~name scenario =
+  fst
+    (run_store_h ?seed ?rate ?read_fraction ?keys ?op_timeout ?retries ?obs
+       ~read_system ~write_system ~name scenario)
 
 (* --- Reconfiguration under chaos ------------------------------------ *)
 
@@ -317,8 +329,8 @@ type reconfig_report = {
 (* A register being reconfigured back and forth between two systems
    while the scenario's faults land — with restart windows, restarts
    hit {e during} the seal / install sequence. *)
-let run_reconfig ?(seed = 7) ?(rate = 1.0) ?(op_timeout = 25.0) ?obs ~initial
-    ~next ~name scenario =
+let run_reconfig_h ?(seed = 7) ?(rate = 1.0) ?(op_timeout = 25.0) ?obs
+    ~initial ~next ~name scenario =
   let universe = max initial.Quorum.System.n next.Quorum.System.n in
   let rng = Rng.create seed in
   let network = Network.create ~loss:scenario.plan.loss () in
@@ -351,20 +363,24 @@ let run_reconfig ?(seed = 7) ?(rate = 1.0) ?(op_timeout = 25.0) ?obs ~initial
         else Reconfig.read rc ~client)
   in
   let outcome = Engine.run_status engine in
-  {
-    label = scenario.label;
-    system = name;
-    seed;
-    issued;
-    reads_ok = Reconfig.reads_ok rc;
-    writes_ok = Reconfig.writes_ok rc;
-    retries = Reconfig.retries rc;
-    failed = Reconfig.failed rc;
-    stale_reads = Reconfig.stale_reads rc;
-    epoch_switches = Reconfig.epoch_switches rc;
-    final_epoch = Reconfig.current_epoch rc;
-    budget_hit = outcome = Engine.Budget_exhausted;
-  }
+  ( {
+      label = scenario.label;
+      system = name;
+      seed;
+      issued;
+      reads_ok = Reconfig.reads_ok rc;
+      writes_ok = Reconfig.writes_ok rc;
+      retries = Reconfig.retries rc;
+      failed = Reconfig.failed rc;
+      stale_reads = Reconfig.stale_reads rc;
+      epoch_switches = Reconfig.epoch_switches rc;
+      final_epoch = Reconfig.current_epoch rc;
+      budget_hit = outcome = Engine.Budget_exhausted;
+    },
+    rc )
+
+let run_reconfig ?seed ?rate ?op_timeout ?obs ~initial ~next ~name scenario =
+  fst (run_reconfig_h ?seed ?rate ?op_timeout ?obs ~initial ~next ~name scenario)
 
 (* --- Rendering ------------------------------------------------------ *)
 

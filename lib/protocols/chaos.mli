@@ -93,9 +93,21 @@ val run_mutex :
   mutex_report
 (** One seeded mutex run under the scenario: Poisson acquisition
     requests at [rate] per time unit over the horizon, then drain.
-    Pass [?obs] to keep the run's metrics registry and trace for
-    inspection or dumping; omitted, the run still records into a
+    Pass [?obs] to keep the run's metrics registry, trace and spans
+    for inspection or dumping; omitted, the run still records into a
     private one. *)
+
+val run_mutex_h :
+  ?seed:int ->
+  ?rate:float ->
+  ?cs_duration:float ->
+  ?acquire_timeout:float ->
+  ?obs:Obs.t ->
+  system:Quorum.System.t ->
+  scenario ->
+  mutex_report * Mutex.t
+(** {!run_mutex}, additionally handing back the protocol instance so
+    post-run state (e.g. for {!Obs.Trace_analysis}) stays reachable. *)
 
 type store_report = {
   label : string;
@@ -134,6 +146,23 @@ val run_store :
     per time unit; [name] labels the (read, write) system pair in the
     report. *)
 
+val run_store_h :
+  ?seed:int ->
+  ?rate:float ->
+  ?read_fraction:float ->
+  ?keys:int ->
+  ?op_timeout:float ->
+  ?retries:int ->
+  ?obs:Obs.t ->
+  read_system:Quorum.System.t ->
+  write_system:Quorum.System.t ->
+  name:string ->
+  scenario ->
+  store_report * Replicated_store.t
+(** {!run_store}, additionally handing back the store so its
+    {!Replicated_store.history} can feed
+    {!Obs.Trace_analysis.audit_history}. *)
+
 type reconfig_report = {
   label : string;
   system : string;
@@ -163,6 +192,20 @@ val run_reconfig :
     while the configuration is switched [initial → next → initial] at
     0.35 and 0.70 of the horizon — under a recovery scenario the
     restart windows land {e during} the seal / install sequence. *)
+
+val run_reconfig_h :
+  ?seed:int ->
+  ?rate:float ->
+  ?op_timeout:float ->
+  ?obs:Obs.t ->
+  initial:Quorum.System.t ->
+  next:Quorum.System.t ->
+  name:string ->
+  scenario ->
+  reconfig_report * Reconfig.t
+(** {!run_reconfig}, additionally handing back the protocol instance
+    so its {!Reconfig.history} can feed
+    {!Obs.Trace_analysis.audit_history}. *)
 
 val mutex_header : unit -> string
 val mutex_row : mutex_report -> string

@@ -5,6 +5,7 @@ module Durable = Sim.Durable
 module Bitset = Quorum.Bitset
 module Metrics = Obs.Metrics
 module Trace = Obs.Trace
+module Span = Obs.Span
 
 (* Requests are totally ordered by (timestamp, client); smaller wins. *)
 type req = { ts : int; client : int }
@@ -42,6 +43,7 @@ type waiting = {
   mutable got_failed : bool;
   mutable pending_inquires : int list;
   started : float;
+  span : int;  (** root span of this acquisition attempt *)
 }
 
 type client_phase =
@@ -158,6 +160,8 @@ let engine_exn t =
   | Some e -> e
   | None -> invalid_arg "Mutex: bind the engine first"
 
+let spans_exn t = Obs.spans (Engine.obs (engine_exn t))
+
 let ins_exn t =
   match t.ins with
   | Some i -> i
@@ -213,6 +217,13 @@ let arbiter_grant t ~arbiter_id a req =
   in
   if durable_at <= now then rsend t ~src:arbiter_id ~dst:req.client (Grant req)
   else begin
+    let parent = Engine.span_ctx engine in
+    let fspan =
+      if parent >= 0 then
+        Span.start (spans_exn t) ~time:now ~node:arbiter_id ~parent
+          "mutex.fsync"
+      else -1
+    in
     let inc = t.incarnation.(arbiter_id) in
     Engine.schedule engine ~time:durable_at (fun () ->
         let still_current =
@@ -220,11 +231,16 @@ let arbiter_grant t ~arbiter_id a req =
           | Some r -> priority r req = 0
           | None -> false
         in
-        if
+        let send =
           t.incarnation.(arbiter_id) = inc
           && Engine.is_live engine arbiter_id
           && still_current
-        then rsend t ~src:arbiter_id ~dst:req.client (Grant req))
+        in
+        if fspan >= 0 then
+          Span.finish (spans_exn t) ~time:durable_at
+            ~status:(if send then Span.Ok else Span.Error "superseded")
+            fspan;
+        if send then rsend t ~src:arbiter_id ~dst:req.client (Grant req))
   end
 
 let arbiter_clear_grant t ~arbiter_id a =
@@ -343,8 +359,8 @@ let arbiter_on_alive t ~node:j ~client ~ts =
 
 (* --- Client side -------------------------------------------------- *)
 
-let enter_cs t engine ~node w_req w_quorum started =
-  t.clients.(node) <- In_cs { req = w_req; quorum = w_quorum };
+let enter_cs t engine ~node (w : waiting) =
+  t.clients.(node) <- In_cs { req = w.req; quorum = w.quorum };
   t.in_cs_count <- t.in_cs_count + 1;
   if t.in_cs_count > t.max_concurrency then
     t.max_concurrency <- t.in_cs_count;
@@ -355,12 +371,14 @@ let enter_cs t engine ~node w_req w_quorum started =
   end;
   t.entries <- t.entries + 1;
   Metrics.incr ins.mx_entries;
-  Metrics.observe ins.mx_latency (Engine.now engine -. started);
+  Metrics.observe ins.mx_latency (Engine.now engine -. w.started);
+  Span.finish (spans_exn t) ~time:(Engine.now engine) w.span;
   Trace.record
     (Obs.trace (Engine.obs engine))
-    ~time:(Engine.now engine) ~node ~label:"mutex.enter" Trace.Note;
+    ~time:(Engine.now engine) ~node ~span:w.span ~label:"mutex.enter"
+    Trace.Note;
   (* Leave after cs_duration: encoded as a timer tagged by ts. *)
-  Engine.set_timer engine ~node ~delay:t.cs_duration ~tag:w_req.ts
+  Engine.set_timer engine ~node ~delay:t.cs_duration ~tag:w.req.ts
 
 let client_answer_inquires t ~node w =
   (* Only yield when this request cannot currently win.  An INQUIRE can
@@ -386,8 +404,7 @@ let client_on_grant t ~node ~src req =
   | Waiting w when priority w.req req = 0 ->
       Bitset.add w.grants src;
       let all = List.for_all (fun j -> Bitset.mem w.grants j) w.quorum in
-      if all then
-        enter_cs t (engine_exn t) ~node w.req w.quorum w.started
+      if all then enter_cs t (engine_exn t) ~node w
       else
         (* A pending inquire may have been waiting for this grant. *)
         client_answer_inquires t ~node w
@@ -437,6 +454,10 @@ let rec issue_request t ~node =
       t.clock <- t.clock + 1;
       let req = { ts = t.clock; client = node } in
       let quorum = Bitset.to_list quorum_set in
+      let span =
+        Span.start (spans_exn t) ~time:(Engine.now engine) ~node
+          "mutex.acquire"
+      in
       t.clients.(node) <-
         Waiting
           {
@@ -446,11 +467,13 @@ let rec issue_request t ~node =
             got_failed = false;
             pending_inquires = [];
             started = Engine.now engine;
+            span;
           };
-      List.iter (fun j -> rsend t ~src:node ~dst:j (Request req)) quorum;
-      Engine.set_timer engine ~node
-        ~delay:(Failure_detector.timeout t.fd)
-        ~tag:(req.ts + wd_offset)
+      Engine.with_span_ctx engine span (fun () ->
+          List.iter (fun j -> rsend t ~src:node ~dst:j (Request req)) quorum;
+          Engine.set_timer engine ~node
+            ~delay:(Failure_detector.timeout t.fd)
+            ~tag:(req.ts + wd_offset))
 
 (* Abandon the current attempt (releasing any grants collected and any
    queue positions held) and, if [retry], immediately re-select an
@@ -458,6 +481,10 @@ let rec issue_request t ~node =
 and abort_attempt t ~node w ~retry =
   release_quorum t ~node w.req w.quorum;
   t.clients.(node) <- Idle;
+  Span.finish (spans_exn t)
+    ~time:(Engine.now (engine_exn t))
+    ~status:(Span.Error (if retry then "reselect" else "abandoned"))
+    w.span;
   if retry then begin
     t.reselections <- t.reselections + 1;
     Metrics.incr (ins_exn t).mx_reselections
@@ -650,7 +677,10 @@ let handlers t : msg Engine.handlers =
         Durable.crash (dur_exn t) ~node ~now:(Engine.now engine);
         (match t.clients.(node) with
         | In_cs _ -> t.in_cs_count <- t.in_cs_count - 1
-        | Waiting _ | Idle -> ());
+        | Waiting w ->
+            Span.finish (spans_exn t) ~time:(Engine.now engine)
+              ~status:(Span.Error "crash") w.span
+        | Idle -> ());
         t.clients.(node) <- Idle;
         t.pending.(node) <- 0);
     on_recover =

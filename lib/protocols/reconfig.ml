@@ -1,5 +1,6 @@
 module Engine = Sim.Engine
 module Durable = Sim.Durable
+module Span = Obs.Span
 module Bitset = Quorum.Bitset
 module System = Quorum.System
 
@@ -37,6 +38,7 @@ type op = {
   mutable phase : phase;
   mutable retries_left : int;
   mutable nacked : bool;
+  mutable span : int;  (** root span of the whole client operation *)
 }
 
 type replica = {
@@ -80,6 +82,7 @@ type t = {
   mutable failed : int;
   mutable stale_reads : int;
   mutable committed : (float * int) list;
+  mutable history : Obs.Trace_analysis.hop list;  (** newest first *)
 }
 
 let create ?(durability = Durable.instant) ~initial ~universe ~timeout () =
@@ -109,6 +112,7 @@ let create ?(durability = Durable.instant) ~initial ~universe ~timeout () =
     failed = 0;
     stale_reads = 0;
     committed = [];
+    history = [];
   }
 
 let engine_exn t =
@@ -136,6 +140,9 @@ let cell_exn t =
   | Some c -> c
   | None -> invalid_arg "Reconfig: bind the engine first"
 
+let spans_exn t = Obs.spans (Engine.obs (engine_exn t))
+let history t = List.rev t.history
+
 (* Persist a replica's whole durable image: epoch, seal flag, state. *)
 let persist t ~node =
   let r = t.replicas.(node) in
@@ -152,9 +159,21 @@ let reply_after_fsync t engine ~node ~dst msg =
   if durable_at <= now then Engine.send engine ~src:node ~dst msg
   else begin
     let inc = t.incarnation.(node) in
+    (* The wait for the fsync is a span of its own, child of whatever
+       operation the triggering message belonged to. *)
+    let parent = Engine.span_ctx engine in
+    let fspan =
+      if parent >= 0 then
+        Span.start (spans_exn t) ~time:now ~node ~parent "reconfig.fsync"
+      else -1
+    in
     Engine.schedule engine ~time:durable_at (fun () ->
-        if t.incarnation.(node) = inc && Engine.is_live engine node then
-          Engine.send engine ~src:node ~dst msg)
+        let ok = t.incarnation.(node) = inc && Engine.is_live engine node in
+        if fspan >= 0 then
+          Span.finish (spans_exn t) ~time:durable_at
+            ~status:(if ok then Span.Ok else Span.Error "crash")
+            fspan;
+        if ok then Engine.send engine ~src:node ~dst msg)
   end
 
 let current_epoch t = t.epoch
@@ -192,17 +211,20 @@ let launch t (op : op) =
   match system.System.select (Engine.rng engine) ~live:members with
   | None ->
       Hashtbl.remove t.ops op.id;
-      t.failed <- t.failed + 1
+      t.failed <- t.failed + 1;
+      Span.finish (spans_exn t) ~time:(Engine.now engine)
+        ~status:(Span.Error "unavailable") op.span
   | Some quorum ->
       op.phase <- Version_phase;
       op.best <- (0, 0);
       op.nacked <- false;
       op.waiting_for <- Bitset.copy quorum;
-      Bitset.iter
-        (fun j ->
-          Engine.send engine ~src:op.client ~dst:j
-            (Op_req { op = op.id; epoch = op.epoch; write = None }))
-        quorum
+      Engine.with_span_ctx engine op.span (fun () ->
+          Bitset.iter
+            (fun j ->
+              Engine.send engine ~src:op.client ~dst:j
+                (Op_req { op = op.id; epoch = op.epoch; write = None }))
+            quorum)
 
 let start t ~client kind =
   let engine = engine_exn t in
@@ -223,20 +245,45 @@ let start t ~client kind =
         phase = Version_phase;
         retries_left = 12;
         nacked = false;
+        span = -1;
       }
     in
+    op.span <-
+      Span.start (spans_exn t) ~time:op.started ~node:client
+        (match kind with
+        | Read_op -> "reconfig.read"
+        | Write_op _ -> "reconfig.write");
     Hashtbl.add t.ops id op;
     launch t op;
     if Hashtbl.mem t.ops id then
-      Engine.set_timer engine ~node:client ~delay:t.timeout ~tag:id
+      Engine.with_span_ctx engine op.span (fun () ->
+          Engine.set_timer engine ~node:client ~delay:t.timeout ~tag:id)
   end
 
 let read t ~client = start t ~client Read_op
 let write t ~client ~value = start t ~client (Write_op value)
 
+(* The register has a single logical cell; hops use key 0 and the
+   version as the value observed/installed. *)
+let record_hop t (op : op) ~now ~is_write version =
+  t.history <-
+    {
+      Obs.Trace_analysis.client = op.client;
+      key = 0;
+      is_write;
+      version;
+      started = op.started;
+      finished = now;
+      span = op.span;
+    }
+    :: t.history
+
 let finish_read t (op : op) =
   Hashtbl.remove t.ops op.id;
   t.reads_ok <- t.reads_ok + 1;
+  let now = Engine.now (engine_exn t) in
+  Span.finish (spans_exn t) ~time:now op.span;
+  record_hop t op ~now ~is_write:false (fst op.best);
   if fst op.best < committed_before t op.started then
     t.stale_reads <- t.stale_reads + 1
 
@@ -245,7 +292,10 @@ let retry_later t (op : op) =
      under the then-current configuration. *)
   if op.retries_left = 0 then begin
     Hashtbl.remove t.ops op.id;
-    t.failed <- t.failed + 1
+    t.failed <- t.failed + 1;
+    Span.finish (spans_exn t)
+      ~time:(Engine.now (engine_exn t))
+      ~status:(Span.Error "exhausted") op.span
   end
   else begin
     op.retries_left <- op.retries_left - 1;
@@ -270,18 +320,25 @@ let begin_install t (op : op) =
       (match system.System.select (Engine.rng engine) ~live:members with
       | None ->
           Hashtbl.remove t.ops op.id;
-          t.failed <- t.failed + 1
+          t.failed <- t.failed + 1;
+          Span.finish (spans_exn t) ~time:(Engine.now engine)
+            ~status:(Span.Error "unavailable") op.span
       | Some wq ->
           let version = fst op.best + 1 in
           op.write_version <- version;
           op.phase <- Install_phase;
           op.waiting_for <- Bitset.copy wq;
-          Bitset.iter
-            (fun j ->
-              Engine.send engine ~src:op.client ~dst:j
-                (Op_req
-                   { op = op.id; epoch = op.epoch; write = Some (version, value) }))
-            wq)
+          Engine.with_span_ctx engine op.span (fun () ->
+              Bitset.iter
+                (fun j ->
+                  Engine.send engine ~src:op.client ~dst:j
+                    (Op_req
+                       {
+                         op = op.id;
+                         epoch = op.epoch;
+                         write = Some (version, value);
+                       }))
+                wq))
 
 (* --- Reconfiguration -------------------------------------------------- *)
 
@@ -475,8 +532,10 @@ let handlers t : msg Engine.handlers =
                     | Install_phase ->
                         Hashtbl.remove t.ops op.id;
                         t.writes_ok <- t.writes_ok + 1;
-                        t.committed <-
-                          (Engine.now engine, op.write_version) :: t.committed
+                        let now = Engine.now engine in
+                        Span.finish (spans_exn t) ~time:now op.span;
+                        record_hop t op ~now ~is_write:true op.write_version;
+                        t.committed <- (now, op.write_version) :: t.committed
                 end)
         | Op_nack { op = op_id; epoch = _ } ->
             (match Hashtbl.find_opt t.ops op_id with
@@ -536,14 +595,16 @@ let handlers t : msg Engine.handlers =
               ignore (persist t ~node)
             end);
     on_timer =
-      (fun _engine ~node ~tag ->
+      (fun engine ~node ~tag ->
         if tag = switch_tag then switch_tick t ~node
         else if tag = unseal_tag then unseal_tick t ~node
         else
           match Hashtbl.find_opt t.ops tag with
           | Some op ->
               Hashtbl.remove t.ops op.id;
-              t.failed <- t.failed + 1
+              t.failed <- t.failed + 1;
+              Span.finish (spans_exn t) ~time:(Engine.now engine)
+                ~status:(Span.Error "timeout") op.span
           | None -> ());
     on_crash =
       (fun engine ~node ->
@@ -564,7 +625,10 @@ let handlers t : msg Engine.handlers =
         List.iter
           (fun op ->
             Hashtbl.remove t.ops op.id;
-            t.failed <- t.failed + 1)
+            t.failed <- t.failed + 1;
+            Span.finish (spans_exn t)
+              ~time:(Engine.now engine)
+              ~status:(Span.Error "crash") op.span)
           doomed);
     on_recover =
       (fun engine ~node ~amnesia ->

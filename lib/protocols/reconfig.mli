@@ -79,3 +79,12 @@ val failed : t -> int
 val stale_reads : t -> int
 (** Must be 0: reads never miss writes committed before they started,
     across reconfigurations. *)
+
+val history : t -> Obs.Trace_analysis.hop list
+(** Completed client operations in completion order, ready for
+    {!Obs.Trace_analysis.audit_history}.  The register is a single
+    logical cell, so every hop uses key [0]; reads carry the version
+    they observed, writes the version they installed, and each hop
+    names the operation's root span (["reconfig.read"] /
+    ["reconfig.write"], with ["reconfig.fsync"] children for
+    write-ahead waits — see {!Obs.Span}). *)

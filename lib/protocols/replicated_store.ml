@@ -4,6 +4,7 @@ module Failure_detector = Sim.Failure_detector
 module Durable = Sim.Durable
 module Bitset = Quorum.Bitset
 module Metrics = Obs.Metrics
+module Span = Obs.Span
 
 type app =
   | Version_req of { op : int; key : int }
@@ -39,6 +40,8 @@ type op = {
       (** current attempt's timeout instant; earlier timer fires are
           stale leftovers from a superseded attempt *)
   mutable done_ : bool;
+  mutable span : int;  (** root span of the whole client operation *)
+  mutable attempt_span : int;  (** span of the current quorum attempt *)
 }
 
 type instruments = {
@@ -90,6 +93,8 @@ type t = {
   (* Consistency monitor: per key, the (commit time, version) history
      of completed writes, newest first. *)
   committed : (int, (float * int) list) Hashtbl.t;
+  mutable history : Obs.Trace_analysis.hop list;
+      (** completed client ops, newest first — auditor input *)
   mutable ins : instruments option;
 }
 
@@ -131,6 +136,7 @@ let create ?(retries = 2) ?(rpc_timeout = 4.0) ?(rpc_backoff = 1.6)
     rejoins = 0;
     refusals = 0;
     committed = Hashtbl.create 16;
+    history = [];
     ins = None;
   }
 
@@ -165,6 +171,8 @@ let log_length t ~node = Durable.log_length (dur_exn t) ~node
 let dead_letters t = Rpc.dead_letters t.rpc
 let retransmissions t = Rpc.retransmissions t.rpc
 let op_latency t = (ins_exn t).st_latency
+let history t = List.rev t.history
+let spans_exn t = Obs.spans (Engine.obs (engine_exn t))
 
 let mark_unavailable t =
   t.unavailable <- t.unavailable + 1;
@@ -189,20 +197,30 @@ let committed_version_before t key time =
    phase. *)
 let launch_attempt t (op : op) =
   let engine = engine_exn t in
+  let sp = spans_exn t in
+  let now = Engine.now engine in
+  (* A relaunch supersedes the previous attempt's span. *)
+  if op.attempt_span >= 0 then
+    Span.finish sp ~time:now ~status:(Span.Error "retry") op.attempt_span;
   let live = Failure_detector.view t.fd ~node:op.client in
   match t.read_system.Quorum.System.select (Engine.rng engine) ~live with
   | None ->
       Hashtbl.remove t.ops op.id;
+      Span.finish sp ~time:now ~status:(Span.Error "unavailable") op.span;
       mark_unavailable t
   | Some quorum ->
       op.phase <- Reading { waiting_for = Bitset.copy quorum; best = (0, 0) };
-      op.deadline <- Engine.now engine +. t.timeout;
-      Bitset.iter
-        (fun j ->
-          rsend t ~src:op.client ~dst:j
-            (Version_req { op = op.id; key = op.key }))
-        quorum;
-      Engine.set_timer engine ~node:op.client ~delay:t.timeout ~tag:op.id
+      op.deadline <- now +. t.timeout;
+      op.attempt_span <-
+        Span.start sp ~time:now ~node:op.client ~parent:op.span
+          "store.attempt";
+      Engine.with_span_ctx engine op.attempt_span (fun () ->
+          Bitset.iter
+            (fun j ->
+              rsend t ~src:op.client ~dst:j
+                (Version_req { op = op.id; key = op.key }))
+            quorum;
+          Engine.set_timer engine ~node:op.client ~delay:t.timeout ~tag:op.id)
 
 let start_op t ~client ~key kind =
   let engine = engine_exn t in
@@ -224,8 +242,15 @@ let start_op t ~client ~key kind =
         retries_left = t.retries;
         deadline = 0.0;
         done_ = false;
+        span = -1;
+        attempt_span = -1;
       }
     in
+    op.span <-
+      Span.start (spans_exn t) ~time:op.started ~node:client
+        (match kind with
+        | Read_op -> "store.read"
+        | Write_op _ -> "store.write");
     Hashtbl.add t.ops id op;
     launch_attempt t op
   end
@@ -238,13 +263,35 @@ let finish t op outcome =
   Hashtbl.remove t.ops op.id;
   let engine = engine_exn t in
   let ins = ins_exn t in
+  let now = Engine.now engine in
+  let sp = spans_exn t in
+  let close status =
+    if op.attempt_span >= 0 then
+      Span.finish sp ~time:now ~status op.attempt_span;
+    Span.finish sp ~time:now ~status op.span
+  in
+  let record_hop ~is_write version =
+    t.history <-
+      {
+        Obs.Trace_analysis.client = op.client;
+        key = op.key;
+        is_write;
+        version;
+        started = op.started;
+        finished = now;
+        span = op.span;
+      }
+      :: t.history
+  in
   match outcome with
   | `Read_done version ->
       t.reads_ok <- t.reads_ok + 1;
       Metrics.incr ins.st_reads_ok;
       Metrics.observe ins.st_latency
         ~labels:[ ("op", "read") ]
-        (Engine.now engine -. op.started);
+        (now -. op.started);
+      close Span.Ok;
+      record_hop ~is_write:false version;
       if version < committed_version_before t op.key op.started then begin
         t.stale_reads <- t.stale_reads + 1;
         Metrics.incr ins.st_stale
@@ -254,17 +301,19 @@ let finish t op outcome =
       Metrics.incr ins.st_writes_ok;
       Metrics.observe ins.st_latency
         ~labels:[ ("op", "write") ]
-        (Engine.now engine -. op.started);
+        (now -. op.started);
+      close Span.Ok;
+      record_hop ~is_write:true version;
       let history =
         match Hashtbl.find_opt t.committed op.key with
         | Some h -> h
         | None -> []
       in
-      Hashtbl.replace t.committed op.key
-        ((Engine.now engine, version) :: history)
+      Hashtbl.replace t.committed op.key ((now, version) :: history)
   | `Timeout ->
       t.timeouts <- t.timeouts + 1;
-      Metrics.incr ins.st_timeouts
+      Metrics.incr ins.st_timeouts;
+      close (Span.Error "timeout")
 
 (* The current attempt cannot complete (timeout or a dead-lettered
    request): retry on a fresh quorum or give up. *)
@@ -299,6 +348,13 @@ let on_version_rep t engine ~node op_id ~version ~value =
                    with
                   | None ->
                       Hashtbl.remove t.ops op.id;
+                      let sp = spans_exn t in
+                      let now = Engine.now engine in
+                      if op.attempt_span >= 0 then
+                        Span.finish sp ~time:now
+                          ~status:(Span.Error "unavailable") op.attempt_span;
+                      Span.finish sp ~time:now
+                        ~status:(Span.Error "unavailable") op.span;
                       mark_unavailable t
                   | Some wq ->
                       let version = fst r.best + 1 in
@@ -522,10 +578,25 @@ let dispatch_app t engine ~node ~src = function
         if durable_at <= now then
           rsend t ~src:node ~dst:src (Write_ack { op })
         else begin
+          (* The wait for the fsync is a span of its own, child of the
+             ambient attempt context, so the latency breakdown can
+             attribute the ack delay to durability rather than queueing. *)
+          let parent = Engine.span_ctx engine in
+          let fspan =
+            if parent >= 0 then
+              Span.start (spans_exn t) ~time:now ~node ~parent "store.fsync"
+            else -1
+          in
           let inc = t.incarnation.(node) in
           Engine.schedule engine ~time:durable_at (fun () ->
-              if t.incarnation.(node) = inc && Engine.is_live engine node then
-                rsend t ~src:node ~dst:src (Write_ack { op }))
+              let alive =
+                t.incarnation.(node) = inc && Engine.is_live engine node
+              in
+              if fspan >= 0 then
+                Span.finish (spans_exn t) ~time:durable_at
+                  ~status:(if alive then Span.Ok else Span.Error "crash")
+                  fspan;
+              if alive then rsend t ~src:node ~dst:src (Write_ack { op }))
         end
       end
   | Write_ack { op } -> on_write_ack t op ~node:src

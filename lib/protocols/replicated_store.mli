@@ -119,6 +119,14 @@ val op_latency : t -> Obs.Metrics.histogram
     engine's metrics registry, split by the [op=read|write] label).
     Raises [Invalid_argument] before [bind]. *)
 
+val history : t -> Obs.Trace_analysis.hop list
+(** Completed client operations in completion order, ready for
+    {!Obs.Trace_analysis.audit_history}: reads carry the version they
+    observed, writes the version they installed, and each hop names
+    the operation's root span (every op opens a ["store.read"] /
+    ["store.write"] root span with per-attempt and per-fsync child
+    spans — see {!Obs.Span}). *)
+
 (** {2 Crash-recovery introspection} *)
 
 val rejoins : t -> int

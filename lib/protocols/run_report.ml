@@ -1,0 +1,178 @@
+module Engine = Sim.Engine
+module Ta = Obs.Trace_analysis
+
+type protocol = Mutex | Store | Reconfig
+
+let protocol_name = function
+  | Mutex -> "mutex"
+  | Store -> "store"
+  | Reconfig -> "reconfig"
+
+(* The pinned chaos seeds (bench chaos writes them into
+   BENCH_chaos.json); reports made with the defaults are replayed
+   exactly by any other tool using the same seed. *)
+let default_seed = function Mutex -> 41 | Store -> 42 | Reconfig -> 43
+
+type t = {
+  protocol : protocol;
+  system : string;
+  scenario : string;
+  seed : int;
+  horizon : float;
+  summary : string;  (** chaos header + row, fixed width *)
+  profiles : Ta.op_profile list;
+  audit : Ta.audit option;  (** [None] for the mutex (no data history) *)
+  obs : Obs.t;
+}
+
+let run ?seed ?(horizon = 400.0) ?(trace_capacity = 1 lsl 19) ?next ~protocol
+    ~system ~scenario () =
+  let seed = match seed with Some s -> s | None -> default_seed protocol in
+  let next = Option.value next ~default:system in
+  let n =
+    match protocol with
+    | Mutex | Store -> system.Quorum.System.n
+    | Reconfig -> max system.Quorum.System.n next.Quorum.System.n
+  in
+  let s = Chaos.scenario_of_label ~n ~horizon scenario in
+  let obs = Obs.create ~trace_capacity () in
+  let summary, audit, name =
+    match protocol with
+    | Mutex ->
+        let r, _mx = Chaos.run_mutex_h ~seed ~obs ~system s in
+        ( Chaos.mutex_header () ^ "\n" ^ Chaos.mutex_row r,
+          None,
+          system.Quorum.System.name )
+    | Store ->
+        let r, store =
+          Chaos.run_store_h ~seed ~obs ~read_system:system
+            ~write_system:system ~name:system.Quorum.System.name s
+        in
+        ( Chaos.store_header () ^ "\n" ^ Chaos.store_row r,
+          Some
+            (Ta.audit_history ~trace:(Obs.trace obs) ~spans:(Obs.spans obs)
+               (Replicated_store.history store)),
+          system.Quorum.System.name )
+    | Reconfig ->
+        let name =
+          system.Quorum.System.name ^ "->" ^ next.Quorum.System.name
+        in
+        let r, rc =
+          Chaos.run_reconfig_h ~seed ~obs ~initial:system ~next ~name s
+        in
+        ( Chaos.reconfig_header () ^ "\n" ^ Chaos.reconfig_row r,
+          Some
+            (Ta.audit_history ~trace:(Obs.trace obs) ~spans:(Obs.spans obs)
+               (Reconfig.history rc)),
+          name )
+  in
+  let profiles =
+    Ta.profile_ops ~trace:(Obs.trace obs) ~spans:(Obs.spans obs) ()
+  in
+  {
+    protocol;
+    system = name;
+    scenario = s.Chaos.label;
+    seed;
+    horizon;
+    summary;
+    profiles;
+    audit;
+    obs;
+  }
+
+(* --- Markdown rendering --------------------------------------------- *)
+
+let pct part total = if total <= 0.0 then 0.0 else 100.0 *. part /. total
+
+let latency_section buf profiles =
+  Buffer.add_string buf "## Operation latency (critical-path breakdown)\n\n";
+  if profiles = [] then
+    Buffer.add_string buf
+      "No finished operations were profiled (empty trace or no spans).\n\n"
+  else begin
+    Buffer.add_string buf
+      "| op | count | complete | mean | p50 | p90 | p99 | max | network | \
+       fsync | queueing | retransmit |\n";
+    Buffer.add_string buf
+      "|---|---|---|---|---|---|---|---|---|---|---|---|\n";
+    List.iter
+      (fun (name, ps) ->
+        let a = Ta.aggregate ps in
+        let t = Ta.breakdown_total a.Ta.total in
+        Printf.bprintf buf
+          "| %s | %d | %d | %.2f | %.2f | %.2f | %.2f | %.2f | %.1f%% | \
+           %.1f%% | %.1f%% | %.1f%% |\n"
+          name a.Ta.count a.Ta.complete a.Ta.mean a.Ta.p50 a.Ta.p90 a.Ta.p99
+          a.Ta.max_v
+          (pct a.Ta.total.Ta.network t)
+          (pct a.Ta.total.Ta.fsync t)
+          (pct a.Ta.total.Ta.queueing t)
+          (pct a.Ta.total.Ta.retransmit t))
+      (Ta.by_name profiles);
+    Buffer.add_string buf
+      "\nBreakdown components partition each operation's end-to-end \
+       latency; percentages are of total time in that op class.\n\n"
+  end
+
+let audit_section buf = function
+  | None ->
+      Buffer.add_string buf
+        "## Consistency audit\n\n\
+         Not applicable: the mutex records no read/write history (safety \
+         is the violations counter above).\n\n"
+  | Some (a : Ta.audit) ->
+      Printf.bprintf buf
+        "## Consistency audit\n\n\
+         Checked %d reads against %d writes (stale-read, read-your-writes, \
+         monotonic-reads): **%s**\n\n"
+        a.Ta.reads a.Ta.writes (Ta.verdict a);
+      List.iter
+        (fun (v : Ta.violation) ->
+          Printf.bprintf buf "- `%s`: %s (%d witnessing trace events)\n"
+            v.Ta.check v.Ta.detail (List.length v.Ta.witness))
+        a.Ta.violations;
+      if a.Ta.violations <> [] then Buffer.add_char buf '\n'
+
+let trace_section buf obs =
+  let tr = Obs.trace obs in
+  let dropped = Obs.Trace.dropped tr in
+  Printf.bprintf buf
+    "## Trace health\n\n\
+     %d events recorded, %d buffered, %d evicted by the ring.\n"
+    (Obs.Trace.recorded tr) (Obs.Trace.length tr) dropped;
+  if dropped > 0 then
+    Buffer.add_string buf
+      "**Warning:** the ring overwrote events; causal chains may be \
+       broken (profiles above marked incomplete) and the causality check \
+       below is advisory only.\n";
+  (match Obs.Trace.causality_violations tr with
+  | [] ->
+      Buffer.add_string buf
+        "Causality: ok — every surviving deliver links to a recorded \
+         send.\n\n"
+  | vs ->
+      Printf.bprintf buf
+        "Causality: %d deliver(s) without a matching send%s.\n\n"
+        (List.length vs)
+        (if dropped > 0 then " (expected: their sends were evicted)"
+         else ""))
+
+let to_markdown t =
+  let buf = Buffer.create 4096 in
+  Printf.bprintf buf "# Chaos run report: %s / %s / %s\n\n"
+    (protocol_name t.protocol) t.system t.scenario;
+  Printf.bprintf buf
+    "Seed %d, horizon %g simulated time units.  The run is deterministic: \
+     the same protocol, system, scenario and seed replay it exactly.\n\n"
+    t.seed t.horizon;
+  Buffer.add_string buf "## Run summary\n\n```\n";
+  Buffer.add_string buf t.summary;
+  Buffer.add_string buf "\n```\n\n";
+  latency_section buf t.profiles;
+  audit_section buf t.audit;
+  trace_section buf t.obs;
+  Buffer.add_string buf "## Metrics registry\n\n```\n";
+  Buffer.add_string buf (Obs.Metrics.render (Obs.metrics t.obs));
+  Buffer.add_string buf "```\n";
+  Buffer.contents buf

@@ -7,10 +7,12 @@ type 'msg event =
   | Deliver of { src : int; dst : int; msg : 'msg; uid : int }
       (** [uid] identifies the message for trace causality links; [-1]
           for background traffic, which is metered but not traced. *)
-  | Timer of { node : int; tag : int }
+  | Timer of { node : int; tag : int; ctx : int }
+      (** [ctx] is the span context captured when the timer was set, so
+          retransmit timers fire under the operation that armed them. *)
   | Crash of int
   | Recover of { node : int; amnesia : bool }
-  | Thunk of (unit -> unit)
+  | Thunk of { f : unit -> unit; ctx : int }
 
 type 'msg handlers = {
   on_message : 'msg t -> node:int -> src:int -> 'msg -> unit;
@@ -38,6 +40,8 @@ and 'msg t = {
   handlers : 'msg handlers;
   obs : Obs.t;
   ins : instruments;
+  msg_ctx : (int, int) Hashtbl.t;  (** uid -> span ctx, in-flight only *)
+  mutable ctx : int;  (** ambient span context; -1 = none *)
   mutable next_uid : int;
   mutable time : float;
   mutable sent : int;
@@ -83,6 +87,8 @@ let create ~seed ~nodes ?network ?obs handlers =
     handlers;
     obs;
     ins = make_instruments (Obs.metrics obs);
+    msg_ctx = Hashtbl.create 64;
+    ctx = -1;
     next_uid = 0;
     time = 0.0;
     sent = 0;
@@ -106,6 +112,25 @@ let live_set t =
   s
 
 let trace t = Obs.trace t.obs
+
+(* Span context: an ambient span id that send/set_timer/schedule capture
+   and dispatch restores around handlers, so causality crosses both the
+   network and the event queue without protocols threading it by hand. *)
+let span_ctx t = t.ctx
+let set_span_ctx t ctx = t.ctx <- ctx
+
+let with_span_ctx t ctx f =
+  let saved = t.ctx in
+  t.ctx <- ctx;
+  Fun.protect ~finally:(fun () -> t.ctx <- saved) f
+
+let ctx_of_uid t uid =
+  match Hashtbl.find_opt t.msg_ctx uid with Some c -> c | None -> -1
+
+let forget_uid t uid = if uid >= 0 then Hashtbl.remove t.msg_ctx uid
+
+let note ?(label = "") t ~node =
+  Trace.record (trace t) ~time:t.time ~node ~span:t.ctx ~label Trace.Note
 
 let enqueue t ~time ~background ev =
   if not background then t.foreground <- t.foreground + 1;
@@ -138,7 +163,8 @@ let send ?(background = false) t ~src ~dst msg =
         let uid = t.next_uid in
         t.next_uid <- uid + 1;
         Trace.record (trace t) ~time:t.time ~node:src ~peer:dst ~msg_id:uid
-          Trace.Send;
+          ~span:t.ctx Trace.Send;
+        if t.ctx >= 0 then Hashtbl.replace t.msg_ctx uid t.ctx;
         uid
       end
     in
@@ -148,9 +174,11 @@ let send ?(background = false) t ~src ~dst msg =
       match Network.delay t.network t.net_rng ~src ~dst with
       | None ->
           drop t ~reason:"net";
-          if not background then
+          if not background then begin
             Trace.record (trace t) ~time:t.time ~node:src ~peer:dst
-              ~msg_id:uid ~label:"net" Trace.Drop
+              ~msg_id:uid ~span:t.ctx ~label:"net" Trace.Drop;
+            forget_uid t uid
+          end
       | Some d -> push t ~delay:d ~background (Deliver { src; dst; msg; uid })
   end
 
@@ -159,7 +187,7 @@ let broadcast ?(background = false) t ~src ~dsts msg =
 
 let set_timer ?(background = false) t ~node ~delay ~tag =
   if node < 0 || node >= t.n then invalid_arg "Engine.set_timer: bad node";
-  push t ~delay ~background (Timer { node; tag })
+  push t ~delay ~background (Timer { node; tag; ctx = t.ctx })
 
 let at_absolute t ~time ~background ev =
   if time < t.time then invalid_arg "Engine: scheduling in the past";
@@ -171,7 +199,7 @@ let recover_at ?(amnesia = false) t ~time ~node =
   at_absolute t ~time ~background:false (Recover { node; amnesia })
 
 let schedule ?(background = false) t ~time thunk =
-  at_absolute t ~time ~background (Thunk thunk)
+  at_absolute t ~time ~background (Thunk { f = thunk; ctx = t.ctx })
 
 let messages_sent t = t.sent
 let messages_background t = t.background_sent
@@ -181,28 +209,34 @@ let budget_exhaustions t = t.budget_hits
 
 let dispatch t ~background = function
   | Deliver { src; dst; msg; uid } ->
+      let ctx = ctx_of_uid t uid in
+      forget_uid t uid;
       if t.live.(dst) then begin
         t.delivered <- t.delivered + 1;
         Metrics.incr t.ins.m_delivered;
         if not background then
           Trace.record (trace t) ~time:t.time ~node:dst ~peer:src ~msg_id:uid
-            Trace.Deliver;
-        t.handlers.on_message t ~node:dst ~src msg
+            ~span:ctx Trace.Deliver;
+        (* The handler runs under the sender's span context: replies it
+           sends (and timers it arms) inherit the operation that caused
+           this delivery. *)
+        with_span_ctx t ctx (fun () -> t.handlers.on_message t ~node:dst ~src msg)
       end
       else begin
         drop t ~reason:"dead_dst";
         if not background then
           Trace.record (trace t) ~time:t.time ~node:dst ~peer:src ~msg_id:uid
-            ~label:"dead_dst" Trace.Drop
+            ~span:ctx ~label:"dead_dst" Trace.Drop
       end
-  | Timer { node; tag } ->
-      if t.live.(node) then t.handlers.on_timer t ~node ~tag
+  | Timer { node; tag; ctx } ->
+      if t.live.(node) then
+        with_span_ctx t ctx (fun () -> t.handlers.on_timer t ~node ~tag)
   | Crash node ->
       if t.live.(node) then begin
         t.live.(node) <- false;
         Metrics.incr t.ins.m_crashes;
         Trace.record (trace t) ~time:t.time ~node Trace.Crash;
-        t.handlers.on_crash t ~node
+        with_span_ctx t (-1) (fun () -> t.handlers.on_crash t ~node)
       end
   | Recover { node; amnesia } ->
       if not t.live.(node) then begin
@@ -213,9 +247,9 @@ let dispatch t ~background = function
           Trace.record (trace t) ~time:t.time ~node ~label:"amnesia"
             Trace.Recover
         else Trace.record (trace t) ~time:t.time ~node Trace.Recover;
-        t.handlers.on_recover t ~node ~amnesia
+        with_span_ctx t (-1) (fun () -> t.handlers.on_recover t ~node ~amnesia)
       end
-  | Thunk f -> f ()
+  | Thunk { f; ctx } -> with_span_ctx t ctx f
 
 let run_status ?until ?(max_events = 10_000_000) t =
   let clamp_until () =

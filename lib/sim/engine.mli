@@ -56,6 +56,38 @@ val create :
 
 val obs : 'msg t -> Obs.t
 
+(** {2 Span context}
+
+    The engine carries an {e ambient span context}: the id of the
+    {!Obs.Span} the currently-running work belongs to (-1 when none).
+    {!send}, {!set_timer} and {!schedule} capture the ambient context
+    into the events they enqueue, and dispatch restores it around the
+    corresponding handler — so when a replica's [on_message] fires, it
+    runs under the span of the client operation whose message it is
+    handling, and any replies it sends (or retransmit timers it arms,
+    or fsync completions it schedules) are causally tagged in turn.
+    Trace events recorded by the engine carry the context in
+    {!Obs.Trace.event.span}.
+
+    Context propagation is pure bookkeeping: it never touches the
+    engine's RNG streams, so runs stay bit-identical with or without
+    spans being opened. *)
+
+val span_ctx : 'msg t -> int
+(** The ambient span context; -1 when none. *)
+
+val set_span_ctx : 'msg t -> int -> unit
+(** Set the ambient context (protocols call this when launching an
+    operation attempt so subsequent sends are tagged). *)
+
+val with_span_ctx : 'msg t -> int -> (unit -> 'a) -> 'a
+(** Run a thunk under a given context, restoring the previous one
+    afterwards (also on raise). *)
+
+val note : ?label:string -> 'msg t -> node:int -> unit
+(** Append a {!Obs.Trace.Note} event at the current simulated time,
+    tagged with the ambient span context (e.g. ["rpc.retransmit"]). *)
+
 val nodes : 'msg t -> int
 val now : 'msg t -> float
 val rng : 'msg t -> Quorum.Rng.t

@@ -152,7 +152,8 @@ let on_timer t ~node ~tag =
           Trace.record
             (Obs.trace (Engine.obs engine))
             ~time:(Engine.now engine) ~node:m.src ~peer:m.dst
-            ~label:"rpc.dead_letter" Trace.Note;
+            ~span:(Engine.span_ctx engine) ~label:"rpc.dead_letter"
+            Trace.Note;
           t.on_dead_letter ~src:m.src ~dst:m.dst m.payload
         end
         else begin
@@ -161,6 +162,14 @@ let on_timer t ~node ~tag =
           m.rto <- m.rto *. t.backoff;
           t.retransmissions <- t.retransmissions + 1;
           Metrics.incr (ins_exn t).i_retransmits ~labels:(node_label node);
+          (* The Note marks the retransmission instant inside the op's
+             span window, which is what lets the critical-path analysis
+             attribute the ensuing wait to "retransmit", not "queueing". *)
+          Trace.record
+            (Obs.trace (Engine.obs engine))
+            ~time:(Engine.now engine) ~node ~peer:m.dst
+            ~span:(Engine.span_ctx engine) ~label:"rpc.retransmit"
+            Trace.Note;
           Engine.send engine ~src:node ~dst:m.dst
             (t.wrap (Data { seq; payload = m.payload }));
           Engine.set_timer engine ~node ~delay:(jittered t engine m.rto)

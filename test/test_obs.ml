@@ -252,7 +252,7 @@ let test_sink_trace_csv_header () =
       let out = slurp path in
       let lines = String.split_on_char '\n' (String.trim out) in
       check_int "header + one row" 2 (List.length lines);
-      check_str "header" "seq,time,kind,node,peer,msg_id,label"
+      check_str "header" "seq,time,kind,node,peer,msg_id,span,label"
         (List.hd lines);
       (* The comma-and-quote label must round-trip quoted. *)
       check "label quoted" true
