@@ -19,7 +19,10 @@ let mutex_seed = 41
 let store_seed = 42
 let reconfig_seed = 43
 let horizon () = if !Util.fast then 150.0 else 400.0
-let scenarios ~n = C.standard ~n ~horizon:(horizon ()) @ C.recovery ~n ~horizon:(horizon ())
+let scenarios ~n =
+  C.standard ~n ~horizon:(horizon ())
+  @ C.recovery ~n ~horizon:(horizon ())
+  @ C.churn ~n ~horizon:(horizon ())
 
 (* Under --metrics, each run gets its own registry and dumps it after
    the report row. *)
@@ -165,7 +168,7 @@ let reconfig_runs () =
   sweep (Array.of_list tasks)
 
 let write_json ~mutex ~store ~reconfig =
-  let oc = open_out "BENCH_chaos.json" in
+  let oc = open_out (Util.out_path "BENCH_chaos.json") in
   let section rows =
     String.concat ",\n" (List.map (fun j -> "    " ^ j) rows)
   in

@@ -79,7 +79,7 @@ let run () =
           scenarios)
       grid
   in
-  let oc = open_out "BENCH_latency.json" in
+  let oc = open_out (Util.out_path "BENCH_latency.json") in
   Printf.fprintf oc
     "{\n\
     \  \"bench\": \"latency\",\n\

@@ -148,7 +148,7 @@ let case_json c =
     (String.concat ", " pooled)
 
 let write_json ~cores cases =
-  let oc = open_out "BENCH_parallel.json" in
+  let oc = open_out (Util.out_path "BENCH_parallel.json") in
   Printf.fprintf oc
     "{\n  \"bench\": \"parallel analysis engine\",\n  \"cores\": %d,\n  \
      \"fast\": %b,\n  \"cases\": [\n%s\n  ]\n}\n"

@@ -38,6 +38,20 @@ let system spec =
       Printf.eprintf "error: %s\n" msg;
       exit 1
 
+(* Benchmark artifacts (BENCH_*.json) belong at the repo root whatever
+   directory the harness was launched from: walk up to the dune-project
+   marker; fall back to the cwd when run outside the tree. *)
+let out_path name =
+  let rec find dir =
+    if Sys.file_exists (Filename.concat dir "dune-project") then Some dir
+    else
+      let parent = Filename.dirname dir in
+      if parent = dir then None else find parent
+  in
+  match find (Sys.getcwd ()) with
+  | Some root -> Filename.concat root name
+  | None -> name
+
 let line width = String.make width '-'
 
 let print_header title =

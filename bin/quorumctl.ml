@@ -8,6 +8,8 @@
      pick <spec>        sample quorums with the selection strategy
      simulate <spec>    run the mutual-exclusion simulation
      chaos <spec>       fault-scenario sweep (loss, partitions, churn...)
+     churn              availability under sustained churn: static vs
+                        dynamic membership (resize / timed quorums)
      metrics <spec>     chaos run -> metrics registry dump
                         (table/jsonl/csv/prometheus)
      trace <spec>       chaos run -> causal event trace + causality check
@@ -299,8 +301,9 @@ let chaos_cmd =
       & opt (some string) None
       & info [ "scenario" ]
           ~doc:
-            "Run one scenario (baseline, loss+burst, partition, churn, gray, \
-             restart, amnesia, amnesia-maj) instead of all of them.")
+            "Run one scenario (baseline, loss+burst, partition, churn-iid, \
+             gray, restart, amnesia, amnesia-maj, churn, churn-amnesia, \
+             churn-partition) instead of all of them.")
   in
   let horizon_arg =
     Arg.(
@@ -418,6 +421,116 @@ let chaos_cmd =
       const run $ spec_arg $ scenario_arg $ horizon_arg $ seed_arg
       $ protocol_arg $ next_arg $ jobs_arg)
 
+(* --- churn ------------------------------------------------------------ *)
+
+let churn_cmd =
+  let mode_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("static", `Static); ("resize", `Resize); ("timed", `Timed);
+               ("all", `All);
+             ])
+          `All
+      & info [ "mode" ]
+          ~doc:
+            "Membership mode: $(b,static) (t=0 placement forever), \
+             $(b,resize) (replace/grow/shrink controller), $(b,timed) \
+             (resize + timed-quorum leases) or $(b,all).")
+  in
+  let rate_arg =
+    Arg.(
+      value & opt float 0.18
+      & info [ "rate" ]
+          ~doc:
+            "Churn rate: leave events per time unit (expected \
+             simultaneously-down population is rate * downtime).")
+  in
+  let downtime_arg =
+    Arg.(
+      value & opt float 130.0
+      & info [ "downtime" ] ~doc:"Mean downtime of a churned-out process.")
+  in
+  let universe_arg =
+    Arg.(
+      value & opt int 30
+      & info [ "universe" ] ~doc:"Number of processes in the universe.")
+  in
+  let rows_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "rows" ] ~doc:"Initial h-triang rows (n = rows(rows+1)/2).")
+  in
+  let horizon_arg =
+    Arg.(
+      value & opt float 300.0
+      & info [ "horizon" ] ~doc:"Workload horizon in simulated time units.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 45
+      & info [ "seed" ] ~doc:"RNG seed (same seed = same run, exactly).")
+  in
+  let period_arg =
+    Arg.(
+      value & opt float 8.0
+      & info [ "period" ] ~doc:"Membership controller tick period.")
+  in
+  let lease_arg =
+    Arg.(
+      value & opt float 3.0
+      & info [ "lease" ] ~doc:"Lease duration for $(b,timed) mode.")
+  in
+  let run mode rate downtime universe rows horizon seed period lease =
+    if rate < 0.0 || downtime <= 0.0 || horizon <= 0.0 then
+      die "rate must be >= 0, downtime and horizon positive";
+    let n = rows * (rows + 1) / 2 in
+    if n > universe then die "universe smaller than the initial triangle";
+    let scenario =
+      {
+        Protocols.Chaos.label = Printf.sprintf "churn r%g/d%g" rate downtime;
+        horizon;
+        plan =
+          {
+            Protocols.Chaos.calm with
+            loss = 0.02;
+            churn_sustained = Some (rate, downtime);
+          };
+      }
+    in
+    let modes =
+      match mode with
+      | `Static -> [ Protocols.Chaos.Static ]
+      | `Resize -> [ Protocols.Chaos.Resize ]
+      | `Timed -> [ Protocols.Chaos.Timed ]
+      | `All ->
+          [ Protocols.Chaos.Static; Protocols.Chaos.Resize;
+            Protocols.Chaos.Timed ]
+    in
+    Printf.printf "%s\n" (Protocols.Chaos.churn_header ());
+    List.iter
+      (fun mode ->
+        let r =
+          Protocols.Chaos.run_churn ~seed ~period ~lease ~mode ~universe
+            ~rows scenario
+        in
+        Printf.printf "%s\n" (Protocols.Chaos.churn_row r))
+      modes;
+    0
+  in
+  let doc =
+    "Availability under sustained Poisson join/leave churn: a \
+     dynamic-membership h-triang register (replace/grow/shrink controller, \
+     optionally timed-quorum leases) against the static baseline."
+  in
+  Cmd.v
+    (Cmd.info "churn" ~doc)
+    Term.(
+      const run $ mode_arg $ rate_arg $ downtime_arg $ universe_arg
+      $ rows_arg $ horizon_arg $ seed_arg $ period_arg $ lease_arg)
+
 (* --- metrics / trace --------------------------------------------------- *)
 
 (* Both commands drive one chaos scenario with an externally owned
@@ -428,8 +541,9 @@ let obs_scenario_arg =
     value & opt string "loss+burst"
     & info [ "scenario" ]
         ~doc:
-          "Chaos scenario to run: baseline, loss+burst, partition, churn, \
-           gray, restart, amnesia or amnesia-maj.")
+          "Chaos scenario to run: baseline, loss+burst, partition, \
+           churn-iid, gray, restart, amnesia, amnesia-maj, churn, \
+           churn-amnesia or churn-partition.")
 
 let obs_horizon_arg =
   Arg.(
@@ -737,8 +851,8 @@ let () =
       (Cmd.info "quorumctl" ~version:"1.0" ~doc ~man:specs_man)
       [
         info_cmd; fp_cmd; load_cmd; quorums_cmd; pick_cmd; simulate_cmd;
-        chaos_cmd; metrics_cmd; trace_cmd; report_cmd; nd_cmd; masking_cmd;
-        list_cmd;
+        chaos_cmd; churn_cmd; metrics_cmd; trace_cmd; report_cmd; nd_cmd;
+        masking_cmd; list_cmd;
       ]
   in
   exit (Cmd.eval' main)

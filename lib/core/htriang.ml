@@ -304,17 +304,89 @@ let grow_square_grid t =
           Some (Split { s with grid = grid' })
       | Elem _ | Split _ -> None)
 
-(* --- Rendering (Figure 2) ----------------------------------------- *)
+(* --- Shrink rules (structural inverses of growth) ------------------ *)
 
 let rec collect_ids acc = function
   | Elem e -> e :: acc
   | Split { t1; grid; t2 } ->
       let acc = collect_ids acc t1 in
       let acc =
-        Array.fold_left (fun acc row -> Array.fold_left (fun a e -> e :: a) acc row)
+        Array.fold_left
+          (fun acc row -> Array.fold_left (fun a e -> e :: a) acc row)
           acc grid
       in
       collect_ids acc t2
+
+let rec map_ids f = function
+  | Elem e -> Elem (f e)
+  | Split { t1; grid; t2 } ->
+      Split
+        {
+          t1 = map_ids f t1;
+          grid = Array.map (Array.map f) grid;
+          t2 = map_ids f t2;
+        }
+
+(* Mirror of [grow]: rewrite the first (DFS) matching site, then
+   compact the surviving ids order-preservingly so the result is again
+   a system over a contiguous prefix [0, n).  Compaction is safe for
+   online use because Reconfig carries state across epochs by
+   seal / install, never by per-node identity. *)
+let shrink t rewrite =
+  let replaced = ref false in
+  let rec go node =
+    if !replaced then node
+    else
+      match rewrite node with
+      | Some node' ->
+          replaced := true;
+          node'
+      | None ->
+          (match node with
+          | Elem _ -> node
+          | Split s ->
+              let t1 = go s.t1 in
+              let t2 = if !replaced then s.t2 else go s.t2 in
+              Split { s with t1; t2 })
+  in
+  let root = go t.root in
+  if not !replaced then None
+  else begin
+    let ids = List.sort_uniq compare (collect_ids [] root) in
+    let remap = Hashtbl.create (List.length ids) in
+    List.iteri (fun i e -> Hashtbl.add remap e i) ids;
+    Some
+      {
+        root = map_ids (Hashtbl.find remap) root;
+        n = List.length ids;
+        rows = t.rows;
+      }
+  end
+
+let shrink_unit_triangle t =
+  shrink t (function
+    | Split { t1 = Elem e; grid = [| [| _ |] |]; t2 = Elem _ } ->
+        Some (Elem e)
+    | Elem _ | Split _ -> None)
+
+let shrink_unit_grid t =
+  shrink t (function
+    | Split ({ grid = [| [| a; _ |] |]; _ } as s) ->
+        Some (Split { s with grid = [| [| a |] |] })
+    | Elem _ | Split _ -> None)
+
+let shrink_square_grid t =
+  shrink t (function
+    | Split ({ grid; _ } as s)
+      when Array.length grid >= 2 && Array.length grid = Array.length grid.(0)
+      ->
+        let m = Array.length grid in
+        Some
+          (Split
+             { s with grid = Array.init (m - 1) (fun r -> Array.sub grid.(r) 0 (m - 1)) })
+    | Elem _ | Split _ -> None)
+
+(* --- Rendering (Figure 2) ----------------------------------------- *)
 
 let render t =
   let in_t1, in_grid =

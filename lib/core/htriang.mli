@@ -96,6 +96,31 @@ val grow_square_grid : t -> t option
 (** Replace the first [m x m] sub-grid ([m >= 1]) by an
     [(m+1) x (m+1)] one, adding [2m + 1] processes. *)
 
+(** {1 Shrink rules (inverses of the growth rules)}
+
+    Each rule undoes the matching growth rule at the first (DFS)
+    applicable site and then renumbers the surviving elements
+    order-preservingly onto the contiguous prefix [0, n'), so the
+    result is again a valid triangle over its own universe.  The
+    renumbering is safe for online reconfiguration because epoch
+    transitions carry state by seal / install onto a quorum of the new
+    system, never by per-element identity (see [Protocols.Reconfig]).
+    All three preserve quorum intersection and coterie-ness (tested as
+    qcheck properties over random growth/shrink sequences). *)
+
+val shrink_unit_triangle : t -> t option
+(** Collapse the first 2-row sub-triangle (an [Elem]/1x1-grid/[Elem]
+    split) back to its T1 element, removing 2 processes.  [None] when
+    no such site exists. *)
+
+val shrink_unit_grid : t -> t option
+(** Replace the first 1x2 sub-grid by a 1x1 sub-grid, removing 1
+    process. *)
+
+val shrink_square_grid : t -> t option
+(** Replace the first [m x m] sub-grid ([m >= 2]) by an
+    [(m-1) x (m-1)] one, removing [2m - 1] processes. *)
+
 val render : t -> string
 (** ASCII rendering of the triangle with the first-level split marked
     (Figure 2): T1 rows plain, sub-grid elements bracketed, T2 elements

@@ -281,6 +281,22 @@ let by_name profiles =
     !order
 
 (* ------------------------------------------------------------------ *)
+(* Span windows (e.g. reconfiguration downtime) *)
+
+let span_windows ~spans ~name =
+  let ivs = ref [] in
+  Span.iter spans (fun (s : Span.span) ->
+      if s.Span.name = name && not (Span.is_open s) then
+        ivs := (s.Span.start_time, s.Span.end_time) :: !ivs);
+  merge_intervals !ivs
+
+let span_window_total ~spans ~name =
+  List.fold_left
+    (fun acc (s, e) -> acc +. (e -. s))
+    0.0
+    (span_windows ~spans ~name)
+
+(* ------------------------------------------------------------------ *)
 (* History auditor *)
 
 type hop = {

@@ -73,6 +73,23 @@ val by_name : op_profile list -> (string * op_profile list) list
 (** Group profiles by root-span name (e.g. ["store.read"] vs
     ["store.write"]), first-seen order. *)
 
+(** {2 Span windows}
+
+    Merged wall-clock windows covered by all finished spans of a given
+    name.  The motivating consumer is reconfiguration downtime: every
+    epoch switch opens a ["reconfig.switch"] span, so the merged
+    windows are the intervals during which some switch was in flight
+    (service degraded to NACK-and-retry), and their total is the run's
+    reconfiguration downtime. *)
+
+val span_windows :
+  spans:Span.t -> name:string -> (float * float) list
+(** Merged, non-overlapping [(start, end)] intervals of all {e finished}
+    spans named [name], in time order; open spans are ignored. *)
+
+val span_window_total : spans:Span.t -> name:string -> float
+(** Total time covered by {!span_windows} (overlaps counted once). *)
+
 (** {2 History auditor}
 
     Protocols record one {!hop} per completed client operation; the

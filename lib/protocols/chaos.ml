@@ -11,6 +11,7 @@ type plan = {
   gray : (int * float * float * float) list;
   partitions : (float * float * int list) list;
   churn : (float * float) option;
+  churn_sustained : (float * float) option;
   restarts : (float * float * int list) list;
   amnesia : bool;
   fsync : float;
@@ -23,6 +24,7 @@ let calm =
     gray = [];
     partitions = [];
     churn = None;
+    churn_sustained = None;
     restarts = [];
     amnesia = false;
     fsync = 0.0;
@@ -58,7 +60,7 @@ let standard ~n ~horizon =
         };
     };
     {
-      label = "churn";
+      label = "churn-iid";
       horizon = h;
       plan = { calm with loss = 0.02; churn = Some (0.10, 0.05 *. h) };
     };
@@ -129,7 +131,50 @@ let recovery ~n ~horizon =
     };
   ]
 
-let all_scenarios ~n ~horizon = standard ~n ~horizon @ recovery ~n ~horizon
+(* Sustained-churn scenarios: Poisson join/leave over the whole run
+   (not iid up/down per node) — the regime the dynamic-membership
+   controller is built for.  The rate is population- and
+   horizon-relative so the expected number of simultaneously-down
+   processes is ~10% of n throughout. *)
+let churn ~n ~horizon =
+  let h = horizon in
+  let rate = 2.0 *. float_of_int n /. h in
+  let down = 0.05 *. h in
+  [
+    {
+      label = "churn";
+      horizon = h;
+      plan = { calm with loss = 0.02; churn_sustained = Some (rate, down) };
+    };
+    {
+      (* Leavers come back amnesiac: admission must re-sync them. *)
+      label = "churn-amnesia";
+      horizon = h;
+      plan =
+        {
+          calm with
+          loss = 0.02;
+          fsync = 0.5;
+          amnesia = true;
+          churn_sustained = Some (rate, down);
+        };
+    };
+    {
+      (* Churn with a minority cut landing mid-run on top of it. *)
+      label = "churn-partition";
+      horizon = h;
+      plan =
+        {
+          calm with
+          loss = 0.02;
+          churn_sustained = Some (rate, down);
+          partitions = [ (0.40 *. h, 0.15 *. h, minority n) ];
+        };
+    };
+  ]
+
+let all_scenarios ~n ~horizon =
+  standard ~n ~horizon @ recovery ~n ~horizon @ churn ~n ~horizon
 
 let scenario_of_label ~n ~horizon label =
   match
@@ -153,10 +198,15 @@ let apply engine ~rng scenario =
     p.gray;
   Injector.partition_schedule engine p.partitions;
   Injector.restarts ~amnesia:p.amnesia engine p.restarts;
-  match p.churn with
+  (match p.churn with
   | Some (p_down, mean_downtime) ->
-      Injector.iid_faults engine ~rng ~p:p_down ~mean_downtime
-        ~horizon:scenario.horizon
+      Injector.iid_faults ~amnesia:p.amnesia engine ~rng ~p:p_down
+        ~mean_downtime ~horizon:scenario.horizon
+  | None -> ());
+  match p.churn_sustained with
+  | Some (rate, mean_downtime) ->
+      Injector.poisson_churn ~amnesia:p.amnesia engine ~rng ~rate
+        ~mean_downtime ~horizon:scenario.horizon
   | None -> ()
 
 (* --- Mutual exclusion under chaos ---------------------------------- *)
@@ -382,6 +432,123 @@ let run_reconfig_h ?(seed = 7) ?(rate = 1.0) ?(op_timeout = 25.0) ?obs
 let run_reconfig ?seed ?rate ?op_timeout ?obs ~initial ~next ~name scenario =
   fst (run_reconfig_h ?seed ?rate ?op_timeout ?obs ~initial ~next ~name scenario)
 
+(* --- Availability under sustained churn ------------------------------ *)
+
+type churn_mode = Static | Resize | Timed
+
+let churn_mode_name = function
+  | Static -> "static"
+  | Resize -> "resize"
+  | Timed -> "timed"
+
+type churn_report = {
+  label : string;
+  mode : string;
+  seed : int;
+  issued : int;
+  ok : int;
+  failed : int;
+  crash_kills : int;
+      (* ops whose client died mid-flight — excluded from availability *)
+  availability : float;
+  retries : int;
+  stale_reads : int;
+  epoch_switches : int;
+  proposals : int;
+  grows : int;
+  shrinks : int;
+  replacements : int;
+  lease_refusals : int;
+  switch_downtime : float;
+  final_members : int;
+  budget_hit : bool;
+}
+
+(* A membership-managed register under the scenario.  [Static] never
+   starts the controller (the triangle placed at t=0 is all there is),
+   [Resize] runs the replace/grow/shrink policy, [Timed] additionally
+   runs the register in timed-quorum mode so switches drain leases
+   instead of sealing a structural old-system quorum.
+
+   Clients are drawn from the {e live} set at issue time — a client
+   that is down submits nothing, so availability measures the
+   service's ability to answer, not the workload generator's luck. *)
+let run_churn_h ?(seed = 7) ?(rate = 2.0) ?(op_timeout = 30.0) ?(rows = 5)
+    ?(period = 8.0) ?(lease = 8.0) ?(margin = 6) ?obs ~mode ~universe scenario
+    =
+  let rng = Rng.create seed in
+  let network = Network.create ~loss:scenario.plan.loss () in
+  let obs = match obs with Some o -> o | None -> Obs.create () in
+  let ms =
+    Membership.create
+      ~durability:(durability_of_plan scenario.plan)
+      ?lease:(match mode with Timed -> Some lease | Static | Resize -> None)
+      ~switch_retry:3.0 ~margin ~rows ~universe ~timeout:op_timeout ()
+  in
+  let rc = Membership.reconfig ms in
+  let engine =
+    Engine.create ~seed:(seed + 1) ~nodes:universe ~network ~obs
+      (Membership.handlers ms)
+  in
+  Membership.bind ms engine;
+  apply engine ~rng scenario;
+  (match mode with
+  | Static -> ()
+  | Resize | Timed ->
+      Membership.start ms engine ~period ~horizon:scenario.horizon);
+  let issued = ref 0 in
+  let rec arm time =
+    let next = time +. Rng.exponential rng ~mean:(1.0 /. rate) in
+    if next < scenario.horizon then (
+      Engine.schedule engine ~time:next (fun () ->
+          match Bitset.to_list (Engine.live_set engine) with
+          | [] -> ()
+          | live ->
+              incr issued;
+              let client = Rng.pick rng (Array.of_list live) in
+              if !issued mod 3 = 0 then
+                Reconfig.write rc ~client ~value:!issued
+              else Reconfig.read rc ~client);
+      arm next)
+  in
+  arm 0.0;
+  let outcome = Engine.run_status engine in
+  let ok = Reconfig.reads_ok rc + Reconfig.writes_ok rc in
+  ( {
+      label = scenario.label;
+      mode = churn_mode_name mode;
+      seed;
+      issued = !issued;
+      ok;
+      failed = Reconfig.failed rc;
+      crash_kills = Reconfig.client_crash_kills rc;
+      availability =
+        (* Service availability: a client dying mid-operation is not a
+           refusal by the service, so those ops leave the denominator. *)
+        (let asked = !issued - Reconfig.client_crash_kills rc in
+         if asked <= 0 then 1.0 else float_of_int ok /. float_of_int asked);
+      retries = Reconfig.retries rc;
+      stale_reads = Reconfig.stale_reads rc;
+      epoch_switches = Reconfig.epoch_switches rc;
+      proposals = Membership.proposals ms;
+      grows = Membership.grows ms;
+      shrinks = Membership.shrinks ms;
+      replacements = Membership.replacements ms;
+      lease_refusals = Reconfig.lease_refusals rc;
+      switch_downtime =
+        Obs.Trace_analysis.span_window_total ~spans:(Obs.spans obs)
+          ~name:"reconfig.switch";
+      final_members = Array.length (Membership.members ms);
+      budget_hit = outcome = Engine.Budget_exhausted;
+    },
+    ms )
+
+let run_churn ?seed ?rate ?op_timeout ?rows ?period ?lease ?margin ?obs
+    ~mode ~universe scenario =
+  fst
+    (run_churn_h ?seed ?rate ?op_timeout ?rows ?period ?lease ?margin ?obs
+       ~mode ~universe scenario)
+
 (* --- Rendering ------------------------------------------------------ *)
 
 let mutex_header () =
@@ -406,6 +573,20 @@ let store_row (r : store_report) =
     r.label r.system r.issued r.reads_ok r.writes_ok r.unavailable r.timeouts
     r.retried r.stale_reads r.rejoins r.dead_letters r.retransmissions
     r.mean_latency
+    (if r.budget_hit then "  [budget!]" else "")
+
+let churn_header () =
+  Printf.sprintf
+    "%-15s %-7s %6s %6s %6s %5s %6s %5s %6s %5s %5s %5s %6s %9s %4s"
+    "scenario" "mode" "issued" "ok" "failed" "ckill" "avail" "stale" "switch"
+    "grow" "shrnk" "repl" "lease" "downtime" "memb"
+
+let churn_row (r : churn_report) =
+  Printf.sprintf
+    "%-15s %-7s %6d %6d %6d %5d %6.3f %5d %6d %5d %5d %5d %6d %9.1f %4d%s"
+    r.label r.mode r.issued r.ok r.failed r.crash_kills r.availability
+    r.stale_reads r.epoch_switches r.grows r.shrinks r.replacements
+    r.lease_refusals r.switch_downtime r.final_members
     (if r.budget_hit then "  [budget!]" else "")
 
 let reconfig_header () =

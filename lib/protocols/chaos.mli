@@ -24,6 +24,9 @@ type plan = {
   churn : (float * float) option;
       (** (p, mean_downtime) iid crash/recovery churn, see
           {!Sim.Failure_injector.iid_faults} *)
+  churn_sustained : (float * float) option;
+      (** (rate, mean_downtime) sustained Poisson join/leave churn, see
+          {!Sim.Failure_injector.poisson_churn} *)
   restarts : (float * float * int list) list;
       (** (at, down_for, nodes) scripted crash-restart windows, see
           {!Sim.Failure_injector.restarts} *)
@@ -42,8 +45,9 @@ type scenario = { label : string; horizon : float; plan : plan }
 
 val standard : n:int -> horizon:float -> scenario list
 (** The canonical five: [baseline], [loss+burst] (5% iid + a 30%
-    burst), [partition] (5% iid + a transient minority cut), [churn]
-    (nodes down 10% of the time), [gray] (two slow-node windows). *)
+    burst), [partition] (5% iid + a transient minority cut),
+    [churn-iid] (nodes down 10% of the time), [gray] (two slow-node
+    windows). *)
 
 val recovery : n:int -> horizon:float -> scenario list
 (** The crash-recovery family, all with a non-zero fsync latency so
@@ -53,9 +57,18 @@ val recovery : n:int -> horizon:float -> scenario list
     re-join), [amnesia-maj] (a majority loses its memory at once — any
     state not persisted is gone from every quorum). *)
 
+val churn : n:int -> horizon:float -> scenario list
+(** The sustained-churn family: [churn] (Poisson join/leave keeping
+    ~10% of the population down on average), [churn-amnesia] (leavers
+    come back amnesiac and must be re-synced on admission) and
+    [churn-partition] (churn with a minority cut on top).  These are
+    the scenarios the dynamic-membership controller (see
+    {!Membership}) is built for; {!run_churn} runs them. *)
+
 val scenario_of_label : n:int -> horizon:float -> string -> scenario
-(** Look a scenario up by label across {!standard} and {!recovery};
-    raises [Invalid_argument] listing the valid labels on a miss. *)
+(** Look a scenario up by label across {!standard}, {!recovery} and
+    {!churn}; raises [Invalid_argument] listing the valid labels on a
+    miss. *)
 
 val durability_of_plan : plan -> Sim.Durable.config
 (** The durable-store configuration a plan implies (its [fsync]
@@ -207,11 +220,85 @@ val run_reconfig_h :
     so its {!Reconfig.history} can feed
     {!Obs.Trace_analysis.audit_history}. *)
 
+type churn_mode =
+  | Static  (** the t=0 configuration is never changed *)
+  | Resize  (** the {!Membership} controller replaces / grows / shrinks *)
+  | Timed  (** [Resize] plus timed-quorum leases (see {!Reconfig}) *)
+
+type churn_report = {
+  label : string;
+  mode : string;  (** "static" / "resize" / "timed" *)
+  seed : int;  (** the run is replayed exactly by reusing this seed *)
+  issued : int;  (** ops issued by {e live} clients *)
+  ok : int;  (** reads + writes completed *)
+  failed : int;
+  crash_kills : int;
+      (** ops whose client died mid-flight (a subset of [failed]) *)
+  availability : float;
+      (** ok / (issued - crash_kills): a client dying mid-operation is
+          not a refusal by the service *)
+  retries : int;
+  stale_reads : int;  (** must be 0 *)
+  epoch_switches : int;
+  proposals : int;  (** controller proposals (incl. abandoned) *)
+  grows : int;
+  shrinks : int;
+  replacements : int;
+  lease_refusals : int;  (** timed mode: expired-lease NACKs *)
+  switch_downtime : float;
+      (** total time some switch was in flight — merged
+          ["reconfig.switch"] span windows, see
+          {!Obs.Trace_analysis.span_windows} *)
+  final_members : int;  (** triangle size at the end of the run *)
+  budget_hit : bool;
+}
+
+val run_churn :
+  ?seed:int ->
+  ?rate:float ->
+  ?op_timeout:float ->
+  ?rows:int ->
+  ?period:float ->
+  ?lease:float ->
+  ?margin:int ->
+  ?obs:Obs.t ->
+  mode:churn_mode ->
+  universe:int ->
+  scenario ->
+  churn_report
+(** One seeded availability-under-churn run: a membership-managed
+    h-triang register (initially [rows] rows, identity-placed on a
+    [universe]-process engine) serving a Poisson read/write mix while
+    the scenario's faults land.  Clients are drawn from the live set
+    at issue time, so [availability] measures the service, not the
+    workload generator.  [period] is the controller tick interval
+    (ignored for [Static]); [lease] the validity window for [Timed];
+    [margin] (default 6) the controller's spare-headroom hysteresis
+    (see {!Membership.create}). *)
+
+val run_churn_h :
+  ?seed:int ->
+  ?rate:float ->
+  ?op_timeout:float ->
+  ?rows:int ->
+  ?period:float ->
+  ?lease:float ->
+  ?margin:int ->
+  ?obs:Obs.t ->
+  mode:churn_mode ->
+  universe:int ->
+  scenario ->
+  churn_report * Membership.t
+(** {!run_churn}, additionally handing back the membership controller
+    (and through it the register) for post-run inspection. *)
+
 val mutex_header : unit -> string
 val mutex_row : mutex_report -> string
 val store_header : unit -> string
 val store_row : store_report -> string
 val reconfig_header : unit -> string
 val reconfig_row : reconfig_report -> string
+val churn_header : unit -> string
+val churn_row : churn_report -> string
 (** Fixed-width table rendering shared by the bench target and the
     [quorumctl chaos] subcommand. *)

@@ -1,0 +1,224 @@
+open Quorum
+module Htriang = Core.Htriang
+
+type t = {
+  reconfig : Reconfig.t;
+  universe : int;
+  margin : int;
+  mutable tri : Htriang.t;
+  mutable place : int array;
+  mutable proposed : (int * Htriang.t * int array) option;
+      (* (epoch expected once committed, triangle, placement) *)
+  mutable proposals : int;
+  mutable grows : int;
+  mutable shrinks : int;
+  mutable replacements : int;
+  mutable skipped : int;
+}
+
+(* The adopted (triangle, placement) as a system over the whole
+   universe: logical element [l] lives on process [place.(l)], so
+   availability / selection translate the physical live set into a
+   logical one, run the triangle's structural strategy, and map the
+   chosen quorum back. *)
+let remap_system ~universe (tri : Htriang.t) (place : int array) =
+  let name = Printf.sprintf "h-triang(%d)/%d" tri.Htriang.n universe in
+  let avail live = Htriang.avail tri (fun l -> Bitset.mem live place.(l)) in
+  let select rng ~live =
+    let llive = Bitset.create tri.Htriang.n in
+    Array.iteri (fun l p -> if Bitset.mem live p then Bitset.add llive l) place;
+    match Htriang.select tri rng ~live:llive with
+    | None -> None
+    | Some q ->
+        let phys = Bitset.create universe in
+        Bitset.iter (fun l -> Bitset.add phys place.(l)) q;
+        Some phys
+  in
+  let min_quorums =
+    lazy
+      (List.map
+         (fun q ->
+           let phys = Bitset.create universe in
+           Bitset.iter (fun l -> Bitset.add phys place.(l)) q;
+           phys)
+         (Htriang.quorums tri))
+  in
+  System.make ~name ~n:universe ~avail ~min_quorums ~select ()
+
+let create ?durability ?lease ?skew ?switch_retry ?(margin = 2) ~rows
+    ~universe ~timeout () =
+  if margin < 0 then invalid_arg "Membership.create: margin < 0";
+  let tri = Htriang.standard ~rows () in
+  if tri.Htriang.n > universe then
+    invalid_arg "Membership.create: universe smaller than the triangle";
+  let place = Array.init tri.Htriang.n Fun.id in
+  let reconfig =
+    Reconfig.create ?durability ?lease ?skew ?switch_retry
+      ~initial:(remap_system ~universe tri place)
+      ~universe ~timeout ()
+  in
+  {
+    reconfig;
+    universe;
+    margin;
+    tri;
+    place;
+    proposed = None;
+    proposals = 0;
+    grows = 0;
+    shrinks = 0;
+    replacements = 0;
+    skipped = 0;
+  }
+
+let reconfig t = t.reconfig
+let handlers t = Reconfig.handlers t.reconfig
+let bind t engine = Reconfig.bind t.reconfig engine
+
+(* Adopt a committed proposal; drop one whose switch died without
+   advancing the epoch. *)
+let refresh t =
+  match t.proposed with
+  | None -> ()
+  | Some (epoch, tri, place) ->
+      if Reconfig.current_epoch t.reconfig >= epoch then (
+        t.tri <- tri;
+        t.place <- place;
+        t.proposed <- None)
+      else if not (Reconfig.switch_in_flight t.reconfig) then
+        t.proposed <- None
+
+let current_triangle t =
+  refresh t;
+  t.tri
+
+let members t =
+  refresh t;
+  Array.copy t.place
+
+let current_system t =
+  refresh t;
+  remap_system ~universe:t.universe t.tri t.place
+
+let proposals t = t.proposals
+let grows t = t.grows
+let shrinks t = t.shrinks
+let replacements t = t.replacements
+let skipped_ticks t = t.skipped
+
+(* Fill [n'] logical slots with distinct processes, preferring live
+   current members (keeping their slots stable), then live spares, then
+   dead current members, then anything left — all in deterministic
+   order.  [n' <= universe] guarantees enough candidates. *)
+let next_placement ~universe ~live ~old_place n' =
+  let used = Array.make universe false in
+  let out = ref [] in
+  let count = ref 0 in
+  let push p =
+    if !count < n' && not used.(p) then (
+      used.(p) <- true;
+      out := p :: !out;
+      incr count)
+  in
+  Array.iter (fun p -> if Bitset.mem live p then push p) old_place;
+  for p = 0 to universe - 1 do
+    if Bitset.mem live p then push p
+  done;
+  Array.iter push old_place;
+  for p = 0 to universe - 1 do
+    push p
+  done;
+  Array.of_list (List.rev !out)
+
+let first_of (fs : (Htriang.t -> Htriang.t option) list) tri =
+  List.fold_left
+    (fun acc f -> match acc with Some _ -> acc | None -> f tri)
+    None fs
+
+let tick t engine =
+  refresh t;
+  if Reconfig.switch_in_flight t.reconfig then t.skipped <- t.skipped + 1
+  else
+    let live = Sim.Engine.live_set engine in
+    let live_count = Bitset.cardinal live in
+    let n = t.tri.Htriang.n in
+    (* One structural step per tick, with hysteresis around the margin:
+       grow only when the live population clears the *grown* size plus
+       the full margin (so the triangle always keeps [margin] live
+       spares on adoption), shrink only when the live population can
+       barely fill the current triangle (one spare left).  The wide gap
+       between the two thresholds keeps live-count jitter from turning
+       into grow/shrink oscillation — every structural step is a sealed
+       switch, so oscillation is pure downtime. *)
+    let tri' =
+      if live_count < n + 1 && live_count > 0 then
+        match
+          first_of
+            [
+              Htriang.shrink_unit_grid;
+              Htriang.shrink_unit_triangle;
+              Htriang.shrink_square_grid;
+            ]
+            t.tri
+        with
+        | Some s -> s
+        | None -> t.tri
+      else
+        let fits g =
+          g.Htriang.n <= t.universe && live_count >= g.Htriang.n + t.margin
+        in
+        let candidates =
+          List.filter_map
+            (fun f -> f t.tri)
+            [ Htriang.grow_unit_triangle; Htriang.grow_unit_grid ]
+        in
+        match List.find_opt fits candidates with
+        | Some g -> g
+        | None -> t.tri
+    in
+    let structural = tri' != t.tri in
+    (* Lazy repair: every switch seals the register for a couple of
+       round trips, and an h-triang tolerates scattered dead members by
+       construction — so a single dead member is not worth a switch.
+       Replace only when the repair debt reaches two dead members, or
+       urgently when the dead ones leave no live quorum at all. *)
+    let dead =
+      Array.fold_left
+        (fun acc p -> if Bitset.mem live p then acc else acc + 1)
+        0 t.place
+    in
+    let urgent () =
+      not (Htriang.avail t.tri (fun l -> Bitset.mem live t.place.(l)))
+    in
+    if (not structural) && (dead < 2 && not (dead = 1 && urgent ())) then ()
+    else
+      let place' =
+        next_placement ~universe:t.universe ~live ~old_place:t.place
+          tri'.Htriang.n
+      in
+      if (not structural) && place' = t.place then ()
+      else
+      (* The old configuration runs the seal, so the coordinator must
+         be a live member of it; with none, wait for the next tick. *)
+      match Array.to_list t.place |> List.find_opt (Bitset.mem live) with
+      | None -> t.skipped <- t.skipped + 1
+      | Some coordinator ->
+          let sys = remap_system ~universe:t.universe tri' place' in
+          Reconfig.reconfigure t.reconfig ~coordinator sys;
+          t.proposed <-
+            Some (Reconfig.current_epoch t.reconfig + 1, tri', place');
+          t.proposals <- t.proposals + 1;
+          if structural then
+            if tri'.Htriang.n > t.tri.Htriang.n then t.grows <- t.grows + 1
+            else t.shrinks <- t.shrinks + 1
+          else t.replacements <- t.replacements + 1
+
+let start t engine ~period ~horizon =
+  if period <= 0.0 then invalid_arg "Membership.start: period <= 0";
+  let rec arm time =
+    if time < horizon then (
+      Sim.Engine.schedule ~background:true engine ~time (fun () ->
+          tick t engine);
+      arm (time +. period))
+  in
+  arm period

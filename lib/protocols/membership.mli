@@ -1,0 +1,96 @@
+(** Dynamic membership: a controller that keeps a live h-triang
+    register sized to the population that is actually up.
+
+    The paper's growth rules (and their shrink inverses — see
+    {!Core.Htriang}) transform one triangle into the next, but they
+    speak about {e logical} elements [0, n).  This module adds the
+    missing piece for an online system: a {e placement} mapping logical
+    elements to physical processes of a fixed universe, so the quorum
+    system handed to {!Reconfig} is always a system over the whole
+    universe in which exactly the placed processes matter.  Membership
+    changes then come in three flavours, all realized as ordinary epoch
+    switches:
+
+    - {e replace}: a dead member's logical slot is re-placed onto a
+      live spare (same triangle, new placement);
+    - {e grow}: when enough spare live processes exist, one growth rule
+      is applied and the new slots are placed on live spares;
+    - {e shrink}: when the live population cannot fill the current
+      triangle, one shrink rule is applied and the placement contracts.
+
+    A background controller tick runs the policy: at most one proposal
+    is in flight at a time (ticks during a switch are counted and
+    skipped), and a proposed (triangle, placement) is {e adopted} only
+    once the epoch has actually advanced — an abandoned switch leaves
+    the adopted configuration untouched.  New members are admitted by
+    the switch itself: the install step writes the freshest sealed
+    state onto a quorum of the new system before the epoch is
+    announced, and un-synced nodes refuse service by epoch mismatch
+    (see {!Reconfig}).
+
+    The controller is deterministic: ticks are pre-scheduled at fixed
+    simulated times and every choice (victim placement, coordinator)
+    is a deterministic function of the engine's live set. *)
+
+type t
+
+val create :
+  ?durability:Sim.Durable.config ->
+  ?lease:float ->
+  ?skew:float ->
+  ?switch_retry:float ->
+  ?margin:int ->
+  rows:int ->
+  universe:int ->
+  timeout:float ->
+  unit ->
+  t
+(** A register over a standard [rows]-row triangle (n = rows(rows+1)/2)
+    placed identically on processes [0, n) of [universe] processes.
+    [margin] (default 2) is the spare-headroom hysteresis: grow only
+    when the live population exceeds the {e grown} size by at least
+    [margin] (so the adopted triangle always keeps [margin] live
+    spares), and shrink as soon as live headroom over the current size
+    falls below [margin/2].  The gap between the two thresholds
+    prevents grow/shrink oscillation; under churn a generous margin
+    keeps the replacement-switch duty cycle low.
+    [lease]/[skew]/[switch_retry]/[durability] are passed through to
+    {!Reconfig.create} ([lease] turns the register timed). *)
+
+val reconfig : t -> Reconfig.t
+(** The underlying register — reads, writes and all {!Reconfig}
+    counters go through it. *)
+
+val handlers : t -> Reconfig.msg Sim.Engine.handlers
+val bind : t -> Reconfig.msg Sim.Engine.t -> unit
+
+val start :
+  t -> Reconfig.msg Sim.Engine.t -> period:float -> horizon:float -> unit
+(** Pre-schedule controller ticks at [period, 2*period, ...) up to
+    [horizon] (background events — they never keep the run alive).
+    Not calling [start] leaves the membership static. *)
+
+val tick : t -> Reconfig.msg Sim.Engine.t -> unit
+(** One controller step (exposed for targeted tests): adopt any
+    committed proposal, then — unless a switch is in flight — compare
+    the adopted configuration against the live set and propose at most
+    one replace / grow / shrink switch. *)
+
+val current_triangle : t -> Core.Htriang.t
+val members : t -> int array
+(** The adopted placement: physical process of each logical element. *)
+
+val current_system : t -> Quorum.System.t
+(** The adopted configuration as a system over the universe. *)
+
+val proposals : t -> int
+(** Switches proposed by the controller. *)
+
+val grows : t -> int
+val shrinks : t -> int
+val replacements : t -> int
+(** Proposals by kind ([replacements] = same triangle, new placement). *)
+
+val skipped_ticks : t -> int
+(** Ticks that found a switch already in flight, or no live member able
+    to coordinate. *)

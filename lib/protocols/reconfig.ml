@@ -9,18 +9,20 @@ type msg =
       (** [write = Some (version, value)] installs; [None] reads. *)
   | Op_rep of { op : int; version : int; value : int }
   | Op_nack of { op : int; epoch : int }
-  | Seal_req of { epoch : int }
-  | Seal_ack of { epoch : int; version : int; value : int }
-  | Install_req of { epoch : int; version : int; value : int }
-  | Install_ack of { epoch : int }
+  | Seal_req of { gen : int; epoch : int }
+  | Seal_ack of { gen : int; epoch : int; version : int; value : int }
+  | Install_req of { gen : int; epoch : int; version : int; value : int }
+  | Install_ack of { gen : int }
   | Announce of { epoch : int }
   | Epoch_req  (** an amnesiac replica asking peers for their epoch *)
   | Epoch_rep of { epoch : int }
 
-(* Timer tags: op ids are >= 0; the coordinator's switch-retry tick and
-   the replicas' unseal self-heal tick use reserved negatives. *)
+(* Timer tags: op ids are >= 0; the coordinator's switch-retry tick,
+   the replicas' unseal self-heal tick and the timed-mode lease-renewal
+   tick use reserved negatives. *)
 let switch_tag = -2
 let unseal_tag = -3
+let renew_tag = -4
 
 type kind = Read_op | Write_op of int
 
@@ -38,6 +40,9 @@ type op = {
   mutable phase : phase;
   mutable retries_left : int;
   mutable nacked : bool;
+  mutable attempt : int;
+      (** bumped on every (re)send round — the progress check only
+          fires for the attempt it was armed for *)
   mutable span : int;  (** root span of the whole client operation *)
 }
 
@@ -45,23 +50,43 @@ type replica = {
   mutable r_epoch : int;
   mutable sealed : bool;
   mutable state : int * int;  (** version, value *)
+  mutable lease_until : float;
+      (** timed mode: serve only while [now <= lease_until] *)
 }
 
 type switch = {
+  gen : int;
+      (** unique per launched switch: two successive switches target
+          the same next epoch, so acks must name the round that asked
+          for them or a dead switch's stragglers would be miscounted *)
   coordinator : int;
   next_epoch : int;
   next_system : System.t;
-  seal_waiting : Bitset.t;
+  timed : bool;  (** lease-drain switch (no structural seal quorum) *)
+  seal_acked : Bitset.t;
+      (** every member that ever acked a seal — the phase completes as
+          soon as the acked set contains a full old-system quorum *)
+  mutable seal_acks : int;
   mutable seal_best : int * int;
-  install_waiting : Bitset.t;
+  install_acked : Bitset.t;
   mutable installing : bool;
+  mutable draining : bool;
+      (** timed mode: leases still draining — no seals out yet *)
   mutable sw_retries : int;
-      (** idempotent re-sends left before the switch is abandoned *)
+      (** idempotent re-sends left in the current phase before the
+          switch is abandoned (each phase gets a fresh budget) *)
+  sw_span : int;  (** the ["reconfig.switch"] root span *)
 }
 
 type t = {
   universe : int;
   timeout : float;
+  switch_retry : float;
+      (** coordinator retry-tick interval (default [timeout]) *)
+  lease : float option;
+      (** timed-quorum mode: replicas serve only under an unexpired
+          lease; switches drain leases instead of sealing a quorum *)
+  skew : float;  (** clock-skew budget added to every lease drain *)
   durability : Durable.config;
   mutable dur : unit Durable.t option;
   mutable cell : (int * bool * (int * int)) Durable.cell option;
@@ -74,23 +99,36 @@ type t = {
   ops : (int, op) Hashtbl.t;
   mutable next_op : int;
   mutable switch : switch option;
+  mutable switch_gen : int;  (** generation of the next launched switch *)
   mutable epoch_switches : int;
   mutable refused_switches : int;
+  mutable lease_refusals : int;
   mutable reads_ok : int;
   mutable writes_ok : int;
   mutable retries : int;
   mutable failed : int;
+  mutable crash_kills : int;
   mutable stale_reads : int;
   mutable committed : (float * int) list;
   mutable history : Obs.Trace_analysis.hop list;  (** newest first *)
 }
 
-let create ?(durability = Durable.instant) ~initial ~universe ~timeout () =
+let create ?(durability = Durable.instant) ?lease ?(skew = 0.5)
+    ?switch_retry ~initial ~universe ~timeout () =
   if initial.System.n > universe then
     invalid_arg "Reconfig.create: configuration exceeds universe";
+  let switch_retry = Option.value switch_retry ~default:timeout in
+  if switch_retry <= 0.0 then invalid_arg "Reconfig.create: switch_retry";
+  (match lease with
+  | Some d when d <= 0.0 -> invalid_arg "Reconfig.create: lease"
+  | _ -> ());
+  if skew < 0.0 then invalid_arg "Reconfig.create: skew";
   {
     universe;
     timeout;
+    switch_retry;
+    lease;
+    skew;
     durability;
     dur = None;
     cell = None;
@@ -100,16 +138,25 @@ let create ?(durability = Durable.instant) ~initial ~universe ~timeout () =
     epoch = 0;
     replicas =
       Array.init universe (fun _ ->
-          { r_epoch = 0; sealed = false; state = (0, 0) });
+          {
+            r_epoch = 0;
+            sealed = false;
+            state = (0, 0);
+            (* The first lease window opens at t = 0. *)
+            lease_until = (match lease with Some d -> d | None -> infinity);
+          });
     ops = Hashtbl.create 32;
     next_op = 0;
     switch = None;
+    switch_gen = 0;
     epoch_switches = 0;
     refused_switches = 0;
+    lease_refusals = 0;
     reads_ok = 0;
     writes_ok = 0;
     retries = 0;
     failed = 0;
+    crash_kills = 0;
     stale_reads = 0;
     committed = [];
     history = [];
@@ -128,7 +175,16 @@ let bind t engine =
     Durable.create ~obs:(Engine.obs engine) ~nodes:t.universe t.durability
   in
   t.dur <- Some dur;
-  t.cell <- Some (Durable.cell dur ~name:"reconfig.replica")
+  t.cell <- Some (Durable.cell dur ~name:"reconfig.replica");
+  (* Timed mode: every replica renews its own lease on a background
+     tick, well before expiry. *)
+  match t.lease with
+  | Some d ->
+      for node = 0 to t.universe - 1 do
+        Engine.set_timer engine ~background:true ~node ~delay:(d /. 3.0)
+          ~tag:renew_tag
+      done
+  | None -> ()
 
 let dur_exn t =
   match t.dur with
@@ -178,10 +234,15 @@ let reply_after_fsync t engine ~node ~dst msg =
 
 let current_epoch t = t.epoch
 let epoch_switches t = t.epoch_switches
+let switch_in_flight t =
+  match t.switch with Some _ -> true | None -> false
+let lease_refusals t = t.lease_refusals
+let refused_switches t = t.refused_switches
 let reads_ok t = t.reads_ok
 let writes_ok t = t.writes_ok
 let retries t = t.retries
 let failed t = t.failed
+let client_crash_kills t = t.crash_kills
 let stale_reads t = t.stale_reads
 
 let config_of_epoch t epoch =
@@ -194,26 +255,29 @@ let committed_before t time =
     (fun acc (ct, v) -> if ct <= time then max acc v else acc)
     0 t.committed
 
-(* --- Client side ---------------------------------------------------- *)
-
-(* Select a quorum in the configuration of the client's current view
-   and start (or restart) the version phase of [op]. *)
-let launch t (op : op) =
-  let engine = engine_exn t in
-  op.epoch <- t.epoch;
-  let system = config_of_epoch t op.epoch in
-  (* Only the configuration's members serve quorums; spares idle. *)
+(* Select a quorum of [system] among its currently-live members
+   (spares beyond [system.n] idle). *)
+let select_live_quorum engine (system : System.t) =
   let live = Engine.live_set engine in
   let members = Bitset.create system.System.n in
   for i = 0 to system.System.n - 1 do
     if Bitset.mem live i then Bitset.add members i
   done;
-  match system.System.select (Engine.rng engine) ~live:members with
-  | None ->
-      Hashtbl.remove t.ops op.id;
-      t.failed <- t.failed + 1;
-      Span.finish (spans_exn t) ~time:(Engine.now engine)
-        ~status:(Span.Error "unavailable") op.span
+  system.System.select (Engine.rng engine) ~live:members
+
+(* --- Client side ---------------------------------------------------- *)
+
+(* Select a quorum in the configuration of the client's current view
+   and start (or restart) the version phase of [op].  Transient
+   unavailability (no live quorum right now — e.g. churn ahead of the
+   membership controller's next repair) is retried on the same backoff
+   as a NACK; the per-op timer bounds the total wait. *)
+let rec launch t (op : op) =
+  let engine = engine_exn t in
+  op.epoch <- t.epoch;
+  let system = config_of_epoch t op.epoch in
+  match select_live_quorum engine system with
+  | None -> retry_later t op
   | Some quorum ->
       op.phase <- Version_phase;
       op.best <- (0, 0);
@@ -224,7 +288,45 @@ let launch t (op : op) =
             (fun j ->
               Engine.send engine ~src:op.client ~dst:j
                 (Op_req { op = op.id; epoch = op.epoch; write = None }))
-            quorum)
+            quorum);
+      arm_progress_check t op
+
+(* A round of requests can be silently swallowed (message loss, a
+   replica dying before replying): if the attempt armed here is still
+   the current one — no reply completed the phase, no NACK scheduled a
+   relaunch — give up on it and retry.  The delay clears a healthy
+   round trip, so the check only fires for genuinely stuck rounds. *)
+and arm_progress_check t (op : op) =
+  op.attempt <- op.attempt + 1;
+  let attempt = op.attempt in
+  let engine = engine_exn t in
+  Engine.schedule engine
+    ~time:(Engine.now engine +. 4.0)
+    (fun () ->
+      match Hashtbl.find_opt t.ops op.id with
+      | Some op' when op' == op && op.attempt = attempt && not op.nacked ->
+          retry_later t op
+      | Some _ | None -> ())
+
+and retry_later t (op : op) =
+  (* NACKed (sealed replica, expired lease, stale epoch) or no live
+     quorum: back off and relaunch under the then-current
+     configuration. *)
+  if op.retries_left = 0 then begin
+    Hashtbl.remove t.ops op.id;
+    t.failed <- t.failed + 1;
+    Span.finish (spans_exn t)
+      ~time:(Engine.now (engine_exn t))
+      ~status:(Span.Error "exhausted") op.span
+  end
+  else begin
+    op.retries_left <- op.retries_left - 1;
+    t.retries <- t.retries + 1;
+    let engine = engine_exn t in
+    Engine.schedule engine
+      ~time:(Engine.now engine +. 3.0)
+      (fun () -> if Hashtbl.mem t.ops op.id then launch t op)
+  end
 
 let start t ~client kind =
   let engine = engine_exn t in
@@ -245,6 +347,7 @@ let start t ~client kind =
         phase = Version_phase;
         retries_left = 12;
         nacked = false;
+        attempt = 0;
         span = -1;
       }
     in
@@ -287,42 +390,14 @@ let finish_read t (op : op) =
   if fst op.best < committed_before t op.started then
     t.stale_reads <- t.stale_reads + 1
 
-let retry_later t (op : op) =
-  (* NACKed (sealed replica or stale epoch): back off and relaunch
-     under the then-current configuration. *)
-  if op.retries_left = 0 then begin
-    Hashtbl.remove t.ops op.id;
-    t.failed <- t.failed + 1;
-    Span.finish (spans_exn t)
-      ~time:(Engine.now (engine_exn t))
-      ~status:(Span.Error "exhausted") op.span
-  end
-  else begin
-    op.retries_left <- op.retries_left - 1;
-    t.retries <- t.retries + 1;
-    let engine = engine_exn t in
-    Engine.schedule engine
-      ~time:(Engine.now engine +. 3.0)
-      (fun () -> if Hashtbl.mem t.ops op.id then launch t op)
-  end
-
 let begin_install t (op : op) =
   let engine = engine_exn t in
   match op.kind with
   | Read_op -> finish_read t op
   | Write_op value ->
       let system = config_of_epoch t op.epoch in
-      let live = Engine.live_set engine in
-      let members = Bitset.create system.System.n in
-      for i = 0 to system.System.n - 1 do
-        if Bitset.mem live i then Bitset.add members i
-      done;
-      (match system.System.select (Engine.rng engine) ~live:members with
-      | None ->
-          Hashtbl.remove t.ops op.id;
-          t.failed <- t.failed + 1;
-          Span.finish (spans_exn t) ~time:(Engine.now engine)
-            ~status:(Span.Error "unavailable") op.span
+      (match select_live_quorum engine system with
+      | None -> retry_later t op
       | Some wq ->
           let version = fst op.best + 1 in
           op.write_version <- version;
@@ -338,52 +413,134 @@ let begin_install t (op : op) =
                          epoch = op.epoch;
                          write = Some (version, value);
                        }))
-                wq))
+                wq);
+          arm_progress_check t op)
 
 (* --- Reconfiguration -------------------------------------------------- *)
 
 let arm_switch_timer t engine ~coordinator =
-  Engine.set_timer engine ~background:true ~node:coordinator ~delay:t.timeout
-    ~tag:switch_tag
+  Engine.set_timer engine ~background:true ~node:coordinator
+    ~delay:t.switch_retry ~tag:switch_tag
 
 let arm_unseal_timer t engine ~node =
-  Engine.set_timer engine ~background:true ~node ~delay:(2.0 *. t.timeout)
-    ~tag:unseal_tag
+  (* Cadence only — the unseal tick re-arms while the sealing switch
+     is alive, so safety never depends on this delay.  Tracking the
+     coordinator's retry tick keeps orphaned seals (a crashed
+     coordinator cannot re-announce) from refusing service long after
+     their switch died. *)
+  Engine.set_timer engine ~background:true ~node
+    ~delay:(2.0 *. t.switch_retry) ~tag:unseal_tag
 
-let abandon_switch t engine ~coordinator =
+let abandon_switch ?(reason = "abandoned") t engine sw =
   (* Give up: drop the switch and re-announce the old epoch so sealed
      replicas reopen for service. *)
   t.switch <- None;
   t.refused_switches <- t.refused_switches + 1;
+  Span.finish (spans_exn t) ~time:(Engine.now engine)
+    ~status:(Span.Error reason) sw.sw_span;
   for j = 0 to t.universe - 1 do
-    Engine.send engine ~src:coordinator ~dst:j (Announce { epoch = t.epoch })
+    Engine.send engine ~src:sw.coordinator ~dst:j
+      (Announce { epoch = t.epoch })
   done
+
+let commit_switch t sw =
+  let engine = engine_exn t in
+  t.configs <- sw.next_system :: t.configs;
+  t.epoch <- sw.next_epoch;
+  t.epoch_switches <- t.epoch_switches + 1;
+  t.switch <- None;
+  Span.finish (spans_exn t) ~time:(Engine.now engine) sw.sw_span;
+  for j = 0 to t.universe - 1 do
+    Engine.send engine ~src:sw.coordinator ~dst:j
+      (Announce { epoch = sw.next_epoch })
+  done
+
+(* Per-phase retry budget: [phase_retries] idempotent re-send rounds,
+   [switch_retry] apart, before the switch is abandoned. *)
+let phase_retries = 5
+
+(* Seal round done (a structural quorum of the old system reported, or
+   the timed drain expired with at least one report): install the
+   freshest sealed state on the new system.  The install is broadcast
+   to every new member and commits as soon as the acked set contains a
+   full new-system quorum, so individual stragglers never stall it. *)
+let begin_switch_install t sw =
+  let engine = engine_exn t in
+  sw.installing <- true;
+  sw.sw_retries <- phase_retries;
+  let version, value = sw.seal_best in
+  for j = 0 to sw.next_system.System.n - 1 do
+    Engine.send engine ~src:sw.coordinator ~dst:j
+      (Install_req { gen = sw.gen; epoch = sw.next_epoch; version; value })
+  done
+
+let resend_unacked t engine sw =
+  if sw.installing then begin
+    let version, value = sw.seal_best in
+    for j = 0 to sw.next_system.System.n - 1 do
+      if not (Bitset.mem sw.install_acked j) then
+        Engine.send engine ~src:sw.coordinator ~dst:j
+          (Install_req
+             { gen = sw.gen; epoch = sw.next_epoch; version; value })
+    done
+  end
+  else
+    let old_system = config_of_epoch t t.epoch in
+    for j = 0 to old_system.System.n - 1 do
+      if not (Bitset.mem sw.seal_acked j) then
+        Engine.send engine ~src:sw.coordinator ~dst:j
+          (Seal_req { gen = sw.gen; epoch = t.epoch })
+    done
+
+(* Even if every currently-live old member acked on top of the acks
+   already gathered, would the seal still lack a structural quorum?
+   If so, waiting the budget out cannot help (only a recovery could),
+   and a timed switch may fall back to temporal overlap right away. *)
+let quorum_unreachable t engine sw =
+  let old_system = config_of_epoch t t.epoch in
+  let live = Engine.live_set engine in
+  let reachable = Bitset.copy sw.seal_acked in
+  for j = 0 to old_system.System.n - 1 do
+    if Bitset.mem live j then Bitset.add reachable j
+  done;
+  not (old_system.System.avail reachable)
 
 (* The coordinator's retry tick: seal and install handlers are
    idempotent (re-sealing re-acks, re-installing always acks), so
    members that were down or cut off when the first round went out are
-   simply asked again once they return; a bounded number of rounds
-   keeps a switch from outliving a permanently lost member. *)
+   simply asked again once they return — each phase completes on {e
+   any} quorum's worth of acks, so the tick only has to reach the
+   stragglers.  A bounded number of rounds per phase keeps a switch
+   from outliving a permanently lost configuration; a timed switch
+   whose seal budget runs out with at least one report installs
+   best-effort (temporal overlap standing in for the structural
+   quorum — see the interface caveat). *)
 let switch_tick t ~node =
   match t.switch with
   | Some sw when sw.coordinator = node ->
       let engine = engine_exn t in
-      if sw.sw_retries = 0 then abandon_switch t engine ~coordinator:node
+      if sw.timed && sw.draining then
+        (* The drain deadline drives the next step; stay armed. *)
+        arm_switch_timer t engine ~coordinator:node
+      else if
+        sw.sw_retries = 0
+        || (sw.timed && (not sw.installing) && quorum_unreachable t engine sw)
+      then
+        if sw.timed && (not sw.installing) && sw.seal_acks > 0 then begin
+          begin_switch_install t sw;
+          arm_switch_timer t engine ~coordinator:node
+        end
+        else if sw.sw_retries = 0 then abandon_switch t engine sw
+        else begin
+          (* Timed, no reports yet, old quorums unreachable: keep
+             re-asking — a recovery may still bring a reporter back. *)
+          sw.sw_retries <- sw.sw_retries - 1;
+          resend_unacked t engine sw;
+          arm_switch_timer t engine ~coordinator:node
+        end
       else begin
         sw.sw_retries <- sw.sw_retries - 1;
-        (if sw.installing then
-           let version, value = sw.seal_best in
-           Bitset.iter
-             (fun j ->
-               Engine.send engine ~src:node ~dst:j
-                 (Install_req { epoch = sw.next_epoch; version; value }))
-             sw.install_waiting
-         else
-           Bitset.iter
-             (fun j ->
-               Engine.send engine ~src:node ~dst:j
-                 (Seal_req { epoch = t.epoch }))
-             sw.seal_waiting);
+        resend_unacked t engine sw;
         arm_switch_timer t engine ~coordinator:node
       end
   | Some _ | None -> ()
@@ -396,6 +553,24 @@ let switch_tick t ~node =
    re-arms while the sealing switch is alive (global knowledge
    standing in for a coordinator lease, like [t.epoch]) and unseals
    only once it is gone. *)
+(* Timed mode: a replica's lease-renewal tick.  Renewal is withheld
+   while a switch is in flight (global knowledge standing in for the
+   coordinator's renewal grant, like [t.epoch]), so the leases of every
+   replica the seal round cannot reach drain before the timed install
+   — renew-before-expiry in calm times, conservative refusal during a
+   switch. *)
+let renew_tick t ~node =
+  match t.lease with
+  | None -> ()
+  | Some d ->
+      let engine = engine_exn t in
+      let r = t.replicas.(node) in
+      (match t.switch with
+      | Some _ -> ()  (* withheld: let the lease drain *)
+      | None -> r.lease_until <- Engine.now engine +. d);
+      Engine.set_timer engine ~background:true ~node ~delay:(d /. 3.0)
+        ~tag:renew_tag
+
 let unseal_tick t ~node =
   let r = t.replicas.(node) in
   if r.sealed then
@@ -406,93 +581,94 @@ let unseal_tick t ~node =
         r.sealed <- false;
         ignore (persist t ~node)
 
-let reconfigure t ~coordinator next_system =
+let seal_all t engine sw =
+  let old_system = config_of_epoch t t.epoch in
+  for j = 0 to old_system.System.n - 1 do
+    Engine.send engine ~src:sw.coordinator ~dst:j
+      (Seal_req { gen = sw.gen; epoch = t.epoch })
+  done
+
+(* The timed drain deadline: every lease granted before the switch
+   started has expired (plus the skew budget) and renewals were
+   withheld throughout, so no old-epoch quorum can still commit — the
+   old members served right up to their individual expiries and now
+   refuse.  Only at this point are they asked to seal and report:
+   every report reflects the member's final old-epoch state, including
+   writes committed during the drain.  The install fires as soon as a
+   structural quorum of reports is in (then freshness is guaranteed by
+   intersection), or best-effort on budget exhaustion — refusing
+   conservatively when {e nobody} reported (a blind install could lose
+   every committed write; that abandon is the "drain-empty" status). *)
+let drain_deadline t sw =
+  match t.switch with
+  | Some sw' when sw' == sw && not sw.installing ->
+      sw.draining <- false;
+      sw.sw_retries <- phase_retries;
+      seal_all t (engine_exn t) sw
+  | Some _ | None -> ()
+
+let launch_switch t ~coordinator ~next_system ~timed =
   let engine = engine_exn t in
+  let now = Engine.now engine in
+  t.switch_gen <- t.switch_gen + 1;
+  let sw =
+    {
+      gen = t.switch_gen;
+      coordinator;
+      next_epoch = t.epoch + 1;
+      next_system;
+      timed;
+      seal_acked = Bitset.create t.universe;
+      seal_acks = 0;
+      seal_best = (0, 0);
+      install_acked = Bitset.create t.universe;
+      installing = false;
+      draining = timed;
+      sw_retries = phase_retries;
+      sw_span =
+        Span.start (spans_exn t) ~time:now ~node:coordinator
+          "reconfig.switch";
+    }
+  in
+  t.switch <- Some sw;
+  if timed then (
+    (* No seals yet: members keep serving the old epoch until their
+       leases expire (renewals are withheld from now on). *)
+    match t.lease with
+    | Some d ->
+        Engine.schedule engine ~time:(now +. d +. t.skew) (fun () ->
+            drain_deadline t sw)
+    | None -> assert false)
+  else seal_all t engine sw;
+  arm_switch_timer t engine ~coordinator
+
+let reconfigure t ~coordinator next_system =
   if next_system.System.n > t.universe then
     invalid_arg "Reconfig.reconfigure: configuration exceeds universe";
   match t.switch with
   | Some _ -> t.refused_switches <- t.refused_switches + 1
   | None ->
-      let old_system = config_of_epoch t t.epoch in
-      let live = Engine.live_set engine in
-      let members = Bitset.create old_system.System.n in
-      for i = 0 to old_system.System.n - 1 do
-        if Bitset.mem live i then Bitset.add members i
-      done;
-      (match old_system.System.select (Engine.rng engine) ~live:members with
-      | None -> t.refused_switches <- t.refused_switches + 1
-      | Some seal_quorum ->
-          let sw =
-            {
-              coordinator;
-              next_epoch = t.epoch + 1;
-              next_system;
-              seal_waiting = Bitset.copy seal_quorum;
-              seal_best = (0, 0);
-              install_waiting = Bitset.create t.universe;
-              installing = false;
-              sw_retries = 8;
-            }
-          in
-          t.switch <- Some sw;
-          Bitset.iter
-            (fun j ->
-              Engine.send engine ~src:coordinator ~dst:j
-                (Seal_req { epoch = t.epoch }))
-            seal_quorum;
-          arm_switch_timer t engine ~coordinator)
+      launch_switch t ~coordinator ~next_system
+        ~timed:(Option.is_some t.lease)
 
+(* Any old-system quorum's worth of seal reports suffices: committed
+   old-epoch writes live on full quorums, and every quorum intersects
+   the reported one, so the max over reported versions is fresh.
+   (Sealing everyone costs no extra availability — a sealed quorum
+   already intersects, and thereby blocks, every other quorum.) *)
 let on_seal_ack t sw ~src ~version ~value =
-  let engine = engine_exn t in
-  if (not sw.installing) && Bitset.mem sw.seal_waiting src then begin
-    Bitset.remove sw.seal_waiting src;
+  if (not sw.installing) && not (Bitset.mem sw.seal_acked src) then begin
+    Bitset.add sw.seal_acked src;
+    sw.seal_acks <- sw.seal_acks + 1;
     if version > fst sw.seal_best then sw.seal_best <- (version, value);
-    if Bitset.is_empty sw.seal_waiting then begin
-      sw.installing <- true;
-      (* Install the sealed state on a quorum of the new system. *)
-      let live = Engine.live_set engine in
-      let members = Bitset.create sw.next_system.System.n in
-      for i = 0 to sw.next_system.System.n - 1 do
-        if Bitset.mem live i then Bitset.add members i
-      done;
-      match sw.next_system.System.select (Engine.rng engine) ~live:members with
-      | None ->
-          (* Cannot complete; drop the switch (sealed replicas unseal on
-             the next announce — here we re-announce the old epoch). *)
-          t.switch <- None;
-          t.refused_switches <- t.refused_switches + 1;
-          for j = 0 to t.universe - 1 do
-            Engine.send engine ~src:sw.coordinator ~dst:j
-              (Announce { epoch = t.epoch })
-          done
-      | Some wq ->
-          (* install_waiting lives in the engine universe; the new
-             configuration's ids are a prefix of it. *)
-          Bitset.iter (fun e -> Bitset.add sw.install_waiting e) wq;
-          let version, value = sw.seal_best in
-          Bitset.iter
-            (fun j ->
-              Engine.send engine ~src:sw.coordinator ~dst:j
-                (Install_req { epoch = sw.next_epoch; version; value }))
-            wq
-    end
+    if (config_of_epoch t t.epoch).System.avail sw.seal_acked then
+      begin_switch_install t sw
   end
 
 let on_install_ack t sw ~src =
-  let engine = engine_exn t in
-  if sw.installing && Bitset.mem sw.install_waiting src then begin
-    Bitset.remove sw.install_waiting src;
-    if Bitset.is_empty sw.install_waiting then begin
-      (* Commit the switch and tell everyone. *)
-      t.configs <- sw.next_system :: t.configs;
-      t.epoch <- sw.next_epoch;
-      t.epoch_switches <- t.epoch_switches + 1;
-      t.switch <- None;
-      for j = 0 to t.universe - 1 do
-        Engine.send engine ~src:sw.coordinator ~dst:j
-          (Announce { epoch = sw.next_epoch })
-      done
-    end
+  if sw.installing && not (Bitset.mem sw.install_acked src) then begin
+    Bitset.add sw.install_acked src;
+    if sw.next_system.System.avail sw.install_acked then commit_switch t sw
   end
 
 (* --- Handlers --------------------------------------------------------- *)
@@ -504,9 +680,29 @@ let handlers t : msg Engine.handlers =
         match msg with
         | Op_req { op; epoch; write } ->
             let r = t.replicas.(node) in
-            if epoch <> r.r_epoch || r.sealed then
+            (* A client's epoch is always a committed one (clients tag
+               ops with the announced epoch), so a replica behind it
+               simply missed the announce: adopt and serve.  Unsealing
+               is safe for the same reason — a newer committed epoch
+               means the switch that sealed this replica already
+               finished.  Per-member catch-up staleness is covered by
+               intersection: reads take the max over a full quorum,
+               which meets the install quorum. *)
+            if epoch > r.r_epoch then begin
+              r.r_epoch <- epoch;
+              r.sealed <- false
+            end;
+            let lease_expired =
+              match t.lease with
+              | None -> false
+              | Some _ -> Engine.now engine > r.lease_until
+            in
+            if epoch <> r.r_epoch || r.sealed || lease_expired then begin
+              if lease_expired && epoch = r.r_epoch && not r.sealed then
+                t.lease_refusals <- t.lease_refusals + 1;
               Engine.send engine ~src:node ~dst:src
                 (Op_nack { op; epoch = r.r_epoch })
+            end
             else begin
               match write with
               | Some (version, value) ->
@@ -545,31 +741,44 @@ let handlers t : msg Engine.handlers =
                   op.nacked <- true;
                   retry_later t op
                 end)
-        | Seal_req { epoch } ->
+        | Seal_req { gen; epoch } ->
+            (* A seal for a {e newer} epoch means this replica missed
+               announces while down: the coordinator only seals at the
+               committed global epoch, so adopting it is processing
+               the missed Announce.  Safe to count: the seal quorum
+               still intersects every old-epoch write quorum in a
+               member that served the freshest write, and the max over
+               the quorum's reported versions includes it.  Seals for
+               {e older} epochs (a stale coordinator) stay ignored. *)
             let r = t.replicas.(node) in
-            if epoch = r.r_epoch then begin
+            if epoch >= r.r_epoch then begin
+              r.r_epoch <- epoch;
               r.sealed <- true;
               let version, value = r.state in
               reply_after_fsync t engine ~node ~dst:src
-                (Seal_ack { epoch; version; value });
+                (Seal_ack { gen; epoch; version; value });
               arm_unseal_timer t engine ~node
             end
-        | Seal_ack { epoch; version; value } ->
+        | Seal_ack { gen; epoch = _; version; value } ->
+            (* Acks name the round that asked for them: a dead
+               switch's straggler reports the state it had {e then},
+               which its same-epoch successor must not count. *)
             (match t.switch with
-            | Some sw when sw.next_epoch = epoch + 1 ->
-                on_seal_ack t sw ~src ~version ~value
+            | Some sw when sw.gen = gen -> on_seal_ack t sw ~src ~version ~value
             | Some _ | None -> ())
-        | Install_req { epoch; version; value } ->
+        | Install_req { gen; epoch = _; version; value } ->
+            (* State transfer only: the new epoch is adopted at the
+               Announce, never here.  An install that bumped epochs
+               and then had its switch die would wedge the register —
+               replicas ahead of the committed epoch refuse every
+               later seal, and no switch can ever gather reports
+               again. *)
             let r = t.replicas.(node) in
-            if epoch > r.r_epoch then begin
-              r.r_epoch <- epoch;
-              r.sealed <- false;
-              if version > fst r.state then r.state <- (version, value)
-            end;
-            reply_after_fsync t engine ~node ~dst:src (Install_ack { epoch })
-        | Install_ack { epoch } ->
+            if version > fst r.state then r.state <- (version, value);
+            reply_after_fsync t engine ~node ~dst:src (Install_ack { gen })
+        | Install_ack { gen } ->
             (match t.switch with
-            | Some sw when sw.next_epoch = epoch -> on_install_ack t sw ~src
+            | Some sw when sw.gen = gen -> on_install_ack t sw ~src
             | Some _ | None -> ())
         | Announce { epoch } ->
             let r = t.replicas.(node) in
@@ -598,6 +807,7 @@ let handlers t : msg Engine.handlers =
       (fun engine ~node ~tag ->
         if tag = switch_tag then switch_tick t ~node
         else if tag = unseal_tag then unseal_tick t ~node
+        else if tag = renew_tag then renew_tick t ~node
         else
           match Hashtbl.find_opt t.ops tag with
           | Some op ->
@@ -615,7 +825,10 @@ let handlers t : msg Engine.handlers =
         (match t.switch with
         | Some sw when sw.coordinator = node ->
             t.switch <- None;
-            t.refused_switches <- t.refused_switches + 1
+            t.refused_switches <- t.refused_switches + 1;
+            Span.finish (spans_exn t)
+              ~time:(Engine.now engine)
+              ~status:(Span.Error "crash") sw.sw_span
         | Some _ | None -> ());
         let doomed =
           Hashtbl.fold
@@ -626,6 +839,7 @@ let handlers t : msg Engine.handlers =
           (fun op ->
             Hashtbl.remove t.ops op.id;
             t.failed <- t.failed + 1;
+            t.crash_kills <- t.crash_kills + 1;
             Span.finish (spans_exn t)
               ~time:(Engine.now engine)
               ~status:(Span.Error "crash") op.span)
@@ -649,8 +863,26 @@ let handlers t : msg Engine.handlers =
           for j = 0 to t.universe - 1 do
             if j <> node then Engine.send engine ~src:node ~dst:j Epoch_req
           done
-        end;
+        end
+        else
+          (* Memory intact, but announces broadcast while the node was
+             down are gone: ask peers for the current epoch, or every
+             op served here NACKs on epoch mismatch until the next
+             switch happens to announce. *)
+          for j = 0 to t.universe - 1 do
+            if j <> node then
+              Engine.send ~background:true engine ~src:node ~dst:j Epoch_req
+          done;
         (* Timers died with the crash: a still-sealed replica needs its
-           self-heal tick back. *)
-        if t.replicas.(node).sealed then arm_unseal_timer t engine ~node);
+           self-heal tick back, and a timed replica its renewal tick.
+           The recovered node's lease restarts expired — it refuses
+           service until the next renewal grant, which is withheld
+           while any switch is in flight. *)
+        if t.replicas.(node).sealed then arm_unseal_timer t engine ~node;
+        match t.lease with
+        | Some d ->
+            t.replicas.(node).lease_until <- Engine.now engine;
+            Engine.set_timer engine ~background:true ~node ~delay:(d /. 3.0)
+              ~tag:renew_tag
+        | None -> ());
   }

@@ -45,6 +45,37 @@ let iid_faults ?(amnesia = false) engine ~rng ~p ~mean_downtime ~horizon =
     cycle 0.0
   done
 
+(* Sustained churn: leave events arrive as a Poisson process of [rate]
+   per time unit; each crashes a uniformly-random {e live} node for an
+   exponential downtime.  Unlike [iid_faults] the victim depends on who
+   is live at the instant the event fires, so the schedule cannot be
+   pre-generated — each event is a background thunk that picks its
+   victim at runtime and re-arms the next arrival.  Determinism is
+   preserved: the engine's event order is deterministic and all draws
+   come from the caller's seeded [rng]. *)
+let poisson_churn ?(amnesia = false) engine ~rng ~rate ~mean_downtime ~horizon
+    =
+  if rate <= 0.0 then invalid_arg "Failure_injector.poisson_churn: rate";
+  if mean_downtime <= 0.0 || horizon <= 0.0 then
+    invalid_arg "Failure_injector.poisson_churn: times";
+  let rec arm time =
+    let next = time +. Rng.exponential rng ~mean:(1.0 /. rate) in
+    if next < horizon then
+      Engine.schedule ~background:true engine ~time:next (fun () ->
+          let live = Quorum.Bitset.to_list (Engine.live_set engine) in
+          (match live with
+          | [] -> ()  (* nobody left to kill; the event is a no-op *)
+          | _ ->
+              let node = Rng.pick rng (Array.of_list live) in
+              let down = Rng.exponential rng ~mean:mean_downtime in
+              Engine.crash_at engine ~time:next ~node;
+              (* Every crash gets its recovery, even past the horizon:
+                 churn never leaves a node permanently dead. *)
+              Engine.recover_at ~amnesia engine ~time:(next +. down) ~node);
+          arm next)
+  in
+  arm 0.0
+
 let crash_random_subset engine ~rng ~at ~p =
   for node = 0 to Engine.nodes engine - 1 do
     if Rng.bernoulli rng p then Engine.crash_at engine ~time:at ~node

@@ -42,6 +42,25 @@ val iid_faults :
     left permanently dead by an accident of scheduling (tested in
     [test_recovery.ml]).  [~amnesia] makes every recovery amnesiac. *)
 
+val poisson_churn :
+  ?amnesia:bool ->
+  'msg Engine.t ->
+  rng:Quorum.Rng.t ->
+  rate:float ->
+  mean_downtime:float ->
+  horizon:float ->
+  unit
+(** Sustained membership churn: leave events arrive as a Poisson
+    process of [rate] per time unit up to [horizon]; each crashes a
+    uniformly-random {e live} node, which recovers after an exponential
+    downtime of mean [mean_downtime] (amnesiac when [~amnesia:true]).
+    The long-run expected number of simultaneously-down nodes is
+    [rate * mean_downtime] (M/G/inf), clipped by the population.
+    Victims are picked at runtime from the live set, so churn composes
+    with [restarts], partitions and scripted faults; every crash gets
+    its matching recovery even past [horizon].  Deterministic for a
+    fixed seed. *)
+
 val crash_random_subset :
   'msg Engine.t -> rng:Quorum.Rng.t -> at:float -> p:float -> unit
 (** One-shot: at time [at], crash each node independently with

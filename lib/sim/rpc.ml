@@ -29,6 +29,7 @@ type ('a, 'wire) t = {
   timeout : float;
   backoff : float;
   jitter : float;
+  cap : float;
   max_attempts : int;
   wrap : 'a msg -> 'wire;
   mutable engine : 'wire Engine.t option;
@@ -42,16 +43,19 @@ type ('a, 'wire) t = {
   mutable on_dead_letter : src:int -> dst:int -> 'a -> unit;
 }
 
-let create ?(timeout = 2.0) ?(backoff = 1.6) ?(jitter = 0.3)
+let create ?(timeout = 2.0) ?(backoff = 1.6) ?(jitter = 0.3) ?cap
     ?(max_attempts = 6) ~wrap () =
   if timeout <= 0.0 then invalid_arg "Rpc.create: timeout";
   if backoff < 1.0 then invalid_arg "Rpc.create: backoff";
   if jitter < 0.0 then invalid_arg "Rpc.create: jitter";
+  let cap = match cap with Some c -> c | None -> 32.0 *. timeout in
+  if cap < timeout then invalid_arg "Rpc.create: cap";
   if max_attempts < 1 then invalid_arg "Rpc.create: max_attempts";
   {
     timeout;
     backoff;
     jitter;
+    cap;
     max_attempts;
     wrap;
     engine = None;
@@ -109,6 +113,22 @@ let jittered t engine delay =
   if t.jitter = 0.0 then delay
   else delay *. (1.0 +. (t.jitter *. Rng.float (Engine.rng engine)))
 
+(* Decorrelated jitter (the AWS "decorrelated" scheme): the next
+   retransmission delay is drawn uniformly from [timeout, 3 * prev],
+   clamped to [cap].  Consecutive retries de-synchronize instead of
+   marching in lockstep, so a burst of senders cut off by the same
+   fault does not produce a synchronized retransmit storm when the
+   fault clears — which matters under churn, where a storm can stall a
+   reconfiguration's seal round.  With [jitter = 0] the classic
+   deterministic exponential backoff ([prev * backoff], capped) is
+   kept, so jitter-free runs stay exactly reproducible across the
+   change. *)
+let next_backoff t rng ~prev =
+  if t.jitter = 0.0 then min t.cap (prev *. t.backoff)
+  else
+    let hi = 3.0 *. prev in
+    min t.cap (t.timeout +. (Rng.float rng *. (hi -. t.timeout)))
+
 let send t ~src ~dst payload =
   let engine = engine_exn t in
   let seq = t.next_seq in
@@ -159,7 +179,7 @@ let on_timer t ~node ~tag =
         else begin
           let engine = engine_exn t in
           m.attempts <- m.attempts + 1;
-          m.rto <- m.rto *. t.backoff;
+          m.rto <- next_backoff t (Engine.rng engine) ~prev:m.rto;
           t.retransmissions <- t.retransmissions + 1;
           Metrics.incr (ins_exn t).i_retransmits ~labels:(node_label node);
           (* The Note marks the retransmission instant inside the op's
@@ -172,8 +192,7 @@ let on_timer t ~node ~tag =
             Trace.Note;
           Engine.send engine ~src:node ~dst:m.dst
             (t.wrap (Data { seq; payload = m.payload }));
-          Engine.set_timer engine ~node ~delay:(jittered t engine m.rto)
-            ~tag
+          Engine.set_timer engine ~node ~delay:m.rto ~tag
         end);
     true
   end

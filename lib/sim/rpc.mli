@@ -4,7 +4,7 @@
     partitions.  [Rpc.send] gives at-most-once delivery with bounded
     retransmission: each payload gets a sequence number, the receiver
     acks and suppresses duplicates, and the sender retransmits on a
-    timeout with exponential backoff plus jitter until acked or
+    timeout with capped {e decorrelated-jitter} backoff until acked or
     [max_attempts] transmissions have been spent — at which point the
     message is {e dead-lettered} and the (optional) dead-letter handler
     fires, letting the protocol treat the peer as unreachable and
@@ -32,15 +32,27 @@ val create :
   ?timeout:float ->
   ?backoff:float ->
   ?jitter:float ->
+  ?cap:float ->
   ?max_attempts:int ->
   wrap:('a msg -> 'wire) ->
   unit ->
   ('a, 'wire) t
-(** [timeout] (default 2.0) is the initial retransmission timeout;
-    each retry multiplies it by [backoff] (default 1.6, must be >= 1)
-    and adds a uniform jitter of up to [jitter] (default 0.3, a
-    fraction of the delay).  [max_attempts] (default 6) counts total
-    transmissions including the first. *)
+(** [timeout] (default 2.0) is the initial retransmission timeout.
+    Retry delays use decorrelated jitter: each is drawn uniformly from
+    [\[timeout, 3 * previous\]] and clamped to [cap] (default
+    [32 * timeout]), so retrying senders de-synchronize instead of
+    producing lockstep retransmit storms.  All draws come from the
+    engine's seeded RNG — fixed-seed runs stay deterministic.  With
+    [jitter = 0] (default 0.3) delays fall back to plain capped
+    exponential backoff ([previous * backoff], [backoff] default 1.6,
+    must be >= 1) with no randomness at all.  [max_attempts] (default
+    6) counts total transmissions including the first. *)
+
+val next_backoff : ('a, 'wire) t -> Quorum.Rng.t -> prev:float -> float
+(** The backoff schedule, exposed for property tests: the delay that
+    follows a retry whose delay was [prev] — a decorrelated-jitter draw
+    in [\[timeout, min cap (3 * prev)\]], or [min cap (prev * backoff)]
+    when [jitter = 0]. *)
 
 val bind : ('a, 'wire) t -> 'wire Engine.t -> unit
 

@@ -393,6 +393,43 @@ let test_htriang_growth_chain () =
   check "chain coterie" true (Coterie.all_intersect quorums);
   check_int "grew by 6" 16 t.Htriang.n
 
+(* qcheck: an arbitrary interleaving of the paper's growth rules and
+   their shrink inverses, started from any standard triangle, keeps
+   the quorum set a coterie (pairwise-intersecting antichain) at every
+   intermediate step — the invariant the online resize controller
+   (Protocols.Membership) relies on when it applies one rule per epoch
+   switch.  Rules that do not apply (no growth/shrink site) are
+   skipped, exactly as the controller skips them. *)
+let htriang_rules_keep_coterie =
+  QCheck.Test.make ~count:50
+    ~name:"random grow/shrink sequences preserve the coterie"
+    QCheck.(
+      pair (int_range 2 4) (list_of_size Gen.(int_range 1 8) (int_range 0 5)))
+    (fun (rows, ops) ->
+      let apply t op =
+        let rule =
+          match op with
+          | 0 -> Htriang.grow_unit_triangle
+          | 1 -> Htriang.grow_unit_grid
+          | 2 -> Htriang.grow_square_grid
+          | 3 -> Htriang.shrink_unit_triangle
+          | 4 -> Htriang.shrink_unit_grid
+          | _ -> Htriang.shrink_square_grid
+        in
+        match rule t with None -> t | Some t' -> t'
+      in
+      let sound t =
+        let qs = Htriang.quorums t in
+        Coterie.all_intersect qs && Coterie.is_antichain qs
+      in
+      let rec go t = function
+        | [] -> true
+        | op :: rest ->
+            let t' = apply t op in
+            sound t' && go t' rest
+      in
+      go (Htriang.standard ~rows ()) ops)
+
 (* --- Registry ------------------------------------------------------- *)
 
 let test_registry_builds () =
@@ -487,6 +524,7 @@ let () =
           Alcotest.test_case "select" `Quick test_htriang_select_valid;
           Alcotest.test_case "growth" `Quick test_htriang_growth;
           Alcotest.test_case "growth chain" `Quick test_htriang_growth_chain;
+          QCheck_alcotest.to_alcotest htriang_rules_keep_coterie;
         ] );
       ( "registry",
         [

@@ -136,6 +136,65 @@ let test_many_switch_rounds () =
   check_int "all ops complete" 100
     (Reconfig.reads_ok rc + Reconfig.writes_ok rc)
 
+let test_coordinator_crash_mid_switch () =
+  (* The coordinator dies with its seal round in flight: the switch is
+     torn down, sealed replicas self-heal through their unseal tick,
+     and a fresh coordinator completes the resize afterwards — with
+     the pre-crash write still visible in the new configuration. *)
+  let initial = Core.Registry.build_exn "htriang(15)" in
+  let rc = Reconfig.create ~switch_retry:3.0 ~initial ~universe:21 ~timeout:40.0 () in
+  let engine = Engine.create ~seed:31 ~nodes:21 (Reconfig.handlers rc) in
+  Reconfig.bind rc engine;
+  Engine.schedule engine ~time:1.0 (fun () ->
+      Reconfig.write rc ~client:4 ~value:99);
+  Engine.schedule engine ~time:10.0 (fun () ->
+      Reconfig.reconfigure rc ~coordinator:0
+        (Core.Registry.build_exn "majority(21)"));
+  (* Seal requests are on the wire; their acks will reach a corpse. *)
+  Engine.crash_at engine ~time:10.8 ~node:0;
+  Engine.schedule engine ~time:25.0 (fun () -> Reconfig.read rc ~client:5);
+  Engine.schedule engine ~time:30.0 (fun () ->
+      Reconfig.reconfigure rc ~coordinator:1
+        (Core.Registry.build_exn "majority(21)"));
+  Engine.schedule engine ~time:45.0 (fun () -> Reconfig.read rc ~client:20);
+  Engine.run engine;
+  check_int "only the retry switch commits" 1 (Reconfig.epoch_switches rc);
+  check_int "epoch advanced once" 1 (Reconfig.current_epoch rc);
+  check "crashed switch counted refused" true
+    (Reconfig.refused_switches rc >= 1);
+  check_int "write ok" 1 (Reconfig.writes_ok rc);
+  check_int "both reads ok" 2 (Reconfig.reads_ok rc);
+  check_int "no op failed" 0 (Reconfig.failed rc);
+  check_int "no stale read across the crash" 0 (Reconfig.stale_reads rc)
+
+let test_timed_switch () =
+  (* Timed-quorum mode: the switch drains leases instead of sealing a
+     structural quorum — writes committed during the drain must still
+     be visible after the install. *)
+  let initial = Core.Registry.build_exn "htriang(15)" in
+  let rc =
+    Reconfig.create ~lease:4.0 ~switch_retry:3.0 ~initial ~universe:21
+      ~timeout:40.0 ()
+  in
+  let engine = Engine.create ~seed:31 ~nodes:21 (Reconfig.handlers rc) in
+  Reconfig.bind rc engine;
+  Engine.schedule engine ~time:1.0 (fun () ->
+      Reconfig.write rc ~client:4 ~value:7);
+  Engine.schedule engine ~time:10.0 (fun () ->
+      Reconfig.reconfigure rc ~coordinator:0
+        (Core.Registry.build_exn "majority(21)"));
+  (* Landed inside the drain window: old-epoch members keep serving
+     until their individual leases expire. *)
+  Engine.schedule engine ~time:11.0 (fun () ->
+      Reconfig.write rc ~client:6 ~value:8);
+  Engine.schedule engine ~time:35.0 (fun () -> Reconfig.read rc ~client:20);
+  Engine.run engine;
+  check_int "timed switch commits" 1 (Reconfig.epoch_switches rc);
+  check_int "both writes ok" 2 (Reconfig.writes_ok rc);
+  check_int "read ok" 1 (Reconfig.reads_ok rc);
+  check_int "drain-window write visible after install" 0
+    (Reconfig.stale_reads rc)
+
 let () =
   Alcotest.run "reconfig"
     [
@@ -148,5 +207,8 @@ let () =
             test_concurrent_switch_refused;
           Alcotest.test_case "write survives" `Quick test_write_survives_switch;
           Alcotest.test_case "many rounds" `Quick test_many_switch_rounds;
+          Alcotest.test_case "coordinator crash mid-switch" `Quick
+            test_coordinator_crash_mid_switch;
+          Alcotest.test_case "timed switch" `Quick test_timed_switch;
         ] );
     ]

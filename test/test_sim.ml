@@ -315,6 +315,53 @@ let test_crash_random_subset () =
   let crashed = 100 - Quorum.Bitset.cardinal (Engine.live_set e) in
   check "roughly 30 crashed" true (crashed > 15 && crashed < 45)
 
+(* --- Rpc retransmit backoff ---------------------------------------- *)
+
+let test_backoff_jitter_zero () =
+  (* jitter = 0: the classic deterministic schedule, prev * backoff
+     clamped to the cap — no RNG draw at all. *)
+  let rpc =
+    Sim.Rpc.create ~timeout:2.0 ~backoff:2.0 ~jitter:0.0 ~cap:16.0
+      ~wrap:Fun.id ()
+  in
+  let rng = Rng.create 1 in
+  let d1 = Sim.Rpc.next_backoff rpc rng ~prev:2.0 in
+  let d2 = Sim.Rpc.next_backoff rpc rng ~prev:d1 in
+  let d3 = Sim.Rpc.next_backoff rpc rng ~prev:d2 in
+  let d4 = Sim.Rpc.next_backoff rpc rng ~prev:d3 in
+  Alcotest.(check (float 1e-9)) "doubles" 4.0 d1;
+  Alcotest.(check (float 1e-9)) "doubles again" 8.0 d2;
+  Alcotest.(check (float 1e-9)) "hits cap" 16.0 d3;
+  Alcotest.(check (float 1e-9)) "stays capped" 16.0 d4
+
+let backoff_within_bounds =
+  QCheck.Test.make ~count:200
+    ~name:"decorrelated backoff stays in [timeout, min cap (3*prev)]"
+    QCheck.(pair (int_range 0 10_000) (float_range 2.0 40.0))
+    (fun (seed, prev) ->
+      let rpc =
+        Sim.Rpc.create ~timeout:2.0 ~jitter:0.3 ~cap:32.0 ~wrap:Fun.id ()
+      in
+      let d = Sim.Rpc.next_backoff rpc (Rng.create seed) ~prev in
+      d >= 2.0 && d <= Float.min 32.0 (3.0 *. prev))
+
+let test_backoff_deterministic () =
+  (* Same seed, same prev sequence -> identical delays: jittered runs
+     stay exactly reproducible. *)
+  let draw seed =
+    let rpc = Sim.Rpc.create ~timeout:2.0 ~jitter:0.3 ~wrap:Fun.id () in
+    let rng = Rng.create seed in
+    let rec go prev k acc =
+      if k = 0 then List.rev acc
+      else
+        let d = Sim.Rpc.next_backoff rpc rng ~prev in
+        go d (k - 1) (d :: acc)
+    in
+    go 2.0 8 []
+  in
+  Alcotest.(check (list (float 1e-12))) "same seed" (draw 9) (draw 9);
+  check "different seed differs" true (draw 9 <> draw 10)
+
 let () =
   Alcotest.run "sim"
     [
@@ -354,5 +401,11 @@ let () =
           Alcotest.test_case "iid fraction" `Slow test_iid_faults_fraction;
           Alcotest.test_case "scripted" `Quick test_scripted;
           Alcotest.test_case "random subset" `Quick test_crash_random_subset;
+        ] );
+      ( "rpc backoff",
+        [
+          Alcotest.test_case "jitter zero" `Quick test_backoff_jitter_zero;
+          QCheck_alcotest.to_alcotest backoff_within_bounds;
+          Alcotest.test_case "deterministic" `Quick test_backoff_deterministic;
         ] );
     ]
