@@ -5,7 +5,8 @@
    Usage: main.exe [--fast] [--metrics] [--jobs N] [target ...]
    Targets: table1 table2 table3 table4 table5 figure1 figure2 curves
             sect43 sect6 ablations sims chaos churn latency placement
-            byzantine thresholds perf parallel all (default: all)
+            byzantine thresholds perf parallel optimizer all
+            (default: all)
 
    --fast replaces the 2^25..2^28 exact enumerations (h-T-grid(25),
    Paths(24), Y(28)) with 1e6-trial Monte Carlo estimates.
@@ -43,6 +44,7 @@ let targets : (string * (unit -> unit)) list =
     ("thresholds", Thresholds.run);
     ("perf", Perf.run);
     ("parallel", Parallel.run);
+    ("optimizer", Optimizer.run);
   ]
 
 let () =

@@ -1,0 +1,125 @@
+(* Workload-optimizer benchmark: sweep the full catalogue at n = 15
+   under read-heavy to write-heavy mixes on a unit ring topology,
+   print the Pareto frontier per mix, locate the read fraction where
+   the best resilient threshold read/write pair overtakes h-triang on
+   load, and write the whole thing to BENCH_optimizer.json.
+
+   All seeds are pinned (sweep seed 47), every metric at n = 15 is an
+   exact computation (LP loads, enumerated availability), so the JSON
+   is reproducible bit-for-bit — and identical under any --jobs. *)
+
+module O = Analysis.Optimizer
+module W = Analysis.Workload
+
+let seed = 47
+let n = 15
+let p = 0.1
+let f = 1
+let trials = 50_000
+
+let read_fractions () = if !Util.fast then [ 0.9 ] else [ 0.5; 0.9; 0.99 ]
+
+let workload_for fr =
+  Util.ok_or_die
+    (W.make ~failures:(W.Iid p)
+       ~latency:(W.Topology (Sim.Topology.ring ~n ~radius:1.0))
+       ~resilience:f ~read_fraction:fr ())
+
+let sweep_for fr =
+  Util.ok_or_die
+    (O.sweep ?pool:(Util.pool ()) ~trials ~seed ~workload:(workload_for fr)
+       ~n ())
+
+(* The first read fraction at or above the balanced mix (0.01 grid)
+   where the best f-resilient threshold read/write pair carries less
+   load than the baseline's LP-optimal (mix-independent) load — the
+   read-heavy crossover.  (By r <-> w symmetry the same margin exists
+   below 1 - that fraction on the write-heavy side.) *)
+let crossover ~baseline_load =
+  let rec scan i =
+    if i > 100 then None
+    else
+      let fr = float_of_int i /. 100.0 in
+      match O.best_threshold_pair ~n ~f ~read_fraction:fr with
+      | Some (r, load) when load < baseline_load -> Some (fr, r, load)
+      | _ -> scan (i + 1)
+  in
+  scan 50
+
+let source_str = function
+  | O.Lp -> "lp"
+  | O.Analytic -> "analytic"
+  | O.Empirical -> "empirical"
+
+let point_json (pt : O.point) =
+  Printf.sprintf
+    "{\"system\": \"%s\", \"read\": \"%s\", \"write\": \"%s\", \"load\": \
+     %.6f, \"availability\": %.6f, \"rtt\": %.6f, \"size\": %.4f, \
+     \"source\": \"%s\"}"
+    pt.O.label pt.O.read_spec pt.O.write_spec pt.O.load pt.O.availability
+    pt.O.rtt pt.O.size (source_str pt.O.source)
+
+let sweep_json fr (r : O.report) =
+  Printf.sprintf
+    "    {\"read_fraction\": %.2f, \"frontier\": [%s], \"dominated\": %d, \
+     \"unresilient\": %d, \"errors\": %d}"
+    fr
+    (String.concat ", " (List.map point_json r.O.frontier))
+    (List.length r.O.dominated)
+    (List.length r.O.unresilient)
+    (List.length r.O.errors)
+
+let run () =
+  Util.print_header
+    (Printf.sprintf
+       "Workload optimizer: catalogue sweep at n = %d (p = %g, f = %d, unit \
+        ring)"
+       n p f);
+  let sweeps = List.map (fun fr -> (fr, sweep_for fr)) (read_fractions ()) in
+  List.iter
+    (fun (fr, (r : O.report)) ->
+      Printf.printf "\n-- read fraction %.2f --\n%s" fr (O.render r))
+    sweeps;
+  let baseline = Util.system "htriang(15)" in
+  let baseline_load = (Util.ok_or_die (Analysis.Load.try_optimal baseline)).Analysis.Load.load in
+  let cross = crossover ~baseline_load in
+  (match cross with
+  | Some (fr, r, load) ->
+      Printf.printf
+        "\nthreshold-pair vs h-triang crossover: read fraction %.2f (r = %d \
+         of %d, load %.4f < %.4f)\n"
+        fr r n load baseline_load
+  | None ->
+      Printf.printf
+        "\nno resilient threshold pair beats h-triang's load %.4f on the \
+         [0,1] grid\n"
+        baseline_load);
+  let oc = open_out (Util.out_path "BENCH_optimizer.json") in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"workload optimizer\",\n\
+    \  \"n\": %d,\n\
+    \  \"p\": %g,\n\
+    \  \"f\": %d,\n\
+    \  \"seed\": %d,\n\
+    \  \"trials\": %d,\n\
+    \  \"fast\": %b,\n\
+    \  \"topology\": \"ring(radius=1)\",\n\
+    \  \"sweeps\": [\n%s\n  ],\n\
+    \  \"crossover\": %s\n\
+     }\n"
+    n p f seed trials !Util.fast
+    (String.concat ",\n" (List.map (fun (fr, r) -> sweep_json fr r) sweeps))
+    (match cross with
+    | Some (fr, r, load) ->
+        Printf.sprintf
+          "{\"baseline\": \"htriang(15)\", \"baseline_load\": %.6f, \
+           \"read_fraction\": %.2f, \"threshold_r\": %d, \"pair_load\": %.6f}"
+          baseline_load fr r load
+    | None ->
+        Printf.sprintf
+          "{\"baseline\": \"htriang(15)\", \"baseline_load\": %.6f, \
+           \"read_fraction\": null}"
+          baseline_load);
+  close_out oc;
+  Printf.printf "  wrote BENCH_optimizer.json\n"

@@ -63,13 +63,17 @@ let store_comparison () =
     Protocols.Replicated_store.bind store engine;
     Sim.Failure_injector.iid_faults engine ~rng:(Rng.create 13) ~p:0.15
       ~mean_downtime:15.0 ~horizon:600.0;
+    let workload =
+      Util.ok_or_die (Analysis.Workload.make ~read_fraction:0.6 ())
+    in
     let issued =
-      Protocols.Workload.read_write_mix engine ~rng:(Rng.create 14) ~rate:1.0
-        ~horizon:600.0 ~read_fraction:0.6 ~keys:4
-        ~read:(fun ~client ~key ->
-          Protocols.Replicated_store.read store ~client ~key)
-        ~write:(fun ~client ~key ~value ->
-          Protocols.Replicated_store.write store ~client ~key ~value)
+      Util.ok_or_die
+        (Protocols.Workload.read_write_mix_w engine ~rng:(Rng.create 14)
+           ~rate:1.0 ~horizon:600.0 ~workload ~keys:4
+           ~read:(fun ~client ~key ->
+             Protocols.Replicated_store.read store ~client ~key)
+           ~write:(fun ~client ~key ~value ->
+             Protocols.Replicated_store.write store ~client ~key ~value))
     in
     Engine.run engine;
     let ok =
@@ -101,13 +105,17 @@ let store_comparison () =
     Engine.create ~seed:78 ~nodes:16 (Protocols.Replicated_store.handlers store)
   in
   Protocols.Replicated_store.bind store engine;
+  let workload =
+    Util.ok_or_die (Analysis.Workload.make ~read_fraction:0.8 ())
+  in
   let issued =
-    Protocols.Workload.read_write_mix engine ~rng:(Rng.create 15) ~rate:1.0
-      ~horizon:300.0 ~read_fraction:0.8 ~keys:4
-      ~read:(fun ~client ~key ->
-        Protocols.Replicated_store.read store ~client ~key)
-      ~write:(fun ~client ~key ~value ->
-        Protocols.Replicated_store.write store ~client ~key ~value)
+    Util.ok_or_die
+      (Protocols.Workload.read_write_mix_w engine ~rng:(Rng.create 15)
+         ~rate:1.0 ~horizon:300.0 ~workload ~keys:4
+         ~read:(fun ~client ~key ->
+           Protocols.Replicated_store.read store ~client ~key)
+         ~write:(fun ~client ~key ~value ->
+           Protocols.Replicated_store.write store ~client ~key ~value))
   in
   Engine.run engine;
   Printf.printf

@@ -29,14 +29,15 @@ let pool () =
         the_pool := Some p;
         Some p
 
-(* Result-typed system construction with uniform error rendering: the
-   bench never calls the raising Registry/System entry points. *)
-let system spec =
-  match Core.Registry.build spec with
-  | Ok s -> s
+(* Result-typed entry points with uniform error rendering: the bench
+   never calls the raising Registry/System entry points. *)
+let ok_or_die = function
+  | Ok v -> v
   | Error msg ->
       Printf.eprintf "error: %s\n" msg;
       exit 1
+
+let system spec = ok_or_die (Core.Registry.build spec)
 
 (* Benchmark artifacts (BENCH_*.json) belong at the repo root whatever
    directory the harness was launched from: walk up to the dune-project

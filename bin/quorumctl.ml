@@ -78,6 +78,25 @@ let with_jobs jobs f =
   if jobs <= 1 then f None
   else Exec.Pool.with_pool ~name:"quorumctl" ~jobs (fun pool -> f (Some pool))
 
+(* "id:p,id:p,..." -> [(id, p); ...]; shared by fp and optimize. *)
+let parse_hetero spec =
+  let parse_entry entry =
+    match String.split_on_char ':' entry with
+    | [ id; p ] -> (
+        match (int_of_string_opt (String.trim id), float_of_string_opt p) with
+        | Some id, Some p -> Ok (id, p)
+        | _ -> Error (Printf.sprintf "bad override %S: expected id:p" entry))
+    | _ -> Error (Printf.sprintf "bad override %S: expected id:p" entry)
+  in
+  let rec collect acc = function
+    | [] -> Ok (List.rev acc)
+    | entry :: rest -> (
+        match parse_entry entry with
+        | Ok e -> collect (e :: acc) rest
+        | Error _ as err -> err)
+  in
+  collect [] (String.split_on_char ',' spec)
+
 (* --- info --------------------------------------------------------- *)
 
 let info_cmd =
@@ -128,19 +147,16 @@ let fp_cmd =
     in
     Arg.(value & opt (some string) None & info [ "hetero" ] ~doc)
   in
-  let parse_hetero spec =
-    String.split_on_char ',' spec
-    |> List.map (fun entry ->
-           match String.split_on_char ':' entry with
-           | [ id; p ] -> (int_of_string (String.trim id), float_of_string p)
-           | _ -> invalid_arg "expected id:p")
-  in
   let run spec ps trials hetero jobs =
     with_system spec (fun system ->
         with_jobs jobs (fun pool ->
             match hetero with
             | Some overrides ->
-                let overrides = parse_hetero overrides in
+                let overrides =
+                  match parse_hetero overrides with
+                  | Ok o -> o
+                  | Error msg -> die msg
+                in
                 let base = List.hd ps in
                 let p_of i =
                   match List.assoc_opt i overrides with
@@ -336,11 +352,26 @@ let chaos_cmd =
             "With --protocol reconfig: the system to switch to mid-run \
              (default: the spec itself).")
   in
-  let run spec scenario horizon seed protocol next jobs =
+  let rf_arg =
+    Arg.(
+      value & opt float 0.7
+      & info [ "read-fraction" ]
+          ~docv:"FR"
+          ~doc:
+            "Read fraction of the store workload (with --protocol store).")
+  in
+  let run spec scenario horizon seed protocol next rf jobs =
     if horizon <= 0.0 then begin
       Printf.eprintf "error: --horizon must be positive (got %g)\n" horizon;
       exit 1
     end;
+    (* The read fraction travels as a validated Analysis.Workload.t —
+       the same record the optimizer consumes. *)
+    let workload =
+      match Analysis.Workload.make ~read_fraction:rf () with
+      | Ok w -> w
+      | Error msg -> die msg
+    in
     with_system spec (fun system ->
         let next_spec = Option.value next ~default:spec in
         (match (protocol, next) with
@@ -381,8 +412,9 @@ let chaos_cmd =
               fun s ->
                 let system = fresh_system spec in
                 Protocols.Chaos.store_row
-                  (Protocols.Chaos.run_store ~seed ~read_system:system
-                     ~write_system:system ~name:system.Quorum.System.name s)
+                  (Protocols.Chaos.run_store ~seed ~workload
+                     ~read_system:system ~write_system:system
+                     ~name:system.Quorum.System.name s)
           | `Reconfig ->
               fun s ->
                 let initial = fresh_system spec in
@@ -419,7 +451,7 @@ let chaos_cmd =
     (Cmd.info "chaos" ~doc)
     Term.(
       const run $ spec_arg $ scenario_arg $ horizon_arg $ seed_arg
-      $ protocol_arg $ next_arg $ jobs_arg)
+      $ protocol_arg $ next_arg $ rf_arg $ jobs_arg)
 
 (* --- churn ------------------------------------------------------------ *)
 
@@ -807,6 +839,98 @@ let masking_cmd =
   let doc = "Byzantine intersection level of the coterie." in
   Cmd.v (Cmd.info "masking" ~doc) Term.(const run $ spec_arg)
 
+(* --- optimize -------------------------------------------------------- *)
+
+let optimize_cmd =
+  let rf_arg =
+    let doc = "Fraction of operations that are reads, in [0,1]." in
+    Arg.(value & opt float 0.5 & info [ "read-fraction"; "r" ] ~docv:"FR" ~doc)
+  in
+  let f_arg =
+    let doc =
+      "Resilience target: every candidate must survive every crash set of \
+       this size."
+    in
+    Arg.(value & opt int 1 & info [ "f"; "resilience" ] ~docv:"F" ~doc)
+  in
+  let n_arg =
+    let doc = "Universe size to sweep the catalogue over." in
+    Arg.(value & opt int 15 & info [ "n" ] ~docv:"N" ~doc)
+  in
+  let p_arg =
+    let doc = "Iid crash probability (the base under --hetero)." in
+    Arg.(value & opt float 0.1 & info [ "p" ] ~docv:"P" ~doc)
+  in
+  let hetero_arg =
+    let doc =
+      "Per-process overrides 'id:p,id:p,...' layered over --p \
+       (heterogeneous failure model)."
+    in
+    Arg.(value & opt (some string) None & info [ "hetero" ] ~doc)
+  in
+  let topology_arg =
+    let doc =
+      "Latency model pricing quorum round trips: $(b,none), $(b,ring) \
+       (unit-radius circle) or $(b,line) (unit-spaced chain)."
+    in
+    Arg.(value & opt string "none" & info [ "topology" ] ~docv:"MODEL" ~doc)
+  in
+  let trials_arg =
+    let doc = "Sampling trials (Monte-Carlo / empirical strategies)." in
+    Arg.(value & opt int 50_000 & info [ "trials" ] ~doc)
+  in
+  let seed_arg =
+    let doc = "Base RNG seed (per-candidate streams derive from it)." in
+    Arg.(value & opt int 47 & info [ "seed" ] ~doc)
+  in
+  let run rf f n p hetero topology trials seed jobs =
+    let failures =
+      match hetero with
+      | None -> Ok (Analysis.Workload.Iid p)
+      | Some overrides -> (
+          match parse_hetero overrides with
+          | Error _ as e -> e
+          | Ok overrides -> Analysis.Workload.hetero ~n ~base:p overrides)
+    in
+    let latency =
+      match topology with
+      | "none" -> Ok Analysis.Workload.No_latency
+      | "ring" ->
+          Ok (Analysis.Workload.Topology (Sim.Topology.ring ~n ~radius:1.0))
+      | "line" ->
+          Ok (Analysis.Workload.Topology (Sim.Topology.line ~n ~spacing:1.0))
+      | other ->
+          Error
+            (Printf.sprintf "unknown topology %S (none, ring or line)" other)
+    in
+    match (failures, latency) with
+    | Error e, _ | _, Error e -> die e
+    | Ok failures, Ok latency -> (
+        match
+          Analysis.Workload.make ~failures ~latency ~resilience:f
+            ~read_fraction:rf ()
+        with
+        | Error e -> die e
+        | Ok workload ->
+            with_jobs jobs (fun pool ->
+                match
+                  Analysis.Optimizer.sweep ?pool ~trials ~seed ~workload ~n ()
+                with
+                | Error e -> die e
+                | Ok report ->
+                    print_string (Analysis.Optimizer.render report));
+            0)
+  in
+  let doc =
+    "Sweep the catalogue for the workload and print the Pareto frontier \
+     over (load, availability, quorum RTT, quorum size), with an \
+     explanation for every candidate left off it."
+  in
+  Cmd.v (Cmd.info "optimize" ~doc)
+    Term.(
+      const run $ rf_arg $ f_arg $ n_arg $ p_arg $ hetero_arg $ topology_arg
+      $ trials_arg $ seed_arg $ jobs_arg)
+
 (* --- list ------------------------------------------------------------ *)
 
 let list_cmd =
@@ -852,7 +976,17 @@ let () =
       [
         info_cmd; fp_cmd; load_cmd; quorums_cmd; pick_cmd; simulate_cmd;
         chaos_cmd; churn_cmd; metrics_cmd; trace_cmd; report_cmd; nd_cmd;
-        masking_cmd; list_cmd;
+        masking_cmd; optimize_cmd; list_cmd;
       ]
   in
-  exit (Cmd.eval' main)
+  (* Cmdliner renders one-character names as short options only; accept
+     the natural "--f 1" / "--n 15" / "--p 0.1" spellings too. *)
+  let argv =
+    Array.map
+      (fun a ->
+        match a with
+        | "--f" | "--n" | "--p" | "--r" -> String.sub a 1 2
+        | _ -> a)
+      Sys.argv
+  in
+  exit (Cmd.eval' ~argv main)

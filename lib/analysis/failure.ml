@@ -131,6 +131,22 @@ let monte_carlo_hetero ?pool ?(trials = 100_000) rng (s : System.t) ~p_of =
   if trials <= 0 then invalid_arg "Failure.monte_carlo_hetero: trials";
   mc_estimate ?pool ~trials rng s ~p_of
 
+let of_workload ?pool ?trials ?rng ~workload (s : System.t) =
+  match Workload.p_of workload ~n:s.n with
+  | Error _ as e -> e
+  | Ok p_of -> (
+      let rng = match rng with Some r -> r | None -> Rng.create 0 in
+      try
+        Ok
+          (match workload.Workload.failures with
+          | Workload.Iid p ->
+              if s.n <= 26 then exact ?pool s ~p
+              else (monte_carlo ?pool ?trials rng s ~p).mean
+          | Workload.Per_process _ ->
+              if s.n <= 26 then exact_hetero ?pool s ~p_of
+              else (monte_carlo_hetero ?pool ?trials rng s ~p_of).mean)
+      with Invalid_argument msg | Failure msg -> Error msg)
+
 let failure_probability ?pool ?mc_trials ?rng (s : System.t) ~p =
   if s.n <= 26 then exact ?pool s ~p
   else begin

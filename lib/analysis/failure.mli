@@ -82,3 +82,23 @@ val monte_carlo_hetero :
   Quorum.System.t ->
   p_of:(int -> float) ->
   estimate
+
+(** {1 Unified workload entry point}
+
+    The route new code should take: one {!Workload.t} instead of
+    scattered [~p] / [~p_of] arguments, a [result] instead of raised
+    [Invalid_argument]s.  The entry points above remain as the
+    low-level compatibility shims the auto-dispatch is built from. *)
+
+val of_workload :
+  ?pool:Exec.Pool.t ->
+  ?trials:int ->
+  ?rng:Quorum.Rng.t ->
+  workload:Workload.t ->
+  Quorum.System.t ->
+  (float, string) result
+(** Failure probability of the system under the workload's failure
+    model: exact enumeration when [n <= 26] ({!exact} / {!exact_hetero}
+    by model), Monte-Carlo beyond (seed 0 unless [rng] given; [trials]
+    defaults to 100_000).  [Error] on a workload that does not validate
+    against the system's universe — never raises. *)

@@ -45,6 +45,13 @@ let optimal_of_quorums ~n quorums =
 let optimal (s : Quorum.System.t) =
   optimal_of_quorums ~n:s.n (Quorum.System.quorums_exn s)
 
+let try_optimal (s : Quorum.System.t) =
+  match Quorum.System.quorums s with
+  | Error _ as e -> e
+  | Ok quorums -> (
+      try Ok (optimal_of_quorums ~n:s.n quorums)
+      with Invalid_argument msg | Failure msg -> Error msg)
+
 let smallest_quorum_size (s : Quorum.System.t) =
   match
     List.fold_left

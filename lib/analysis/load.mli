@@ -17,7 +17,14 @@ type result = {
 
 val optimal : Quorum.System.t -> result
 (** Requires an enumerable quorum list.  Raises [Invalid_argument] when
-    the construction does not expose one. *)
+    the construction does not expose one — compatibility shim; new code
+    should use {!try_optimal}. *)
+
+val try_optimal : Quorum.System.t -> (result, string) Stdlib.result
+(** {!optimal} with the uniform [result] convention the CLI renders:
+    [Error] (instead of an exception) when the construction does not
+    enumerate its quorums, when forcing the enumeration refuses, or
+    when the LP fails.  Never raises. *)
 
 val optimal_of_quorums : n:int -> Quorum.Bitset.t list -> result
 

@@ -1,0 +1,127 @@
+type failure_model = Iid of float | Per_process of float array
+
+type latency_model = No_latency | Topology of Sim.Topology.t
+
+type t = {
+  read_fraction : float;
+  failures : failure_model;
+  latency : latency_model;
+  resilience : int;
+}
+
+let prob_ok p = p >= 0.0 && p <= 1.0
+
+let check_failures = function
+  | Iid p ->
+      if prob_ok p then Ok ()
+      else Error (Printf.sprintf "Workload: crash probability %g not in [0,1]" p)
+  | Per_process ps ->
+      let bad = ref None in
+      Array.iteri (fun i p -> if not (prob_ok p) && !bad = None then bad := Some (i, p)) ps;
+      (match !bad with
+      | Some (i, p) ->
+          Error
+            (Printf.sprintf
+               "Workload: process %d crash probability %g not in [0,1]" i p)
+      | None ->
+          if Array.length ps = 0 then Error "Workload: empty per-process vector"
+          else Ok ())
+
+let make ?(failures = Iid 0.1) ?(latency = No_latency) ?(resilience = 1)
+    ~read_fraction () =
+  if not (prob_ok read_fraction) then
+    Error (Printf.sprintf "Workload: read fraction %g not in [0,1]" read_fraction)
+  else if resilience < 0 then
+    Error (Printf.sprintf "Workload: resilience target %d negative" resilience)
+  else
+    match check_failures failures with
+    | Error _ as e -> e
+    | Ok () -> Ok { read_fraction; failures; latency; resilience }
+
+let default =
+  match make ~read_fraction:0.5 () with
+  | Ok w -> w
+  | Error _ -> assert false
+
+let validate t ~n =
+  if n <= 0 then Error "Workload: universe must be non-empty"
+  else if not (prob_ok t.read_fraction) then
+    Error (Printf.sprintf "Workload: read fraction %g not in [0,1]" t.read_fraction)
+  else if t.resilience < 0 then
+    Error (Printf.sprintf "Workload: resilience target %d negative" t.resilience)
+  else if t.resilience >= n then
+    Error
+      (Printf.sprintf
+         "Workload: resilience target f = %d needs more than the %d processes"
+         t.resilience n)
+  else
+    match check_failures t.failures with
+    | Error _ as e -> e
+    | Ok () -> (
+        (match t.failures with
+        | Iid _ -> Ok ()
+        | Per_process ps ->
+            if Array.length ps <> n then
+              Error
+                (Printf.sprintf
+                   "Workload: per-process vector has %d entries for a \
+                    %d-process universe"
+                   (Array.length ps) n)
+            else Ok ())
+        |> function
+        | Error _ as e -> e
+        | Ok () -> (
+            match t.latency with
+            | No_latency -> Ok ()
+            | Topology topo ->
+                if Sim.Topology.size topo < n then
+                  Error
+                    (Printf.sprintf
+                       "Workload: topology covers %d < %d processes"
+                       (Sim.Topology.size topo) n)
+                else Ok ()))
+
+let p_of t ~n =
+  match validate t ~n with
+  | Error _ as e -> e
+  | Ok () -> (
+      match t.failures with
+      | Iid p -> Ok (fun _ -> p)
+      | Per_process ps -> Ok (fun i -> ps.(i)))
+
+let hetero ~n ~base overrides =
+  if n <= 0 then Error "Workload.hetero: universe must be non-empty"
+  else if not (prob_ok base) then
+    Error (Printf.sprintf "Workload.hetero: base probability %g not in [0,1]" base)
+  else
+    let ps = Array.make n base in
+    let rec apply = function
+      | [] -> Ok (Per_process ps)
+      | (i, p) :: rest ->
+          if i < 0 || i >= n then
+            Error (Printf.sprintf "Workload.hetero: process %d outside 0..%d" i (n - 1))
+          else if not (prob_ok p) then
+            Error (Printf.sprintf "Workload.hetero: probability %g not in [0,1]" p)
+          else begin
+            ps.(i) <- p;
+            apply rest
+          end
+    in
+    apply overrides
+
+let describe t =
+  let failures =
+    match t.failures with
+    | Iid p -> Printf.sprintf "iid p = %g" p
+    | Per_process ps ->
+        let lo = Array.fold_left min 1.0 ps in
+        let hi = Array.fold_left max 0.0 ps in
+        Printf.sprintf "per-process p in [%g, %g]" lo hi
+  in
+  let latency =
+    match t.latency with
+    | No_latency -> "no latency model"
+    | Topology topo -> Printf.sprintf "topology of %d sites" (Sim.Topology.size topo)
+  in
+  Printf.sprintf "read fraction %.2f, %s, %s, resilience f = %d"
+    t.read_fraction failures latency t.resilience

@@ -47,29 +47,107 @@ let one_dims f = function
 (* for the CLI help, bench spec validation and the registry tests.     *)
 (* ------------------------------------------------------------------ *)
 
+type kind = Coterie | Read_half of string | Write_half of string
+
 type entry = {
   family : string;
   arity : string;
   example : string;
   doc : string;
+  kind : kind;
   builder : string list -> Quorum.System.t;
+  specs_for : int -> string list;
 }
 
-let entry family arity example doc builder =
-  { family; arity; example; doc; builder }
+(* --- programmatic instantiation proposals -------------------------- *)
+
+(* specs_for proposes candidate specs for a universe of exactly [n]
+   processes; [instantiations] validates every proposal by actually
+   building it, so a proposal function may be naive (e.g. propose
+   tree(n) for every n and let the builder reject non 2^h - 1 sizes). *)
+
+let self family n = [ Printf.sprintf "%s(%d)" family n ]
+
+(* Every factor pair r x c = n with r, c >= 2, both orientations. *)
+let dim_specs family n =
+  let rec collect r acc =
+    if r > n / 2 then List.rev acc
+    else if n mod r = 0 && n / r >= 2 then
+      collect (r + 1) (Printf.sprintf "%s(%dx%d)" family r (n / r) :: acc)
+    else collect (r + 1) acc
+  in
+  collect 2 []
+
+(* Ordered factorizations of n into >= 2 factors, each >= 3 — the HQS
+   trees over exactly n leaves. *)
+let hqs_specs n =
+  (* All ordered lists [f1; ...; fk] with each fi >= 3 and product n. *)
+  let rec factorizations n =
+    if n < 3 then []
+    else
+      let rec with_first f acc =
+        if f > n then List.rev acc
+        else if n mod f = 0 then
+          let rest = n / f in
+          if rest = 1 then with_first (f + 1) ([ f ] :: acc)
+          else
+            with_first (f + 1)
+              (List.rev_append
+                 (List.map (fun t -> f :: t) (factorizations rest))
+                 acc)
+        else with_first (f + 1) acc
+      in
+      with_first 3 []
+  in
+  factorizations n
+  |> List.filter (fun fs -> List.length fs >= 2)
+  |> List.map (fun fs ->
+         Printf.sprintf "hqs(%s)"
+           (String.concat "-" (List.map string_of_int fs)))
+
+let triangular_rows n =
+  let d = Systems.Triangle.rows_for n in
+  if d * (d + 1) / 2 = n then Some d else None
+
+let paths_specs n =
+  (* n = 2d(d+1) *)
+  let rec find d = if 2 * d * (d + 1) >= n then d else find (d + 1) in
+  let d = find 1 in
+  if 2 * d * (d + 1) = n then [ Printf.sprintf "paths(%d)" d ] else []
+
+let voting_specs n =
+  if n < 1 then []
+  else
+    [
+      Printf.sprintf "voting(%s)"
+        (String.concat "-" (List.init n (fun _ -> "1")));
+    ]
+
+let wall_specs n =
+  match triangular_rows n with
+  | Some d when d >= 2 ->
+      [
+        Printf.sprintf "wall(%s)"
+          (String.concat "-" (List.init d (fun i -> string_of_int (i + 1))));
+      ]
+  | _ -> []
+
+let entry ?(kind = Coterie) ?(specs_for = fun _ -> []) family arity example
+    doc builder =
+  { family; arity; example; doc; kind; builder; specs_for }
 
 let catalogue =
   [
-    entry "majority" "n" "majority(15)"
+    entry ~specs_for:(self "majority") "majority" "n" "majority(15)"
       "simple majority voting; one process gets 2 votes on even n"
       (one_int Systems.Majority.make);
-    entry "majority-plain" "n" "majority-plain(28)"
-      "majority of n with no tie-breaking weights"
+    entry ~specs_for:(self "majority-plain") "majority-plain" "n"
+      "majority-plain(28)" "majority of n with no tie-breaking weights"
       (one_int Systems.Majority.make_plain);
-    entry "singleton" "n" "singleton(5)"
+    entry ~specs_for:(self "singleton") "singleton" "n" "singleton(5)"
       "one distinguished process is the only quorum"
       (one_int Systems.Singleton.make);
-    entry "voting" "v1-v2-..." "voting(1-1-2)"
+    entry ~specs_for:voting_specs "voting" "v1-v2-..." "voting(1-1-2)"
       "weighted voting with the given per-process votes"
       (function
         | [ votes ] ->
@@ -77,7 +155,7 @@ let catalogue =
               ~votes:(Array.of_list (ints_dash votes))
               ()
         | _ -> invalid_arg "Registry: expected votes v1-v2-...");
-    entry "hqs" "b1-b2-... | n" "hqs(5-3)"
+    entry ~specs_for:hqs_specs "hqs" "b1-b2-... | n" "hqs(5-3)"
       "hierarchical quorum system; a bare size is factored as the paper does"
       (function
         | [ branching ] ->
@@ -96,10 +174,10 @@ let catalogue =
         | branching when branching <> [] ->
             Systems.Hqs.system ~branching:(List.map int_arg branching) ()
         | _ -> invalid_arg "Registry: expected hqs branching");
-    entry "cwlog" "n" "cwlog(14)"
+    entry ~specs_for:(self "cwlog") "cwlog" "n" "cwlog(14)"
       "crumbling-wall CWlog with log-profile row widths"
       (one_int (fun n -> Systems.Cwlog.system ~n ()));
-    entry "tree" "n = 2^h - 1" "tree(15)"
+    entry ~specs_for:(self "tree") "tree" "n = 2^h - 1" "tree(15)"
       "Agrawal-El Abbadi tree quorums on a complete binary tree"
       (one_int (fun n ->
            let rec height_of k acc =
@@ -109,7 +187,7 @@ let catalogue =
            if (1 lsl h) - 1 <> n then
              invalid_arg "Registry: tree size must be 2^h - 1";
            Systems.Tree_quorum.system ~height:h ()));
-    entry "fpp" "n = q^2+q+1" "fpp(13)"
+    entry ~specs_for:(self "fpp") "fpp" "n = q^2+q+1" "fpp(13)"
       "finite projective plane of order q; quorums are the lines"
       (one_int (fun n ->
            let rec find q = if (q * q) + q + 1 >= n then q else find (q + 1) in
@@ -117,16 +195,16 @@ let catalogue =
            if (q * q) + q + 1 <> n then
              invalid_arg "Registry: fpp size must be q^2+q+1";
            Systems.Fpp.system ~order:q ()));
-    entry "triangle" "n (triangular)" "triangle(15)"
-      "Lovasz triangle: one full row or one element per row"
+    entry ~specs_for:(self "triangle") "triangle" "n (triangular)"
+      "triangle(15)" "Lovasz triangle: one full row or one element per row"
       (one_int (fun n -> Systems.Triangle.system ~rows:(triangle_rows n) ()));
-    entry "y" "n (triangular)" "y(15)"
+    entry ~specs_for:(self "y") "y" "n (triangular)" "y(15)"
       "Y systems: connected left-right-bottom triangle crossings"
       (one_int (fun n -> Systems.Y_system.system ~rows:(triangle_rows n) ()));
-    entry "paths" "d  [n = 2d(d+1)]" "paths(3)"
+    entry ~specs_for:paths_specs "paths" "d  [n = 2d(d+1)]" "paths(3)"
       "Naor-Wool paths: crossing paths in a d x (d+1) grid pair"
       (one_int (fun d -> Systems.Paths.system ~d ()));
-    entry "diamond" "n = m^2 - 1" "diamond(8)"
+    entry ~specs_for:(self "diamond") "diamond" "n = m^2 - 1" "diamond(8)"
       "Kumar-Cheung diamond hierarchy of half rows"
       (one_int (fun n ->
            let rec find m = if (m * m) - 1 >= n then m else find (m + 1) in
@@ -134,46 +212,58 @@ let catalogue =
            if (m * m) - 1 <> n then
              invalid_arg "Registry: diamond size must be m^2 - 1";
            Systems.Diamond.system ~half_rows:m ()));
-    entry "wall" "w1-w2-..." "wall(1-2-2-3)"
+    entry ~specs_for:wall_specs "wall" "w1-w2-..." "wall(1-2-2-3)"
       "wall with the given row widths: a full row plus one per lower row"
       (function
         | [ widths ] -> Systems.Wall.system (Array.of_list (ints_dash widths))
         | _ -> invalid_arg "Registry: expected wall widths w1-w2-...");
-    entry "grid-read" "RxC | k" "grid-read(4x4)"
+    entry ~kind:(Read_half "grid-write") ~specs_for:(dim_specs "grid-read")
+      "grid-read" "RxC | k" "grid-read(4x4)"
       "flat grid, read quorums (one element per row)"
       (one_dims (fun ~rows ~cols ->
            Systems.Grid.system ~rows ~cols Systems.Grid.Read));
-    entry "grid-write" "RxC | k" "grid-write(4x4)"
+    entry ~kind:(Write_half "grid-read") ~specs_for:(dim_specs "grid-write")
+      "grid-write" "RxC | k" "grid-write(4x4)"
       "flat grid, write quorums (one full row + row cover)"
       (one_dims (fun ~rows ~cols ->
            Systems.Grid.system ~rows ~cols Systems.Grid.Write));
-    entry "grid-rw" "RxC | k" "grid-rw(4x4)"
+    entry ~specs_for:(dim_specs "grid-rw") "grid-rw" "RxC | k" "grid-rw(4x4)"
       "flat grid, symmetric read/write quorums"
       (one_dims (fun ~rows ~cols ->
            Systems.Grid.system ~rows ~cols Systems.Grid.Read_write));
-    entry "tgrid" "RxC | k" "tgrid(4x4)"
+    entry ~specs_for:(dim_specs "tgrid") "tgrid" "RxC | k" "tgrid(4x4)"
       "flat T-grid: full line plus the row cover below it"
       (one_dims (fun ~rows ~cols -> Systems.Grid.t_grid ~rows ~cols ()));
-    entry "hgrid" "RxC | k" "hgrid(6x4)"
+    entry ~specs_for:(dim_specs "hgrid") "hgrid" "RxC | k" "hgrid(6x4)"
       "hierarchical grid (sect. 4.1), 2x2 logical blocks, read/write"
       (one_dims (fun ~rows ~cols ->
            Hgrid.rw_system (Hgrid.auto_2x2 ~rows ~cols ())));
-    entry "hgrid-read" "RxC | k" "hgrid-read(6x4)"
+    entry ~kind:(Read_half "hgrid-write") ~specs_for:(dim_specs "hgrid-read")
+      "hgrid-read" "RxC | k" "hgrid-read(6x4)"
       "hierarchical grid, read quorums"
       (one_dims (fun ~rows ~cols ->
            Hgrid.read_system (Hgrid.auto_2x2 ~rows ~cols ())));
-    entry "hgrid-write" "RxC | k" "hgrid-write(6x4)"
+    entry ~kind:(Write_half "hgrid-read") ~specs_for:(dim_specs "hgrid-write")
+      "hgrid-write" "RxC | k" "hgrid-write(6x4)"
       "hierarchical grid, write quorums"
       (one_dims (fun ~rows ~cols ->
            Hgrid.write_system (Hgrid.auto_2x2 ~rows ~cols ())));
-    entry "htgrid" "RxC | k" "htgrid(4x4)"
+    entry ~specs_for:(dim_specs "htgrid") "htgrid" "RxC | k" "htgrid(4x4)"
       "hierarchical T-grid (sect. 4.2), the paper's first construction"
       (one_dims (fun ~rows ~cols ->
            Htgrid.system (Hgrid.auto_2x2 ~rows ~cols ())));
-    entry "htriang" "n (triangular)" "htriang(15)"
+    entry ~specs_for:(self "htriang") "htriang" "n (triangular)" "htriang(15)"
       "hierarchical triangle (sect. 5), the paper's second construction"
       (one_int (fun n ->
            Htriang.system (Htriang.standard ~rows:(triangle_rows n) ())));
+    entry "thresh" "n-r" "thresh(15-8)"
+      "r-of-n threshold; r <= n/2 halves are paired by the optimizer"
+      (function
+        | [ arg ] -> (
+            match ints_dash arg with
+            | [ n; r ] -> Systems.Thresh.system ~n ~r ()
+            | _ -> invalid_arg "Registry: expected thresh(n-r)")
+        | _ -> invalid_arg "Registry: expected thresh(n-r)");
   ]
 
 let find name = List.find_opt (fun e -> e.family = name) catalogue
@@ -196,6 +286,22 @@ let build_exn spec =
   match build spec with
   | Ok s -> s
   | Error msg -> invalid_arg msg
+
+(* Proposals are validated by actually building them: a spec survives
+   only if its builder succeeds AND yields a system over exactly [n]
+   processes, so each family's size constraints live in one place (the
+   builder), not here. *)
+let instantiations ~n =
+  List.filter_map
+    (fun e ->
+      let ok =
+        List.filter
+          (fun spec ->
+            match build spec with Ok s -> s.Quorum.System.n = n | Error _ -> false)
+          (e.specs_for n)
+      in
+      if ok = [] then None else Some (e, ok))
+    catalogue
 
 let paper_lineup_15 () =
   List.map build_exn

@@ -18,14 +18,28 @@ val parse_spec : string -> (string * string list, string) result
     carries a message on malformed specs (e.g. an unclosed paren).
     Never raises. *)
 
+type kind =
+  | Coterie  (** quorums pairwise intersect; usable for reads and writes *)
+  | Read_half of string
+      (** read side of a read/write pair; the payload names the
+          write-side family (e.g. [grid-read] names [grid-write]) *)
+  | Write_half of string  (** write side; payload names the read family *)
+
 type entry = {
   family : string;  (** spec name, e.g. ["htriang"] *)
   arity : string;  (** human description of the argument shape *)
   example : string;  (** a spec that builds, e.g. ["htriang(15)"] *)
   doc : string;  (** one-line description for help output *)
+  kind : kind;  (** how the optimizer may use the family *)
   builder : string list -> Quorum.System.t;
       (** raises [Invalid_argument]/[Failure] on bad arguments — call
           through {!build} for the result-typed path *)
+  specs_for : int -> string list;
+      (** proposed specs over a universe of exactly [n] processes; may
+          be over-approximate — {!instantiations} validates each
+          proposal by building it.  Empty for families that only make
+          sense through another entry point (e.g. [thresh], which the
+          optimizer pairs itself). *)
 }
 
 val catalogue : entry list
@@ -44,6 +58,13 @@ val build : string -> (Quorum.System.t, string) result
 val build_exn : string -> Quorum.System.t
 (** [build] or [Invalid_argument].  CLI/test convenience only —
     library code should use {!build} and render the error. *)
+
+val instantiations : n:int -> (entry * string list) list
+(** Every catalogue entry that admits at least one instantiation over
+    exactly [n] processes, with the validated specs: each returned spec
+    is guaranteed to {!build} successfully into a system with
+    [s.n = n].  This is how the optimizer enumerates the catalogue
+    programmatically instead of hard-coding per-family size rules. *)
 
 val paper_lineup_15 : unit -> Quorum.System.t list
 (** The Table 2 lineup: Majority(15), HQS(15), CWlog(14),

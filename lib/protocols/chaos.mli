@@ -146,6 +146,7 @@ val run_store :
   ?seed:int ->
   ?rate:float ->
   ?read_fraction:float ->
+  ?workload:Analysis.Workload.t ->
   ?keys:int ->
   ?op_timeout:float ->
   ?retries:int ->
@@ -157,12 +158,16 @@ val run_store :
   store_report
 (** One seeded replicated-store run: a read/write mix at [rate] ops
     per time unit; [name] labels the (read, write) system pair in the
-    report. *)
+    report.  The mix's read fraction comes from [?workload] (the
+    unified [Analysis.Workload.t] spec) when given; [?read_fraction]
+    is the bare-float compatibility shim (default 0.7, ignored when
+    both are passed). *)
 
 val run_store_h :
   ?seed:int ->
   ?rate:float ->
   ?read_fraction:float ->
+  ?workload:Analysis.Workload.t ->
   ?keys:int ->
   ?op_timeout:float ->
   ?retries:int ->

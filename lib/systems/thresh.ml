@@ -1,0 +1,71 @@
+module Bitset = Quorum.Bitset
+module Rng = Quorum.Rng
+
+let quorum_count ~n ~r = Quorum.Combinat.choose_count n r
+
+let enumeration_cap = 200_000
+
+let min_quorums ~n ~r =
+  lazy
+    (if n > 62 then
+       invalid_arg "Thresh: universe too large to enumerate quorums"
+     else if quorum_count ~n ~r > enumeration_cap then
+       invalid_arg
+         (Printf.sprintf "Thresh: C(%d,%d) quorums exceed the enumeration cap"
+            n r)
+     else begin
+       let acc = ref [] in
+       Quorum.Combinat.iter_ksubset_masks ~n ~k:r (fun mask ->
+           acc := Bitset.of_mask ~n mask :: !acc);
+       List.rev !acc
+     end)
+
+(* Uniform random r-subset of the live set: a partial Fisher-Yates over
+   the live elements.  Structural — never forces the enumeration. *)
+let select ~r rng ~live =
+  let members = Array.of_list (Bitset.to_list live) in
+  let len = Array.length members in
+  if len < r then None
+  else begin
+    let q = Bitset.create (Bitset.capacity live) in
+    for i = 0 to r - 1 do
+      let j = i + Rng.int rng (len - i) in
+      let tmp = members.(i) in
+      members.(i) <- members.(j);
+      members.(j) <- tmp;
+      Bitset.add q members.(i)
+    done;
+    Some q
+  end
+
+let system ?name ~n ~r () =
+  if n <= 0 || r < 1 || r > n then
+    invalid_arg "Thresh.system: need 1 <= r <= n";
+  let name =
+    match name with Some s -> s | None -> Printf.sprintf "thresh(%d-%d)" n r
+  in
+  let avail live = Bitset.cardinal live >= r in
+  if n <= 62 then
+    Quorum.System.make ~name ~n ~avail
+      ~avail_mask:(fun mask -> Bitset.popcount mask >= r)
+      ~min_quorums:(min_quorums ~n ~r) ~select:(select ~r) ()
+  else Quorum.System.make ~name ~n ~avail ~select:(select ~r) ()
+
+let failure_probability_hetero ~n ~r ~p_of =
+  (* dp.(k) = P(exactly k of the processes seen so far are live). *)
+  let dp = Array.make (n + 1) 0.0 in
+  dp.(0) <- 1.0;
+  for i = 0 to n - 1 do
+    let p = p_of i in
+    for k = min i (r - 1) downto 0 do
+      dp.(k + 1) <- dp.(k + 1) +. (dp.(k) *. (1.0 -. p));
+      dp.(k) <- dp.(k) *. p
+    done
+  done;
+  (* Everything still in dp.(0..r-1) has fewer than r live processes
+     (mass that reached r is parked in dp.(r) and never moved). *)
+  let fail = ref 0.0 in
+  for k = 0 to r - 1 do
+    fail := !fail +. dp.(k)
+  done;
+  !fail
