@@ -5,7 +5,7 @@
    Usage: main.exe [--fast] [--metrics] [--jobs N] [target ...]
    Targets: table1 table2 table3 table4 table5 figure1 figure2 curves
             sect43 sect6 ablations sims chaos churn latency placement
-            byzantine thresholds perf parallel optimizer all
+            byzantine thresholds perf parallel optimizer throughput all
             (default: all)
 
    --fast replaces the 2^25..2^28 exact enumerations (h-T-grid(25),
@@ -45,6 +45,7 @@ let targets : (string * (unit -> unit)) list =
     ("perf", Perf.run);
     ("parallel", Parallel.run);
     ("optimizer", Optimizer.run);
+    ("throughput", Throughput.run);
   ]
 
 let () =

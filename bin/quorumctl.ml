@@ -15,7 +15,13 @@
      trace <spec>       chaos run -> causal event trace + causality check
      report <spec>      chaos run -> markdown dashboard (latency breakdown,
                         consistency audit, trace health)
+     throughput         sessioned-store capacity: flat majority vs h-triang
+                        vs sharded h-grid at one n, closed- or open-loop
      list               the catalogue of system specs
+
+   Diagnostics convention (see the DIAGNOSTICS man section): "error:"
+   lines are fatal and exit non-zero, "warning:" lines never change
+   the exit code.
 
    Specs are Registry specs, e.g. "htriang(15)", "htgrid(4x6)",
    "majority(15)", "cwlog(29)". *)
@@ -62,8 +68,11 @@ let die msg =
   Printf.eprintf "error: %s\n" msg;
   exit 1
 
-let quorums_or_die system =
-  match Quorum.System.quorums system with Ok q -> q | Error msg -> die msg
+(* Result-typed entry points render uniformly through here (same
+   contract as the bench harness's Util.ok_or_die). *)
+let ok_or_die = function Ok v -> v | Error msg -> die msg
+
+let quorums_or_die system = ok_or_die (Quorum.System.quorums system)
 
 (* --- parallelism ---------------------------------------------------- *)
 
@@ -692,7 +701,7 @@ let trace_cmd =
            dump, not a failed run. *)
         if Obs.Trace.dropped tr > 0 then
           Printf.eprintf
-            "WARNING: the ring overwrote %d events (metered as \
+            "warning: the ring overwrote %d events (metered as \
              obs.trace.dropped); causal chains through the evicted prefix \
              are broken — re-run with a larger --capacity for a complete \
              trace\n"
@@ -702,15 +711,25 @@ let trace_cmd =
             Printf.eprintf
               "causality: ok (every deliver links to a recorded send)\n";
             0
+        | vs when Obs.Trace.dropped tr > 0 ->
+            (* Violations on an overwritten ring are the eviction's
+               doing, not the run's: advisory, exit-neutral. *)
+            Printf.eprintf
+              "warning: %d deliver(s) without a matching send (expected: \
+               their sends were evicted by the ring)\n"
+              (List.length vs);
+            0
         | vs ->
-            Printf.eprintf "causality: %d deliver(s) without a matching send\n"
+            Printf.eprintf
+              "error: causality: %d deliver(s) without a matching send\n"
               (List.length vs);
             1)
   in
   let doc =
     "Run one chaos scenario, dump the causal event trace \
      (send/deliver/drop/crash/recover), and verify send->deliver causality \
-     (non-zero exit on violation)."
+     (non-zero exit only on a violation with an intact ring; violations \
+     explained by ring eviction are warnings)."
   in
   Cmd.v (Cmd.info "trace" ~doc)
     Term.(
@@ -729,12 +748,14 @@ let report_cmd =
                ("mutex", Protocols.Run_report.Mutex);
                ("store", Protocols.Run_report.Store);
                ("reconfig", Protocols.Run_report.Reconfig);
+               ("throughput", Protocols.Run_report.Throughput);
              ])
           Protocols.Run_report.Store
       & info [ "protocol" ]
           ~doc:
-            "Protocol to report on: $(b,mutex), $(b,store) (default) or \
-             $(b,reconfig).")
+            "Protocol to report on: $(b,mutex), $(b,store) (default), \
+             $(b,reconfig) or $(b,throughput) (the sessioned store driven \
+             closed-loop).")
   in
   let seed_arg =
     Arg.(
@@ -743,7 +764,8 @@ let report_cmd =
       & info [ "seed" ]
           ~doc:
             "RNG seed (default: the protocol's pinned chaos seed — mutex \
-             41, store 42, reconfig 43 — matching bench chaos).")
+             41, store 42, reconfig 43, throughput 46 — matching the \
+             bench harness).")
   in
   let next_arg =
     Arg.(
@@ -797,6 +819,110 @@ let report_cmd =
     Term.(
       const run $ spec_arg $ obs_scenario_arg $ obs_horizon_arg $ seed_arg
       $ protocol_arg $ next_arg $ capacity_arg $ out_arg)
+
+(* --- throughput ------------------------------------------------------- *)
+
+let throughput_cmd =
+  let n_arg =
+    Arg.(
+      value & opt int 15
+      & info [ "n" ] ~docv:"N" ~doc:"Universe size (one session per node).")
+  in
+  let shards_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "shards" ]
+          ~doc:"Shard count for the sharded h-grid arm (default n/4).")
+  in
+  let mode_arg =
+    Arg.(
+      value
+      & opt (enum [ ("closed", `Closed); ("open", `Open) ]) `Closed
+      & info [ "mode" ]
+          ~doc:
+            "$(b,closed) keeps every session's pipeline window full \
+             (measures capacity); $(b,open) offers Poisson arrivals at \
+             $(b,--rate) regardless of capacity (measures queue growth and \
+             shedding).")
+  in
+  let rate_arg =
+    Arg.(
+      value & opt float 12.0
+      & info [ "rate" ] ~doc:"Open-loop offered ops per time unit.")
+  in
+  let window_arg =
+    Arg.(
+      value & opt int 6
+      & info [ "window" ] ~doc:"In-flight ops per session (pipelining).")
+  in
+  let batch_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "batch" ]
+          ~doc:
+            "Requests coalesced per Batch_req envelope (1 = unbatched wire \
+             messages).")
+  in
+  let horizon_arg =
+    Arg.(
+      value & opt float 200.0
+      & info [ "horizon" ] ~doc:"Load window in simulated time units.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 46
+      & info [ "seed" ]
+          ~doc:
+            "RNG seed (default 46, the pinned bench throughput seed; same \
+             seed = same run, exactly).")
+  in
+  let scenario_arg =
+    Arg.(
+      value & opt string "baseline"
+      & info [ "scenario" ]
+          ~doc:"Chaos scenario to run under (as in $(b,quorumctl chaos)).")
+  in
+  let run n shards mode rate window batch horizon seed scenario =
+    if n < 3 then die "throughput: need n >= 3";
+    if horizon <= 0.0 then die "throughput: --horizon must be positive";
+    let s =
+      match Protocols.Chaos.scenario_of_label ~n ~horizon scenario with
+      | s -> s
+      | exception Invalid_argument msg -> die msg
+    in
+    let arms = ok_or_die (Protocols.Throughput.arms ?shards ~n ()) in
+    let mode =
+      match mode with
+      | `Closed -> Protocols.Throughput.Closed
+      | `Open -> Protocols.Throughput.Open rate
+    in
+    Printf.printf "%s\n" (Protocols.Throughput.header ());
+    List.iter
+      (fun arm ->
+        let r =
+          Protocols.Throughput.run_arm ~seed ~mode ~window ~batch_size:batch
+            arm s
+        in
+        Printf.printf "%s\n" (Protocols.Throughput.row r);
+        if r.Protocols.Throughput.stale_reads > 0 then
+          die
+            (Printf.sprintf "%d stale reads in the %s arm"
+               r.Protocols.Throughput.stale_reads
+               r.Protocols.Throughput.system))
+      arms;
+    0
+  in
+  let doc =
+    "Sessioned-store throughput at one universe size: flat majority vs \
+     h-triang vs sharded h-grid, with pipelined sessions, request batching \
+     and per-request service cost — the flat-vs-hierarchical capacity \
+     comparison of bench throughput, one n at a time."
+  in
+  Cmd.v (Cmd.info "throughput" ~doc)
+    Term.(
+      const run $ n_arg $ shards_arg $ mode_arg $ rate_arg $ window_arg
+      $ batch_arg $ horizon_arg $ seed_arg $ scenario_arg)
 
 (* --- nd --------------------------------------------------------------- *)
 
@@ -966,6 +1092,19 @@ let specs_man =
       `P
         "The CLI additionally accepts the Byzantine wrappers \
          $(b,masking)(n,f) and $(b,boost)(k,spec).";
+      `S "DIAGNOSTICS";
+      `P
+        "Every subcommand shares one stderr convention: a line starting \
+         with $(b,error:) is fatal and the command exits non-zero; a line \
+         starting with $(b,warning:) is advisory and never affects the \
+         exit code. Informational notes (e.g. \"wrote FILE\") carry no \
+         prefix.";
+      `P
+        "$(b,quorumctl trace) applies the convention to its causality \
+         check: delivers without a recorded send exit non-zero only when \
+         the trace ring is intact; when the ring evicted events they are \
+         the expected consequence of the eviction and are reported as a \
+         warning.";
     ]
 
 let () =
@@ -975,8 +1114,8 @@ let () =
       (Cmd.info "quorumctl" ~version:"1.0" ~doc ~man:specs_man)
       [
         info_cmd; fp_cmd; load_cmd; quorums_cmd; pick_cmd; simulate_cmd;
-        chaos_cmd; churn_cmd; metrics_cmd; trace_cmd; report_cmd; nd_cmd;
-        masking_cmd; optimize_cmd; list_cmd;
+        chaos_cmd; churn_cmd; metrics_cmd; trace_cmd; report_cmd;
+        throughput_cmd; nd_cmd; masking_cmd; optimize_cmd; list_cmd;
       ]
   in
   (* Cmdliner renders one-character names as short options only; accept

@@ -183,6 +183,11 @@ let set ?(labels = []) f v =
   | Cgauge r -> r := v
   | Ccounter _ | Chist _ -> assert false
 
+let set_max ?(labels = []) f v =
+  match cell f labels with
+  | Cgauge r -> if v > !r then r := v
+  | Ccounter _ | Chist _ -> assert false
+
 let gauge_value ?(labels = []) f =
   match peek f labels with Some (Cgauge r) -> !r | _ -> 0.0
 

@@ -63,6 +63,11 @@ val incr : ?labels:labels -> ?by:int -> counter -> unit
 
 val set : ?labels:labels -> gauge -> float -> unit
 
+val set_max : ?labels:labels -> gauge -> float -> unit
+(** Monotone set: keep the larger of the current and given values —
+    high-water marks (peak queue depth, deepest backlog).  A fresh
+    cell starts at 0, so negative values never register. *)
+
 val observe : ?labels:labels -> histogram -> float -> unit
 (** Record one sample (e.g. a latency). *)
 

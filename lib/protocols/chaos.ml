@@ -233,11 +233,13 @@ let run_mutex_h ?(seed = 7) ?(rate = 0.4) ?(cs_duration = 1.0)
   let n = system.Quorum.System.n in
   let rng = Rng.create seed in
   let network = Network.create ~loss:scenario.plan.loss () in
-  let mx =
-    Mutex.create ~system ~cs_duration ~acquire_timeout
-      ~durability:(durability_of_plan scenario.plan)
-      ()
+  let config =
+    Client_config.(
+      default
+      |> with_timeout acquire_timeout
+      |> with_durability (durability_of_plan scenario.plan))
   in
+  let mx = Mutex.of_config ~config ~system ~cs_duration () in
   let engine =
     Engine.create ~seed:(seed + 1) ~nodes:n ~network ?obs (Mutex.handlers mx)
   in
@@ -309,12 +311,14 @@ let run_store_h ?(seed = 7) ?(rate = 2.0) ?read_fraction ?workload ?(keys = 4)
   let n = read_system.Quorum.System.n in
   let rng = Rng.create seed in
   let network = Network.create ~loss:scenario.plan.loss () in
-  let store =
-    Replicated_store.create ~retries ~read_system ~write_system
-      ~timeout:op_timeout
-      ~durability:(durability_of_plan scenario.plan)
-      ()
+  let config =
+    Client_config.(
+      default
+      |> with_timeout op_timeout
+      |> with_retries retries
+      |> with_durability (durability_of_plan scenario.plan))
   in
+  let store = Replicated_store.of_config ~config ~read_system ~write_system () in
   let engine =
     Engine.create ~seed:(seed + 1) ~nodes:n ~network ?obs
       (Replicated_store.handlers store)
@@ -392,11 +396,13 @@ let run_reconfig_h ?(seed = 7) ?(rate = 1.0) ?(op_timeout = 25.0) ?obs
   let universe = max initial.Quorum.System.n next.Quorum.System.n in
   let rng = Rng.create seed in
   let network = Network.create ~loss:scenario.plan.loss () in
-  let rc =
-    Reconfig.create
-      ~durability:(durability_of_plan scenario.plan)
-      ~initial ~universe ~timeout:op_timeout ()
+  let config =
+    Client_config.(
+      default
+      |> with_timeout op_timeout
+      |> with_durability (durability_of_plan scenario.plan))
   in
+  let rc = Reconfig.of_config ~config ~initial ~universe () in
   let engine =
     Engine.create ~seed:(seed + 1) ~nodes:universe ~network ?obs
       (Reconfig.handlers rc)

@@ -1,0 +1,61 @@
+module Durable = Sim.Durable
+
+type rpc = { timeout : float; backoff : float; attempts : int }
+type fd = { period : float; timeout : float }
+
+type t = {
+  rpc : rpc;
+  fd : fd;
+  durability : Durable.config;
+  timeout : float;
+  retries : int;
+}
+
+let default =
+  {
+    rpc = { timeout = 4.0; backoff = 1.6; attempts = 6 };
+    fd = { period = 1.0; timeout = 5.0 };
+    durability = Durable.instant;
+    timeout = 25.0;
+    retries = 2;
+  }
+
+let with_rpc ?timeout ?backoff ?attempts t =
+  {
+    t with
+    rpc =
+      {
+        timeout = Option.value timeout ~default:t.rpc.timeout;
+        backoff = Option.value backoff ~default:t.rpc.backoff;
+        attempts = Option.value attempts ~default:t.rpc.attempts;
+      };
+  }
+
+let with_fd ?period ?timeout t =
+  {
+    t with
+    fd =
+      {
+        period = Option.value period ~default:t.fd.period;
+        timeout = Option.value timeout ~default:t.fd.timeout;
+      };
+  }
+
+let with_durability durability t = { t with durability }
+let with_timeout timeout t = { t with timeout }
+let with_retries retries t = { t with retries }
+
+let validate t =
+  if t.rpc.timeout <= 0.0 then Error "Client_config: rpc timeout must be > 0"
+  else if t.rpc.backoff < 1.0 then
+    Error "Client_config: rpc backoff must be >= 1"
+  else if t.rpc.attempts < 1 then
+    Error "Client_config: rpc attempts must be >= 1"
+  else if t.fd.period <= 0.0 then
+    Error "Client_config: fd period must be > 0"
+  else if t.fd.timeout <= t.fd.period then
+    Error "Client_config: fd timeout must exceed its period"
+  else if t.timeout <= 0.0 then
+    Error "Client_config: operation timeout must be > 0"
+  else if t.retries < 0 then Error "Client_config: retries must be >= 0"
+  else Ok ()

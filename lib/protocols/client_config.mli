@@ -1,0 +1,61 @@
+(** The one client-facing configuration record shared by every quorum
+    protocol ({!Replicated_store}, {!Mutex}, {!Reconfig}).
+
+    Historically each protocol's [create] grew its own sprawl of nine
+    optional keyword arguments (rpc timeout/backoff/attempts, failure
+    detector period/timeout, durability, operation timeout, retries);
+    this record is now the primary entry — build one with {!default}
+    and the [with_*] builders, hand it to the protocol's [of_config],
+    and reserve the old keyword [create]s (kept as one-deep shims) for
+    existing call sites.
+
+    {[
+      let cfg =
+        Client_config.(
+          default
+          |> with_rpc ~timeout:2.0
+          |> with_durability (Sim.Durable.config ~fsync_latency:0.5 ())
+          |> with_timeout 10.0)
+      in
+      let store = Replicated_store.of_config ~config:cfg ~read_system ~write_system ()
+    ]}
+
+    Not every field is meaningful to every protocol: {!Mutex} reads
+    [timeout] as its acquire timeout and ignores [retries] (requests
+    queue at the arbiters instead of retrying); {!Reconfig} has no rpc
+    or failure-detector layer of its own and uses only [durability]
+    and [timeout].  Each protocol's [.mli] states which fields it
+    honours. *)
+
+type rpc = { timeout : float; backoff : float; attempts : int }
+(** Reliable-rpc retransmission: initial retransmit [timeout],
+    exponential [backoff] factor, dead-letter after [attempts]. *)
+
+type fd = { period : float; timeout : float }
+(** Heartbeat failure detection: beat [period], suspicion [timeout]. *)
+
+type t = {
+  rpc : rpc;
+  fd : fd;
+  durability : Sim.Durable.config;  (** write-ahead fsync model *)
+  timeout : float;  (** per-operation (or acquire) timeout *)
+  retries : int;  (** quorum re-selection attempts after a timeout *)
+}
+
+val default : t
+(** The values the protocols have always defaulted to: rpc
+    [{timeout = 4.0; backoff = 1.6; attempts = 6}], fd
+    [{period = 1.0; timeout = 5.0}], instant durability,
+    [timeout = 25.0], [retries = 2]. *)
+
+val with_rpc : ?timeout:float -> ?backoff:float -> ?attempts:int -> t -> t
+val with_fd : ?period:float -> ?timeout:float -> t -> t
+val with_durability : Sim.Durable.config -> t -> t
+val with_timeout : float -> t -> t
+val with_retries : int -> t -> t
+
+val validate : t -> (unit, string) result
+(** Range-check every field ([Error] with the first offending one);
+    the [of_config] entries call the underlying constructors directly,
+    which raise — validate first when the record comes from user
+    input. *)

@@ -21,29 +21,11 @@ type t = {
    availability / selection translate the physical live set into a
    logical one, run the triangle's structural strategy, and map the
    chosen quorum back. *)
+(* Placement is the generic [System.embed]; only the h-triang naming
+   convention is ours. *)
 let remap_system ~universe (tri : Htriang.t) (place : int array) =
   let name = Printf.sprintf "h-triang(%d)/%d" tri.Htriang.n universe in
-  let avail live = Htriang.avail tri (fun l -> Bitset.mem live place.(l)) in
-  let select rng ~live =
-    let llive = Bitset.create tri.Htriang.n in
-    Array.iteri (fun l p -> if Bitset.mem live p then Bitset.add llive l) place;
-    match Htriang.select tri rng ~live:llive with
-    | None -> None
-    | Some q ->
-        let phys = Bitset.create universe in
-        Bitset.iter (fun l -> Bitset.add phys place.(l)) q;
-        Some phys
-  in
-  let min_quorums =
-    lazy
-      (List.map
-         (fun q ->
-           let phys = Bitset.create universe in
-           Bitset.iter (fun l -> Bitset.add phys place.(l)) q;
-           phys)
-         (Htriang.quorums tri))
-  in
-  System.make ~name ~n:universe ~avail ~min_quorums ~select ()
+  System.embed ~name ~universe ~place (Htriang.system tri)
 
 let create ?durability ?lease ?skew ?switch_retry ?(margin = 2) ~rows
     ~universe ~timeout () =

@@ -106,27 +106,27 @@ type t = {
   mutable ins : instruments option;
 }
 
-let create ?(capacity = 1) ?(acquire_timeout = 1000.0) ?(rpc_timeout = 4.0)
-    ?(rpc_backoff = 1.6) ?(rpc_attempts = 6) ?(fd_period = 1.0)
-    ?(fd_timeout = 5.0) ?(durability = Durable.instant) ~system ~cs_duration ()
-    =
+let of_config ?(config = Client_config.default) ?(capacity = 1) ~system
+    ~cs_duration () =
   if capacity < 1 then invalid_arg "Mutex.create: capacity >= 1";
-  if acquire_timeout <= 0.0 then invalid_arg "Mutex.create: acquire_timeout";
+  if config.Client_config.timeout <= 0.0 then
+    invalid_arg "Mutex.create: acquire_timeout";
   let n = system.Quorum.System.n in
   {
     system;
     capacity;
     cs_duration;
-    acquire_timeout;
+    acquire_timeout = config.Client_config.timeout;
     rpc =
-      Rpc.create ~timeout:rpc_timeout ~backoff:rpc_backoff
-        ~max_attempts:rpc_attempts
+      Rpc.create ~timeout:config.Client_config.rpc.timeout
+        ~backoff:config.Client_config.rpc.backoff
+        ~max_attempts:config.Client_config.rpc.attempts
         ~wrap:(fun m -> App m)
         ();
     fd =
-      Failure_detector.create ~period:fd_period ~timeout:fd_timeout ~nodes:n
-        ~beat:Beat ();
-    durability;
+      Failure_detector.create ~period:config.Client_config.fd.period
+        ~timeout:config.Client_config.fd.timeout ~nodes:n ~beat:Beat ();
+    durability = config.Client_config.durability;
     dur = None;
     granted = None;
     incarnation = Array.make n 0;
@@ -154,6 +154,23 @@ let create ?(capacity = 1) ?(acquire_timeout = 1000.0) ?(rpc_timeout = 4.0)
     abandoned = 0;
     ins = None;
   }
+
+let create ?capacity ?(acquire_timeout = 1000.0) ?rpc_timeout ?rpc_backoff
+    ?rpc_attempts ?fd_period ?fd_timeout ?durability ~system ~cs_duration () =
+  let config =
+    Client_config.(
+      default
+      |> with_rpc ?timeout:rpc_timeout ?backoff:rpc_backoff
+           ?attempts:rpc_attempts
+      |> with_fd ?period:fd_period ?timeout:fd_timeout
+      |> with_timeout acquire_timeout)
+  in
+  let config =
+    match durability with
+    | Some d -> Client_config.with_durability d config
+    | None -> config
+  in
+  of_config ~config ?capacity ~system ~cs_duration ()
 
 let engine_exn t =
   match t.engine with

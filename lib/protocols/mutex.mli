@@ -68,6 +68,28 @@
 type t
 type msg
 
+val of_config :
+  ?config:Client_config.t ->
+  ?capacity:int ->
+  system:Quorum.System.t ->
+  cs_duration:float ->
+  unit ->
+  t
+(** The primary constructor: client tunables live in the
+    {!Client_config.t} record.  Honoured fields: [rpc] (the
+    reliable-delivery layer, see {!Sim.Rpc.create}), [fd] (the
+    failure detector, see {!Sim.Failure_detector.create}),
+    [durability] (the arbiters' durable store — a non-zero fsync
+    latency delays GRANTs, torn-tail mode corrupts the last in-flight
+    tombstone on crash), and [timeout], read as the {e acquire}
+    timeout: how long a node keeps retrying an acquisition (across
+    quorum re-selections) before abandoning it.  [retries] is ignored
+    — requests queue at the arbiters instead of retrying.
+
+    [capacity] (default 1) is the number of simultaneous critical
+    sections the system is supposed to allow: 1 for a coterie, [k]
+    for a k-coterie (see [Systems.K_coterie]). *)
+
 val create :
   ?capacity:int ->
   ?acquire_timeout:float ->
@@ -81,21 +103,10 @@ val create :
   cs_duration:float ->
   unit ->
   t
-(** [capacity] (default 1) is the number of simultaneous critical
-    sections the system is supposed to allow: 1 for a coterie, [k] for
-    a k-coterie (see [Systems.K_coterie]).
-
-    [acquire_timeout] (default 1000.) bounds how long a node keeps
-    retrying an acquisition (across quorum re-selections) before
-    abandoning it.  [rpc_timeout] / [rpc_backoff] / [rpc_attempts]
-    configure the reliable-delivery layer (see {!Sim.Rpc.create});
-    [rpc_timeout] defaults to 4.0 here — comfortably above the default
-    network round-trip, so retransmissions mean actual loss;
-    [fd_period] / [fd_timeout] the failure detector (see
-    {!Sim.Failure_detector.create}); [durability] (default
-    {!Sim.Durable.instant}) the arbiters' durable store — a non-zero
-    fsync latency delays GRANTs, torn-tail mode corrupts the last
-    in-flight tombstone on crash. *)
+(** Compatibility shim over {!of_config}: packs the historical
+    keyword arguments (defaults unchanged — [acquire_timeout]
+    defaults to 1000., not the record's 25.) into a
+    {!Client_config.t}.  New code should build the record instead. *)
 
 val handlers : t -> msg Sim.Engine.handlers
 

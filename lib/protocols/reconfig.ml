@@ -113,8 +113,12 @@ type t = {
   mutable history : Obs.Trace_analysis.hop list;  (** newest first *)
 }
 
-let create ?(durability = Durable.instant) ?lease ?(skew = 0.5)
-    ?switch_retry ~initial ~universe ~timeout () =
+let of_config ?(config = Client_config.default) ?lease ?(skew = 0.5)
+    ?switch_retry ~initial ~universe () =
+  (* Only [durability] and [timeout] of the record apply here: the
+     register has no rpc or failure-detector layer of its own. *)
+  let durability = config.Client_config.durability in
+  let timeout = config.Client_config.timeout in
   if initial.System.n > universe then
     invalid_arg "Reconfig.create: configuration exceeds universe";
   let switch_retry = Option.value switch_retry ~default:timeout in
@@ -161,6 +165,16 @@ let create ?(durability = Durable.instant) ?lease ?(skew = 0.5)
     committed = [];
     history = [];
   }
+
+let create ?durability ?lease ?skew ?switch_retry ~initial ~universe ~timeout
+    () =
+  let config = Client_config.(default |> with_timeout timeout) in
+  let config =
+    match durability with
+    | Some d -> Client_config.with_durability d config
+    | None -> config
+  in
+  of_config ~config ?lease ?skew ?switch_retry ~initial ~universe ()
 
 let engine_exn t =
   match t.engine with

@@ -84,17 +84,20 @@
 type t
 type msg
 
-val create :
-  ?durability:Sim.Durable.config ->
+val of_config :
+  ?config:Client_config.t ->
   ?lease:float ->
   ?skew:float ->
   ?switch_retry:float ->
   initial:Quorum.System.t ->
   universe:int ->
-  timeout:float ->
   unit ->
   t
-(** [universe] is the engine size and must accommodate every future
+(** The primary constructor.  Of the {!Client_config.t} record only
+    [durability] and [timeout] apply — the register has no rpc or
+    failure-detector layer of its own.
+
+    [universe] is the engine size and must accommodate every future
     configuration ([initial.n <= universe]); processes beyond the
     current configuration's [n] are spares.  [durability] (default
     {!Sim.Durable.instant}) configures the replicas' durable store;
@@ -112,6 +115,20 @@ val create :
     phase), so a participant dying mid-switch is routed around instead
     of stalling the switch.  Smaller values make switches converge
     faster under churn at the cost of extra maintenance traffic. *)
+
+val create :
+  ?durability:Sim.Durable.config ->
+  ?lease:float ->
+  ?skew:float ->
+  ?switch_retry:float ->
+  initial:Quorum.System.t ->
+  universe:int ->
+  timeout:float ->
+  unit ->
+  t
+(** Compatibility shim over {!of_config}: packs [durability] and
+    [timeout] into a {!Client_config.t}.  New code should build the
+    record instead. *)
 
 val handlers : t -> msg Sim.Engine.handlers
 val bind : t -> msg Sim.Engine.t -> unit

@@ -2,6 +2,7 @@ module Engine = Sim.Engine
 module Rpc = Sim.Rpc
 module Failure_detector = Sim.Failure_detector
 module Durable = Sim.Durable
+module Batcher = Sim.Batcher
 module Bitset = Quorum.Bitset
 module Metrics = Obs.Metrics
 module Span = Obs.Span
@@ -17,6 +18,10 @@ type app =
   | Sync_req of { sync : int }
   | Sync_rep of { sync : int; entries : (int * int * int) list }
       (** (key, version, value) dump of the helper's replica table *)
+  | Batch_req of { reqs : app list }
+      (** k version/write requests amortized over one rpc exchange and
+          one durable flush *)
+  | Batch_rep of { reps : app list }  (** their replies, also batched *)
 
 type msg = Beat | App of app Rpc.msg
 
@@ -26,6 +31,39 @@ type phase =
   | Writing of { waiting_for : Bitset.t }
 
 type kind = Read_op | Write_op of int  (** payload for the write phase *)
+
+type outcome =
+  | Read_done of { version : int; value : int }
+  | Write_done of { version : int }
+  | Timed_out
+  | Unavailable
+
+type request = Get of { key : int } | Put of { key : int; value : int }
+
+type pending = {
+  p_key : int;
+  p_kind : kind;
+  p_notify : (outcome -> unit) option;
+}
+
+type session = {
+  ses_id : int;
+  ses_client : int;
+  window : int;
+  max_queue : int;
+  batcher : app Batcher.t option;  (** [None]: unbatched, send directly *)
+  mutable backlog : pending list;  (** submission order, oldest first *)
+  mutable backlog_len : int;
+  keys_busy : (int, int) Hashtbl.t;
+      (** keys with an in-flight op: per-key FIFO — a later op on the
+          same key never overtakes an earlier one, so a window-w run
+          commits each key's writes in submission order *)
+  mutable in_flight : int;
+  mutable submitted : int;
+  mutable completed : int;
+  mutable shed : int;
+  mutable peak_backlog : int;
+}
 
 type op = {
   id : int;
@@ -42,6 +80,8 @@ type op = {
   mutable done_ : bool;
   mutable span : int;  (** root span of the whole client operation *)
   mutable attempt_span : int;  (** span of the current quorum attempt *)
+  sess : session;
+  notify : (outcome -> unit) option;
 }
 
 type instruments = {
@@ -54,6 +94,12 @@ type instruments = {
   st_rejoins : Metrics.counter;
   st_refusals : Metrics.counter;
   st_latency : Metrics.histogram;
+  st_sessions : Metrics.counter;
+  st_submitted : Metrics.counter;
+  st_shed : Metrics.counter;
+  st_batches : Metrics.counter;
+  st_batched : Metrics.counter;
+  st_backlog_peak : Metrics.gauge;
 }
 
 type sync = {
@@ -62,9 +108,22 @@ type sync = {
   sync_acc : (int, int * int) Hashtbl.t;  (** key -> best (version, value) *)
 }
 
+type service = { per_req : float; per_batch : float }
+
+let no_service = { per_req = 0.0; per_batch = 0.0 }
+
+let service ?(per_req = 0.0) ?(per_batch = 0.0) () =
+  if per_req < 0.0 || per_batch < 0.0 then
+    invalid_arg "Replicated_store.service";
+  { per_req; per_batch }
+
 type t = {
   read_system : Quorum.System.t;
   write_system : Quorum.System.t;
+  router : Shard_router.t option;
+      (** when present, per-key quorum selection goes through the
+          router's subquorum systems instead of the globals *)
+  serv : service;
   timeout : float;
   retries : int;
   durability : Durable.config;
@@ -75,11 +134,14 @@ type t = {
       (** write-ahead log of installed (key, version, value) records *)
   ops : (int, op) Hashtbl.t;
   mutable next_op : int;
+  mutable next_session : int;
   replicas : (int, int * int) Hashtbl.t array;  (** key -> (version, value) *)
   rejoining : bool array;
       (** amnesiac recoverers that have not completed their sync yet *)
   incarnation : int array;
       (** bumped on crash: retires acks scheduled behind an fsync *)
+  busy_until : float array;
+      (** replica service model: instant each node's processor frees up *)
   syncs : sync option array;
   mutable next_sync : int;
   mutable reads_ok : int;
@@ -90,6 +152,9 @@ type t = {
   mutable stale_reads : int;
   mutable rejoins : int;
   mutable refusals : int;
+  mutable batches : int;
+  mutable batched_ops : int;
+  mutable shed : int;
   (* Consistency monitor: per key, the (commit time, version) history
      of completed writes, newest first. *)
   committed : (int, (float * int) list) Hashtbl.t;
@@ -98,33 +163,43 @@ type t = {
   mutable ins : instruments option;
 }
 
-let create ?(retries = 2) ?(rpc_timeout = 4.0) ?(rpc_backoff = 1.6)
-    ?(rpc_attempts = 6) ?(fd_period = 1.0) ?(fd_timeout = 5.0)
-    ?(durability = Durable.instant) ~read_system ~write_system ~timeout () =
+let of_config ?(config = Client_config.default) ?router
+    ?(service = no_service) ~read_system ~write_system () =
   let n = read_system.Quorum.System.n in
   if write_system.Quorum.System.n <> n then
-    invalid_arg "Replicated_store.create: universe mismatch";
+    invalid_arg "Replicated_store.of_config: universe mismatch";
+  (match router with
+  | Some r when Shard_router.universe r <> n ->
+      invalid_arg "Replicated_store.of_config: router universe mismatch"
+  | Some _ | None -> ());
   {
     read_system;
     write_system;
-    timeout;
-    retries;
-    durability;
+    router;
+    serv = service;
+    timeout = config.Client_config.timeout;
+    retries = config.Client_config.retries;
+    durability = config.Client_config.durability;
     rpc =
-      Rpc.create ~timeout:rpc_timeout ~backoff:rpc_backoff
-        ~max_attempts:rpc_attempts
+      Rpc.create ~timeout:config.Client_config.rpc.Client_config.timeout
+        ~backoff:config.Client_config.rpc.Client_config.backoff
+        ~max_attempts:config.Client_config.rpc.Client_config.attempts
         ~wrap:(fun m -> App m)
         ();
     fd =
-      Failure_detector.create ~period:fd_period ~timeout:fd_timeout ~nodes:n
+      Failure_detector.create
+        ~period:config.Client_config.fd.Client_config.period
+        ~timeout:config.Client_config.fd.Client_config.timeout ~nodes:n
         ~beat:Beat ();
     engine = None;
     dur = None;
     ops = Hashtbl.create 64;
     next_op = 0;
+    next_session = 0;
     replicas = Array.init n (fun _ -> Hashtbl.create 16);
     rejoining = Array.make n false;
     incarnation = Array.make n 0;
+    busy_until = Array.make n 0.0;
     syncs = Array.make n None;
     next_sync = 0;
     reads_ok = 0;
@@ -135,10 +210,33 @@ let create ?(retries = 2) ?(rpc_timeout = 4.0) ?(rpc_backoff = 1.6)
     stale_reads = 0;
     rejoins = 0;
     refusals = 0;
+    batches = 0;
+    batched_ops = 0;
+    shed = 0;
     committed = Hashtbl.create 16;
     history = [];
     ins = None;
   }
+
+(* The historical keyword entry, now a shim over the record. *)
+let create ?(retries = 2) ?(rpc_timeout = 4.0) ?(rpc_backoff = 1.6)
+    ?(rpc_attempts = 6) ?(fd_period = 1.0) ?(fd_timeout = 5.0)
+    ?(durability = Durable.instant) ~read_system ~write_system ~timeout () =
+  let config =
+    {
+      Client_config.rpc =
+        {
+          Client_config.timeout = rpc_timeout;
+          backoff = rpc_backoff;
+          attempts = rpc_attempts;
+        };
+      fd = { Client_config.period = fd_period; timeout = fd_timeout };
+      durability;
+      timeout;
+      retries;
+    }
+  in
+  of_config ~config ~read_system ~write_system ()
 
 let engine_exn t =
   match t.engine with
@@ -164,6 +262,9 @@ let stale_reads t = t.stale_reads
 let rejoins t = t.rejoins
 let rejoin_refusals t = t.refusals
 let rejoining t ~node = t.rejoining.(node)
+let batches t = t.batches
+let batched_ops t = t.batched_ops
+let shed t = t.shed
 
 let replica_value t ~node ~key = Hashtbl.find_opt t.replicas.(node) key
 
@@ -174,11 +275,31 @@ let op_latency t = (ins_exn t).st_latency
 let history t = List.rev t.history
 let spans_exn t = Obs.spans (Engine.obs (engine_exn t))
 
+(* Per-key quorum systems: the router's subquorums when sharded, the
+   globals otherwise. *)
+let read_system_for t key =
+  match t.router with
+  | None -> t.read_system
+  | Some r -> Shard_router.read_system r ~key
+
+let write_system_for t key =
+  match t.router with
+  | None -> t.write_system
+  | Some r -> Shard_router.write_system r ~key
+
 let mark_unavailable t =
   t.unavailable <- t.unavailable + 1;
   Metrics.incr (ins_exn t).st_unavailable
 
 let rsend t ~src ~dst m = Rpc.send t.rpc ~src ~dst m
+
+(* Route a quorum request through the op's session batcher when one is
+   configured; unbatched sessions send exactly the bare messages the
+   pre-session store sent. *)
+let emit t (op : op) ~dst payload =
+  match op.sess.batcher with
+  | Some b -> Batcher.add b ~dst payload
+  | None -> rsend t ~src:op.client ~dst payload
 
 (* Highest version whose write completed no later than [time]: a read
    that starts afterwards must not return anything older (writes still
@@ -195,7 +316,7 @@ let committed_version_before t key time =
 (* Select a fresh read quorum — from the client's failure-detector
    view, not the omniscient live-set — and (re)enter the version
    phase. *)
-let launch_attempt t (op : op) =
+let rec launch_attempt t (op : op) =
   let engine = engine_exn t in
   let sp = spans_exn t in
   let now = Engine.now engine in
@@ -203,11 +324,14 @@ let launch_attempt t (op : op) =
   if op.attempt_span >= 0 then
     Span.finish sp ~time:now ~status:(Span.Error "retry") op.attempt_span;
   let live = Failure_detector.view t.fd ~node:op.client in
-  match t.read_system.Quorum.System.select (Engine.rng engine) ~live with
+  match
+    (read_system_for t op.key).Quorum.System.select (Engine.rng engine) ~live
+  with
   | None ->
       Hashtbl.remove t.ops op.id;
       Span.finish sp ~time:now ~status:(Span.Error "unavailable") op.span;
-      mark_unavailable t
+      mark_unavailable t;
+      session_completed t op Unavailable
   | Some quorum ->
       op.phase <- Reading { waiting_for = Bitset.copy quorum; best = (0, 0) };
       op.deadline <- now +. t.timeout;
@@ -217,16 +341,24 @@ let launch_attempt t (op : op) =
       Engine.with_span_ctx engine op.attempt_span (fun () ->
           Bitset.iter
             (fun j ->
-              rsend t ~src:op.client ~dst:j
-                (Version_req { op = op.id; key = op.key }))
+              emit t op ~dst:j (Version_req { op = op.id; key = op.key }))
             quorum;
           Engine.set_timer engine ~node:op.client ~delay:t.timeout ~tag:op.id)
 
-let start_op t ~client ~key kind =
+(* One client operation through a session: identical to the historical
+   per-op path, plus session bookkeeping on completion. *)
+and start_session_op t s ?notify ~key kind =
   let engine = engine_exn t in
-  if not (Engine.is_live engine client) then
+  let client = s.ses_client in
+  if not (Engine.is_live engine client) then begin
     (* A dead client cannot submit: counted with the refused ops. *)
-    mark_unavailable t
+    mark_unavailable t;
+    s.in_flight <- s.in_flight - 1;
+    release_key s key;
+    s.completed <- s.completed + 1;
+    (match notify with Some f -> f Unavailable | None -> ());
+    session_pump t s
+  end
   else begin
     let id = t.next_op in
     t.next_op <- t.next_op + 1;
@@ -244,6 +376,8 @@ let start_op t ~client ~key kind =
         done_ = false;
         span = -1;
         attempt_span = -1;
+        sess = s;
+        notify;
       }
     in
     op.span <-
@@ -255,10 +389,49 @@ let start_op t ~client ~key kind =
     launch_attempt t op
   end
 
-let read t ~client ~key = start_op t ~client ~key Read_op
-let write t ~client ~key ~value = start_op t ~client ~key (Write_op value)
+and release_key s key =
+  match Hashtbl.find_opt s.keys_busy key with
+  | Some c when c <= 1 -> Hashtbl.remove s.keys_busy key
+  | Some c -> Hashtbl.replace s.keys_busy key (c - 1)
+  | None -> ()
 
-let finish t op outcome =
+(* An op left the session's window (done, failed or refused): account
+   for it, notify the submitter, refill the pipeline. *)
+and session_completed t (op : op) outcome =
+  let s = op.sess in
+  s.in_flight <- s.in_flight - 1;
+  release_key s op.key;
+  s.completed <- s.completed + 1;
+  (match op.notify with Some f -> f outcome | None -> ());
+  session_pump t s
+
+(* Launch backlogged ops while the window has room, preserving per-key
+   order: the first backlog entry whose key has no in-flight op wins. *)
+and session_pump t s =
+  if s.in_flight < s.window && s.backlog_len > 0 then begin
+    let rec take acc = function
+      | [] -> None
+      | p :: rest ->
+          if Hashtbl.mem s.keys_busy p.p_key then take (p :: acc) rest
+          else Some (p, List.rev_append acc rest)
+    in
+    match take [] s.backlog with
+    | None -> ()
+    | Some (p, rest) ->
+        s.backlog <- rest;
+        s.backlog_len <- s.backlog_len - 1;
+        s.in_flight <- s.in_flight + 1;
+        Hashtbl.replace s.keys_busy p.p_key
+          (1
+          +
+          match Hashtbl.find_opt s.keys_busy p.p_key with
+          | Some c -> c
+          | None -> 0);
+        start_session_op t s ?notify:p.p_notify ~key:p.p_key p.p_kind;
+        session_pump t s
+  end
+
+and finish t op outcome =
   op.done_ <- true;
   Hashtbl.remove t.ops op.id;
   let engine = engine_exn t in
@@ -284,7 +457,7 @@ let finish t op outcome =
       :: t.history
   in
   match outcome with
-  | `Read_done version ->
+  | `Read_done (version, value) ->
       t.reads_ok <- t.reads_ok + 1;
       Metrics.incr ins.st_reads_ok;
       Metrics.observe ins.st_latency
@@ -295,7 +468,8 @@ let finish t op outcome =
       if version < committed_version_before t op.key op.started then begin
         t.stale_reads <- t.stale_reads + 1;
         Metrics.incr ins.st_stale
-      end
+      end;
+      session_completed t op (Read_done { version; value })
   | `Write_done version ->
       t.writes_ok <- t.writes_ok + 1;
       Metrics.incr ins.st_writes_ok;
@@ -309,15 +483,17 @@ let finish t op outcome =
         | Some h -> h
         | None -> []
       in
-      Hashtbl.replace t.committed op.key ((now, version) :: history)
+      Hashtbl.replace t.committed op.key ((now, version) :: history);
+      session_completed t op (Write_done { version })
   | `Timeout ->
       t.timeouts <- t.timeouts + 1;
       Metrics.incr ins.st_timeouts;
-      close (Span.Error "timeout")
+      close (Span.Error "timeout");
+      session_completed t op Timed_out
 
 (* The current attempt cannot complete (timeout or a dead-lettered
    request): retry on a fresh quorum or give up. *)
-let attempt_failed t (op : op) =
+and attempt_failed t (op : op) =
   let engine = engine_exn t in
   if op.retries_left > 0 && Engine.is_live engine op.client then begin
     op.retries_left <- op.retries_left - 1;
@@ -326,6 +502,122 @@ let attempt_failed t (op : op) =
     launch_attempt t op
   end
   else finish t op `Timeout
+
+(* --- Sessions ------------------------------------------------------- *)
+
+module Session = struct
+  type store = t
+  type nonrec t = session
+
+  let create (t : store) ~client ?(window = 1) ?(batch_size = 1)
+      ?(batch_delay = 0.0) ?(max_queue = max_int) () =
+    let engine = engine_exn t in
+    let n = Engine.nodes engine in
+    if client < 0 || client >= n then
+      invalid_arg "Session.create: client out of range";
+    if window < 1 then invalid_arg "Session.create: window";
+    if batch_size < 1 then invalid_arg "Session.create: batch_size";
+    if batch_delay < 0.0 then invalid_arg "Session.create: batch_delay";
+    if max_queue < 0 then invalid_arg "Session.create: max_queue";
+    let id = t.next_session in
+    t.next_session <- id + 1;
+    let ins = ins_exn t in
+    Metrics.incr ins.st_sessions;
+    let batcher =
+      if batch_size <= 1 then None
+      else
+        Some
+          (Batcher.create ~max_size:batch_size ~max_delay:batch_delay
+             ~nodes:n
+             ~schedule:(fun ~delay k ->
+               Engine.schedule engine ~time:(Engine.now engine +. delay) k)
+             ~flush:(fun ~dst reqs ->
+               t.batches <- t.batches + 1;
+               t.batched_ops <- t.batched_ops + List.length reqs;
+               Metrics.incr ins.st_batches;
+               Metrics.incr ins.st_batched ~by:(List.length reqs);
+               rsend t ~src:client ~dst (Batch_req { reqs }))
+             ())
+    in
+    {
+      ses_id = id;
+      ses_client = client;
+      window;
+      max_queue;
+      batcher;
+      backlog = [];
+      backlog_len = 0;
+      keys_busy = Hashtbl.create 8;
+      in_flight = 0;
+      submitted = 0;
+      completed = 0;
+      shed = 0;
+      peak_backlog = 0;
+    }
+
+  let submit (t : store) (s : t) ?on_complete req =
+    let key, kind =
+      match req with
+      | Get { key } -> (key, Read_op)
+      | Put { key; value } -> (key, Write_op value)
+    in
+    if key < 0 then invalid_arg "Session.submit: key";
+    let ins = ins_exn t in
+    s.submitted <- s.submitted + 1;
+    Metrics.incr ins.st_submitted
+      ~labels:[ ("client", string_of_int s.ses_client) ];
+    if s.in_flight < s.window && not (Hashtbl.mem s.keys_busy key) then begin
+      s.in_flight <- s.in_flight + 1;
+      Hashtbl.replace s.keys_busy key 1;
+      start_session_op t s ?notify:on_complete ~key kind;
+      true
+    end
+    else if s.backlog_len >= s.max_queue then begin
+      (* Open-loop overload: the bounded queue sheds instead of
+         growing without limit. *)
+      s.shed <- s.shed + 1;
+      t.shed <- t.shed + 1;
+      Metrics.incr ins.st_shed
+        ~labels:[ ("client", string_of_int s.ses_client) ];
+      false
+    end
+    else begin
+      s.backlog <-
+        s.backlog @ [ { p_key = key; p_kind = kind; p_notify = on_complete } ];
+      s.backlog_len <- s.backlog_len + 1;
+      if s.backlog_len > s.peak_backlog then begin
+        s.peak_backlog <- s.backlog_len;
+        Metrics.set_max ins.st_backlog_peak
+          ~labels:[ ("client", string_of_int s.ses_client) ]
+          (float_of_int s.backlog_len)
+      end;
+      true
+    end
+
+  let drain (_ : store) (s : t) =
+    match s.batcher with Some b -> Batcher.flush_all b | None -> ()
+
+  let id (s : t) = s.ses_id
+  let client (s : t) = s.ses_client
+  let window (s : t) = s.window
+  let in_flight (s : t) = s.in_flight
+  let queued (s : t) = s.backlog_len
+  let submitted (s : t) = s.submitted
+  let completed (s : t) = s.completed
+  let shed (s : t) = s.shed
+  let peak_queue (s : t) = s.peak_backlog
+end
+
+(* The historical one-op-at-a-time entries: one-deep shims over a
+   fresh window-1, unbatched session — the same code path, op ids, RNG
+   draws and events as before sessions existed. *)
+let read t ~client ~key =
+  let s = Session.create t ~client () in
+  ignore (Session.submit t s (Get { key }) : bool)
+
+let write t ~client ~key ~value =
+  let s = Session.create t ~client () in
+  ignore (Session.submit t s (Put { key; value }) : bool)
 
 let on_version_rep t engine ~node op_id ~version ~value =
   match Hashtbl.find_opt t.ops op_id with
@@ -338,13 +630,13 @@ let on_version_rep t engine ~node op_id ~version ~value =
             if version > fst r.best then r.best <- (version, value);
             if Bitset.is_empty r.waiting_for then begin
               match op.kind with
-              | Read_op -> finish t op (`Read_done (fst r.best))
+              | Read_op -> finish t op (`Read_done r.best)
               | Write_op v ->
                   (* Version phase done; install on a write quorum. *)
                   let live = Failure_detector.view t.fd ~node:op.client in
                   (match
-                     t.write_system.Quorum.System.select (Engine.rng engine)
-                       ~live
+                     (write_system_for t op.key).Quorum.System.select
+                       (Engine.rng engine) ~live
                    with
                   | None ->
                       Hashtbl.remove t.ops op.id;
@@ -355,14 +647,15 @@ let on_version_rep t engine ~node op_id ~version ~value =
                           ~status:(Span.Error "unavailable") op.attempt_span;
                       Span.finish sp ~time:now
                         ~status:(Span.Error "unavailable") op.span;
-                      mark_unavailable t
+                      mark_unavailable t;
+                      session_completed t op Unavailable
                   | Some wq ->
                       let version = fst r.best + 1 in
                       op.write_version <- version;
                       op.phase <- Writing { waiting_for = Bitset.copy wq };
                       Bitset.iter
                         (fun j ->
-                          rsend t ~src:op.client ~dst:j
+                          emit t op ~dst:j
                             (Write_req
                                { op = op.id; key = op.key; version; value = v }))
                         wq)
@@ -392,6 +685,17 @@ let merge_record table (key, version, value) =
   | Some (v0, _) when v0 >= version -> ()
   | Some _ | None -> Hashtbl.replace table key (version, value)
 
+(* The quorum system a recoverer syncs against: its own shard's read
+   system when sharded ([None] for a spare outside every shard — no
+   quorum ever includes it, so there is nothing to re-establish). *)
+let rejoin_read_system t ~node =
+  match t.router with
+  | None -> Some t.read_system
+  | Some r -> (
+      match Shard_router.shard_of_node r ~node with
+      | Some shard -> Some (Shard_router.shard_read_system r ~shard)
+      | None -> None)
+
 (* An amnesiac recoverer refuses to serve until it has pulled the
    state of a full read quorum: its replayed durable log already
    covers everything it ever acknowledged (write-ahead), but the sync
@@ -400,29 +704,35 @@ let merge_record table (key, version, value) =
 let rec start_rejoin t ~node =
   let engine = engine_exn t in
   t.rejoining.(node) <- true;
-  let live = Failure_detector.view t.fd ~node in
-  match t.read_system.Quorum.System.select (Engine.rng engine) ~live with
+  match rejoin_read_system t ~node with
   | None ->
-      (* No sync quorum in view: retry once the detector settles.
-         Background, so a hopeless rejoin never keeps a run alive. *)
-      Engine.schedule engine ~background:true
-        ~time:(Engine.now engine +. Failure_detector.timeout t.fd)
-        (fun () ->
-          if Engine.is_live engine node && t.rejoining.(node) then
-            start_rejoin t ~node)
-  | Some q ->
-      let sync_id = t.next_sync in
-      t.next_sync <- sync_id + 1;
-      t.syncs.(node) <-
-        Some
-          {
-            sync_id;
-            sync_waiting = Bitset.copy q;
-            sync_acc = Hashtbl.create 16;
-          };
-      Bitset.iter
-        (fun j -> rsend t ~src:node ~dst:j (Sync_req { sync = sync_id }))
-        q
+      (* A spare under sharding: no quorum contains it, nothing to
+         sync. *)
+      t.rejoining.(node) <- false
+  | Some sys -> (
+      let live = Failure_detector.view t.fd ~node in
+      match sys.Quorum.System.select (Engine.rng engine) ~live with
+      | None ->
+          (* No sync quorum in view: retry once the detector settles.
+             Background, so a hopeless rejoin never keeps a run alive. *)
+          Engine.schedule engine ~background:true
+            ~time:(Engine.now engine +. Failure_detector.timeout t.fd)
+            (fun () ->
+              if Engine.is_live engine node && t.rejoining.(node) then
+                start_rejoin t ~node)
+      | Some q ->
+          let sync_id = t.next_sync in
+          t.next_sync <- sync_id + 1;
+          t.syncs.(node) <-
+            Some
+              {
+                sync_id;
+                sync_waiting = Bitset.copy q;
+                sync_acc = Hashtbl.create 16;
+              };
+          Bitset.iter
+            (fun j -> rsend t ~src:node ~dst:j (Sync_req { sync = sync_id }))
+            q)
 
 let on_sync_rep t ~node ~src ~sync entries =
   match t.syncs.(node) with
@@ -471,11 +781,11 @@ let on_recovering t ~node ~src op_id =
       end
   | Some _ | None -> ()
 
-let on_dead_letter t ~src ~dst payload =
-  (* The rpc layer gave up reaching a quorum member: the attempt can
-     never complete, so fail it over right away instead of waiting for
-     the attempt timeout — but only if that member is still part of the
-     current attempt (dead letters for superseded attempts are noise). *)
+(* The rpc layer gave up reaching a quorum member: the attempt can
+   never complete, so fail it over right away instead of waiting for
+   the attempt timeout — but only if that member is still part of the
+   current attempt (dead letters for superseded attempts are noise). *)
+let rec on_dead_letter t ~src ~dst payload =
   let relevant op =
     match (payload, op.phase) with
     | Version_req _, Reading r -> Bitset.mem r.waiting_for dst
@@ -487,6 +797,10 @@ let on_dead_letter t ~src ~dst payload =
       match Hashtbl.find_opt t.ops op_id with
       | Some op when (not op.done_) && relevant op -> attempt_failed t op
       | Some _ | None -> ())
+  | Batch_req { reqs } ->
+      (* The whole batch missed the member: every contained request
+         fails over on its own. *)
+      List.iter (fun r -> on_dead_letter t ~src ~dst r) reqs
   | Sync_req { sync } -> (
       (* A sync-quorum member is unreachable: the rejoin cannot
          complete on this quorum — reselect. *)
@@ -495,7 +809,7 @@ let on_dead_letter t ~src ~dst payload =
           t.syncs.(src) <- None;
           if Engine.is_live (engine_exn t) src then start_rejoin t ~node:src
       | Some _ | None -> ())
-  | Version_rep _ | Write_ack _ | Recovering _ | Sync_rep _ ->
+  | Version_rep _ | Write_ack _ | Recovering _ | Sync_rep _ | Batch_rep _ ->
       (* A reply we could not push back: the client's own timeout and
          retry machinery covers it (and a lost sync reply stalls the
          rejoin until its own dead letter fires). *)
@@ -535,6 +849,25 @@ let bind t engine =
           Metrics.histogram m
             ~help:"operation latency (simulated time), by op=read|write"
             "store.op_latency";
+        st_sessions =
+          Metrics.counter m ~help:"client sessions opened" "store.sessions";
+        st_submitted =
+          Metrics.counter m ~help:"ops submitted through sessions, by client"
+            "store.session_submitted";
+        st_shed =
+          Metrics.counter m
+            ~help:"submissions shed by a full session backlog, by client"
+            "store.session_shed";
+        st_batches =
+          Metrics.counter m ~help:"Batch_req envelopes sent"
+            "store.batches";
+        st_batched =
+          Metrics.counter m ~help:"requests carried inside Batch_req"
+            "store.batched_ops";
+        st_backlog_peak =
+          Metrics.gauge m
+            ~help:"high-water session backlog depth, by client"
+            "store.session_backlog_peak";
       };
   t.dur <-
     Some
@@ -551,36 +884,75 @@ let refuse t ~node ~src op =
   Metrics.incr (ins_exn t).st_refusals;
   rsend t ~src:node ~dst:src (Recovering { op })
 
-let dispatch_app t engine ~node ~src = function
-  | Version_req { op; key } ->
-      if t.rejoining.(node) then refuse t ~node ~src op
-      else
-        let version, value =
-          match Hashtbl.find_opt t.replicas.(node) key with
-          | Some vv -> vv
-          | None -> (0, 0)
-        in
-        rsend t ~src:node ~dst:src (Version_rep { op; version; value })
-  | Version_rep { op; version; value } ->
-      on_version_rep t engine ~node:src op ~version ~value
-  | Write_req { op; key; version; value } ->
-      if t.rejoining.(node) then refuse t ~node ~src op
-      else begin
-        merge_record t.replicas.(node) (key, version, value);
-        (* Write-ahead: the record is logged unconditionally and the
-           ack leaves only once its fsync completes, so an acked write
-           can never be lost to a crash.  With zero fsync latency the
-           ack is synchronous, exactly the old stable-storage model. *)
-        let now = Engine.now engine in
+(* Replica service-time model: each request (or batch) occupies the
+   node's processor for a configured cost, serialized behind whatever
+   it is already chewing on.  With the default zero-cost model the
+   dispatch is synchronous — exactly the historical behaviour, no
+   extra events.  This is what turns quorum-size differences into
+   observable throughput: a node in every quorum saturates first. *)
+let with_service t engine ~node ~k process =
+  let cost =
+    t.serv.per_batch +. (float_of_int k *. t.serv.per_req)
+  in
+  let now = Engine.now engine in
+  if cost = 0.0 && t.busy_until.(node) <= now then process ~now
+  else begin
+    let start = Float.max now t.busy_until.(node) in
+    let finish = start +. cost in
+    t.busy_until.(node) <- finish;
+    let inc = t.incarnation.(node) in
+    Engine.schedule engine ~time:finish (fun () ->
+        if t.incarnation.(node) = inc && Engine.is_live engine node then
+          process ~now:finish)
+  end
+
+(* Serve one version request against the replica table (the caller has
+   already cleared the rejoining gate). *)
+let version_rep t ~node (op : int) key =
+  let version, value =
+    match Hashtbl.find_opt t.replicas.(node) key with
+    | Some vv -> vv
+    | None -> (0, 0)
+  in
+  Version_rep { op; version; value }
+
+(* Process a replica-side batch: version requests answer immediately,
+   writes merge into the table and share one durable flush — one
+   [append_batch], one fsync wait, one batched ack. *)
+let process_batch t engine ~node ~src ~now reqs =
+  if t.rejoining.(node) then begin
+    let reps =
+      List.filter_map
+        (function
+          | Version_req { op; _ } | Write_req { op; _ } ->
+              t.refusals <- t.refusals + 1;
+              Metrics.incr (ins_exn t).st_refusals;
+              Some (Recovering { op })
+          | _ -> None)
+        reqs
+    in
+    if reps <> [] then rsend t ~src:node ~dst:src (Batch_rep { reps })
+  end
+  else begin
+    let instant = ref [] and acks = ref [] and records = ref [] in
+    List.iter
+      (function
+        | Version_req { op; key } ->
+            instant := version_rep t ~node op key :: !instant
+        | Write_req { op; key; version; value } ->
+            merge_record t.replicas.(node) (key, version, value);
+            records := (key, version, value) :: !records;
+            acks := Write_ack { op } :: !acks
+        | _ -> ())
+      reqs;
+    (match List.rev !records with
+    | [] -> ()
+    | records ->
         let durable_at =
-          Durable.append (dur_exn t) ~node ~now (key, version, value)
+          Durable.append_batch (dur_exn t) ~node ~now records
         in
-        if durable_at <= now then
-          rsend t ~src:node ~dst:src (Write_ack { op })
+        if durable_at <= now then instant := !acks @ !instant
         else begin
-          (* The wait for the fsync is a span of its own, child of the
-             ambient attempt context, so the latency breakdown can
-             attribute the ack delay to durability rather than queueing. *)
           let parent = Engine.span_ctx engine in
           let fspan =
             if parent >= 0 then
@@ -588,6 +960,7 @@ let dispatch_app t engine ~node ~src = function
             else -1
           in
           let inc = t.incarnation.(node) in
+          let reps = List.rev !acks in
           Engine.schedule engine ~time:durable_at (fun () ->
               let alive =
                 t.incarnation.(node) = inc && Engine.is_live engine node
@@ -596,9 +969,58 @@ let dispatch_app t engine ~node ~src = function
                 Span.finish (spans_exn t) ~time:durable_at
                   ~status:(if alive then Span.Ok else Span.Error "crash")
                   fspan;
-              if alive then rsend t ~src:node ~dst:src (Write_ack { op }))
-        end
-      end
+              if alive then rsend t ~src:node ~dst:src (Batch_rep { reps }))
+        end);
+    match List.rev !instant with
+    | [] -> ()
+    | reps -> rsend t ~src:node ~dst:src (Batch_rep { reps })
+  end
+
+let rec dispatch_app t engine ~node ~src = function
+  | Version_req { op; key } ->
+      with_service t engine ~node ~k:1 (fun ~now:_ ->
+          if t.rejoining.(node) then refuse t ~node ~src op
+          else rsend t ~src:node ~dst:src (version_rep t ~node op key))
+  | Version_rep { op; version; value } ->
+      on_version_rep t engine ~node:src op ~version ~value
+  | Write_req { op; key; version; value } ->
+      with_service t engine ~node ~k:1 (fun ~now ->
+          if t.rejoining.(node) then refuse t ~node ~src op
+          else begin
+            merge_record t.replicas.(node) (key, version, value);
+            (* Write-ahead: the record is logged unconditionally and the
+               ack leaves only once its fsync completes, so an acked write
+               can never be lost to a crash.  With zero fsync latency the
+               ack is synchronous, exactly the old stable-storage model. *)
+            let durable_at =
+              Durable.append (dur_exn t) ~node ~now (key, version, value)
+            in
+            if durable_at <= now then
+              rsend t ~src:node ~dst:src (Write_ack { op })
+            else begin
+              (* The wait for the fsync is a span of its own, child of the
+                 ambient attempt context, so the latency breakdown can
+                 attribute the ack delay to durability rather than
+                 queueing. *)
+              let parent = Engine.span_ctx engine in
+              let fspan =
+                if parent >= 0 then
+                  Span.start (spans_exn t) ~time:now ~node ~parent
+                    "store.fsync"
+                else -1
+              in
+              let inc = t.incarnation.(node) in
+              Engine.schedule engine ~time:durable_at (fun () ->
+                  let alive =
+                    t.incarnation.(node) = inc && Engine.is_live engine node
+                  in
+                  if fspan >= 0 then
+                    Span.finish (spans_exn t) ~time:durable_at
+                      ~status:(if alive then Span.Ok else Span.Error "crash")
+                      fspan;
+                  if alive then rsend t ~src:node ~dst:src (Write_ack { op }))
+            end
+          end)
   | Write_ack { op } -> on_write_ack t op ~node:src
   | Recovering { op } -> on_recovering t ~node ~src op
   | Sync_req { sync } ->
@@ -614,6 +1036,13 @@ let dispatch_app t engine ~node ~src = function
       in
       rsend t ~src:node ~dst:src (Sync_rep { sync; entries })
   | Sync_rep { sync; entries } -> on_sync_rep t ~node ~src ~sync entries
+  | Batch_req { reqs } ->
+      with_service t engine ~node ~k:(List.length reqs) (fun ~now ->
+          process_batch t engine ~node ~src ~now reqs)
+  | Batch_rep { reps } ->
+      (* Unpack at the client: each inner reply dispatches exactly as
+         if it had arrived bare. *)
+      List.iter (fun rep -> dispatch_app t engine ~node ~src rep) reps
 
 let handlers t : msg Engine.handlers =
   {
@@ -642,6 +1071,7 @@ let handlers t : msg Engine.handlers =
       (fun engine ~node ->
         Rpc.on_crash t.rpc ~node;
         t.incarnation.(node) <- t.incarnation.(node) + 1;
+        t.busy_until.(node) <- 0.0;
         Durable.crash (dur_exn t) ~node ~now:(Engine.now engine);
         t.syncs.(node) <- None;
         (* A crashed client's timers are dropped by the engine, so its

@@ -25,6 +25,31 @@
     (regular-register semantics under the intersection property);
     violations are surfaced through {!stale_reads}.
 
+    {2 Sessions, pipelining and batching}
+
+    {!Session} is the primary client entry: a session pipelines up to
+    [window] operations concurrently (per-key FIFO — a later op on a
+    key never overtakes an earlier one, so each key's writes commit in
+    submission order), queues the overflow in a bounded backlog (the
+    bound sheds under open-loop overload), and optionally coalesces
+    outgoing quorum requests into [Batch_req] envelopes of up to
+    [batch_size] requests per destination, flushed on size or after
+    [batch_delay].  A replica serves a batch in one rpc exchange and
+    persists all its writes through {e one}
+    {!Sim.Durable.append_batch} flush — k writes, one fsync, one
+    batched ack.  {!read} and {!write} remain as one-deep shims over a
+    fresh window-1 unbatched session and reproduce the historical
+    per-op code path exactly (same op ids, RNG draws and events).
+
+    {2 Sharding}
+
+    Passing a {!Shard_router} to {!of_config} routes every per-key
+    quorum selection to the key's sub-triangle / sub-grid, so disjoint
+    keys hit disjoint subquorums and aggregate throughput scales with
+    the shard count; amnesiac recoverers then re-sync against their
+    own shard's read system (spares outside every shard have nothing
+    to re-establish).
+
     {2 Durability and crash recovery}
 
     Replicas persist through a {!Sim.Durable} store with write-ahead
@@ -50,6 +75,43 @@
 type t
 type msg
 
+type service = { per_req : float; per_batch : float }
+(** Replica service-time model: handling a request (or batch) occupies
+    the node's processor for [per_batch + k * per_req] simulated time,
+    serialized per node.  The default zero-cost model dispatches
+    synchronously — the historical behaviour.  A non-zero cost is what
+    makes quorum {e size} observable as throughput: nodes sitting in
+    every quorum saturate first, so smaller/disjoint quorums win. *)
+
+val no_service : service
+val service : ?per_req:float -> ?per_batch:float -> unit -> service
+(** Raises [Invalid_argument] on negative costs. *)
+
+val of_config :
+  ?config:Client_config.t ->
+  ?router:Shard_router.t ->
+  ?service:service ->
+  read_system:Quorum.System.t ->
+  write_system:Quorum.System.t ->
+  unit ->
+  t
+(** The primary constructor: all client-side tunables live in the
+    {!Client_config.t} record (default {!Client_config.default}; every
+    field is honoured — [timeout] is the per-attempt lifetime,
+    [retries] the quorum re-selections after a timeout).  Both systems
+    must span the same universe; a [router]'s universe must match
+    (its shard systems then drive every per-key quorum selection).
+
+    [config.retries] interacts with the rpc backoff: a single attempt
+    already survives transient loss via retransmission (up to
+    [rpc.attempts] sends spaced by [rpc.timeout] growing with
+    [rpc.backoff] — see {!Sim.Rpc.create}), so attempt-level retries
+    only matter when a quorum {e member} is down or cut off and a
+    different quorum must be chosen.  Keep [config.timeout]
+    comfortably above [config.rpc.timeout] so the rpc layer gets a
+    chance to push a message through before the whole attempt is
+    abandoned. *)
+
 val create :
   ?retries:int ->
   ?rpc_timeout:float ->
@@ -63,26 +125,9 @@ val create :
   timeout:float ->
   unit ->
   t
-(** Both systems must span the same universe.  [durability] (default
-    {!Sim.Durable.instant}) configures the per-replica durable store:
-    a non-zero fsync latency delays write acks, and torn-tail mode
-    makes crashes corrupt the last in-flight log record.  [timeout] bounds each
-    attempt's lifetime in simulated time; on expiry (or an early
-    dead-letter fail-over) the operation is retried with a freshly
-    selected quorum up to [retries] times (default 2) before counting
-    as a timeout.
-
-    [retries] interacts with the rpc backoff: a single attempt already
-    survives transient loss via retransmission (up to [rpc_attempts]
-    sends spaced by [rpc_timeout] growing with [rpc_backoff] — see
-    {!Sim.Rpc.create}; [rpc_timeout] defaults to 4.0 here, above the
-    default network round-trip), so attempt-level retries only matter when a
-    quorum {e member} is down or cut off and a different quorum must be
-    chosen.  Keep [timeout] comfortably above [rpc_timeout] so the rpc
-    layer gets a chance to push a message through before the whole
-    attempt is abandoned.  The default of 2 retries rides out a
-    crash-and-reselect and a concurrent partition without inflating
-    latency on the happy path. *)
+(** Compatibility shim over {!of_config}: packs the historical
+    keyword arguments into a {!Client_config.t}.  New code should
+    build the record instead. *)
 
 val retried : t -> int
 (** Attempts that failed (timeout or dead-letter) and were retried. *)
@@ -93,9 +138,66 @@ val bind : t -> msg Sim.Engine.t -> unit
 (** Must be called once, before the first operation.  Starts the
     heartbeat traffic. *)
 
+(** {2 Sessions} *)
+
+type outcome =
+  | Read_done of { version : int; value : int }
+  | Write_done of { version : int }
+  | Timed_out  (** all attempt retries exhausted (or the client died) *)
+  | Unavailable  (** no quorum in the client's failure-detector view *)
+
+type request = Get of { key : int } | Put of { key : int; value : int }
+
+(** The sessioned client API: create once per client conversation,
+    [submit] freely, read the counters when the run drains. *)
+module Session : sig
+  type store := t
+  type t
+
+  val create :
+    store ->
+    client:int ->
+    ?window:int ->
+    ?batch_size:int ->
+    ?batch_delay:float ->
+    ?max_queue:int ->
+    unit ->
+    t
+  (** A session for [client].  [window] (default 1) in-flight ops;
+      [batch_size] (default 1 — unbatched, bare wire messages exactly
+      as before sessions) requests per [Batch_req] envelope;
+      [batch_delay] (default 0, meaning "end of the current simulated
+      instant") bounds how long a partial batch may wait; [max_queue]
+      (default unbounded) bounds the backlog beyond the window —
+      submissions past the bound are shed.  Requires a bound engine.
+      Raises [Invalid_argument] on out-of-range parameters. *)
+
+  val submit :
+    store -> t -> ?on_complete:(outcome -> unit) -> request -> bool
+  (** Launch (window permitting, per-key FIFO), or enqueue, or shed —
+      [false] means shed.  [on_complete] fires exactly once, when the
+      op finishes in any way. *)
+
+  val drain : store -> t -> unit
+  (** Flush partially filled batches now (e.g. at the end of a
+      closed-loop run).  Completion of in-flight ops still needs
+      engine time. *)
+
+  val id : t -> int
+  val client : t -> int
+  val window : t -> int
+  val in_flight : t -> int
+  val queued : t -> int
+  val submitted : t -> int
+  val completed : t -> int
+  val shed : t -> int
+  val peak_queue : t -> int
+end
+
 val read : t -> client:int -> key:int -> unit
 val write : t -> client:int -> key:int -> value:int -> unit
-(** Fire-and-record: results land in the statistics below. *)
+(** Fire-and-record one-deep shims over a fresh window-1 unbatched
+    {!Session}: results land in the statistics below. *)
 
 val reads_ok : t -> int
 val writes_ok : t -> int
@@ -107,6 +209,15 @@ val timeouts : t -> int
 val stale_reads : t -> int
 (** Completed reads that returned a version older than a write that
     finished before the read began — must be 0. *)
+
+val batches : t -> int
+(** [Batch_req] envelopes sent across all sessions. *)
+
+val batched_ops : t -> int
+(** Requests carried inside those envelopes. *)
+
+val shed : t -> int
+(** Submissions dropped by full session backlogs across all sessions. *)
 
 val dead_letters : t -> int
 (** Messages the rpc layer gave up on. *)

@@ -1,17 +1,23 @@
 module Engine = Sim.Engine
 module Ta = Obs.Trace_analysis
 
-type protocol = Mutex | Store | Reconfig
+type protocol = Mutex | Store | Reconfig | Throughput
 
 let protocol_name = function
   | Mutex -> "mutex"
   | Store -> "store"
   | Reconfig -> "reconfig"
+  | Throughput -> "throughput"
 
 (* The pinned chaos seeds (bench chaos writes them into
-   BENCH_chaos.json); reports made with the defaults are replayed
-   exactly by any other tool using the same seed. *)
-let default_seed = function Mutex -> 41 | Store -> 42 | Reconfig -> 43
+   BENCH_chaos.json, bench throughput into BENCH_throughput.json);
+   reports made with the defaults are replayed exactly by any other
+   tool using the same seed. *)
+let default_seed = function
+  | Mutex -> 41
+  | Store -> 42
+  | Reconfig -> 43
+  | Throughput -> 46
 
 type t = {
   protocol : protocol;
@@ -31,7 +37,7 @@ let run ?seed ?(horizon = 400.0) ?(trace_capacity = 1 lsl 19) ?next ~protocol
   let next = Option.value next ~default:system in
   let n =
     match protocol with
-    | Mutex | Store -> system.Quorum.System.n
+    | Mutex | Store | Throughput -> system.Quorum.System.n
     | Reconfig -> max system.Quorum.System.n next.Quorum.System.n
   in
   let s = Chaos.scenario_of_label ~n ~horizon scenario in
@@ -49,6 +55,16 @@ let run ?seed ?(horizon = 400.0) ?(trace_capacity = 1 lsl 19) ?next ~protocol
             ~write_system:system ~name:system.Quorum.System.name s
         in
         ( Chaos.store_header () ^ "\n" ^ Chaos.store_row r,
+          Some
+            (Ta.audit_history ~trace:(Obs.trace obs) ~spans:(Obs.spans obs)
+               (Replicated_store.history store)),
+          system.Quorum.System.name )
+    | Throughput ->
+        let r, store =
+          Throughput.run_h ~seed ~obs ~read_system:system ~write_system:system
+            ~name:system.Quorum.System.name s
+        in
+        ( Throughput.header () ^ "\n" ^ Throughput.row r,
           Some
             (Ta.audit_history ~trace:(Obs.trace obs) ~spans:(Obs.spans obs)
                (Replicated_store.history store)),

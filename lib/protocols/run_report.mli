@@ -10,13 +10,13 @@
     when events were evicted) and the full metrics registry.  Backs
     [quorumctl report] and the [bench latency] target. *)
 
-type protocol = Mutex | Store | Reconfig
+type protocol = Mutex | Store | Reconfig | Throughput
 
 val protocol_name : protocol -> string
 val default_seed : protocol -> int
-(** The pinned chaos seeds (mutex 41, store 42, reconfig 43), shared
-    with [bench chaos] so reports and bench rows describe the same
-    runs. *)
+(** The pinned chaos seeds (mutex 41, store 42, reconfig 43,
+    throughput 46), shared with [bench chaos] / [bench throughput] so
+    reports and bench rows describe the same runs. *)
 
 type t = {
   protocol : protocol;
@@ -46,7 +46,10 @@ val run :
     miss) and analyze it.  [seed] defaults to the protocol's pinned
     seed, [horizon] to 400, [trace_capacity] to [2^19] events (big
     enough that standard runs evict nothing), [next] (reconfig only)
-    to [system].  For [Store] the spec is used as both read and write
-    system. *)
+    to [system].  For [Store] and [Throughput] the spec is used as
+    both read and write system; [Throughput] drives it closed-loop
+    through sessions with the default window, batch size and service
+    cost (see {!Throughput.run_h}) and its summary row is the
+    throughput row. *)
 
 val to_markdown : t -> string

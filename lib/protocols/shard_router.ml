@@ -1,0 +1,136 @@
+module System = Quorum.System
+
+type family = Majority | Htriang | Hgrid
+
+type shard = {
+  members : int array;
+  read_sys : System.t;
+  write_sys : System.t;
+}
+
+type t = {
+  universe : int;
+  family : family;
+  shards : shard array;
+  node_shard : int array;  (** node -> shard index, -1 for spares *)
+}
+
+let family_label = function
+  | Majority -> "majority"
+  | Htriang -> "h-triang"
+  | Hgrid -> "h-grid"
+
+(* Largest triangle row count fitting m processes: r(r+1)/2 <= m. *)
+let tri_rows m =
+  let rec go r = if (r + 1) * (r + 2) / 2 <= m then go (r + 1) else r in
+  go 1
+
+(* Near-square grid dimensions using at most m processes. *)
+let grid_dims m =
+  let rows = max 1 (int_of_float (sqrt (float_of_int m))) in
+  let cols = max 1 (m / rows) in
+  (rows, cols)
+
+(* Build one shard's quorum systems over its block of the universe.
+   Spare block members beyond the construction's footprint idle — they
+   appear in no quorum, exactly like Membership's placement spares. *)
+let build_shard family ~universe ~index (block : int array) =
+  let m = Array.length block in
+  let embed ?name used sys =
+    let place = Array.sub block 0 used in
+    let name =
+      match name with
+      | Some n -> Printf.sprintf "shard%d:%s" index n
+      | None -> Printf.sprintf "shard%d:%s" index sys.System.name
+    in
+    System.embed ~name ~universe ~place sys
+  in
+  match family with
+  | Majority ->
+      let sys = embed m (Systems.Majority.make m) in
+      ({ members = block; read_sys = sys; write_sys = sys }, m)
+  | Htriang ->
+      let rows = tri_rows m in
+      let tri = Core.Htriang.standard ~rows () in
+      let used = tri.Core.Htriang.n in
+      let sys = embed used (Core.Htriang.system tri) in
+      ({ members = block; read_sys = sys; write_sys = sys }, used)
+  | Hgrid ->
+      let rows, cols = grid_dims m in
+      let grid = Core.Hgrid.auto_2x2 ~rows ~cols () in
+      let used = grid.Core.Hgrid.n in
+      ( {
+          members = block;
+          read_sys = embed used (Core.Hgrid.read_system grid);
+          write_sys = embed used (Core.Hgrid.write_system grid);
+        },
+        used )
+
+let create ?(family = Hgrid) ~universe ~shards () =
+  if universe < 1 then Error "Shard_router.create: universe must be >= 1"
+  else if shards < 1 then Error "Shard_router.create: shards must be >= 1"
+  else if shards > universe then
+    Error
+      (Printf.sprintf
+         "Shard_router.create: %d shards need at least %d processes (have %d)"
+         shards shards universe)
+  else begin
+    (* Contiguous near-equal blocks: the first [universe mod shards]
+       blocks get one extra process. *)
+    let base = universe / shards and extra = universe mod shards in
+    let node_shard = Array.make universe (-1) in
+    let next = ref 0 in
+    let blocks =
+      Array.init shards (fun i ->
+          let size = base + if i < extra then 1 else 0 in
+          let block = Array.init size (fun j -> !next + j) in
+          next := !next + size;
+          block)
+    in
+    let built =
+      Array.mapi
+        (fun i block ->
+          let shard, used = build_shard family ~universe ~index:i block in
+          (* Spares (block members beyond the construction's footprint)
+             stay at -1 so rejoin knows they hold no shard state. *)
+          Array.iteri (fun j p -> if j < used then node_shard.(p) <- i) block;
+          shard)
+        blocks
+    in
+    Ok { universe; family; shards = built; node_shard }
+  end
+
+let universe t = t.universe
+let family t = t.family
+let shard_count t = Array.length t.shards
+
+let shard_of_key t ~key =
+  if key < 0 then invalid_arg "Shard_router.shard_of_key: key";
+  key mod Array.length t.shards
+
+let read_system t ~key = t.shards.(shard_of_key t ~key).read_sys
+let write_system t ~key = t.shards.(shard_of_key t ~key).write_sys
+
+let shard_read_system t ~shard = t.shards.(shard).read_sys
+let shard_write_system t ~shard = t.shards.(shard).write_sys
+let members t ~shard = Array.copy t.shards.(shard).members
+
+let shard_of_node t ~node =
+  if node < 0 || node >= t.universe then
+    invalid_arg "Shard_router.shard_of_node: node";
+  if t.node_shard.(node) < 0 then None else Some t.node_shard.(node)
+
+let describe t =
+  let b = Buffer.create 128 in
+  Buffer.add_string b
+    (Printf.sprintf "%d-way %s sharding over %d processes\n"
+       (Array.length t.shards) (family_label t.family) t.universe);
+  Array.iteri
+    (fun i s ->
+      Buffer.add_string b
+        (Printf.sprintf "  shard %d: nodes [%s]  read %s  write %s\n" i
+           (String.concat ","
+              (List.map string_of_int (Array.to_list s.members)))
+           s.read_sys.System.name s.write_sys.System.name))
+    t.shards;
+  Buffer.contents b

@@ -1,0 +1,52 @@
+(** Multi-key sharding: map keys onto sub-triangles / sub-grids of the
+    hierarchy so disjoint keys hit disjoint subquorums — the Section-4
+    load balancing made operational.
+
+    The universe is cut into contiguous near-equal blocks, one shard
+    per block, and each shard gets its own quorum system built over
+    its block through the same placement machinery as
+    {!Membership} ({!Quorum.System.embed}): a tie-broken majority, the
+    largest standard h-triang fitting the block, or a near-square
+    auto-2x2 h-grid (asymmetric read/write halves).  Block members
+    beyond a construction's footprint are idle spares.
+
+    Keys route by [key mod shards]; {!Replicated_store.of_config}
+    accepts a router and then selects every per-key read/write quorum
+    from the key's shard, so operations on different shards touch
+    disjoint replicas and scale throughput with the shard count. *)
+
+type family = Majority | Htriang | Hgrid
+
+type t
+
+val create :
+  ?family:family -> universe:int -> shards:int -> unit -> (t, string) result
+(** Cut [universe] processes into [shards] blocks and build one
+    [family] (default [Hgrid]) quorum system per block.  [Error] when
+    [shards < 1] or [shards > universe]. *)
+
+val universe : t -> int
+val family : t -> family
+val family_label : family -> string
+val shard_count : t -> int
+
+val shard_of_key : t -> key:int -> int
+(** [key mod shards].  Raises [Invalid_argument] on a negative key. *)
+
+val read_system : t -> key:int -> Quorum.System.t
+val write_system : t -> key:int -> Quorum.System.t
+(** The key's shard systems, expressed over the full universe (so any
+    engine-sized live set / RNG works unchanged). *)
+
+val shard_read_system : t -> shard:int -> Quorum.System.t
+val shard_write_system : t -> shard:int -> Quorum.System.t
+
+val members : t -> shard:int -> int array
+(** The shard's block (including idle spares), ascending. *)
+
+val shard_of_node : t -> node:int -> int option
+(** The shard whose quorums can include [node]; [None] for spares —
+    a recovering spare has no shard state to re-sync. *)
+
+val describe : t -> string
+(** Multi-line human-readable layout dump. *)

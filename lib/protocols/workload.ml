@@ -18,6 +18,42 @@ let poisson_ops engine ~rng ~rate ~horizon issue =
     times;
   List.length times
 
+let arrival_times rng ~rate ~horizon =
+  if rate <= 0.0 || horizon <= 0.0 then invalid_arg "Workload.arrival_times";
+  poisson_times rng ~rate ~horizon
+
+let open_loop engine ~rng ~rate ~horizon issue =
+  if rate <= 0.0 || horizon <= 0.0 then invalid_arg "Workload.open_loop";
+  let times = poisson_times rng ~rate ~horizon in
+  List.iter (fun time -> Engine.schedule engine ~time issue) times;
+  List.length times
+
+let closed_loop engine ~stations ~per_station ~horizon ?(retry_delay = 1.0)
+    issue =
+  if stations <= 0 || per_station <= 0 then
+    invalid_arg "Workload.closed_loop: stations/per_station";
+  if horizon <= 0.0 || retry_delay <= 0.0 then
+    invalid_arg "Workload.closed_loop: horizon/retry_delay";
+  (* Each station keeps [per_station] ops in flight: a completed op
+     immediately spawns its successor, a failed one backs off by
+     [retry_delay] (breaking the synchronous resubmit loop a
+     persistent quorum outage would otherwise spin on). *)
+  let rec pump ~station =
+    if Engine.now engine < horizon then
+      issue ~station ~complete:(fun ~ok ->
+          if ok then pump ~station
+          else
+            Engine.schedule engine
+              ~time:(Engine.now engine +. retry_delay)
+              (fun () -> pump ~station))
+  in
+  for s = 0 to stations - 1 do
+    Engine.schedule engine ~time:0.0 (fun () ->
+        for _ = 1 to per_station do
+          pump ~station:s
+        done)
+  done
+
 let staggered_requests engine ~every ~count issue =
   if every <= 0.0 || count < 0 then
     invalid_arg "Workload.staggered_requests";

@@ -11,6 +11,45 @@ val poisson_ops :
     unit over [\[0, horizon)]; each op is issued by a uniformly random
     client node.  Returns the number of scheduled ops. *)
 
+val arrival_times :
+  Quorum.Rng.t -> rate:float -> horizon:float -> float list
+(** The raw Poisson arrival instants behind {!poisson_ops} /
+    {!open_loop}, ascending — for callers that schedule the work
+    themselves.  Raises [Invalid_argument] on a non-positive rate or
+    horizon. *)
+
+val open_loop :
+  'msg Sim.Engine.t ->
+  rng:Quorum.Rng.t ->
+  rate:float ->
+  horizon:float ->
+  (unit -> unit) ->
+  int
+(** Open-loop offered load: schedule [issue] at Poisson arrivals of
+    [rate] per time unit over [\[0, horizon)], regardless of how the
+    service keeps up — arrivals beyond capacity pile into whatever
+    queue the callee maintains.  Unlike {!poisson_ops} the callee
+    draws its own station/key (at event time, keeping the RNG in
+    event order).  Returns the number of arrivals. *)
+
+val closed_loop :
+  'msg Sim.Engine.t ->
+  stations:int ->
+  per_station:int ->
+  horizon:float ->
+  ?retry_delay:float ->
+  (station:int -> complete:(ok:bool -> unit) -> unit) ->
+  unit
+(** Closed-loop load: each of [stations] keeps [per_station]
+    operations permanently in flight until [horizon] — [issue] must
+    start one operation and call [complete] exactly once when it
+    finishes.  [~ok:true] immediately issues the successor;
+    [~ok:false] backs off by [retry_delay] (default 1.0) first, so a
+    persistent outage cannot spin the simulation at one instant.
+    This measures {e capacity}: completions per time unit at full
+    pipeline occupancy.  Raises [Invalid_argument] on non-positive
+    parameters. *)
+
 val staggered_requests :
   'msg Sim.Engine.t ->
   every:float ->

@@ -100,6 +100,51 @@ let prepare t =
 
 let rename t name = { t with name }
 
+(* Re-express a small system over a larger universe through a placement
+   array: logical element [l] of [base] lives at physical process
+   [place.(l)].  Everything — availability, selection, the quorum list —
+   is the base system's behaviour translated through [place]; processes
+   outside the image are permanent spares. *)
+let embed ?name ~universe ~place base =
+  let k = Array.length place in
+  if k <> base.n then invalid_arg "System.embed: placement size mismatch";
+  Array.iter
+    (fun p ->
+      if p < 0 || p >= universe then invalid_arg "System.embed: placement")
+    place;
+  let seen = Hashtbl.create k in
+  Array.iter
+    (fun p ->
+      if Hashtbl.mem seen p then
+        invalid_arg "System.embed: duplicate placement"
+      else Hashtbl.add seen p ())
+    place;
+  let name =
+    match name with
+    | Some s -> s
+    | None -> Printf.sprintf "%s/%d" base.name universe
+  in
+  let logical_live live =
+    let llive = Bitset.create base.n in
+    Array.iteri (fun l p -> if Bitset.mem live p then Bitset.add llive l) place;
+    llive
+  in
+  let physical q =
+    let phys = Bitset.create universe in
+    Bitset.iter (fun l -> Bitset.add phys place.(l)) q;
+    phys
+  in
+  let avail live = base.avail (logical_live live) in
+  let select rng ~live =
+    Option.map physical (base.select rng ~live:(logical_live live))
+  in
+  let min_quorums =
+    Option.map
+      (fun q -> lazy (List.map physical (Lazy.force q)))
+      base.min_quorums
+  in
+  make ~name ~n:universe ~avail ?min_quorums ~select ()
+
 let quorum_of_live t live =
   match t.min_quorums with
   | Some quorums ->

@@ -69,6 +69,18 @@ val prepare : t -> unit
 
 val rename : t -> string -> t
 
+val embed : ?name:string -> universe:int -> place:int array -> t -> t
+(** [embed ~universe ~place base] re-expresses [base] over a larger
+    universe: logical element [l] lives at physical process
+    [place.(l)] (all distinct, [< universe]); processes outside the
+    image are permanent spares that never appear in a quorum.
+    Availability, selection (including its RNG draws) and the minimal
+    quorums are the base system's behaviour translated through the
+    placement — this is the placement machinery behind
+    {!Protocols.Membership} and {!Protocols.Shard_router}.  The
+    default name is ["<base>/<universe>"].  Raises [Invalid_argument]
+    on a malformed placement. *)
+
 val quorum_of_live : t -> Bitset.t -> Bitset.t option
 (** Deterministically find a quorum within [live] using the quorum
     list; [None] when unavailable. *)

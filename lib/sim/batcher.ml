@@ -1,0 +1,74 @@
+(* Generic per-destination batching: buffer items, flush when a buffer
+   reaches [max_size] or when [max_delay] elapses since the buffer's
+   first item.  The timer is an engine-scheduled thunk guarded by a
+   generation counter, so a size-triggered flush silently retires the
+   pending timer without timer-tag plumbing. *)
+
+type 'a buf = {
+  mutable items : 'a list;  (** newest first *)
+  mutable count : int;
+  mutable gen : int;  (** bumped on every flush; retires stale timers *)
+  mutable armed : bool;
+}
+
+type 'a t = {
+  max_size : int;
+  max_delay : float;
+  schedule : delay:float -> (unit -> unit) -> unit;
+  flush_cb : dst:int -> 'a list -> unit;
+  bufs : 'a buf array;
+  mutable batches : int;
+  mutable batched : int;
+}
+
+let create ?(max_size = 8) ?(max_delay = 0.0) ~nodes ~schedule ~flush () =
+  if max_size < 1 then invalid_arg "Batcher.create: max_size";
+  if max_delay < 0.0 then invalid_arg "Batcher.create: max_delay";
+  if nodes <= 0 then invalid_arg "Batcher.create: nodes";
+  {
+    max_size;
+    max_delay;
+    schedule;
+    flush_cb = flush;
+    bufs =
+      Array.init nodes (fun _ ->
+          { items = []; count = 0; gen = 0; armed = false });
+    batches = 0;
+    batched = 0;
+  }
+
+let flush_dst t ~dst =
+  let b = t.bufs.(dst) in
+  if b.count > 0 then begin
+    let items = List.rev b.items in
+    b.items <- [];
+    b.count <- 0;
+    b.gen <- b.gen + 1;
+    b.armed <- false;
+    t.batches <- t.batches + 1;
+    t.batched <- t.batched + List.length items;
+    t.flush_cb ~dst items
+  end
+
+let add t ~dst item =
+  let b = t.bufs.(dst) in
+  b.items <- item :: b.items;
+  b.count <- b.count + 1;
+  if b.count >= t.max_size then flush_dst t ~dst
+  else if not b.armed then begin
+    b.armed <- true;
+    let gen = b.gen in
+    (* delay 0.0 still goes through the event queue: everything added
+       during the current handler turn coalesces into one flush. *)
+    t.schedule ~delay:t.max_delay (fun () ->
+        if t.bufs.(dst).gen = gen then flush_dst t ~dst)
+  end
+
+let flush_all t =
+  Array.iteri (fun dst _ -> flush_dst t ~dst) t.bufs
+
+let pending t =
+  Array.fold_left (fun acc b -> acc + b.count) 0 t.bufs
+
+let batches t = t.batches
+let batched t = t.batched

@@ -19,7 +19,11 @@ type 'e t = {
   n : int;
   cfg : config;
   ins : ins;
-  logs : (float * 'e) list array;  (** newest first: (durable_at, entry) *)
+  logs : (float * int * 'e) list array;
+      (** newest first: (durable_at, group, entry).  Records appended
+          as one batch share a group id and an fsync window; crash
+          damage is all-or-nothing per group. *)
+  mutable next_group : int;
   mutable cell_hooks : (int -> float -> unit) list;
       (** crash propagation into every cell created from this store *)
 }
@@ -45,6 +49,7 @@ let create ~obs ~nodes cfg =
             "durable.replayed_entries";
       };
     logs = Array.make nodes [];
+    next_group = 0;
     cell_hooks = [];
   }
 
@@ -56,12 +61,32 @@ let check_node t node name =
 
 (* --- Append-only log ------------------------------------------------ *)
 
+let fresh_group t =
+  let g = t.next_group in
+  t.next_group <- g + 1;
+  g
+
 let append t ~node ~now e =
   check_node t node "append";
   Metrics.incr t.ins.d_appends;
   let durable_at = now +. t.cfg.fsync_latency in
-  t.logs.(node) <- (durable_at, e) :: t.logs.(node);
+  t.logs.(node) <- (durable_at, fresh_group t, e) :: t.logs.(node);
   durable_at
+
+let append_batch t ~node ~now es =
+  check_node t node "append_batch";
+  match es with
+  | [] -> now
+  | es ->
+      Metrics.incr t.ins.d_appends ~by:(List.length es);
+      let durable_at = now +. t.cfg.fsync_latency in
+      let group = fresh_group t in
+      (* One flush covers the whole batch: every record lands (or is
+         destroyed) together, at one durable instant. *)
+      List.iter
+        (fun e -> t.logs.(node) <- (durable_at, group, e) :: t.logs.(node))
+        es;
+      durable_at
 
 let log_length t ~node =
   check_node t node "log_length";
@@ -70,32 +95,45 @@ let log_length t ~node =
 let replay t ~node ~now =
   check_node t node "replay";
   let durable =
-    List.filter (fun (at, _) -> at <= now) t.logs.(node) |> List.rev_map snd
+    List.filter (fun (at, _, _) -> at <= now) t.logs.(node)
+    |> List.rev_map (fun (_, _, e) -> e)
   in
   Metrics.incr t.ins.d_replayed ~by:(List.length durable);
   durable
 
 (* Newest-first and durable_at is monotone in append order, so the
-   in-flight writes are exactly a prefix of the list. *)
-let split_in_flight ~now entries =
+   in-flight writes are exactly a prefix of the list.  Records of one
+   group share a durable_at, so a group is never split.  [at_of]
+   projects the durable instant out of an entry (logs and cells store
+   different tuple shapes). *)
+let split_in_flight at_of ~now entries =
   let rec go = function
-    | (at, e) :: rest when at > now ->
+    | e :: rest when at_of e > now ->
         let lost, kept = go rest in
-        ((at, e) :: lost, kept)
+        (e :: lost, kept)
     | durable -> ([], durable)
   in
   go entries
 
 let crash t ~node ~now =
   check_node t node "crash";
-  let lost, survived = split_in_flight ~now t.logs.(node) in
+  let lost, survived =
+    split_in_flight (fun (at, _, _) -> at) ~now t.logs.(node)
+  in
   let n_lost = List.length lost in
   let survived, torn =
     (* A torn tail only makes sense when the crash interrupted a
        flush: the partially written block damages the record before
-       it. *)
+       it — and a batched flush is damaged as a unit, so the whole
+       newest surviving group goes. *)
     if t.cfg.torn_tail && n_lost > 0 then
-      match survived with _ :: rest -> (rest, 1) | [] -> ([], 0)
+      match survived with
+      | (_, g, _) :: _ ->
+          let torn, kept =
+            List.partition (fun (_, g', _) -> g' = g) survived
+          in
+          (kept, List.length torn)
+      | [] -> ([], 0)
     else (survived, 0)
   in
   t.logs.(node) <- survived;
@@ -117,7 +155,7 @@ type 'a cell = {
 
 (* Promote every pending write whose fsync window has closed. *)
 let settle c node ~now =
-  let in_flight, landed = split_in_flight ~now c.pending.(node) in
+  let in_flight, landed = split_in_flight fst ~now c.pending.(node) in
   (match landed with (_, v) :: _ -> c.durable.(node) <- Some v | [] -> ());
   c.pending.(node) <- in_flight
 

@@ -48,6 +48,16 @@ val append : 'e t -> node:int -> now:float -> 'e -> float
 (** Append an entry to [node]'s log; returns the absolute time at
     which it is durable ([now + fsync_latency]). *)
 
+val append_batch : 'e t -> node:int -> now:float -> 'e list -> float
+(** Append [k] entries as {e one} flush group: they share a single
+    fsync window and become durable together at the returned instant
+    ([now + fsync_latency]; [now] itself for the empty batch, which
+    appends nothing).  Crash damage is all-or-nothing per group — an
+    in-flight batch is dropped whole, and a torn tail destroys the
+    whole newest surviving group, never part of one.  This is the
+    amortization behind {!Replicated_store}'s [Batch_req]: k writes,
+    one fsync, one ack. *)
+
 val log_length : 'e t -> node:int -> int
 (** Entries currently in the log, durable or still inside their fsync
     window. *)
@@ -59,8 +69,9 @@ val replay : 'e t -> node:int -> now:float -> 'e list
 val crash : 'e t -> node:int -> now:float -> unit
 (** Apply crash semantics to [node]'s disk at time [now]: drop every
     log record and cell write still inside its fsync window, and tear
-    off the last surviving log record when [torn_tail] is set and a
-    record was in flight. *)
+    off the last surviving flush group (a single {!append}'s record,
+    or a whole {!append_batch}) when [torn_tail] is set and a record
+    was in flight. *)
 
 (** {1 Typed cells} *)
 
