@@ -7,7 +7,11 @@
    [static] mode keeps the t=0 h-triang placement forever; [resize]
    runs the replace/grow/shrink controller; [timed] additionally runs
    the register in timed-quorum (lease) mode so epoch switches drain
-   validity windows instead of sealing a structural old-system quorum.
+   validity windows instead of sealing a structural old-system quorum;
+   [fd] is [resize] with the controller blinded — its liveness opinion
+   comes from the members' quorum-merged failure-detector views (with
+   flap hysteresis) instead of the engine oracle, so the availability
+   gap between [resize] and [fd] prices realistic failure detection.
 
    The headline of BENCH_churn.json: at the highest swept rate —
    enough sustained churn to keep ~23 of 30 processes down at once —
@@ -39,7 +43,7 @@ let horizon () = if !Util.fast then 150.0 else 300.0
    population down once the churn has ramped up. *)
 let rates () = if !Util.fast then [ 0.05; 0.18 ] else [ 0.05; 0.1; 0.18 ]
 
-let modes = [ C.Static; C.Resize; C.Timed ]
+let modes = [ C.Static; C.Resize; C.Timed; C.Fd ]
 
 let scenario ~rate =
   let h = horizon () in
@@ -55,11 +59,12 @@ let json ~rate (r : C.churn_report) =
      \"failed\": %d, \"availability\": %.4f, \"stale_reads\": %d, \
      \"epoch_switches\": %d, \"proposals\": %d, \"grows\": %d, \
      \"shrinks\": %d, \"replacements\": %d, \"lease_refusals\": %d, \
-     \"switch_downtime\": %.2f, \"final_members\": %d, \"budget_hit\": %b}"
+     \"false_evictions\": %d, \"switch_downtime\": %.2f, \
+     \"final_members\": %d, \"budget_hit\": %b}"
     rate r.C.mode r.C.seed r.C.issued r.C.ok r.C.failed r.C.availability
     r.C.stale_reads r.C.epoch_switches r.C.proposals r.C.grows r.C.shrinks
-    r.C.replacements r.C.lease_refusals r.C.switch_downtime r.C.final_members
-    r.C.budget_hit
+    r.C.replacements r.C.lease_refusals r.C.false_evictions
+    r.C.switch_downtime r.C.final_members r.C.budget_hit
 
 let write_json rows_json =
   let oc = open_out (Util.out_path "BENCH_churn.json") in

@@ -4,7 +4,7 @@
 
    Usage: main.exe [--fast] [--metrics] [--jobs N] [target ...]
    Targets: table1 table2 table3 table4 table5 figure1 figure2 curves
-            sect43 sect6 ablations sims chaos churn latency placement
+            sect43 sect6 ablations sims chaos churn fd latency placement
             byzantine thresholds perf parallel optimizer throughput all
             (default: all)
 
@@ -38,6 +38,7 @@ let targets : (string * (unit -> unit)) list =
     ("sims", Sims.run);
     ("chaos", Chaos.run);
     ("churn", Churn.run);
+    ("fd", Fd.run);
     ("latency", Latency.run);
     ("placement", Placement.run);
     ("byzantine", Byz.run);

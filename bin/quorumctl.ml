@@ -9,7 +9,11 @@
      simulate <spec>    run the mutual-exclusion simulation
      chaos <spec>       fault-scenario sweep (loss, partitions, churn...)
      churn              availability under sustained churn: static vs
-                        dynamic membership (resize / timed quorums)
+                        dynamic membership (resize / timed quorums /
+                        detector-driven views)
+     fd                 failure-detector health under the fd stress
+                        scenarios: summary + per-observer detection
+                        latency and false positives
      metrics <spec>     chaos run -> metrics registry dump
                         (table/jsonl/csv/prometheus)
      trace <spec>       chaos run -> causal event trace + causality check
@@ -472,14 +476,16 @@ let churn_cmd =
           (enum
              [
                ("static", `Static); ("resize", `Resize); ("timed", `Timed);
-               ("all", `All);
+               ("fd", `Fd); ("all", `All);
              ])
           `All
       & info [ "mode" ]
           ~doc:
             "Membership mode: $(b,static) (t=0 placement forever), \
              $(b,resize) (replace/grow/shrink controller), $(b,timed) \
-             (resize + timed-quorum leases) or $(b,all).")
+             (resize + timed-quorum leases), $(b,fd) (resize with the \
+             controller's liveness opinion taken from the members' \
+             quorum-merged failure-detector views) or $(b,all).")
   in
   let rate_arg =
     Arg.(
@@ -546,9 +552,10 @@ let churn_cmd =
       | `Static -> [ Protocols.Chaos.Static ]
       | `Resize -> [ Protocols.Chaos.Resize ]
       | `Timed -> [ Protocols.Chaos.Timed ]
+      | `Fd -> [ Protocols.Chaos.Fd ]
       | `All ->
           [ Protocols.Chaos.Static; Protocols.Chaos.Resize;
-            Protocols.Chaos.Timed ]
+            Protocols.Chaos.Timed; Protocols.Chaos.Fd ]
     in
     Printf.printf "%s\n" (Protocols.Chaos.churn_header ());
     List.iter
@@ -571,6 +578,122 @@ let churn_cmd =
     Term.(
       const run $ mode_arg $ rate_arg $ downtime_arg $ universe_arg
       $ rows_arg $ horizon_arg $ seed_arg $ period_arg $ lease_arg)
+
+(* --- fd --------------------------------------------------------------- *)
+
+let fd_cmd =
+  let scenario_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "scenario" ]
+          ~doc:
+            "Run one scenario instead of the default set (churn-iid plus \
+             the fd stress family: gray-flap, asym-link, suspect-burst).")
+  in
+  let horizon_arg =
+    Arg.(
+      value & opt float 300.0
+      & info [ "horizon" ] ~doc:"Workload horizon in simulated time units.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 47
+      & info [ "seed" ]
+          ~doc:
+            "RNG seed (default 47, the pinned bench fd seed; same seed = \
+             same run, exactly).")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt float 5.0
+      & info [ "timeout" ]
+          ~doc:
+            "Fixed-timeout detection horizon (also the accrual warm-up \
+             fallback).")
+  in
+  let phi_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "phi" ]
+          ~doc:
+            "Phi-accrual suspicion threshold; omitting it selects the \
+             fixed-timeout detector.")
+  in
+  let hedge_arg =
+    Arg.(
+      value & flag
+      & info [ "hedge" ]
+          ~doc:
+            "Hedge straggling quorum RPCs to a backup replica after the \
+             per-peer latency quantile.")
+  in
+  let per_node_arg =
+    Arg.(
+      value & flag
+      & info [ "per-node" ]
+          ~doc:
+            "Also print each observer's detection-latency / false-positive \
+             totals (against the engine oracle).")
+  in
+  let run spec scenario horizon seed timeout phi hedge per_node =
+    if horizon <= 0.0 then die "--horizon must be positive";
+    with_system spec (fun system ->
+        let n = system.Quorum.System.n in
+        let scenarios =
+          match scenario with
+          | None ->
+              Protocols.Chaos.scenario_of_label ~n ~horizon "churn-iid"
+              :: Protocols.Chaos.fd_family ~n ~horizon
+          | Some label -> (
+              match Protocols.Chaos.scenario_of_label ~n ~horizon label with
+              | s -> [ s ]
+              | exception Invalid_argument msg -> die msg)
+        in
+        Printf.printf "%s\n" (Protocols.Chaos.fd_header ());
+        List.iter
+          (fun s ->
+            let r, store =
+              Protocols.Chaos.run_fd_h ~seed ~fd_timeout:timeout ?accrual:phi
+                ~hedge ~read_system:system ~write_system:system
+                ~name:system.Quorum.System.name s
+            in
+            Printf.printf "%s\n" (Protocols.Chaos.fd_row r);
+            if r.Protocols.Chaos.stale_reads > 0 then
+              die
+                (Printf.sprintf "%d stale reads under %s"
+                   r.Protocols.Chaos.stale_reads r.Protocols.Chaos.label);
+            if per_node then begin
+              Printf.printf
+                "  %4s %6s %7s %7s %5s %6s %5s\n" "node" "detect" "meanlat"
+                "maxlat" "fpos" "missed" "flips";
+              for node = 0 to n - 1 do
+                let st =
+                  Protocols.Replicated_store.fd_stats store ~node
+                in
+                Printf.printf
+                  "  %4d %6d %7.2f %7.2f %5d %6d %5d\n" node
+                  st.Sim.Failure_detector.detections
+                  st.Sim.Failure_detector.mean_detect
+                  st.Sim.Failure_detector.max_detect
+                  st.Sim.Failure_detector.false_positives
+                  st.Sim.Failure_detector.missed
+                  st.Sim.Failure_detector.transitions
+              done
+            end)
+          scenarios)
+  in
+  let doc =
+    "Failure-detector health under the fd stress scenarios (gray flap, \
+     asymmetric links, false-suspicion bursts, churn): detection latency, \
+     false positives and missed detections against the engine oracle, \
+     plus the client-visible cost (hedges, degraded writes, p99)."
+  in
+  Cmd.v (Cmd.info "fd" ~doc)
+    Term.(
+      const run $ spec_arg $ scenario_arg $ horizon_arg $ seed_arg
+      $ timeout_arg $ phi_arg $ hedge_arg $ per_node_arg)
 
 (* --- metrics / trace --------------------------------------------------- *)
 
@@ -1114,7 +1237,7 @@ let () =
       (Cmd.info "quorumctl" ~version:"1.0" ~doc ~man:specs_man)
       [
         info_cmd; fp_cmd; load_cmd; quorums_cmd; pick_cmd; simulate_cmd;
-        chaos_cmd; churn_cmd; metrics_cmd; trace_cmd; report_cmd;
+        chaos_cmd; churn_cmd; fd_cmd; metrics_cmd; trace_cmd; report_cmd;
         throughput_cmd; nd_cmd; masking_cmd; optimize_cmd; list_cmd;
       ]
   in

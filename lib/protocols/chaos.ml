@@ -9,6 +9,7 @@ type plan = {
   loss : float;
   bursts : (float * float * float) list;
   gray : (int * float * float * float) list;
+  links : (float * float * int * int * float) list;
   partitions : (float * float * int list) list;
   churn : (float * float) option;
   churn_sustained : (float * float) option;
@@ -22,6 +23,7 @@ let calm =
     loss = 0.0;
     bursts = [];
     gray = [];
+    links = [];
     partitions = [];
     churn = None;
     churn_sustained = None;
@@ -173,8 +175,75 @@ let churn ~n ~horizon =
     };
   ]
 
+(* Failure-detection stress: scenarios built to make a detector wrong
+   in each of the ways a detector can be wrong.  No crashes in
+   [asym-link] / [suspect-burst] — every suspicion there is false by
+   construction, so the oracle counters isolate the accuracy cost. *)
+let fd_family ~n ~horizon =
+  let h = horizon in
+  ignore n;
+  [
+    {
+      (* A node flapping in and out of gray failure: four short
+         slow-windows, each long enough to miss heartbeats but short
+         enough that a naive detector flaps with it. *)
+      label = "gray-flap";
+      horizon = h;
+      plan =
+        {
+          calm with
+          loss = 0.02;
+          gray =
+            [
+              (0, 0.15 *. h, 0.06 *. h, 30.0);
+              (0, 0.30 *. h, 0.06 *. h, 30.0);
+              (0, 0.50 *. h, 0.06 *. h, 30.0);
+              (1, 0.40 *. h, 0.08 *. h, 30.0);
+            ];
+        };
+    };
+    {
+      (* Asymmetric links: node 0 hears nobody for a while (its
+         outbound links stay clean), then the reverse direction for
+         node 1 — observers disagree about who is dead. *)
+      label = "asym-link";
+      horizon = h;
+      plan =
+        {
+          calm with
+          loss = 0.02;
+          links =
+            List.concat
+              [
+                List.init (min 8 (n - 1)) (fun i ->
+                    (0.2 *. h, 0.15 *. h, i + 1, 0, 0.95));
+                List.init (min 8 (n - 1)) (fun i ->
+                    (0.55 *. h, 0.15 *. h, 1, (i + 2) mod n, 0.95));
+              ];
+        };
+    };
+    {
+      (* False-suspicion bursts: everyone stays up, but three heavy
+         loss bursts swallow whole heartbeat rounds. *)
+      label = "suspect-burst";
+      horizon = h;
+      plan =
+        {
+          calm with
+          loss = 0.02;
+          bursts =
+            [
+              (0.20 *. h, 0.04 *. h, 0.85);
+              (0.45 *. h, 0.04 *. h, 0.85);
+              (0.70 *. h, 0.04 *. h, 0.85);
+            ];
+        };
+    };
+  ]
+
 let all_scenarios ~n ~horizon =
   standard ~n ~horizon @ recovery ~n ~horizon @ churn ~n ~horizon
+  @ fd_family ~n ~horizon
 
 let scenario_of_label ~n ~horizon label =
   match
@@ -196,6 +265,7 @@ let apply engine ~rng scenario =
     (fun (node, at, duration, slowdown) ->
       Injector.gray_failure engine ~node ~at ~duration ~slowdown)
     p.gray;
+  Injector.link_windows engine p.links;
   Injector.partition_schedule engine p.partitions;
   Injector.restarts ~amnesia:p.amnesia engine p.restarts;
   (match p.churn with
@@ -371,6 +441,128 @@ let run_store ?seed ?rate ?read_fraction ?workload ?keys ?op_timeout ?retries
     (run_store_h ?seed ?rate ?read_fraction ?workload ?keys ?op_timeout
        ?retries ?obs ~read_system ~write_system ~name scenario)
 
+(* --- Failure detection under chaos ----------------------------------- *)
+
+type fd_report = {
+  label : string;
+  detector : string;
+  seed : int;
+  issued : int;
+  ok : int;
+  stale_reads : int;
+  unavailable : int;
+  hedges : int;
+  degraded_writes : int;
+  detections : int;
+  mean_detect : float;
+  max_detect : float;
+  false_positives : int;
+  missed : int;
+  transitions : int;
+  p99_latency : float;
+  budget_hit : bool;
+}
+
+(* A replicated store (whose clients route by failure-detector view)
+   under the scenario, with the detector itself as the unit under
+   test: the report aggregates every observer's oracle-measured
+   accuracy — detection latency, false-positive onsets, missed
+   detections, suspicion flips — plus the routing-layer effects
+   (hedges, degraded-mode refusals, tail latency). *)
+let run_fd_h ?(seed = 7) ?(rate = 2.0) ?(keys = 4) ?(op_timeout = 25.0)
+    ?(fd_period = 1.0) ?(fd_timeout = 5.0) ?accrual ?(hedge = false)
+    ?(degraded_reads = false) ?obs ~read_system ~write_system ~name scenario =
+  ignore name;
+  let n = read_system.Quorum.System.n in
+  let rng = Rng.create seed in
+  let network = Network.create ~loss:scenario.plan.loss () in
+  let config =
+    Client_config.(
+      default
+      |> with_timeout op_timeout
+      |> with_fd ~period:fd_period ~timeout:fd_timeout ?accrual
+      |> with_routing ~hedge ~degraded_reads
+      |> with_durability (durability_of_plan scenario.plan))
+  in
+  let store =
+    Replicated_store.of_config ~config ~read_system ~write_system ()
+  in
+  let engine =
+    Engine.create ~seed:(seed + 1) ~nodes:n ~network ?obs
+      (Replicated_store.handlers store)
+  in
+  Replicated_store.bind store engine;
+  apply engine ~rng scenario;
+  let issued =
+    Workload.read_write_mix engine ~rng ~rate ~horizon:scenario.horizon
+      ~read_fraction:0.7 ~keys
+      ~read:(fun ~client ~key -> Replicated_store.read store ~client ~key)
+      ~write:(fun ~client ~key ~value ->
+        Replicated_store.write store ~client ~key ~value)
+  in
+  let outcome = Engine.run_status engine in
+  let detections = ref 0
+  and fp = ref 0
+  and missed = ref 0
+  and trans = ref 0
+  and dsum = ref 0.0
+  and dmax = ref 0.0 in
+  for node = 0 to n - 1 do
+    let s = Replicated_store.fd_stats store ~node in
+    detections := !detections + s.Sim.Failure_detector.detections;
+    fp := !fp + s.Sim.Failure_detector.false_positives;
+    missed := !missed + s.Sim.Failure_detector.missed;
+    trans := !trans + s.Sim.Failure_detector.transitions;
+    dsum :=
+      !dsum
+      +. s.Sim.Failure_detector.mean_detect
+         *. float_of_int s.Sim.Failure_detector.detections;
+    if s.Sim.Failure_detector.max_detect > !dmax then
+      dmax := s.Sim.Failure_detector.max_detect
+  done;
+  let lat = Replicated_store.op_latency store in
+  let p99_latency =
+    Float.max
+      (Obs.Metrics.percentile_or ~labels:[ ("op", "read") ] ~default:0.0 lat
+         0.99)
+      (Obs.Metrics.percentile_or ~labels:[ ("op", "write") ] ~default:0.0 lat
+         0.99)
+  in
+  let detector =
+    (match accrual with
+    | Some phi -> Printf.sprintf "accrual(%g)" phi
+    | None -> Printf.sprintf "fixed(%g)" fd_timeout)
+    ^ if hedge then "+hedge" else ""
+  in
+  ( {
+      label = scenario.label;
+      detector;
+      seed;
+      issued;
+      ok = Replicated_store.reads_ok store + Replicated_store.writes_ok store;
+      stale_reads = Replicated_store.stale_reads store;
+      unavailable = Replicated_store.unavailable store;
+      hedges = Replicated_store.hedges store;
+      degraded_writes = Replicated_store.degraded_writes store;
+      detections = !detections;
+      mean_detect =
+        (if !detections = 0 then 0.0
+         else !dsum /. float_of_int !detections);
+      max_detect = !dmax;
+      false_positives = !fp;
+      missed = !missed;
+      transitions = !trans;
+      p99_latency;
+      budget_hit = outcome = Engine.Budget_exhausted;
+    },
+    store )
+
+let run_fd ?seed ?rate ?keys ?op_timeout ?fd_period ?fd_timeout ?accrual
+    ?hedge ?degraded_reads ?obs ~read_system ~write_system ~name scenario =
+  fst
+    (run_fd_h ?seed ?rate ?keys ?op_timeout ?fd_period ?fd_timeout ?accrual
+       ?hedge ?degraded_reads ?obs ~read_system ~write_system ~name scenario)
+
 (* --- Reconfiguration under chaos ------------------------------------ *)
 
 type reconfig_report = {
@@ -448,12 +640,13 @@ let run_reconfig ?seed ?rate ?op_timeout ?obs ~initial ~next ~name scenario =
 
 (* --- Availability under sustained churn ------------------------------ *)
 
-type churn_mode = Static | Resize | Timed
+type churn_mode = Static | Resize | Timed | Fd
 
 let churn_mode_name = function
   | Static -> "static"
   | Resize -> "resize"
   | Timed -> "timed"
+  | Fd -> "fd"
 
 type churn_report = {
   label : string;
@@ -473,6 +666,7 @@ type churn_report = {
   shrinks : int;
   replacements : int;
   lease_refusals : int;
+  false_evictions : int;
   switch_downtime : float;
   final_members : int;
   budget_hit : bool;
@@ -482,7 +676,12 @@ type churn_report = {
    starts the controller (the triangle placed at t=0 is all there is),
    [Resize] runs the replace/grow/shrink policy, [Timed] additionally
    runs the register in timed-quorum mode so switches drain leases
-   instead of sealing a structural old-system quorum.
+   instead of sealing a structural old-system quorum.  [Fd] is
+   [Resize] with the controller blinded: its liveness opinion comes
+   from the members' failure-detector views (quorum-merged, with flap
+   hysteresis) instead of the engine's oracle — the availability gap
+   between [resize] and [fd] is the measured price of realistic
+   failure detection.
 
    Clients are drawn from the {e live} set at issue time — a client
    that is down submits nothing, so availability measures the
@@ -496,7 +695,14 @@ let run_churn_h ?(seed = 7) ?(rate = 2.0) ?(op_timeout = 30.0) ?(rows = 5)
   let ms =
     Membership.create
       ~durability:(durability_of_plan scenario.plan)
-      ?lease:(match mode with Timed -> Some lease | Static | Resize -> None)
+      ?lease:
+        (match mode with
+        | Timed -> Some lease
+        | Static | Resize | Fd -> None)
+      ~view:
+        (match mode with
+        | Fd -> Membership.Fd { merged = true }
+        | Static | Resize | Timed -> Membership.Omniscient)
       ~switch_retry:3.0 ~margin ~rows ~universe ~timeout:op_timeout ()
   in
   let rc = Membership.reconfig ms in
@@ -508,7 +714,7 @@ let run_churn_h ?(seed = 7) ?(rate = 2.0) ?(op_timeout = 30.0) ?(rows = 5)
   apply engine ~rng scenario;
   (match mode with
   | Static -> ()
-  | Resize | Timed ->
+  | Resize | Timed | Fd ->
       Membership.start ms engine ~period ~horizon:scenario.horizon);
   let issued = ref 0 in
   let rec arm time =
@@ -549,6 +755,7 @@ let run_churn_h ?(seed = 7) ?(rate = 2.0) ?(op_timeout = 30.0) ?(rows = 5)
       shrinks = Membership.shrinks ms;
       replacements = Membership.replacements ms;
       lease_refusals = Reconfig.lease_refusals rc;
+      false_evictions = Membership.false_evictions ms;
       switch_downtime =
         Obs.Trace_analysis.span_window_total ~spans:(Obs.spans obs)
           ~name:"reconfig.switch";
@@ -591,16 +798,30 @@ let store_row (r : store_report) =
 
 let churn_header () =
   Printf.sprintf
-    "%-15s %-7s %6s %6s %6s %5s %6s %5s %6s %5s %5s %5s %6s %9s %4s"
+    "%-15s %-7s %6s %6s %6s %5s %6s %5s %6s %5s %5s %5s %6s %6s %9s %4s"
     "scenario" "mode" "issued" "ok" "failed" "ckill" "avail" "stale" "switch"
-    "grow" "shrnk" "repl" "lease" "downtime" "memb"
+    "grow" "shrnk" "repl" "lease" "fevict" "downtime" "memb"
 
 let churn_row (r : churn_report) =
   Printf.sprintf
-    "%-15s %-7s %6d %6d %6d %5d %6.3f %5d %6d %5d %5d %5d %6d %9.1f %4d%s"
+    "%-15s %-7s %6d %6d %6d %5d %6.3f %5d %6d %5d %5d %5d %6d %6d %9.1f %4d%s"
     r.label r.mode r.issued r.ok r.failed r.crash_kills r.availability
     r.stale_reads r.epoch_switches r.grows r.shrinks r.replacements
-    r.lease_refusals r.switch_downtime r.final_members
+    r.lease_refusals r.false_evictions r.switch_downtime r.final_members
+    (if r.budget_hit then "  [budget!]" else "")
+
+let fd_header () =
+  Printf.sprintf
+    "%-13s %-14s %6s %6s %5s %6s %5s %6s %7s %7s %5s %6s %5s %8s" "scenario"
+    "detector" "issued" "ok" "stale" "hedges" "degrd" "detect" "meanlat"
+    "maxlat" "fpos" "missed" "flips" "p99"
+
+let fd_row (r : fd_report) =
+  Printf.sprintf
+    "%-13s %-14s %6d %6d %5d %6d %5d %6d %7.2f %7.2f %5d %6d %5d %8.2f%s"
+    r.label r.detector r.issued r.ok r.stale_reads r.hedges
+    r.degraded_writes r.detections r.mean_detect r.max_detect
+    r.false_positives r.missed r.transitions r.p99_latency
     (if r.budget_hit then "  [budget!]" else "")
 
 let reconfig_header () =

@@ -19,6 +19,10 @@ type plan = {
       (** (at, duration, extra_loss) transient loss bursts *)
   gray : (int * float * float * float) list;
       (** (node, at, duration, slowdown) gray-failure windows *)
+  links : (float * float * int * int * float) list;
+      (** (at, duration, src, dst, extra_loss) asymmetric directed-link
+          degradation windows, see
+          {!Sim.Failure_injector.link_windows} *)
   partitions : (float * float * int list) list;
       (** (at, duration, group_a) network cuts, healed independently *)
   churn : (float * float) option;
@@ -65,10 +69,20 @@ val churn : n:int -> horizon:float -> scenario list
     the scenarios the dynamic-membership controller (see
     {!Membership}) is built for; {!run_churn} runs them. *)
 
+val fd_family : n:int -> horizon:float -> scenario list
+(** The failure-detection stress family — each scenario makes a
+    detector wrong in one specific way: [gray-flap] (a node flapping
+    in and out of gray failure — slow enough to miss heartbeats, alive
+    enough that suspecting it is wrong half the time), [asym-link]
+    (directed link loss so observers {e disagree} about who is dead;
+    no crashes — every suspicion is false), [suspect-burst] (heavy
+    loss bursts swallowing whole heartbeat rounds; again no crashes).
+    {!run_fd} runs them with the detector as the unit under test. *)
+
 val scenario_of_label : n:int -> horizon:float -> string -> scenario
-(** Look a scenario up by label across {!standard}, {!recovery} and
-    {!churn}; raises [Invalid_argument] listing the valid labels on a
-    miss. *)
+(** Look a scenario up by label across {!standard}, {!recovery},
+    {!churn} and {!fd_family}; raises [Invalid_argument] listing the
+    valid labels on a miss. *)
 
 val durability_of_plan : plan -> Sim.Durable.config
 (** The durable-store configuration a plan implies (its [fsync]
@@ -181,6 +195,73 @@ val run_store_h :
     {!Replicated_store.history} can feed
     {!Obs.Trace_analysis.audit_history}. *)
 
+type fd_report = {
+  label : string;
+  detector : string;
+      (** ["fixed(tau)"] or ["accrual(phi)"], ["+hedge"] when hedging *)
+  seed : int;  (** the run is replayed exactly by reusing this seed *)
+  issued : int;
+  ok : int;
+  stale_reads : int;  (** must be 0 *)
+  unavailable : int;
+  hedges : int;  (** hedge requests sent to backup replicas *)
+  degraded_writes : int;  (** writes refused by degraded read-only mode *)
+  detections : int;  (** dead-peer suspicion onsets, all observers *)
+  mean_detect : float;  (** mean crash-to-suspicion latency *)
+  max_detect : float;
+  false_positives : int;  (** suspicion onsets against live peers *)
+  missed : int;  (** samples with an overdue undetected death *)
+  transitions : int;  (** suspicion flips, either direction *)
+  p99_latency : float;  (** worse of the read / write p99 *)
+  budget_hit : bool;
+}
+
+val run_fd :
+  ?seed:int ->
+  ?rate:float ->
+  ?keys:int ->
+  ?op_timeout:float ->
+  ?fd_period:float ->
+  ?fd_timeout:float ->
+  ?accrual:float ->
+  ?hedge:bool ->
+  ?degraded_reads:bool ->
+  ?obs:Obs.t ->
+  read_system:Quorum.System.t ->
+  write_system:Quorum.System.t ->
+  name:string ->
+  scenario ->
+  fd_report
+(** One seeded failure-detection run: a replicated store (clients
+    route by detector view) under the scenario, with the detector
+    configuration as the independent variable — [fd_timeout] alone
+    gives the fixed-timeout detector, [accrual] switches to the
+    phi-accrual detector at that threshold, [hedge] /
+    [degraded_reads] enable the suspicion-aware routing knobs (see
+    {!Client_config.routing}).  The report aggregates every node's
+    oracle-measured accuracy counters; sweeping [fd_timeout] or
+    [accrual] maps the detection-time vs false-positive tradeoff. *)
+
+val run_fd_h :
+  ?seed:int ->
+  ?rate:float ->
+  ?keys:int ->
+  ?op_timeout:float ->
+  ?fd_period:float ->
+  ?fd_timeout:float ->
+  ?accrual:float ->
+  ?hedge:bool ->
+  ?degraded_reads:bool ->
+  ?obs:Obs.t ->
+  read_system:Quorum.System.t ->
+  write_system:Quorum.System.t ->
+  name:string ->
+  scenario ->
+  fd_report * Replicated_store.t
+(** {!run_fd}, additionally handing back the store so per-node
+    {!Replicated_store.fd_stats} stay reachable (the [quorumctl fd]
+    table). *)
+
 type reconfig_report = {
   label : string;
   system : string;
@@ -229,10 +310,15 @@ type churn_mode =
   | Static  (** the t=0 configuration is never changed *)
   | Resize  (** the {!Membership} controller replaces / grows / shrinks *)
   | Timed  (** [Resize] plus timed-quorum leases (see {!Reconfig}) *)
+  | Fd
+      (** [Resize] with the controller blinded: liveness comes from the
+          members' quorum-merged failure-detector views (with flap
+          hysteresis) instead of the engine oracle — the availability
+          gap to [Resize] is the price of realistic detection *)
 
 type churn_report = {
   label : string;
-  mode : string;  (** "static" / "resize" / "timed" *)
+  mode : string;  (** "static" / "resize" / "timed" / "fd" *)
   seed : int;  (** the run is replayed exactly by reusing this seed *)
   issued : int;  (** ops issued by {e live} clients *)
   ok : int;  (** reads + writes completed *)
@@ -250,6 +336,9 @@ type churn_report = {
   shrinks : int;
   replacements : int;
   lease_refusals : int;  (** timed mode: expired-lease NACKs *)
+  false_evictions : int;
+      (** [Fd] mode: proposals that evicted an oracle-live member (see
+          {!Membership.false_evictions}); 0 otherwise *)
   switch_downtime : float;
       (** total time some switch was in flight — merged
           ["reconfig.switch"] span windows, see
@@ -305,5 +394,7 @@ val reconfig_header : unit -> string
 val reconfig_row : reconfig_report -> string
 val churn_header : unit -> string
 val churn_row : churn_report -> string
+val fd_header : unit -> string
+val fd_row : fd_report -> string
 (** Fixed-width table rendering shared by the bench target and the
-    [quorumctl chaos] subcommand. *)
+    [quorumctl chaos] / [quorumctl fd] subcommands. *)

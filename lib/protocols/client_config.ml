@@ -1,11 +1,19 @@
 module Durable = Sim.Durable
 
 type rpc = { timeout : float; backoff : float; attempts : int }
-type fd = { period : float; timeout : float }
+type fd = { period : float; timeout : float; accrual : float option }
+
+type routing = {
+  hedge : bool;
+  hedge_quantile : float;
+  hedge_floor : float;
+  degraded_reads : bool;
+}
 
 type t = {
   rpc : rpc;
   fd : fd;
+  routing : routing;
   durability : Durable.config;
   timeout : float;
   retries : int;
@@ -14,7 +22,14 @@ type t = {
 let default =
   {
     rpc = { timeout = 4.0; backoff = 1.6; attempts = 6 };
-    fd = { period = 1.0; timeout = 5.0 };
+    fd = { period = 1.0; timeout = 5.0; accrual = None };
+    routing =
+      {
+        hedge = false;
+        hedge_quantile = 0.9;
+        hedge_floor = 2.0;
+        degraded_reads = false;
+      };
     durability = Durable.instant;
     timeout = 25.0;
     retries = 2;
@@ -31,19 +46,41 @@ let with_rpc ?timeout ?backoff ?attempts t =
       };
   }
 
-let with_fd ?period ?timeout t =
+let with_fd ?period ?timeout ?accrual t =
   {
     t with
     fd =
       {
         period = Option.value period ~default:t.fd.period;
         timeout = Option.value timeout ~default:t.fd.timeout;
+        accrual =
+          (match accrual with Some _ as a -> a | None -> t.fd.accrual);
+      };
+  }
+
+let with_routing ?hedge ?hedge_quantile ?hedge_floor ?degraded_reads t =
+  {
+    t with
+    routing =
+      {
+        hedge = Option.value hedge ~default:t.routing.hedge;
+        hedge_quantile =
+          Option.value hedge_quantile ~default:t.routing.hedge_quantile;
+        hedge_floor = Option.value hedge_floor ~default:t.routing.hedge_floor;
+        degraded_reads =
+          Option.value degraded_reads ~default:t.routing.degraded_reads;
       };
   }
 
 let with_durability durability t = { t with durability }
 let with_timeout timeout t = { t with timeout }
 let with_retries retries t = { t with retries }
+
+let fd_mode t =
+  match t.fd.accrual with
+  | None -> Sim.Failure_detector.Fixed_timeout t.fd.timeout
+  | Some threshold ->
+      Sim.Failure_detector.Accrual { threshold; window = 20; min_samples = 5 }
 
 let validate t =
   if t.rpc.timeout <= 0.0 then Error "Client_config: rpc timeout must be > 0"
@@ -55,6 +92,13 @@ let validate t =
     Error "Client_config: fd period must be > 0"
   else if t.fd.timeout <= t.fd.period then
     Error "Client_config: fd timeout must exceed its period"
+  else if (match t.fd.accrual with Some x -> x <= 0.0 | None -> false) then
+    Error "Client_config: fd accrual threshold must be > 0"
+  else if
+    t.routing.hedge_quantile <= 0.0 || t.routing.hedge_quantile >= 1.0
+  then Error "Client_config: hedge quantile must lie in (0, 1)"
+  else if t.routing.hedge_floor < 0.0 then
+    Error "Client_config: hedge floor must be >= 0"
   else if t.timeout <= 0.0 then
     Error "Client_config: operation timeout must be > 0"
   else if t.retries < 0 then Error "Client_config: retries must be >= 0"

@@ -31,12 +31,39 @@ type rpc = { timeout : float; backoff : float; attempts : int }
 (** Reliable-rpc retransmission: initial retransmit [timeout],
     exponential [backoff] factor, dead-letter after [attempts]. *)
 
-type fd = { period : float; timeout : float }
-(** Heartbeat failure detection: beat [period], suspicion [timeout]. *)
+type fd = { period : float; timeout : float; accrual : float option }
+(** Heartbeat failure detection: beat [period], suspicion [timeout].
+    [accrual = Some phi] switches the detector to accrual mode with
+    threshold [phi] (window 20, min 5 samples — see
+    {!Sim.Failure_detector.mode}); [None] (the default) keeps the
+    historical fixed-timeout detector. *)
+
+type routing = {
+  hedge : bool;
+      (** hedge straggling quorum requests to a backup replica; off by
+          default — hedging changes the event schedule, so the default
+          keeps runs bit-identical to the pre-hedging protocols *)
+  hedge_quantile : float;
+      (** per-peer latency quantile after which a request is hedged
+          (default 0.9); also the graded-suspicion level at which the
+          mutex watchdog reselects early *)
+  hedge_floor : float;
+      (** never hedge before this many time units (default 2.0) — the
+          cold-start guard while latency samples accumulate *)
+  degraded_reads : bool;
+      (** when no unsuspected write quorum exists, refuse writes
+          immediately (degraded read-only mode) instead of burning the
+          attempt timeout; reads keep flowing.  Off by default. *)
+}
+(** Suspicion-aware routing and hedged requests.  With every field at
+    its default the protocols are bit-identical to their pre-routing
+    behaviour: no hedge timers are scheduled, no extra sends happen,
+    and completion remains "every originally-selected member acked". *)
 
 type t = {
   rpc : rpc;
   fd : fd;
+  routing : routing;  (** hedging + degraded-mode knobs *)
   durability : Sim.Durable.config;  (** write-ahead fsync model *)
   timeout : float;  (** per-operation (or acquire) timeout *)
   retries : int;  (** quorum re-selection attempts after a timeout *)
@@ -45,14 +72,30 @@ type t = {
 val default : t
 (** The values the protocols have always defaulted to: rpc
     [{timeout = 4.0; backoff = 1.6; attempts = 6}], fd
-    [{period = 1.0; timeout = 5.0}], instant durability,
-    [timeout = 25.0], [retries = 2]. *)
+    [{period = 1.0; timeout = 5.0; accrual = None}], routing all off
+    ([{hedge = false; hedge_quantile = 0.9; hedge_floor = 2.0;
+    degraded_reads = false}]), instant durability, [timeout = 25.0],
+    [retries = 2]. *)
 
 val with_rpc : ?timeout:float -> ?backoff:float -> ?attempts:int -> t -> t
-val with_fd : ?period:float -> ?timeout:float -> t -> t
+val with_fd : ?period:float -> ?timeout:float -> ?accrual:float -> t -> t
+
+val with_routing :
+  ?hedge:bool ->
+  ?hedge_quantile:float ->
+  ?hedge_floor:float ->
+  ?degraded_reads:bool ->
+  t ->
+  t
+
 val with_durability : Sim.Durable.config -> t -> t
 val with_timeout : float -> t -> t
 val with_retries : int -> t -> t
+
+val fd_mode : t -> Sim.Failure_detector.mode
+(** The {!Sim.Failure_detector.mode} this config implies:
+    [Fixed_timeout fd.timeout] when [fd.accrual] is [None], else
+    [Accrual] with the configured threshold. *)
 
 val validate : t -> (unit, string) result
 (** Range-check every field ([Error] with the first offending one);

@@ -1,10 +1,18 @@
 open Quorum
 module Htriang = Core.Htriang
 
+type view = Omniscient | Fd of { merged : bool }
+
 type t = {
   reconfig : Reconfig.t;
   universe : int;
   margin : int;
+  view : view;
+  down_streak : int;
+  up_streak : int;
+  eff_live : bool array;
+      (* the controller's hysteresis-filtered liveness opinion *)
+  streak : int array;  (* consecutive ticks disagreeing with eff_live *)
   mutable tri : Htriang.t;
   mutable place : int array;
   mutable proposed : (int * Htriang.t * int array) option;
@@ -14,6 +22,8 @@ type t = {
   mutable shrinks : int;
   mutable replacements : int;
   mutable skipped : int;
+  mutable false_evictions : int;
+      (* proposals that dropped a node the engine oracle knew was live *)
 }
 
 (* The adopted (triangle, placement) as a system over the whole
@@ -27,22 +37,48 @@ let remap_system ~universe (tri : Htriang.t) (place : int array) =
   let name = Printf.sprintf "h-triang(%d)/%d" tri.Htriang.n universe in
   System.embed ~name ~universe ~place (Htriang.system tri)
 
-let create ?durability ?lease ?skew ?switch_retry ?(margin = 2) ~rows
+let create ?durability ?lease ?skew ?switch_retry ?(margin = 2)
+    ?(view = Omniscient) ?fd ?(down_streak = 2) ?(up_streak = 1) ~rows
     ~universe ~timeout () =
   if margin < 0 then invalid_arg "Membership.create: margin < 0";
+  if down_streak < 1 then invalid_arg "Membership.create: down_streak < 1";
+  if up_streak < 1 then invalid_arg "Membership.create: up_streak < 1";
   let tri = Htriang.standard ~rows () in
   if tri.Htriang.n > universe then
     invalid_arg "Membership.create: universe smaller than the triangle";
   let place = Array.init tri.Htriang.n Fun.id in
+  let initial = remap_system ~universe tri place in
   let reconfig =
-    Reconfig.create ?durability ?lease ?skew ?switch_retry
-      ~initial:(remap_system ~universe tri place)
-      ~universe ~timeout ()
+    match view with
+    | Omniscient ->
+        Reconfig.create ?durability ?lease ?skew ?switch_retry ~initial
+          ~universe ~timeout ()
+    | Fd _ ->
+        let config = Client_config.(default |> with_timeout timeout) in
+        let config =
+          match durability with
+          | Some d -> Client_config.with_durability d config
+          | None -> config
+        in
+        let config =
+          match fd with
+          | Some f -> { config with Client_config.fd = f }
+          | None -> config
+        in
+        Reconfig.of_config ~config ~with_fd:true ?lease ?skew ?switch_retry
+          ~initial ~universe ()
   in
   {
     reconfig;
     universe;
     margin;
+    view;
+    down_streak;
+    up_streak;
+    (* Presume everyone live until the detector says otherwise — the
+       failure detector's own starting opinion. *)
+    eff_live = Array.make universe true;
+    streak = Array.make universe 0;
     tri;
     place;
     proposed = None;
@@ -51,6 +87,7 @@ let create ?durability ?lease ?skew ?switch_retry ?(margin = 2) ~rows
     shrinks = 0;
     replacements = 0;
     skipped = 0;
+    false_evictions = 0;
   }
 
 let reconfig t = t.reconfig
@@ -87,6 +124,64 @@ let grows t = t.grows
 let shrinks t = t.shrinks
 let replacements t = t.replacements
 let skipped_ticks t = t.skipped
+let false_evictions t = t.false_evictions
+let view_mode t = t.view
+
+(* The liveness opinion a tick acts on.  [Omniscient] is the engine's
+   oracle (the historical controller, bit-identical).  [Fd] reads the
+   failure detector through the register's member views: either the
+   lowest-indexed live member's own view, or — [merged] — a majority
+   vote over every live member's view (a falsely-suspected node must
+   fool half the observers to be evicted).  The raw opinion then runs
+   through flap hysteresis: a node's effective state only flips after
+   [down_streak] (resp. [up_streak]) consecutive ticks of
+   disagreement, so a single missed heartbeat burst cannot trigger an
+   eviction switch. *)
+let controller_view t engine =
+  match t.view with
+  | Omniscient -> Sim.Engine.live_set engine
+  | Fd { merged } ->
+      let observers =
+        Array.to_list t.place
+        |> List.filter (Sim.Engine.is_live engine)
+        |> List.sort_uniq compare
+      in
+      let raw_live p =
+        match observers with
+        | [] ->
+            (* No live member to consult: hold every opinion. *)
+            t.eff_live.(p)
+        | first :: _ ->
+            if merged then begin
+              let yes = ref 0 in
+              List.iter
+                (fun o ->
+                  match Reconfig.fd_view t.reconfig ~node:o with
+                  | Some v when Bitset.mem v p -> incr yes
+                  | Some _ | None -> ())
+                observers;
+              2 * !yes > List.length observers
+            end
+            else
+              (match Reconfig.fd_view t.reconfig ~node:first with
+              | Some v -> Bitset.mem v p
+              | None -> t.eff_live.(p))
+      in
+      let out = Bitset.create t.universe in
+      for p = 0 to t.universe - 1 do
+        let raw = raw_live p in
+        if raw = t.eff_live.(p) then t.streak.(p) <- 0
+        else begin
+          t.streak.(p) <- t.streak.(p) + 1;
+          let needed = if t.eff_live.(p) then t.down_streak else t.up_streak in
+          if t.streak.(p) >= needed then begin
+            t.eff_live.(p) <- raw;
+            t.streak.(p) <- 0
+          end
+        end;
+        if t.eff_live.(p) then Bitset.add out p
+      done;
+      out
 
 (* Fill [n'] logical slots with distinct processes, preferring live
    current members (keeping their slots stable), then live spares, then
@@ -121,7 +216,7 @@ let tick t engine =
   refresh t;
   if Reconfig.switch_in_flight t.reconfig then t.skipped <- t.skipped + 1
   else
-    let live = Sim.Engine.live_set engine in
+    let live = controller_view t engine in
     let live_count = Bitset.cardinal live in
     let n = t.tri.Htriang.n in
     (* One structural step per tick, with hysteresis around the margin:
@@ -185,6 +280,20 @@ let tick t engine =
       match Array.to_list t.place |> List.find_opt (Bitset.mem live) with
       | None -> t.skipped <- t.skipped + 1
       | Some coordinator ->
+          (* Oracle check (measurement only, never steering): an
+             evicted member the engine knows is live is a false
+             eviction — the cost of trusting a wrong suspicion.
+             Epoch fencing keeps it safe (the evicted node NACKs
+             stale-epoch ops and rejoins via a later placement);
+             this counts how often availability paid for it. *)
+          Array.iter
+            (fun p ->
+              if
+                (not (Array.exists (Int.equal p) place'))
+                && Sim.Engine.is_live engine p
+                && not (Bitset.mem live p)
+              then t.false_evictions <- t.false_evictions + 1)
+            t.place;
           let sys = remap_system ~universe:t.universe tri' place' in
           Reconfig.reconfigure t.reconfig ~coordinator sys;
           t.proposed <-

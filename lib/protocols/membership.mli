@@ -30,9 +30,31 @@
 
     The controller is deterministic: ticks are pre-scheduled at fixed
     simulated times and every choice (victim placement, coordinator)
-    is a deterministic function of the engine's live set. *)
+    is a deterministic function of its liveness view.
+
+    {2 Failure-detector-driven views}
+
+    The historical controller reads the engine's omniscient live-set.
+    With [view = Fd _] it instead consults the register's
+    {!Sim.Failure_detector} (enabled through {!Reconfig.of_config}'s
+    [with_fd]): the raw opinion is either the lowest-indexed live
+    member's suspected-live view, or — [Fd {merged = true}] — a
+    majority vote over every live member's view.  Flap hysteresis then
+    gates every transition: a node is only treated as newly-dead after
+    [down_streak] consecutive agreeing ticks (resp. [up_streak] for
+    revival), so heartbeat-loss bursts do not immediately cost an
+    eviction switch.  A {e false} eviction (the oracle knew the victim
+    was live) is safe — epoch fencing makes the evicted node NACK
+    stale-epoch operations, and it rejoins through a later placement
+    once suspicion clears — but it costs a switch, so it is counted
+    ({!false_evictions}) for the detector-accuracy benches. *)
 
 type t
+
+type view = Omniscient | Fd of { merged : bool }
+(** Where the controller's liveness opinion comes from: the engine
+    oracle (historical, default), one member's failure-detector view,
+    or the quorum-merged majority of member views. *)
 
 val create :
   ?durability:Sim.Durable.config ->
@@ -40,6 +62,10 @@ val create :
   ?skew:float ->
   ?switch_retry:float ->
   ?margin:int ->
+  ?view:view ->
+  ?fd:Client_config.fd ->
+  ?down_streak:int ->
+  ?up_streak:int ->
   rows:int ->
   universe:int ->
   timeout:float ->
@@ -55,7 +81,14 @@ val create :
     prevents grow/shrink oscillation; under churn a generous margin
     keeps the replacement-switch duty cycle low.
     [lease]/[skew]/[switch_retry]/[durability] are passed through to
-    {!Reconfig.create} ([lease] turns the register timed). *)
+    {!Reconfig.create} ([lease] turns the register timed).
+
+    [view] (default [Omniscient]) selects the controller's liveness
+    source (see above); with [Fd _] the register is built with a
+    failure detector and [fd] (default {!Client_config.default}'s)
+    tunes its period / timeout / accrual threshold.  [down_streak]
+    (default 2) and [up_streak] (default 1) are the flap-hysteresis
+    tick counts; both are ignored in [Omniscient] mode. *)
 
 val reconfig : t -> Reconfig.t
 (** The underlying register — reads, writes and all {!Reconfig}
@@ -94,3 +127,11 @@ val replacements : t -> int
 val skipped_ticks : t -> int
 (** Ticks that found a switch already in flight, or no live member able
     to coordinate. *)
+
+val false_evictions : t -> int
+(** Proposals that dropped a member the engine oracle knew was live
+    while the controller's view believed it dead — the availability
+    cost of wrong suspicions ([Fd] views only; always 0 under
+    [Omniscient]). *)
+
+val view_mode : t -> view

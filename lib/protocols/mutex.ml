@@ -79,6 +79,7 @@ type t = {
   capacity : int;
   cs_duration : float;
   acquire_timeout : float;
+  routing : Client_config.routing;
   rpc : (app, msg) Rpc.t;
   fd : msg Failure_detector.t;
   durability : Durable.config;
@@ -117,6 +118,7 @@ let of_config ?(config = Client_config.default) ?(capacity = 1) ~system
     capacity;
     cs_duration;
     acquire_timeout = config.Client_config.timeout;
+    routing = config.Client_config.routing;
     rpc =
       Rpc.create ~timeout:config.Client_config.rpc.timeout
         ~backoff:config.Client_config.rpc.backoff
@@ -125,7 +127,8 @@ let of_config ?(config = Client_config.default) ?(capacity = 1) ~system
         ();
     fd =
       Failure_detector.create ~period:config.Client_config.fd.period
-        ~timeout:config.Client_config.fd.timeout ~nodes:n ~beat:Beat ();
+        ~timeout:config.Client_config.fd.timeout
+        ~mode:(Client_config.fd_mode config) ~nodes:n ~beat:Beat ();
     durability = config.Client_config.durability;
     dur = None;
     granted = None;
@@ -457,6 +460,25 @@ let client_on_failed t ~node req =
 let release_quorum t ~node req quorum =
   List.iter (fun j -> rsend t ~src:node ~dst:j (Release req)) quorum
 
+(* The mutex's safe embodiment of hedging: grants are stateful, so a
+   request is never duplicated to a second quorum in parallel — that
+   would double the grant traffic and deadlock odds.  Instead, with
+   [routing.hedge] on the waiting watchdog fires early (each beat
+   period, floored by [hedge_floor] instead of the full suspicion
+   timeout) and treats a quorum member whose {e graded} suspicion
+   level has reached [hedge_quantile] as blocked, reselecting around
+   it before the detector fully suspects it.  With hedging off both
+   knobs collapse to the historical watchdog. *)
+let wd_delay t =
+  if t.routing.hedge then
+    Float.max t.routing.hedge_floor (Failure_detector.period t.fd)
+  else Failure_detector.timeout t.fd
+
+let member_blocked t ~node j =
+  if t.routing.hedge then
+    Failure_detector.suspicion t.fd ~node j >= t.routing.hedge_quantile
+  else Failure_detector.suspects t.fd ~node j
+
 (* Issue a fresh request from [node], choosing the quorum among the
    nodes its failure detector currently trusts. *)
 let rec issue_request t ~node =
@@ -488,8 +510,7 @@ let rec issue_request t ~node =
           };
       Engine.with_span_ctx engine span (fun () ->
           List.iter (fun j -> rsend t ~src:node ~dst:j (Request req)) quorum;
-          Engine.set_timer engine ~node
-            ~delay:(Failure_detector.timeout t.fd)
+          Engine.set_timer engine ~node ~delay:(wd_delay t)
             ~tag:(req.ts + wd_offset))
 
 (* Abandon the current attempt (releasing any grants collected and any
@@ -543,14 +564,12 @@ let client_watchdog t ~node ~ts =
         let blocked =
           List.exists
             (fun j ->
-              (not (Bitset.mem w.grants j))
-              && Failure_detector.suspects t.fd ~node j)
+              (not (Bitset.mem w.grants j)) && member_blocked t ~node j)
             w.quorum
         in
         if blocked then abort_attempt t ~node w ~retry:true
         else
-          Engine.set_timer engine ~node
-            ~delay:(Failure_detector.timeout t.fd)
+          Engine.set_timer engine ~node ~delay:(wd_delay t)
             ~tag:(ts + wd_offset)
       end
   | Waiting _ | Idle | In_cs _ -> ()

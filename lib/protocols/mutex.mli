@@ -86,6 +86,15 @@ val of_config :
     quorum re-selections) before abandoning it.  [retries] is ignored
     — requests queue at the arbiters instead of retrying.
 
+    [routing.hedge] is the mutex's safe embodiment of hedged requests:
+    grants are stateful, so instead of duplicating a request to a
+    parallel quorum, the waiting watchdog fires early (each beat
+    period, floored by [hedge_floor]) and reselects around any
+    ungranted member whose {e graded} suspicion level (see
+    {!Sim.Failure_detector.suspicion}) has reached [hedge_quantile] —
+    before the detector fully suspects it.  Off (the default) keeps
+    the historical watchdog exactly.
+
     [capacity] (default 1) is the number of simultaneous critical
     sections the system is supposed to allow: 1 for a coterie, [k]
     for a k-coterie (see [Systems.K_coterie]). *)

@@ -1,5 +1,6 @@
 module Engine = Sim.Engine
 module Durable = Sim.Durable
+module Failure_detector = Sim.Failure_detector
 module Span = Obs.Span
 module Bitset = Quorum.Bitset
 module System = Quorum.System
@@ -16,10 +17,11 @@ type msg =
   | Announce of { epoch : int }
   | Epoch_req  (** an amnesiac replica asking peers for their epoch *)
   | Epoch_rep of { epoch : int }
+  | Beat  (** failure-detector heartbeat (only with [with_fd]) *)
 
-(* Timer tags: op ids are >= 0; the coordinator's switch-retry tick,
-   the replicas' unseal self-heal tick and the timed-mode lease-renewal
-   tick use reserved negatives. *)
+(* Timer tags: op ids are >= 0; tag -1 is the failure detector's; the
+   coordinator's switch-retry tick, the replicas' unseal self-heal tick
+   and the timed-mode lease-renewal tick use reserved negatives. *)
 let switch_tag = -2
 let unseal_tag = -3
 let renew_tag = -4
@@ -35,6 +37,9 @@ type op = {
   started : float;
   mutable epoch : int;
   mutable waiting_for : Bitset.t;
+  mutable targets : Bitset.t;  (** everyone ever asked this phase *)
+  mutable acked : Bitset.t;  (** everyone who replied this phase *)
+  mutable last_send : float;
   mutable best : int * int;
   mutable write_version : int;
   mutable phase : phase;
@@ -93,6 +98,14 @@ type t = {
       (** per replica: (r_epoch, sealed, state) *)
   incarnation : int array;
   mutable engine : msg Engine.t option;
+  fd : msg Failure_detector.t option;
+      (** per-node suspected-live views; [None] keeps the historical
+          omniscient [Engine.live_set] selection *)
+  routing : Client_config.routing;
+  lat_ring : float array array;  (** per-peer reply-latency samples *)
+  lat_len : int array;
+  lat_pos : int array;
+  mutable hedges : int;
   mutable configs : System.t list;  (** index = epoch *)
   mutable epoch : int;  (** latest announced epoch (global knowledge) *)
   replicas : replica array;
@@ -113,10 +126,12 @@ type t = {
   mutable history : Obs.Trace_analysis.hop list;  (** newest first *)
 }
 
-let of_config ?(config = Client_config.default) ?lease ?(skew = 0.5)
-    ?switch_retry ~initial ~universe () =
-  (* Only [durability] and [timeout] of the record apply here: the
-     register has no rpc or failure-detector layer of its own. *)
+let of_config ?(config = Client_config.default) ?(with_fd = false) ?lease
+    ?(skew = 0.5) ?switch_retry ~initial ~universe () =
+  (* [durability] and [timeout] of the record always apply; [fd] and
+     [routing] only when [with_fd] opts into the failure-detector
+     layer (off by default: no Beat traffic, omniscient selection —
+     bit-identical to the historical register). *)
   let durability = config.Client_config.durability in
   let timeout = config.Client_config.timeout in
   if initial.System.n > universe then
@@ -127,6 +142,15 @@ let of_config ?(config = Client_config.default) ?lease ?(skew = 0.5)
   | Some d when d <= 0.0 -> invalid_arg "Reconfig.create: lease"
   | _ -> ());
   if skew < 0.0 then invalid_arg "Reconfig.create: skew";
+  let fd =
+    if with_fd then
+      Some
+        (Failure_detector.create
+           ~period:config.Client_config.fd.Client_config.period
+           ~timeout:config.Client_config.fd.Client_config.timeout
+           ~mode:(Client_config.fd_mode config) ~nodes:universe ~beat:Beat ())
+    else None
+  in
   {
     universe;
     timeout;
@@ -138,6 +162,12 @@ let of_config ?(config = Client_config.default) ?lease ?(skew = 0.5)
     cell = None;
     incarnation = Array.make universe 0;
     engine = None;
+    fd;
+    routing = config.Client_config.routing;
+    lat_ring = Array.init universe (fun _ -> Array.make 32 0.0);
+    lat_len = Array.make universe 0;
+    lat_pos = Array.make universe 0;
+    hedges = 0;
     configs = [ initial ];
     epoch = 0;
     replicas =
@@ -190,6 +220,11 @@ let bind t engine =
   in
   t.dur <- Some dur;
   t.cell <- Some (Durable.cell dur ~name:"reconfig.replica");
+  (match t.fd with
+  | Some fd ->
+      Failure_detector.bind fd engine;
+      Failure_detector.start fd
+  | None -> ());
   (* Timed mode: every replica renews its own lease on a background
      tick, well before expiry. *)
   match t.lease with
@@ -258,6 +293,19 @@ let retries t = t.retries
 let failed t = t.failed
 let client_crash_kills t = t.crash_kills
 let stale_reads t = t.stale_reads
+let hedges t = t.hedges
+let has_fd t = Option.is_some t.fd
+
+let fd_view t ~node =
+  Option.map (fun fd -> Failure_detector.view fd ~node) t.fd
+
+let fd_stats t ~node =
+  Option.map (fun fd -> Failure_detector.stats fd ~node) t.fd
+
+let fd_suspicion t ~node j =
+  match t.fd with
+  | Some fd -> Failure_detector.suspicion fd ~node j
+  | None -> 0.0
 
 let config_of_epoch t epoch =
   (* configs is newest-first. *)
@@ -269,10 +317,18 @@ let committed_before t time =
     (fun acc (ct, v) -> if ct <= time then max acc v else acc)
     0 t.committed
 
-(* Select a quorum of [system] among its currently-live members
+(* The set of nodes [node] believes live: its failure-detector view
+   when the register carries one, the engine's omniscient live-set
+   otherwise (the historical behaviour). *)
+let live_view t engine ~node =
+  match t.fd with
+  | Some fd -> Failure_detector.view fd ~node
+  | None -> Engine.live_set engine
+
+(* Select a quorum of [system] among the members [node] believes live
    (spares beyond [system.n] idle). *)
-let select_live_quorum engine (system : System.t) =
-  let live = Engine.live_set engine in
+let select_live_quorum t engine ~node (system : System.t) =
+  let live = live_view t engine ~node in
   let members = Bitset.create system.System.n in
   for i = 0 to system.System.n - 1 do
     if Bitset.mem live i then Bitset.add members i
@@ -280,6 +336,34 @@ let select_live_quorum engine (system : System.t) =
   system.System.select (Engine.rng engine) ~live:members
 
 (* --- Client side ---------------------------------------------------- *)
+
+(* Per-peer reply-latency ring (32 samples), only maintained when
+   hedging is on: the hedge fires at the worst [hedge_quantile] of the
+   quorum's members, floored by [hedge_floor]. *)
+let record_latency t ~peer sample =
+  if t.routing.Client_config.hedge then begin
+    t.lat_ring.(peer).(t.lat_pos.(peer)) <- sample;
+    t.lat_pos.(peer) <- (t.lat_pos.(peer) + 1) mod 32;
+    if t.lat_len.(peer) < 32 then t.lat_len.(peer) <- t.lat_len.(peer) + 1
+  end
+
+let hedge_delay t waiting =
+  let q = t.routing.Client_config.hedge_quantile in
+  let worst = ref 0.0 in
+  Bitset.iter
+    (fun j ->
+      let len = t.lat_len.(j) in
+      if len > 0 then begin
+        let samples = Array.sub t.lat_ring.(j) 0 len in
+        Array.sort compare samples;
+        let idx =
+          max 0
+            (min (len - 1) (int_of_float (ceil (q *. float_of_int len)) - 1))
+        in
+        if samples.(idx) > !worst then worst := samples.(idx)
+      end)
+    waiting;
+  Float.max t.routing.Client_config.hedge_floor !worst
 
 (* Select a quorum in the configuration of the client's current view
    and start (or restart) the version phase of [op].  Transient
@@ -290,20 +374,24 @@ let rec launch t (op : op) =
   let engine = engine_exn t in
   op.epoch <- t.epoch;
   let system = config_of_epoch t op.epoch in
-  match select_live_quorum engine system with
+  match select_live_quorum t engine ~node:op.client system with
   | None -> retry_later t op
   | Some quorum ->
       op.phase <- Version_phase;
       op.best <- (0, 0);
       op.nacked <- false;
       op.waiting_for <- Bitset.copy quorum;
+      op.targets <- Bitset.copy quorum;
+      op.acked <- Bitset.create system.System.n;
+      op.last_send <- Engine.now engine;
       Engine.with_span_ctx engine op.span (fun () ->
           Bitset.iter
             (fun j ->
               Engine.send engine ~src:op.client ~dst:j
                 (Op_req { op = op.id; epoch = op.epoch; write = None }))
             quorum);
-      arm_progress_check t op
+      arm_progress_check t op;
+      arm_hedge t op
 
 (* A round of requests can be silently swallowed (message loss, a
    replica dying before replying): if the attempt armed here is still
@@ -342,6 +430,59 @@ and retry_later t (op : op) =
       (fun () -> if Hashtbl.mem t.ops op.id then launch t op)
   end
 
+(* Hedged requests: one timer per phase attempt, armed at the worst
+   per-peer latency quantile of the selected quorum.  When it fires,
+   every member still unheard-from has its request duplicated to a
+   distinct backup member from the client's live view; replicas are
+   idempotent (reads are pure, installs take the max version) and the
+   client dedups by the [acked] set, so duplicates cost messages,
+   never safety.  Off by default — with [routing.hedge = false] no
+   timer is ever scheduled and the schedule is bit-identical. *)
+and arm_hedge t (op : op) =
+  if t.routing.Client_config.hedge then begin
+    let engine = engine_exn t in
+    let attempt = op.attempt in
+    let phase = op.phase in
+    let delay = hedge_delay t op.waiting_for in
+    Engine.schedule engine
+      ~time:(Engine.now engine +. delay)
+      (fun () ->
+        match Hashtbl.find_opt t.ops op.id with
+        | Some op'
+          when op' == op && op.attempt = attempt && op.phase = phase
+               && (not op.nacked)
+               && not (Bitset.is_empty op.waiting_for) ->
+            hedge_round t op
+        | Some _ | None -> ())
+  end
+
+and hedge_round t (op : op) =
+  let engine = engine_exn t in
+  let system = config_of_epoch t op.epoch in
+  let view = live_view t engine ~node:op.client in
+  let payload =
+    match (op.phase, op.kind) with
+    | Install_phase, Write_op value -> Some (op.write_version, value)
+    | _ -> None
+  in
+  let cursor = ref 0 in
+  Bitset.iter
+    (fun _straggler ->
+      let found = ref false in
+      while (not !found) && !cursor < system.System.n do
+        let j = !cursor in
+        incr cursor;
+        if Bitset.mem view j && not (Bitset.mem op.targets j) then begin
+          found := true;
+          Bitset.add op.targets j;
+          t.hedges <- t.hedges + 1;
+          Engine.with_span_ctx engine op.span (fun () ->
+              Engine.send engine ~src:op.client ~dst:j
+                (Op_req { op = op.id; epoch = op.epoch; write = payload }))
+        end
+      done)
+    op.waiting_for
+
 let start t ~client kind =
   let engine = engine_exn t in
   if not (Engine.is_live engine client) then t.failed <- t.failed + 1
@@ -356,6 +497,9 @@ let start t ~client kind =
         started = Engine.now engine;
         epoch = t.epoch;
         waiting_for = Bitset.create t.universe;
+        targets = Bitset.create t.universe;
+        acked = Bitset.create t.universe;
+        last_send = 0.0;
         best = (0, 0);
         write_version = 0;
         phase = Version_phase;
@@ -410,13 +554,16 @@ let begin_install t (op : op) =
   | Read_op -> finish_read t op
   | Write_op value ->
       let system = config_of_epoch t op.epoch in
-      (match select_live_quorum engine system with
+      (match select_live_quorum t engine ~node:op.client system with
       | None -> retry_later t op
       | Some wq ->
           let version = fst op.best + 1 in
           op.write_version <- version;
           op.phase <- Install_phase;
           op.waiting_for <- Bitset.copy wq;
+          op.targets <- Bitset.copy wq;
+          op.acked <- Bitset.create system.System.n;
+          op.last_send <- Engine.now engine;
           Engine.with_span_ctx engine op.span (fun () ->
               Bitset.iter
                 (fun j ->
@@ -428,7 +575,8 @@ let begin_install t (op : op) =
                          write = Some (version, value);
                        }))
                 wq);
-          arm_progress_check t op)
+          arm_progress_check t op;
+          arm_hedge t op)
 
 (* --- Reconfiguration -------------------------------------------------- *)
 
@@ -512,7 +660,7 @@ let resend_unacked t engine sw =
    and a timed switch may fall back to temporal overlap right away. *)
 let quorum_unreachable t engine sw =
   let old_system = config_of_epoch t t.epoch in
-  let live = Engine.live_set engine in
+  let live = live_view t engine ~node:sw.coordinator in
   let reachable = Bitset.copy sw.seal_acked in
   for j = 0 to old_system.System.n - 1 do
     if Bitset.mem live j then Bitset.add reachable j
@@ -733,10 +881,25 @@ let handlers t : msg Engine.handlers =
             (match Hashtbl.find_opt t.ops op_id with
             | None -> ()
             | Some op ->
-                if Bitset.mem op.waiting_for src then begin
-                  Bitset.remove op.waiting_for src;
+                if Bitset.mem op.targets src && not (Bitset.mem op.acked src)
+                then begin
+                  record_latency t ~peer:src
+                    (Engine.now engine -. op.last_send);
+                  Bitset.add op.acked src;
+                  if Bitset.mem op.waiting_for src then
+                    Bitset.remove op.waiting_for src;
                   if version > fst op.best then op.best <- (version, value);
-                  if Bitset.is_empty op.waiting_for && not op.nacked then
+                  (* With hedging the phase completes on {e any} full
+                     quorum's worth of acks (quorum intersection makes
+                     the acked set as good as the selected one); off,
+                     completion is exactly "every selected member
+                     acked" — the historical rule. *)
+                  let complete =
+                    if t.routing.Client_config.hedge then
+                      (config_of_epoch t op.epoch).System.avail op.acked
+                    else Bitset.is_empty op.waiting_for
+                  in
+                  if complete && not op.nacked then
                     match op.phase with
                     | Version_phase -> begin_install t op
                     | Install_phase ->
@@ -816,10 +979,19 @@ let handlers t : msg Engine.handlers =
               r.r_epoch <- epoch;
               r.sealed <- false;
               ignore (persist t ~node)
-            end);
+            end
+        | Beat -> (
+            match t.fd with
+            | Some fd -> Failure_detector.heard fd ~node ~from:src
+            | None -> ()));
     on_timer =
       (fun engine ~node ~tag ->
-        if tag = switch_tag then switch_tick t ~node
+        if
+          match t.fd with
+          | Some fd -> Failure_detector.on_timer fd ~node ~tag
+          | None -> false
+        then ()
+        else if tag = switch_tag then switch_tick t ~node
         else if tag = unseal_tag then unseal_tick t ~node
         else if tag = renew_tag then renew_tick t ~node
         else
@@ -860,6 +1032,9 @@ let handlers t : msg Engine.handlers =
           doomed);
     on_recover =
       (fun engine ~node ~amnesia ->
+        (match t.fd with
+        | Some fd -> Failure_detector.on_recover fd ~node
+        | None -> ());
         if amnesia then begin
           (* Restore the durable image and re-learn the current epoch
              from peers over the announce path. *)

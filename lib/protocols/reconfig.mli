@@ -86,6 +86,7 @@ type msg
 
 val of_config :
   ?config:Client_config.t ->
+  ?with_fd:bool ->
   ?lease:float ->
   ?skew:float ->
   ?switch_retry:float ->
@@ -93,9 +94,20 @@ val of_config :
   universe:int ->
   unit ->
   t
-(** The primary constructor.  Of the {!Client_config.t} record only
-    [durability] and [timeout] apply — the register has no rpc or
-    failure-detector layer of its own.
+(** The primary constructor.  Of the {!Client_config.t} record
+    [durability] and [timeout] always apply; [fd] and [routing] only
+    with [with_fd] (below) — the register has no rpc layer of its own.
+
+    [with_fd] (default [false]) attaches a {!Sim.Failure_detector}:
+    heartbeats ride the register's wire type as background [Beat]
+    traffic, quorum selection and the coordinator's reachability check
+    use the {e selecting node's} suspected-live view instead of the
+    engine's omniscient live-set, and [config.routing.hedge] enables
+    hedged client requests (stragglers duplicated to a distinct backup
+    member after an adaptive per-peer latency quantile, deduped by op
+    id; completion then needs any full quorum's worth of acks — safe
+    by intersection).  Off, no Beat traffic exists and the register is
+    bit-identical to the historical omniscient one.
 
     [universe] is the engine size and must accommodate every future
     configuration ([initial.n <= universe]); processes beyond the
@@ -172,6 +184,25 @@ val client_crash_kills : t -> int
 val stale_reads : t -> int
 (** Must be 0: reads never miss writes committed before they started,
     across reconfigurations. *)
+
+val hedges : t -> int
+(** Hedge requests sent to backup members ([with_fd] +
+    [routing.hedge] only; otherwise 0). *)
+
+val has_fd : t -> bool
+(** Whether the register carries a failure detector ([with_fd]). *)
+
+val fd_view : t -> node:int -> Quorum.Bitset.t option
+(** [node]'s suspected-live view, [None] without [with_fd].  This is
+    the view {!Membership} consumes in failure-detector-driven mode. *)
+
+val fd_stats : t -> node:int -> Sim.Failure_detector.stats option
+(** [node]'s detection-accuracy totals against the engine's oracle
+    (see {!Sim.Failure_detector.stats}), [None] without [with_fd]. *)
+
+val fd_suspicion : t -> node:int -> int -> float
+(** Graded suspicion of [j] as seen by [node]; [0.0] without
+    [with_fd]. *)
 
 val history : t -> Obs.Trace_analysis.hop list
 (** Completed client operations in completion order, ready for

@@ -26,9 +26,16 @@ type app =
 type msg = Beat | App of app Rpc.msg
 
 type phase =
-  | Reading of { waiting_for : Bitset.t; mutable best : int * int }
+  | Reading of {
+      waiting_for : Bitset.t;
+      targets : Bitset.t;
+          (** everyone this attempt was sent to: the selected quorum
+              plus any hedge backups added later *)
+      acked : Bitset.t;  (** targets that replied (dedup by op id) *)
+      mutable best : int * int;
+    }
       (** Collecting (version, value) replies from a read quorum. *)
-  | Writing of { waiting_for : Bitset.t }
+  | Writing of { waiting_for : Bitset.t; targets : Bitset.t; acked : Bitset.t }
 
 type kind = Read_op | Write_op of int  (** payload for the write phase *)
 
@@ -80,6 +87,12 @@ type op = {
   mutable done_ : bool;
   mutable span : int;  (** root span of the whole client operation *)
   mutable attempt_span : int;  (** span of the current quorum attempt *)
+  mutable last_send : float;
+      (** when this op last fanned requests out — the base of the
+          per-peer latency samples its replies contribute *)
+  mutable hedge_armed : float;
+      (** the [deadline] of the attempt whose hedge timer is pending;
+          a fire against a superseded attempt is ignored *)
   sess : session;
   notify : (outcome -> unit) option;
 }
@@ -100,6 +113,9 @@ type instruments = {
   st_batches : Metrics.counter;
   st_batched : Metrics.counter;
   st_backlog_peak : Metrics.gauge;
+  st_hedges : Metrics.counter;
+  st_degraded_writes : Metrics.counter;
+  st_degraded : Metrics.gauge;
 }
 
 type sync = {
@@ -126,6 +142,7 @@ type t = {
   serv : service;
   timeout : float;
   retries : int;
+  routing : Client_config.routing;
   durability : Durable.config;
   rpc : (app, msg) Rpc.t;
   fd : msg Failure_detector.t;
@@ -155,6 +172,16 @@ type t = {
   mutable batches : int;
   mutable batched_ops : int;
   mutable shed : int;
+  mutable hedges : int;  (** hedge requests sent to backup replicas *)
+  mutable degraded_writes : int;
+      (** writes refused fast by the degraded read-only mode *)
+  mutable degraded : bool;  (** currently in degraded read-only mode *)
+  (* Per-peer completed-request latency samples (bounded ring), the
+     adaptive base of the hedge delay.  Pure bookkeeping: no RNG, no
+     events. *)
+  lat_ring : float array array;
+  lat_len : int array;
+  lat_pos : int array;
   (* Consistency monitor: per key, the (commit time, version) history
      of completed writes, newest first. *)
   committed : (int, (float * int) list) Hashtbl.t;
@@ -179,6 +206,7 @@ let of_config ?(config = Client_config.default) ?router
     serv = service;
     timeout = config.Client_config.timeout;
     retries = config.Client_config.retries;
+    routing = config.Client_config.routing;
     durability = config.Client_config.durability;
     rpc =
       Rpc.create ~timeout:config.Client_config.rpc.Client_config.timeout
@@ -189,8 +217,8 @@ let of_config ?(config = Client_config.default) ?router
     fd =
       Failure_detector.create
         ~period:config.Client_config.fd.Client_config.period
-        ~timeout:config.Client_config.fd.Client_config.timeout ~nodes:n
-        ~beat:Beat ();
+        ~timeout:config.Client_config.fd.Client_config.timeout
+        ~mode:(Client_config.fd_mode config) ~nodes:n ~beat:Beat ();
     engine = None;
     dur = None;
     ops = Hashtbl.create 64;
@@ -213,6 +241,12 @@ let of_config ?(config = Client_config.default) ?router
     batches = 0;
     batched_ops = 0;
     shed = 0;
+    hedges = 0;
+    degraded_writes = 0;
+    degraded = false;
+    lat_ring = Array.init n (fun _ -> Array.make 32 0.0);
+    lat_len = Array.make n 0;
+    lat_pos = Array.make n 0;
     committed = Hashtbl.create 16;
     history = [];
     ins = None;
@@ -230,7 +264,10 @@ let create ?(retries = 2) ?(rpc_timeout = 4.0) ?(rpc_backoff = 1.6)
           backoff = rpc_backoff;
           attempts = rpc_attempts;
         };
-      fd = { Client_config.period = fd_period; timeout = fd_timeout };
+      fd =
+        { Client_config.period = fd_period; timeout = fd_timeout;
+          accrual = None };
+      routing = Client_config.default.Client_config.routing;
       durability;
       timeout;
       retries;
@@ -265,6 +302,11 @@ let rejoining t ~node = t.rejoining.(node)
 let batches t = t.batches
 let batched_ops t = t.batched_ops
 let shed t = t.shed
+let hedges t = t.hedges
+let degraded_writes t = t.degraded_writes
+let degraded t = t.degraded
+let fd_stats t ~node = Failure_detector.stats t.fd ~node
+let fd_suspicion t ~node j = Failure_detector.suspicion t.fd ~node j
 
 let replica_value t ~node ~key = Hashtbl.find_opt t.replicas.(node) key
 
@@ -287,6 +329,8 @@ let write_system_for t key =
   | None -> t.write_system
   | Some r -> Shard_router.write_system r ~key
 
+let universe t = t.read_system.Quorum.System.n
+
 let mark_unavailable t =
   t.unavailable <- t.unavailable + 1;
   Metrics.incr (ins_exn t).st_unavailable
@@ -300,6 +344,58 @@ let emit t (op : op) ~dst payload =
   match op.sess.batcher with
   | Some b -> Batcher.add b ~dst payload
   | None -> rsend t ~src:op.client ~dst payload
+
+(* --- Suspicion-aware routing: hedging + degraded mode --------------- *)
+
+(* Hedge timers live in their own tag space above the op-id tags. *)
+let hedge_offset = 0x1000_0000
+
+let record_latency t ~peer sample =
+  let ring = t.lat_ring.(peer) in
+  let cap = Array.length ring in
+  ring.(t.lat_pos.(peer)) <- sample;
+  t.lat_pos.(peer) <- (t.lat_pos.(peer) + 1) mod cap;
+  if t.lat_len.(peer) < cap then t.lat_len.(peer) <- t.lat_len.(peer) + 1
+
+(* The hedge delay for an attempt: the worst per-peer latency quantile
+   across the members we are waiting on, floored by the cold-start
+   guard.  Nearest-rank on the peer's recent samples. *)
+let hedge_delay t waiting =
+  let q = t.routing.hedge_quantile in
+  let worst = ref 0.0 in
+  Bitset.iter
+    (fun j ->
+      let len = t.lat_len.(j) in
+      if len > 0 then begin
+        let a = Array.sub t.lat_ring.(j) 0 len in
+        Array.sort compare a;
+        let idx = min (len - 1) (int_of_float (ceil (q *. float_of_int len)) - 1) in
+        let idx = max 0 idx in
+        if a.(idx) > !worst then worst := a.(idx)
+      end)
+    waiting;
+  Float.max t.routing.hedge_floor !worst
+
+(* Degraded read-only mode: latched while the client's view holds no
+   write quorum, cleared the first time a write finds one again. *)
+let set_degraded t flag =
+  if flag <> t.degraded then begin
+    t.degraded <- flag;
+    Metrics.set (ins_exn t).st_degraded (if flag then 1.0 else 0.0)
+  end
+
+(* Arm one hedge check for the op's current attempt.  Only on the
+   unbatched path: a hedged Batch_req would duplicate every rider.
+   With [routing.hedge] off this is never called, so no timer is
+   scheduled and runs stay bit-identical to the pre-hedging store. *)
+let arm_hedge t (op : op) waiting =
+  if t.routing.hedge && op.sess.batcher = None && not (Bitset.is_empty waiting)
+  then begin
+    let engine = engine_exn t in
+    op.hedge_armed <- op.deadline;
+    Engine.set_timer engine ~node:op.client ~delay:(hedge_delay t waiting)
+      ~tag:(hedge_offset + op.id)
+  end
 
 (* Highest version whose write completed no later than [time]: a read
    that starts afterwards must not return anything older (writes still
@@ -324,26 +420,58 @@ let rec launch_attempt t (op : op) =
   if op.attempt_span >= 0 then
     Span.finish sp ~time:now ~status:(Span.Error "retry") op.attempt_span;
   let live = Failure_detector.view t.fd ~node:op.client in
-  match
-    (read_system_for t op.key).Quorum.System.select (Engine.rng engine) ~live
-  with
-  | None ->
-      Hashtbl.remove t.ops op.id;
-      Span.finish sp ~time:now ~status:(Span.Error "unavailable") op.span;
-      mark_unavailable t;
-      session_completed t op Unavailable
-  | Some quorum ->
-      op.phase <- Reading { waiting_for = Bitset.copy quorum; best = (0, 0) };
-      op.deadline <- now +. t.timeout;
-      op.attempt_span <-
-        Span.start sp ~time:now ~node:op.client ~parent:op.span
-          "store.attempt";
-      Engine.with_span_ctx engine op.attempt_span (fun () ->
-          Bitset.iter
-            (fun j ->
-              emit t op ~dst:j (Version_req { op = op.id; key = op.key }))
-            quorum;
-          Engine.set_timer engine ~node:op.client ~delay:t.timeout ~tag:op.id)
+  (* Degraded read-only mode: a write that sees no unsuspected write
+     quorum is refused immediately instead of burning the attempt
+     timeout on a doomed read phase; reads keep flowing. *)
+  let degraded_refusal =
+    t.routing.degraded_reads
+    &&
+    match op.kind with
+    | Read_op -> false
+    | Write_op _ ->
+        let ok = (write_system_for t op.key).Quorum.System.avail live in
+        set_degraded t (not ok);
+        not ok
+  in
+  if degraded_refusal then begin
+    t.degraded_writes <- t.degraded_writes + 1;
+    Metrics.incr (ins_exn t).st_degraded_writes;
+    Hashtbl.remove t.ops op.id;
+    Span.finish sp ~time:now ~status:(Span.Error "degraded") op.span;
+    mark_unavailable t;
+    session_completed t op Unavailable
+  end
+  else
+    match
+      (read_system_for t op.key).Quorum.System.select (Engine.rng engine) ~live
+    with
+    | None ->
+        Hashtbl.remove t.ops op.id;
+        Span.finish sp ~time:now ~status:(Span.Error "unavailable") op.span;
+        mark_unavailable t;
+        session_completed t op Unavailable
+    | Some quorum ->
+        op.phase <-
+          Reading
+            {
+              waiting_for = Bitset.copy quorum;
+              targets = Bitset.copy quorum;
+              acked = Bitset.create (universe t);
+              best = (0, 0);
+            };
+        op.deadline <- now +. t.timeout;
+        op.last_send <- now;
+        op.attempt_span <-
+          Span.start sp ~time:now ~node:op.client ~parent:op.span
+            "store.attempt";
+        Engine.with_span_ctx engine op.attempt_span (fun () ->
+            Bitset.iter
+              (fun j ->
+                emit t op ~dst:j (Version_req { op = op.id; key = op.key }))
+              quorum;
+            Engine.set_timer engine ~node:op.client ~delay:t.timeout
+              ~tag:op.id;
+            arm_hedge t op quorum)
 
 (* One client operation through a session: identical to the historical
    per-op path, plus session bookkeeping on completion. *)
@@ -369,13 +497,22 @@ and start_session_op t s ?notify ~key kind =
         key;
         kind;
         started = Engine.now engine;
-        phase = Reading { waiting_for = Bitset.create 0; best = (0, 0) };
+        phase =
+          Reading
+            {
+              waiting_for = Bitset.create 0;
+              targets = Bitset.create 0;
+              acked = Bitset.create 0;
+              best = (0, 0);
+            };
         write_version = 0;
         retries_left = t.retries;
         deadline = 0.0;
         done_ = false;
         span = -1;
         attempt_span = -1;
+        last_send = 0.0;
+        hedge_armed = neg_infinity;
         sess = s;
         notify;
       }
@@ -625,10 +762,23 @@ let on_version_rep t engine ~node op_id ~version ~value =
   | Some op ->
       (match op.phase with
       | Reading r ->
-          if Bitset.mem r.waiting_for node then begin
-            Bitset.remove r.waiting_for node;
+          (* Accept one reply per targeted replica: the originally
+             selected quorum plus any hedge backups.  With hedging off
+             [targets]/[acked] track [waiting_for] exactly, so the
+             guard below is the historical membership test. *)
+          if Bitset.mem r.targets node && not (Bitset.mem r.acked node)
+          then begin
+            record_latency t ~peer:node (Engine.now engine -. op.last_send);
+            Bitset.add r.acked node;
+            if Bitset.mem r.waiting_for node then
+              Bitset.remove r.waiting_for node;
             if version > fst r.best then r.best <- (version, value);
-            if Bitset.is_empty r.waiting_for then begin
+            let complete =
+              if t.routing.hedge then
+                (read_system_for t op.key).Quorum.System.avail r.acked
+              else Bitset.is_empty r.waiting_for
+            in
+            if complete then begin
               match op.kind with
               | Read_op -> finish t op (`Read_done r.best)
               | Write_op v ->
@@ -652,13 +802,21 @@ let on_version_rep t engine ~node op_id ~version ~value =
                   | Some wq ->
                       let version = fst r.best + 1 in
                       op.write_version <- version;
-                      op.phase <- Writing { waiting_for = Bitset.copy wq };
+                      op.phase <-
+                        Writing
+                          {
+                            waiting_for = Bitset.copy wq;
+                            targets = Bitset.copy wq;
+                            acked = Bitset.create (universe t);
+                          };
+                      op.last_send <- Engine.now engine;
                       Bitset.iter
                         (fun j ->
                           emit t op ~dst:j
                             (Write_req
                                { op = op.id; key = op.key; version; value = v }))
-                        wq)
+                        wq;
+                      arm_hedge t op wq)
             end
           end
       | Writing _ -> ())
@@ -669,12 +827,71 @@ let on_write_ack t op_id ~node =
   | Some op ->
       (match op.phase with
       | Writing w ->
-          if Bitset.mem w.waiting_for node then begin
-            Bitset.remove w.waiting_for node;
-            if Bitset.is_empty w.waiting_for then
-              finish t op (`Write_done op.write_version)
+          if Bitset.mem w.targets node && not (Bitset.mem w.acked node)
+          then begin
+            record_latency t ~peer:node
+              (Engine.now (engine_exn t) -. op.last_send);
+            Bitset.add w.acked node;
+            if Bitset.mem w.waiting_for node then
+              Bitset.remove w.waiting_for node;
+            let complete =
+              if t.routing.hedge then
+                (write_system_for t op.key).Quorum.System.avail w.acked
+              else Bitset.is_empty w.waiting_for
+            in
+            if complete then finish t op (`Write_done op.write_version)
           end
       | Reading _ -> ())
+
+(* The hedge timer fired for an attempt that is still the current one:
+   every member still unheard-from gets its request duplicated to a
+   distinct backup replica drawn from the client's unsuspected view.
+   Replicas are idempotent (max-version merge, acked-set dedup at the
+   client), so duplicates cost messages, never safety. *)
+let on_hedge t op_id =
+  match Hashtbl.find_opt t.ops op_id with
+  | Some op when (not op.done_) && op.hedge_armed = op.deadline ->
+      let waiting, targets =
+        match op.phase with
+        | Reading r -> (r.waiting_for, r.targets)
+        | Writing w -> (w.waiting_for, w.targets)
+      in
+      if not (Bitset.is_empty waiting) then begin
+        let view = Failure_detector.view t.fd ~node:op.client in
+        let n = universe t in
+        let payload () =
+          match (op.phase, op.kind) with
+          | Reading _, _ -> Version_req { op = op.id; key = op.key }
+          | Writing _, Write_op v ->
+              Write_req
+                {
+                  op = op.id;
+                  key = op.key;
+                  version = op.write_version;
+                  value = v;
+                }
+          | Writing _, Read_op -> assert false
+        in
+        let from = ref 0 in
+        Bitset.iter
+          (fun _straggler ->
+            let rec find j =
+              if j >= n then None
+              else if Bitset.mem view j && not (Bitset.mem targets j) then
+                Some j
+              else find (j + 1)
+            in
+            match find !from with
+            | None -> ()
+            | Some b ->
+                from := b + 1;
+                Bitset.add targets b;
+                t.hedges <- t.hedges + 1;
+                Metrics.incr (ins_exn t).st_hedges;
+                rsend t ~src:op.client ~dst:b (payload ()))
+          waiting
+      end
+  | Some _ | None -> ()
 
 (* --- Re-join protocol ---------------------------------------------- *)
 
@@ -868,6 +1085,16 @@ let bind t engine =
           Metrics.gauge m
             ~help:"high-water session backlog depth, by client"
             "store.session_backlog_peak";
+        st_hedges =
+          Metrics.counter m ~help:"hedge requests sent to backup replicas"
+            "store.hedges";
+        st_degraded_writes =
+          Metrics.counter m
+            ~help:"writes refused fast by the degraded read-only mode"
+            "store.degraded_writes";
+        st_degraded =
+          Metrics.gauge m ~help:"1 while in degraded read-only mode"
+            "store.degraded";
       };
   t.dur <-
     Some
@@ -1058,6 +1285,7 @@ let handlers t : msg Engine.handlers =
       (fun engine ~node ~tag ->
         if Failure_detector.on_timer t.fd ~node ~tag then ()
         else if Rpc.on_timer t.rpc ~node ~tag then ()
+        else if tag >= hedge_offset then on_hedge t (tag - hedge_offset)
         else
           match Hashtbl.find_opt t.ops tag with
           | Some op when not op.done_ ->

@@ -219,6 +219,43 @@ val batched_ops : t -> int
 val shed : t -> int
 (** Submissions dropped by full session backlogs across all sessions. *)
 
+(** {2 Suspicion-aware routing}
+
+    With [config.routing.hedge] on (see {!Client_config.routing}), an
+    unbatched attempt arms one hedge timer at the worst per-peer
+    latency quantile of its quorum (floored by [hedge_floor]); when it
+    fires, every member still unheard-from has its request duplicated
+    to a distinct backup replica from the client's unsuspected view,
+    and the attempt completes as soon as the {e acked} set contains a
+    full quorum of the phase's system — replicas are idempotent and
+    the client dedups replies by op id, so duplicates cost messages,
+    never safety.  With [config.routing.degraded_reads] on, a write
+    whose client view holds no write quorum is refused immediately
+    (degraded read-only mode) instead of burning the attempt timeout;
+    reads keep flowing.  Both knobs default off, and off means {e
+    bit-identical} to the pre-routing store: no hedge timers, no extra
+    sends, completion exactly when every originally-selected member
+    acked. *)
+
+val hedges : t -> int
+(** Hedge requests sent to backup replicas ([store.hedges] metric). *)
+
+val degraded_writes : t -> int
+(** Writes refused fast by the degraded read-only mode
+    ([store.degraded_writes] metric). *)
+
+val degraded : t -> bool
+(** Whether the store is currently latched in degraded read-only mode
+    (no unsuspected write quorum at the last write attempt). *)
+
+val fd_stats : t -> node:int -> Sim.Failure_detector.stats
+(** [node]'s failure-detection accuracy totals against the engine's
+    oracle (see {!Sim.Failure_detector.stats}). *)
+
+val fd_suspicion : t -> node:int -> int -> float
+(** Graded suspicion of [j] as seen by [node] (see
+    {!Sim.Failure_detector.suspicion}). *)
+
 val dead_letters : t -> int
 (** Messages the rpc layer gave up on. *)
 

@@ -150,6 +150,38 @@ let audit_section buf = function
         a.Ta.violations;
       if a.Ta.violations <> [] then Buffer.add_char buf '\n'
 
+(* The failure detector's oracle-measured health, when the run carried
+   one (the mutex and store always do; the bare register only with
+   [with_fd]).  [fd.beats_sent] doubles as the presence probe: a
+   detector that never beat never ran. *)
+let fd_section buf obs =
+  let m = Obs.metrics obs in
+  let c name = Obs.Metrics.(counter_value (counter m name)) in
+  if c "fd.beats_sent" > 0 then begin
+    let detect = Obs.Metrics.histogram m "fd.detection_latency" in
+    Buffer.add_string buf "## Failure-detector health\n\n";
+    Buffer.add_string buf "| metric | value |\n|---|---|\n";
+    Printf.bprintf buf "| suspicion transitions | %d |\n" (c "fd.transitions");
+    Printf.bprintf buf "| false-positive onsets | %d |\n"
+      (c "fd.false_positives");
+    Printf.bprintf buf "| false-suspicion samples | %d |\n"
+      (c "fd.false_suspicions");
+    Printf.bprintf buf "| missed-detection samples | %d |\n"
+      (c "fd.missed_suspicions");
+    Printf.bprintf buf "| crash detections | %d |\n"
+      (Obs.Metrics.count detect);
+    Printf.bprintf buf "| detection latency | %s |\n"
+      (Obs.Metrics.summary detect);
+    let hedges = c "store.hedges" in
+    let degraded = c "store.degraded_writes" in
+    if hedges > 0 then Printf.bprintf buf "| hedged requests | %d |\n" hedges;
+    if degraded > 0 then
+      Printf.bprintf buf "| degraded-mode write refusals | %d |\n" degraded;
+    Buffer.add_string buf
+      "\nOnsets count suspicion flips against the engine oracle; sample \
+       counts accumulate once per beat period per (observer, peer).\n\n"
+  end
+
 let trace_section buf obs =
   let tr = Obs.trace obs in
   let dropped = Obs.Trace.dropped tr in
@@ -187,6 +219,7 @@ let to_markdown t =
   Buffer.add_string buf "\n```\n\n";
   latency_section buf t.profiles;
   audit_section buf t.audit;
+  fd_section buf t.obs;
   trace_section buf t.obs;
   Buffer.add_string buf "## Metrics registry\n\n```\n";
   Buffer.add_string buf (Obs.Metrics.render (Obs.metrics t.obs));

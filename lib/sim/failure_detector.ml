@@ -4,15 +4,38 @@ module Metrics = Obs.Metrics
 let fd_tag = -1
 let eps = 1e-9
 
+(* log10 e: the accrual suspicion level of an exponential inter-arrival
+   model, phi = -log10 P(next beat still pending) = log10(e) * elapsed
+   / mean_interarrival. *)
+let log10_e = 0.4342944819032518
+
+type mode =
+  | Fixed_timeout of float
+  | Accrual of { threshold : float; window : int; min_samples : int }
+
 type instruments = {
   f_beats : Metrics.counter;
   f_suspected : Metrics.gauge;
   f_false : Metrics.counter;
+  f_fp : Metrics.counter;
+  f_missed : Metrics.counter;
+  f_trans : Metrics.counter;
+  f_detect : Metrics.histogram;
+}
+
+type stats = {
+  detections : int;
+  mean_detect : float;
+  max_detect : float;
+  false_positives : int;
+  missed : int;
+  transitions : int;
 }
 
 type 'wire t = {
   period : float;
   timeout : float;
+  mode : mode;
   n : int;
   beat : 'wire;
   mutable engine : 'wire Engine.t option;
@@ -23,22 +46,72 @@ type 'wire t = {
       (** the one legitimate heartbeat chain per node; stale chains
           (pre-crash timers still in the queue) are dropped by
           comparing fire time against this. *)
+  (* Accrual state: per (observer, peer) ring of recent inter-arrival
+     times with a running sum, so the mean is O(1) per suspicion
+     query.  Allocated only in [Accrual] mode. *)
+  ring : float array array array;
+  ring_len : int array array;
+  ring_pos : int array array;
+  ring_sum : float array array;
+  (* Oracle-side accuracy bookkeeping, sampled at beat granularity in
+     [sample_accuracy]; pure observation — touches no RNG, schedules
+     no events. *)
+  was_live : bool array;
+  down_since : float array;
+  prev_suspected : bool array array;
+  s_detections : int array;
+  s_detect_sum : float array;
+  s_detect_max : float array;
+  s_fp : int array;
+  s_missed : int array;
+  s_trans : int array;
 }
 
-let create ?(period = 1.0) ?(timeout = 5.0) ~nodes ~beat () =
+let create ?(period = 1.0) ?(timeout = 5.0) ?mode ~nodes ~beat () =
   if period <= 0.0 then invalid_arg "Failure_detector.create: period";
+  if nodes <= 0 then invalid_arg "Failure_detector.create: nodes";
+  let mode = Option.value mode ~default:(Fixed_timeout timeout) in
+  let timeout =
+    match mode with Fixed_timeout x -> x | Accrual _ -> timeout
+  in
   if timeout <= period then
     invalid_arg "Failure_detector.create: timeout must exceed period";
-  if nodes <= 0 then invalid_arg "Failure_detector.create: nodes";
+  let window =
+    match mode with
+    | Fixed_timeout _ -> 0
+    | Accrual { threshold; window; min_samples } ->
+        if threshold <= 0.0 then
+          invalid_arg "Failure_detector.create: accrual threshold";
+        if window < 2 then invalid_arg "Failure_detector.create: accrual window";
+        if min_samples < 1 || min_samples > window then
+          invalid_arg "Failure_detector.create: accrual min_samples";
+        window
+  in
   {
     period;
     timeout;
+    mode;
     n = nodes;
     beat;
     engine = None;
     ins = None;
     last_heard = Array.make_matrix nodes nodes 0.0;
     next_due = Array.make nodes infinity;
+    ring =
+      (if window = 0 then [||]
+       else Array.init nodes (fun _ -> Array.make_matrix nodes window 0.0));
+    ring_len = Array.make_matrix nodes nodes 0;
+    ring_pos = Array.make_matrix nodes nodes 0;
+    ring_sum = Array.make_matrix nodes nodes 0.0;
+    was_live = Array.make nodes true;
+    down_since = Array.make nodes nan;
+    prev_suspected = Array.make_matrix nodes nodes false;
+    s_detections = Array.make nodes 0;
+    s_detect_sum = Array.make nodes 0.0;
+    s_detect_max = Array.make nodes 0.0;
+    s_fp = Array.make nodes 0;
+    s_missed = Array.make nodes 0;
+    s_trans = Array.make nodes 0;
   }
 
 let engine_exn t =
@@ -63,10 +136,28 @@ let bind t engine =
           Metrics.counter m
             ~help:"suspicion samples where the suspect was actually live"
             "fd.false_suspicions";
+        f_fp =
+          Metrics.counter m
+            ~help:"suspicion onsets whose target was actually live"
+            "fd.false_positives";
+        f_missed =
+          Metrics.counter m
+            ~help:
+              "beat samples where a peer dead beyond timeout+period was \
+               still unsuspected"
+            "fd.missed_suspicions";
+        f_trans =
+          Metrics.counter m ~help:"suspicion state changes (either way)"
+            "fd.transitions";
+        f_detect =
+          Metrics.histogram m
+            ~help:"crash to first suspicion, per (observer, peer)"
+            "fd.detection_latency";
       }
 
 let period t = t.period
 let timeout t = t.timeout
+let mode t = t.mode
 
 let schedule_beat t ~node ~delay =
   let engine = engine_exn t in
@@ -86,27 +177,120 @@ let start t =
       ~delay:(t.period *. (0.25 +. (0.75 *. float_of_int i /. float_of_int t.n)))
   done
 
+let mean_interarrival t ~node j =
+  let len = t.ring_len.(node).(j) in
+  if len = 0 then 0.0 else t.ring_sum.(node).(j) /. float_of_int len
+
+let suspicion t ~node j =
+  if j = node then 0.0
+  else begin
+    let engine = engine_exn t in
+    let elapsed = Engine.now engine -. t.last_heard.(node).(j) in
+    match t.mode with
+    | Fixed_timeout timeout -> elapsed /. timeout
+    | Accrual { threshold; min_samples; _ } ->
+        if t.ring_len.(node).(j) < min_samples then elapsed /. t.timeout
+        else
+          let mean = mean_interarrival t ~node j in
+          if mean <= 0.0 then elapsed /. t.timeout
+          else log10_e *. elapsed /. mean /. threshold
+  end
+
 let suspects t ~node j =
   if j = node then false
   else begin
     let engine = engine_exn t in
-    Engine.now engine -. t.last_heard.(node).(j) > t.timeout
+    let elapsed = Engine.now engine -. t.last_heard.(node).(j) in
+    match t.mode with
+    | Fixed_timeout timeout -> elapsed > timeout
+    | Accrual { threshold; min_samples; _ } ->
+        if t.ring_len.(node).(j) < min_samples then elapsed > t.timeout
+        else
+          let mean = mean_interarrival t ~node j in
+          if mean <= 0.0 then elapsed > t.timeout
+          else log10_e *. elapsed /. mean >= threshold
   end
 
 (* Detector accuracy, sampled once per beat period at the observing
-   node: how many peers it suspects, and how many of those are in fact
-   live (a false suspicion from the simulation's omniscient view). *)
+   node, against the simulation's omniscient oracle: suspected-peer
+   gauge, per-sample false suspicions (historical), plus
+   transition-based false positives, detection latency (crash -> first
+   suspicion) and missed-detection samples.  The oracle's crash clock
+   [down_since] is itself advanced at beat granularity — the first
+   sampler after a crash stamps it — so latencies are accurate to
+   within one beat period; good enough for the detection-time vs
+   accuracy tradeoffs the bench sweeps. *)
 let sample_accuracy t ~node engine =
+  let now = Engine.now engine in
+  (* Advance the oracle's global liveness clock. *)
+  for j = 0 to t.n - 1 do
+    let live = Engine.is_live engine j in
+    if live && not t.was_live.(j) then begin
+      t.was_live.(j) <- true;
+      t.down_since.(j) <- nan
+    end
+    else if (not live) && t.was_live.(j) then begin
+      t.was_live.(j) <- false;
+      t.down_since.(j) <- now
+    end
+  done;
+  let suspected = ref 0 in
+  for j = 0 to t.n - 1 do
+    if j <> node then begin
+      let live = Engine.is_live engine j in
+      let sus = suspects t ~node j in
+      if sus then begin
+        incr suspected;
+        if live then
+          match t.ins with
+          | Some ins -> Metrics.incr ins.f_false
+          | None -> ()
+      end;
+      if sus <> t.prev_suspected.(node).(j) then begin
+        t.prev_suspected.(node).(j) <- sus;
+        t.s_trans.(node) <- t.s_trans.(node) + 1;
+        (match t.ins with
+        | Some ins -> Metrics.incr ins.f_trans
+        | None -> ());
+        if sus then
+          if live then begin
+            t.s_fp.(node) <- t.s_fp.(node) + 1;
+            match t.ins with
+            | Some ins -> Metrics.incr ins.f_fp
+            | None -> ()
+          end
+          else begin
+            let since = t.down_since.(j) in
+            if Float.is_nan since then ()
+            else begin
+              let lat = now -. since in
+              t.s_detections.(node) <- t.s_detections.(node) + 1;
+              t.s_detect_sum.(node) <- t.s_detect_sum.(node) +. lat;
+              if lat > t.s_detect_max.(node) then
+                t.s_detect_max.(node) <- lat;
+              match t.ins with
+              | Some ins -> Metrics.observe ins.f_detect lat
+              | None -> ()
+            end
+          end
+      end;
+      (* Missed detection: the peer has been dead for longer than the
+         detector's own completeness bound yet is still trusted. *)
+      if
+        (not sus) && (not live)
+        && (not (Float.is_nan t.down_since.(j)))
+        && now -. t.down_since.(j) > t.timeout +. t.period
+      then begin
+        t.s_missed.(node) <- t.s_missed.(node) + 1;
+        match t.ins with
+        | Some ins -> Metrics.incr ins.f_missed
+        | None -> ()
+      end
+    end
+  done;
   match t.ins with
   | None -> ()
   | Some ins ->
-      let suspected = ref 0 in
-      for j = 0 to t.n - 1 do
-        if suspects t ~node j then begin
-          incr suspected;
-          if Engine.is_live engine j then Metrics.incr ins.f_false
-        end
-      done;
       Metrics.set ins.f_suspected
         ~labels:[ ("node", string_of_int node) ]
         (float_of_int !suspected)
@@ -134,7 +318,26 @@ let on_timer t ~node ~tag =
 
 let heard t ~node ~from =
   let engine = engine_exn t in
-  t.last_heard.(node).(from) <- Engine.now engine
+  let now = Engine.now engine in
+  (match t.mode with
+  | Fixed_timeout _ -> ()
+  | Accrual { window; _ } ->
+      let interval = now -. t.last_heard.(node).(from) in
+      (* Record the inter-arrival, skipping silences past the fallback
+         timeout: those are failures (crash, cut, long gray window),
+         not latency variation, and folding them into the mean would
+         blunt detection of the *next* failure. *)
+      if interval > 0.0 && interval <= t.timeout then begin
+        let ring = t.ring.(node).(from) in
+        let len = t.ring_len.(node).(from) in
+        let pos = t.ring_pos.(node).(from) in
+        if len < window then t.ring_len.(node).(from) <- len + 1
+        else t.ring_sum.(node).(from) <- t.ring_sum.(node).(from) -. ring.(pos);
+        ring.(pos) <- interval;
+        t.ring_sum.(node).(from) <- t.ring_sum.(node).(from) +. interval;
+        t.ring_pos.(node).(from) <- (pos + 1) mod window
+      end);
+  t.last_heard.(node).(from) <- now
 
 let on_recover t ~node =
   let engine = engine_exn t in
@@ -142,7 +345,8 @@ let on_recover t ~node =
   (* Fresh start: the recovered node presumes everyone live again and
      resumes its own heartbeat chain. *)
   for j = 0 to t.n - 1 do
-    t.last_heard.(node).(j) <- now
+    t.last_heard.(node).(j) <- now;
+    t.prev_suspected.(node).(j) <- false
   done;
   schedule_beat t ~node ~delay:(t.period *. 0.5)
 
@@ -159,3 +363,15 @@ let suspected_count t ~node =
     if suspects t ~node j then incr c
   done;
   !c
+
+let stats t ~node =
+  let d = t.s_detections.(node) in
+  {
+    detections = d;
+    mean_detect =
+      (if d = 0 then 0.0 else t.s_detect_sum.(node) /. float_of_int d);
+    max_detect = t.s_detect_max.(node);
+    false_positives = t.s_fp.(node);
+    missed = t.s_missed.(node);
+    transitions = t.s_trans.(node);
+  }

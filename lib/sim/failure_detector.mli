@@ -2,20 +2,47 @@
     simulation omniscience.
 
     Every node broadcasts a heartbeat each [period]; node [i] {e
-    suspects} node [j] when it has not heard from [j] for more than
-    [timeout].  Protocols select quorums from {!view} — the set of
-    nodes the caller does {e not} suspect — instead of the engine's
-    omniscient live-set, so crash detection, gray failures (slow nodes
-    miss the timeout) and partitions (the far side goes silent) all
-    flow through one mechanism.
+    suspects} node [j] according to the detector's {!mode}:
+
+    - {!Fixed_timeout} [tau]: suspect when nothing was heard for more
+      than [tau] — the classic eventually-perfect heartbeat detector,
+      and the historical behaviour of this module.
+    - {!Accrual}: the phi-accrual family.  Each (observer, peer) pair
+      keeps a sliding [window] of inter-arrival times; the suspicion
+      level is [phi = log10(e) * elapsed / mean_interarrival]
+      (the exponential-tail approximation of Hayashibara et al.'s
+      detector) and the pair is suspected once [phi >= threshold].
+      Until [min_samples] inter-arrivals have been observed the pair
+      falls back to the fixed [timeout].  Silences longer than
+      [timeout] are not folded into the window — they are failures,
+      not latency variation.
+
+    Protocols select quorums from {!view} — the set of nodes the
+    caller does {e not} suspect — instead of the engine's omniscient
+    live-set, so crash detection, gray failures (slow nodes miss the
+    timeout or inflate phi) and partitions (the far side goes silent)
+    all flow through one mechanism.  {!suspicion} exposes the graded
+    level (normalized so [>= 1.0] means suspected in either mode) for
+    suspicion-aware routing and hedging.
 
     Properties under the simulator's fault model (matching the classic
-    eventually-perfect detector):
+    eventually-perfect detector; executable as qcheck properties in
+    [test_fd.ml]):
     - {e completeness}: a crashed node stops beating and is suspected
       by every live node within [timeout] + one period;
     - {e eventual accuracy}: after recovery (or a partition heal)
       heartbeats resume and suspicion clears within one period plus
       network latency.
+
+    Accuracy is also {e measured} against the engine's oracle, sampled
+    once per beat period at each observer: detection latency (crash to
+    first suspicion, [fd.detection_latency]), false-positive onsets
+    ([fd.false_positives]), per-sample false suspicions
+    ([fd.false_suspicions], historical), missed-detection samples
+    ([fd.missed_suspicions]) and suspicion transitions
+    ([fd.transitions]); {!stats} reads the per-observer totals back.
+    The oracle's crash clock advances at beat granularity, so
+    latencies are accurate to within one period.
 
     Heartbeats ride the engine as {e background} traffic: they do not
     keep [Engine.run] alive and are counted in
@@ -29,15 +56,29 @@
 
 type 'wire t
 
+type mode =
+  | Fixed_timeout of float
+      (** suspect after this many time units of silence *)
+  | Accrual of { threshold : float; window : int; min_samples : int }
+      (** suspect when the accrual level [phi] reaches [threshold];
+          [window] recent inter-arrivals per pair, fixed-timeout
+          fallback until [min_samples] of them exist *)
+
 val create :
   ?period:float ->
   ?timeout:float ->
+  ?mode:mode ->
   nodes:int ->
   beat:'wire ->
   unit ->
   'wire t
 (** [period] defaults to 1.0, [timeout] to 5.0; [timeout] must exceed
-    [period] or everyone would flap between beats. *)
+    [period] or everyone would flap between beats.  [mode] defaults to
+    [Fixed_timeout timeout] — exactly the historical detector.  In
+    [Accrual] mode [timeout] remains the cold-start fallback and the
+    inter-arrival admission cap.  Raises [Invalid_argument] on a
+    non-positive threshold, [window < 2] or [min_samples] outside
+    [1..window]. *)
 
 val bind : 'wire t -> 'wire Engine.t -> unit
 val start : 'wire t -> unit
@@ -59,10 +100,32 @@ val suspects : 'wire t -> node:int -> int -> bool
 (** [suspects t ~node j]: does [node] currently suspect [j]?  A node
     never suspects itself. *)
 
+val suspicion : 'wire t -> node:int -> int -> float
+(** The graded suspicion level of [j] as seen by [node], normalized so
+    that [>= 1.0] coincides with {!suspects} (up to the strict/large
+    comparison at exactly 1.0): [elapsed / timeout] in fixed mode,
+    [phi / threshold] in accrual mode.  [0.0] for self. *)
+
 val view : 'wire t -> node:int -> Quorum.Bitset.t
 (** The suspected-live set from [node]'s perspective (includes
     [node]). *)
 
+type stats = {
+  detections : int;  (** dead peers this observer started suspecting *)
+  mean_detect : float;  (** mean crash-to-suspicion latency *)
+  max_detect : float;
+  false_positives : int;  (** suspicion onsets against live peers *)
+  missed : int;
+      (** beat samples where a peer dead beyond [timeout + period] was
+          still unsuspected *)
+  transitions : int;  (** suspicion flips, either direction *)
+}
+
+val stats : 'wire t -> node:int -> stats
+(** Per-observer accuracy totals, measured against the engine's
+    oracle at beat granularity. *)
+
 val suspected_count : 'wire t -> node:int -> int
 val period : 'wire t -> float
 val timeout : 'wire t -> float
+val mode : 'wire t -> mode

@@ -105,6 +105,19 @@ let gray_failure engine ~node ~at ~duration ~slowdown =
   Engine.schedule engine ~time:(at +. duration) (fun () ->
       Network.set_slowdown net ~node 0.0)
 
+let link_windows engine plans =
+  let net = Engine.network engine in
+  List.iter
+    (fun (at, duration, src, dst, loss) ->
+      check_window ~at ~duration "link_windows";
+      if loss <= 0.0 || loss > 1.0 then
+        invalid_arg "Failure_injector.link_windows: loss";
+      Engine.schedule engine ~time:at (fun () ->
+          Network.set_link_loss net ~src ~dst loss);
+      Engine.schedule engine ~time:(at +. duration) (fun () ->
+          Network.set_link_loss net ~src ~dst 0.0))
+    plans
+
 let partition_schedule engine plans =
   let net = Engine.network engine in
   List.iter

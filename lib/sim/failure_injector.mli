@@ -83,6 +83,17 @@ val gray_failure :
     gains [slowdown] latency.  The node never crashes — only a
     failure detector can notice. *)
 
+val link_windows :
+  'msg Engine.t -> (float * float * int * int * float) list -> unit
+(** [(at, duration, src, dst, loss)] windows: add [loss] extra drop
+    probability on the {e directed} link [src -> dst] over
+    [\[at, at + duration)] ([loss = 1.0] severs it), then clear it.
+    One-directional windows are what make links {e asymmetric}: [dst]
+    stops hearing [src] while [src] still hears [dst], so their
+    failure-detector opinions of each other diverge.  Windows on the
+    same ordered pair must not overlap (the later end clears the
+    loss). *)
+
 val partition_schedule :
   'msg Engine.t -> (float * float * int list) list -> unit
 (** [(at, duration, group_a)] triples: install a cut isolating
