@@ -1,0 +1,414 @@
+(* Raw engine speed: events/sec and allocations/event for the
+   Engine/Rpc/Durable hot path, per observability configuration, on a
+   pinned seed (48).
+
+   The workload is a self-contained rpc relay: every operation opens a
+   root span, sends a payload around a ring of 15 nodes through the
+   reliable-rpc layer (ack + retransmit timers, 2% network loss),
+   appends each hop to the durable log, and finishes the span on the
+   last hop; two crash/recover cycles exercise the recovery path.  The
+   same pinned workload runs under four observability configurations:
+
+     no-sink        metrics off, trace off, no spans opened
+     metrics-only   metrics on, trace off, no spans
+     full-trace     metrics + trace ring + every span kept
+     sampled-trace  metrics + trace ring + spans sampled 1-in-8
+
+   Because observability is behaviorally inert, all four configurations
+   must dispatch exactly the same events — asserted below — so the
+   numbers isolate what each layer costs, not what it changes.  A fifth
+   run (full-trace + profiler) produces the per-category table; its
+   time and allocation shares must sum to ~100% of the probed totals
+   (also asserted).
+
+   Everything lands in BENCH_engine.json.  With --gate FILE the rows
+   are compared against a committed baseline: allocations/event is
+   deterministic for a given compiler and gated at +10%; events/sec is
+   machine-dependent, so the gate uses the ratio to an in-process
+   calibration loop (events per calibration op) and allows -15%. *)
+
+module Engine = Sim.Engine
+module Rpc = Sim.Rpc
+module Durable = Sim.Durable
+module Network = Sim.Network
+
+type wire = P of int Rpc.msg
+
+let seed = 48
+let n_nodes = 15
+let hops = 8
+let ops () = if !Util.fast then 600 else 4000
+
+type cfg = {
+  cname : string;
+  trace_capacity : int;
+  metrics_on : bool;
+  use_spans : bool;
+  keep_1_in : int option;
+}
+
+let configs =
+  [
+    { cname = "no-sink"; trace_capacity = 0; metrics_on = false;
+      use_spans = false; keep_1_in = None };
+    { cname = "metrics-only"; trace_capacity = 0; metrics_on = true;
+      use_spans = false; keep_1_in = None };
+    { cname = "full-trace"; trace_capacity = 1 lsl 18; metrics_on = true;
+      use_spans = true; keep_1_in = None };
+    { cname = "sampled-trace"; trace_capacity = 1 lsl 18; metrics_on = true;
+      use_spans = true; keep_1_in = Some 8 };
+  ]
+
+(* One pinned run; returns the engine (for counters) and the measured
+   wall seconds and minor words across scheduling + drain. *)
+let run_once cfg ~profile =
+  let obs =
+    Obs.create ~trace_capacity:cfg.trace_capacity ~profile
+      ?span_keep_1_in:cfg.keep_1_in ~span_sample_seed:seed ()
+  in
+  if not cfg.metrics_on then Obs.Metrics.set_enabled (Obs.metrics obs) false;
+  let spans = Obs.spans obs in
+  let use_spans = cfg.use_spans in
+  let rpc = Rpc.create ~wrap:(fun m -> P m) () in
+  let dur =
+    Durable.create ~obs ~nodes:n_nodes (Durable.config ~fsync_latency:0.4 ())
+  in
+  let handlers =
+    {
+      Engine.on_message =
+        (fun e ~node ~src (P m) ->
+          Rpc.on_message rpc ~node ~src m ~deliver:(fun ~src:_ remaining ->
+              let now = Engine.now e in
+              ignore (Durable.append dur ~node ~now remaining);
+              let ctx = Engine.span_ctx e in
+              if use_spans && ctx <> -1 then begin
+                let h =
+                  Obs.Span.start spans ~time:now ~node ~parent:ctx "bench.hop"
+                in
+                Obs.Span.finish spans ~time:now h
+              end;
+              if remaining > 0 then
+                Rpc.send rpc ~src:node
+                  ~dst:((node + 3) mod n_nodes)
+                  (remaining - 1)
+              else if use_spans && ctx <> -1 then
+                Obs.Span.finish spans ~time:now ctx));
+      on_timer =
+        (fun _e ~node ~tag -> ignore (Rpc.on_timer rpc ~node ~tag));
+      on_crash =
+        (fun e ~node ->
+          Rpc.on_crash rpc ~node;
+          Durable.crash dur ~node ~now:(Engine.now e));
+      on_recover =
+        (fun e ~node ~amnesia ->
+          if amnesia then
+            ignore (Durable.replay dur ~node ~now:(Engine.now e)));
+    }
+  in
+  let network = Network.create ~loss:0.02 () in
+  let e = Engine.create ~seed ~nodes:n_nodes ~network ~obs handlers in
+  Rpc.bind rpc e;
+  let n_ops = ops () in
+  let w0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to n_ops - 1 do
+    let c = i mod n_nodes in
+    let time = 1.0 +. (float_of_int i *. 0.35) in
+    Engine.schedule e ~time (fun () ->
+        let sp =
+          if use_spans then
+            Obs.Span.start spans ~time:(Engine.now e) ~node:c "bench.op"
+          else -1
+        in
+        Engine.set_span_ctx e sp;
+        Rpc.send rpc ~src:c ~dst:((c + 1) mod n_nodes) hops;
+        Engine.set_span_ctx e (-1))
+  done;
+  Engine.crash_at e ~time:40.0 ~node:7;
+  Engine.recover_at e ~time:70.0 ~node:7 ~amnesia:true;
+  Engine.crash_at e ~time:120.0 ~node:3;
+  Engine.recover_at e ~time:150.0 ~node:3;
+  Engine.run e ~max_events:50_000_000;
+  let dt = Unix.gettimeofday () -. t0 in
+  let dw = Gc.minor_words () -. w0 in
+  (e, obs, dt, dw)
+
+type measured = {
+  m_cfg : cfg;
+  events : int;
+  sent : int;
+  best_dt : float;
+  words_per_event : float;
+}
+
+let measure cfg =
+  let reps = if !Util.fast then 2 else 3 in
+  let best_dt = ref infinity in
+  let events = ref 0 in
+  let sent = ref 0 in
+  let words = ref 0.0 in
+  for rep = 1 to reps do
+    let e, _obs, dt, dw = run_once cfg ~profile:false in
+    if dt < !best_dt then best_dt := dt;
+    if rep = 1 then begin
+      events := Engine.events_dispatched e;
+      sent := Engine.messages_sent e;
+      words := dw
+    end
+    else begin
+      (* The workload is pinned: every rep must replay exactly, down to
+         the allocation count. *)
+      assert (Engine.events_dispatched e = !events);
+      assert (Engine.messages_sent e = !sent);
+      assert (dw = !words)
+    end
+  done;
+  {
+    m_cfg = cfg;
+    events = !events;
+    sent = !sent;
+    best_dt = !best_dt;
+    words_per_event = !words /. float_of_int (max 1 !events);
+  }
+
+(* Machine-speed yardstick: a fixed pure-OCaml mixing loop, so the
+   committed events/sec baseline survives CI runners of a different
+   speed as a ratio (events per calibration op). *)
+let calibration () =
+  let a = Array.make 4096 0 in
+  let iters = 20_000_000 in
+  let best = ref 0.0 in
+  for _rep = 1 to 3 do
+    let t0 = Unix.gettimeofday () in
+    let x = ref seed in
+    for i = 0 to iters - 1 do
+      x := (!x * 0x9E3779B1) lxor (!x asr 13);
+      Array.unsafe_set a (i land 4095) !x
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    if a.(0) = min_int then print_string "";
+    let r = float_of_int iters /. dt in
+    if r > !best then best := r
+  done;
+  !best
+
+(* --- JSON ----------------------------------------------------------- *)
+
+let config_json ~calib m =
+  let rate = float_of_int m.events /. m.best_dt in
+  Printf.sprintf
+    "    {\"name\": %S, \"events\": %d, \"messages_sent\": %d, \
+     \"seconds_best\": %.4f, \"events_per_sec\": %.0f, \
+     \"events_per_calib_op\": %.6f, \"minor_words_per_event\": %.2f}"
+    m.m_cfg.cname m.events m.sent m.best_dt rate (rate /. calib *. 1000.0)
+    m.words_per_event
+
+let profile_json (r : Obs.Prof.report) =
+  let rows =
+    List.map
+      (fun (row : Obs.Prof.row) ->
+        Printf.sprintf
+          "      {\"category\": %S, \"probes\": %d, \"seconds\": %.4f, \
+           \"time_share\": %.4f, \"minor_words\": %.0f, \"alloc_share\": \
+           %.4f}"
+          row.Obs.Prof.label row.Obs.Prof.probes row.Obs.Prof.seconds
+          row.Obs.Prof.time_share row.Obs.Prof.minor_words
+          row.Obs.Prof.alloc_share)
+      r.Obs.Prof.rows
+  in
+  Printf.sprintf
+    "  \"profile\": {\n\
+    \    \"total_seconds\": %.4f,\n\
+    \    \"total_minor_words\": %.0f,\n\
+    \    \"rows\": [\n%s\n    ]\n\
+    \  }"
+    r.Obs.Prof.total_seconds r.Obs.Prof.total_minor_words
+    (String.concat ",\n" rows)
+
+(* --- Regression gate ------------------------------------------------ *)
+
+(* The baseline is our own BENCH_engine.json: a flat scan is enough to
+   pull one numeric field out of one named config object (no JSON
+   library in the build). *)
+let scan_number json ~anchor ~key =
+  let find sub from =
+    let n = String.length json and m = String.length sub in
+    let rec go i =
+      if i + m > n then None
+      else if String.sub json i m = sub then Some (i + m)
+      else go (i + 1)
+    in
+    go from
+  in
+  match find anchor 0 with
+  | None -> None
+  | Some p -> (
+      match find ("\"" ^ key ^ "\":") p with
+      | None -> None
+      | Some q ->
+          let n = String.length json in
+          let q = ref q in
+          while
+            !q < n && (json.[!q] = ' ' || json.[!q] = '\n' || json.[!q] = '\t')
+          do
+            incr q
+          done;
+          let s = !q in
+          while
+            !q < n
+            && (match json.[!q] with
+               | '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' -> true
+               | _ -> false)
+          do
+            incr q
+          done;
+          float_of_string_opt (String.sub json s (!q - s)))
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let gate ~baseline_path ~calib measured =
+  let baseline =
+    try read_file baseline_path
+    with Sys_error msg ->
+      Printf.eprintf "error: engine gate: cannot read baseline: %s\n" msg;
+      exit 1
+  in
+  (match (scan_number baseline ~anchor:"\"bench\"" ~key:"fast", !Util.fast)
+   with
+  | Some b, f when (b <> 0.0) <> f ->
+      Printf.eprintf
+        "error: engine gate: baseline fast=%b but this run fast=%b\n"
+        (b <> 0.0) f;
+      exit 1
+  | _ -> ());
+  let rate_tol = 0.15 and alloc_tol = 0.10 in
+  let failed = ref false in
+  Printf.printf "\n  gate vs %s (rate -%.0f%%, allocs +%.0f%%):\n"
+    baseline_path (100.0 *. rate_tol) (100.0 *. alloc_tol);
+  List.iter
+    (fun m ->
+      let anchor = Printf.sprintf "\"name\": %S" m.m_cfg.cname in
+      let b_rel = scan_number baseline ~anchor ~key:"events_per_calib_op" in
+      let b_words = scan_number baseline ~anchor ~key:"minor_words_per_event" in
+      match (b_rel, b_words) with
+      | None, _ | _, None ->
+          Printf.eprintf "error: engine gate: config %s missing in baseline\n"
+            m.m_cfg.cname;
+          failed := true
+      | Some b_rel, Some b_words ->
+          let rate = float_of_int m.events /. m.best_dt in
+          let rel = rate /. calib *. 1000.0 in
+          let rate_ok = rel >= b_rel *. (1.0 -. rate_tol) in
+          let words_ok =
+            m.words_per_event <= b_words *. (1.0 +. alloc_tol)
+          in
+          Printf.printf
+            "    %-14s events/calib-op %8.3f vs %8.3f %s   words/event \
+             %8.2f vs %8.2f %s\n"
+            m.m_cfg.cname rel b_rel
+            (if rate_ok then "ok  " else "FAIL")
+            m.words_per_event b_words
+            (if words_ok then "ok" else "FAIL");
+          if not (rate_ok && words_ok) then failed := true)
+    measured;
+  if !failed then begin
+    Printf.eprintf
+      "error: engine bench regressed against the committed baseline\n";
+    exit 1
+  end
+  else Printf.printf "    gate: ok\n"
+
+(* --- Driver --------------------------------------------------------- *)
+
+let run () =
+  Util.print_header "Engine hot-path bench (events/sec, allocations/event)";
+  Printf.printf
+    "  seed %d, %d nodes, %d ops x %d hops, rpc relay + durable appends\n"
+    seed n_nodes (ops ()) hops;
+  let calib = calibration () in
+  Printf.printf "  calibration: %.0f ops/sec\n%!" calib;
+  let measured = List.map measure configs in
+  (* Observability must be behaviorally inert: every configuration
+     replays the same simulation. *)
+  (match measured with
+  | first :: rest ->
+      List.iter
+        (fun m ->
+          if m.events <> first.events || m.sent <> first.sent then begin
+            Printf.eprintf
+              "error: engine bench: config %s dispatched %d events / %d \
+               sends, %s dispatched %d / %d - observability perturbed the \
+               run\n"
+              m.m_cfg.cname m.events m.sent first.m_cfg.cname first.events
+              first.sent;
+            exit 1
+          end)
+        rest
+  | [] -> ());
+  List.iter
+    (fun m ->
+      Printf.printf
+        "  %-14s %9d events  %12.0f events/sec  %8.2f minor words/event\n"
+        m.m_cfg.cname m.events
+        (float_of_int m.events /. m.best_dt)
+        m.words_per_event)
+    measured;
+  (* Profiled run: where do the full-trace run's time and words go? *)
+  let prof_cfg = List.find (fun c -> c.cname = "full-trace") configs in
+  let _e, obs, _dt, _dw = run_once prof_cfg ~profile:true in
+  let r = Obs.Prof.report (Obs.prof obs) in
+  let share_sum field =
+    List.fold_left (fun acc row -> acc +. field row) 0.0 r.Obs.Prof.rows
+  in
+  let t_sum = share_sum (fun (row : Obs.Prof.row) -> row.Obs.Prof.time_share)
+  and w_sum =
+    share_sum (fun (row : Obs.Prof.row) -> row.Obs.Prof.alloc_share)
+  in
+  if r.Obs.Prof.total_seconds > 0.0 && abs_float (t_sum -. 1.0) > 0.01 then begin
+    Printf.eprintf "error: profile time shares sum to %.4f, not 1\n" t_sum;
+    exit 1
+  end;
+  if r.Obs.Prof.total_minor_words > 0.0 && abs_float (w_sum -. 1.0) > 0.01
+  then begin
+    Printf.eprintf "error: profile alloc shares sum to %.4f, not 1\n" w_sum;
+    exit 1
+  end;
+  if r.Obs.Prof.truncated > 0 || r.Obs.Prof.unbalanced > 0 then begin
+    Printf.eprintf "error: profile probe stack: %d truncated, %d unbalanced\n"
+      r.Obs.Prof.truncated r.Obs.Prof.unbalanced;
+    exit 1
+  end;
+  Printf.printf "\n  profile of the full-trace run (shares of probed total):\n";
+  List.iter
+    (fun (row : Obs.Prof.row) ->
+      Printf.printf "    %-26s %5.1f%% time  %5.1f%% allocs\n"
+        row.Obs.Prof.label
+        (100.0 *. row.Obs.Prof.time_share)
+        (100.0 *. row.Obs.Prof.alloc_share))
+    r.Obs.Prof.rows;
+  let oc = open_out (Util.out_path "BENCH_engine.json") in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"engine\",\n\
+    \  \"seed\": %d,\n\
+    \  \"nodes\": %d,\n\
+    \  \"ops\": %d,\n\
+    \  \"hops\": %d,\n\
+    \  \"fast\": %b,\n\
+    \  \"calibration_ops_per_sec\": %.0f,\n\
+    \  \"configs\": [\n%s\n  ],\n\
+     %s\n\
+     }\n"
+    seed n_nodes (ops ()) hops !Util.fast calib
+    (String.concat ",\n" (List.map (config_json ~calib) measured))
+    (profile_json r);
+  close_out oc;
+  Printf.printf "\n  wrote BENCH_engine.json (seed %d)\n" seed;
+  match !Util.gate with
+  | Some path -> gate ~baseline_path:path ~calib measured
+  | None -> ()

@@ -2,11 +2,11 @@
    paper, the in-text section 4.3 / section 6 numbers, the ablations,
    the simulated-protocol comparison and the bechamel micro-benchmarks.
 
-   Usage: main.exe [--fast] [--metrics] [--jobs N] [target ...]
+   Usage: main.exe [--fast] [--metrics] [--jobs N] [--gate FILE] [target ...]
    Targets: table1 table2 table3 table4 table5 figure1 figure2 curves
             sect43 sect6 ablations sims chaos churn fd latency placement
-            byzantine thresholds perf parallel optimizer throughput all
-            (default: all)
+            byzantine thresholds perf parallel optimizer throughput engine
+            all (default: all)
 
    --fast replaces the 2^25..2^28 exact enumerations (h-T-grid(25),
    Paths(24), Y(28)) with 1e6-trial Monte Carlo estimates.
@@ -15,7 +15,11 @@
    report row.
    --jobs N runs the analysis hot paths on an N-domain pool; results
    are identical for any N (the parallel target reports the speedups
-   and writes BENCH_parallel.json). *)
+   and writes BENCH_parallel.json).
+   --gate FILE makes the engine target compare its measurements against
+   the committed baseline (bench/BENCH_engine.baseline.json) and fail
+   on regression: events/sec (calibration-normalized) down more than
+   15% or minor words/event up more than 10%. *)
 
 let targets : (string * (unit -> unit)) list =
   [
@@ -47,6 +51,7 @@ let targets : (string * (unit -> unit)) list =
     ("parallel", Parallel.run);
     ("optimizer", Optimizer.run);
     ("throughput", Throughput.run);
+    ("engine", Engine_bench.run);
   ]
 
 let () =
@@ -69,6 +74,12 @@ let () =
             exit 1)
     | "--jobs" :: [] ->
         Printf.eprintf "error: --jobs expects a positive integer\n";
+        exit 1
+    | "--gate" :: path :: rest ->
+        Util.gate := Some path;
+        parse_flags acc rest
+    | "--gate" :: [] ->
+        Printf.eprintf "error: --gate expects a baseline JSON path\n";
         exit 1
     | a :: rest -> parse_flags (a :: acc) rest
   in

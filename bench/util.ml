@@ -15,6 +15,11 @@ let jobs = ref 1
    Carlo, chaos sweeps) on an N-domain pool.  Results are identical
    for any value; 1 keeps the sequential code paths. *)
 
+let gate : string option ref = ref None
+(* --gate FILE makes the engine target compare its measurements
+   against a committed baseline JSON and exit non-zero on regression
+   (events/sec normalized by an in-process calibration loop). *)
+
 let the_pool : Exec.Pool.t option ref = ref None
 
 (* The shared bench pool, created on first use once --jobs is known.

@@ -18,7 +18,9 @@
                         (table/jsonl/csv/prometheus)
      trace <spec>       chaos run -> causal event trace + causality check
      report <spec>      chaos run -> markdown dashboard (latency breakdown,
-                        consistency audit, trace health)
+                        consistency audit, trace health, engine profile)
+     profile <spec>     chaos run -> engine self-profile (wall time and
+                        allocations by subsystem)
      throughput         sessioned-store capacity: flat majority vs h-triang
                         vs sharded h-grid at one n, closed- or open-loop
      list               the catalogue of system specs
@@ -71,6 +73,11 @@ let with_system spec f =
 let die msg =
   Printf.eprintf "error: %s\n" msg;
   exit 1
+
+(* Advisory diagnostics: always stderr, always the "warning:" prefix,
+   never an exit-code change (the DIAGNOSTICS contract).  Route every
+   warning through here so the spelling cannot drift. *)
+let warn fmt = Printf.eprintf ("warning: " ^^ fmt ^^ "\n")
 
 (* Result-typed entry points render uniformly through here (same
    contract as the bench harness's Util.ok_or_die). *)
@@ -823,11 +830,10 @@ let trace_cmd =
         (* Loud but exit-code-neutral: an overwritten ring is a degraded
            dump, not a failed run. *)
         if Obs.Trace.dropped tr > 0 then
-          Printf.eprintf
-            "warning: the ring overwrote %d events (metered as \
-             obs.trace.dropped); causal chains through the evicted prefix \
-             are broken — re-run with a larger --capacity for a complete \
-             trace\n"
+          warn
+            "the ring overwrote %d events (metered as obs.trace.dropped); \
+             causal chains through the evicted prefix are broken — re-run \
+             with a larger --capacity for a complete trace"
             (Obs.Trace.dropped tr);
         (match Obs.Trace.causality_violations tr with
         | [] ->
@@ -837,9 +843,9 @@ let trace_cmd =
         | vs when Obs.Trace.dropped tr > 0 ->
             (* Violations on an overwritten ring are the eviction's
                doing, not the run's: advisory, exit-neutral. *)
-            Printf.eprintf
-              "warning: %d deliver(s) without a matching send (expected: \
-               their sends were evicted by the ring)\n"
+            warn
+              "%d deliver(s) without a matching send (expected: their \
+               sends were evicted by the ring)"
               (List.length vs);
             0
         | vs ->
@@ -942,6 +948,60 @@ let report_cmd =
     Term.(
       const run $ spec_arg $ obs_scenario_arg $ obs_horizon_arg $ seed_arg
       $ protocol_arg $ next_arg $ capacity_arg $ out_arg)
+
+(* --- profile ---------------------------------------------------------- *)
+
+let profile_cmd =
+  let keep_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "span-sample" ] ~docv:"K"
+          ~doc:
+            "Keep 1 in $(docv) root spans (deterministic, seed-keyed; \
+             descendants follow their root, so surviving trees are \
+             complete).  0 drops all spans, 1 keeps all.  Sampling is \
+             behaviorally inert: the simulated run is unchanged.")
+  in
+  let run spec scenario horizon seed protocol keep out =
+    with_system spec (fun system ->
+        let obs =
+          match
+            Obs.create ~trace_capacity:(1 lsl 19) ~profile:true
+              ?span_keep_1_in:keep ()
+          with
+          | obs -> obs
+          | exception Invalid_argument msg -> die msg
+        in
+        run_chaos_scenario ~obs ~system ~scenario ~horizon ~seed protocol;
+        let p = Obs.prof obs in
+        let r = Obs.Prof.report p in
+        emit_to out (fun oc ->
+            Printf.fprintf oc
+              "Engine self-profile: chaos %s on %s, seed %d, horizon %g\n\
+               Real wall time and minor-heap allocation of the simulator \
+               itself,\nby subsystem; shares are of the probed total.\n\n"
+              scenario system.Quorum.System.name seed horizon;
+            output_string oc (Obs.Prof.render p));
+        if r.Obs.Prof.truncated > 0 || r.Obs.Prof.unbalanced > 0 then
+          warn
+            "probe stack anomalies (%d truncated, %d unbalanced) — \
+             attribution is approximate"
+            r.Obs.Prof.truncated r.Obs.Prof.unbalanced)
+  in
+  let doc =
+    "Run one chaos scenario with the engine self-profiler on and print \
+     where the simulator's real wall time and allocations went \
+     (dispatch, rpc, durable log, trace/metrics/span recording).  \
+     Profiling is behaviorally inert — the simulated results equal an \
+     unprofiled run's — so the breakdown describes the run the other \
+     subcommands replay.  For events/sec and allocations/event across \
+     observability configurations, see the $(b,bench engine) target."
+  in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(
+      const run $ spec_arg $ obs_scenario_arg $ obs_horizon_arg $ obs_seed_arg
+      $ obs_protocol_arg $ keep_arg $ out_arg)
 
 (* --- throughput ------------------------------------------------------- *)
 
@@ -1238,7 +1298,8 @@ let () =
       [
         info_cmd; fp_cmd; load_cmd; quorums_cmd; pick_cmd; simulate_cmd;
         chaos_cmd; churn_cmd; fd_cmd; metrics_cmd; trace_cmd; report_cmd;
-        throughput_cmd; nd_cmd; masking_cmd; optimize_cmd; list_cmd;
+        profile_cmd; throughput_cmd; nd_cmd; masking_cmd; optimize_cmd;
+        list_cmd;
       ]
   in
   (* Cmdliner renders one-character names as short options only; accept

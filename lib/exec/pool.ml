@@ -12,6 +12,7 @@ type t = {
   jobs : int;
   name : string;
   metrics : Obs.Metrics.t option;
+  prof : Obs.Prof.t;
   mutex : Mutex.t;
   has_work : Condition.t;  (* workers wait here between batches *)
   progress : Condition.t;  (* the submitter waits here for the join *)
@@ -70,7 +71,7 @@ let worker_loop t =
   in
   loop ()
 
-let create ?(name = "pool") ?metrics ?jobs () =
+let create ?(name = "pool") ?metrics ?prof ?jobs () =
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
   if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
   let t =
@@ -78,6 +79,7 @@ let create ?(name = "pool") ?metrics ?jobs () =
       jobs;
       name;
       metrics;
+      prof = (match prof with Some p -> p | None -> Obs.Prof.null);
       mutex = Mutex.create ();
       has_work = Condition.create ();
       progress = Condition.create ();
@@ -103,8 +105,8 @@ let shutdown t =
     t.workers <- []
   end
 
-let with_pool ?name ?metrics ?jobs f =
-  let t = create ?name ?metrics ?jobs () in
+let with_pool ?name ?metrics ?prof ?jobs f =
+  let t = create ?name ?metrics ?prof ?jobs () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
 let record_metrics t b wall =
@@ -131,13 +133,19 @@ let iter_chunks t ~chunks f =
   if chunks < 0 then invalid_arg "Pool.iter_chunks: negative chunk count";
   if chunks = 0 then ()
   else begin
+    (* Batch-level probe only: the accumulators are not domain-safe, so
+       worker domains never touch them — the submitting domain charges
+       the whole batch (its own chunk work plus the join wait). *)
+    Obs.Prof.enter t.prof Obs.Prof.Exec;
     Mutex.lock t.mutex;
     if t.closed then begin
       Mutex.unlock t.mutex;
+      Obs.Prof.leave t.prof Obs.Prof.Exec;
       invalid_arg "Pool: submission after shutdown"
     end;
     if t.running then begin
       Mutex.unlock t.mutex;
+      Obs.Prof.leave t.prof Obs.Prof.Exec;
       invalid_arg "Pool: nested submission (chunk bodies must not submit)"
     end;
     let b =
@@ -163,6 +171,7 @@ let iter_chunks t ~chunks f =
     t.running <- false;
     Mutex.unlock t.mutex;
     record_metrics t b (now () -. t0);
+    Obs.Prof.leave t.prof Obs.Prof.Exec;
     match b.error with
     | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
     | None -> ()

@@ -39,14 +39,24 @@ val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — the number of domains worth
     spawning on this machine. *)
 
-val create : ?name:string -> ?metrics:Obs.Metrics.t -> ?jobs:int -> unit -> t
+val create :
+  ?name:string ->
+  ?metrics:Obs.Metrics.t ->
+  ?prof:Obs.Prof.t ->
+  ?jobs:int ->
+  unit ->
+  t
 (** [create ()] builds a pool with {!default_jobs} workers; [~jobs]
     overrides (must be >= 1).  When [~metrics] is given, every batch
     records into it: counters [exec.batches] and [exec.chunks], and
     histograms [exec.batch_ms] / [exec.chunk_ms] (wall-clock), all
     labelled with [pool=][name] (default ["pool"]).  Metrics are
     written by the submitting domain after the batch joins, so any
-    [Obs.Metrics.t] is safe to pass. *)
+    [Obs.Metrics.t] is safe to pass.  When [~prof] is given, each
+    batch is charged to the [exec.pool] category — batch-level and
+    from the submitting domain only ({!Obs.Prof} accumulators are not
+    domain-safe), so it covers the submitter's chunk work plus the
+    join wait. *)
 
 val jobs : t -> int
 
@@ -55,7 +65,12 @@ val shutdown : t -> unit
     submission raises [Invalid_argument]. *)
 
 val with_pool :
-  ?name:string -> ?metrics:Obs.Metrics.t -> ?jobs:int -> (t -> 'a) -> 'a
+  ?name:string ->
+  ?metrics:Obs.Metrics.t ->
+  ?prof:Obs.Prof.t ->
+  ?jobs:int ->
+  (t -> 'a) ->
+  'a
 (** [create], run, [shutdown] (also on exception). *)
 
 (** {2 Batch operations}

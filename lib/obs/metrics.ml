@@ -110,14 +110,26 @@ type family = {
   kind : kind;
   mutable hcap : int;  (* histogram reservoir cap; 0 = exact *)
   cells : (labels, cell) Hashtbl.t;
+  fprof : Prof.t;
+  fon : bool ref;  (* shared with the registry: one switch for all *)
+  mutable c0 : cell option;  (* cached unlabeled cell: the hot path *)
 }
 
-type t = { families : (string, family) Hashtbl.t }
+type t = {
+  families : (string, family) Hashtbl.t;
+  prof : Prof.t;
+  on : bool ref;
+}
+
 type counter = family
 type gauge = family
 type histogram = family
 
-let create () = { families = Hashtbl.create 32 }
+let create ?(prof = Prof.null) () =
+  { families = Hashtbl.create 32; prof; on = ref true }
+
+let set_enabled t on = t.on := on
+let is_enabled t = !(t.on)
 
 let register t kind ?(help = "") ?(max_samples = 0) name =
   if max_samples < 0 then invalid_arg "Metrics: max_samples < 0";
@@ -133,7 +145,7 @@ let register t kind ?(help = "") ?(max_samples = 0) name =
   | None ->
       let f =
         { fname = name; help; kind; hcap = max_samples;
-          cells = Hashtbl.create 4 }
+          cells = Hashtbl.create 4; fprof = t.prof; fon = t.on; c0 = None }
       in
       Hashtbl.add t.families name f;
       f
@@ -166,35 +178,62 @@ let cell f labels =
       Hashtbl.add f.cells key c;
       c
 
+(* Unlabeled fast path: the first touch creates the cell, every later
+   update is a cached-field read — no canonicalization, no hash lookup,
+   no allocation. *)
+let unlabeled f =
+  match f.c0 with
+  | Some c -> c
+  | None ->
+      let c = cell f [] in
+      f.c0 <- Some c;
+      c
+
 (* Read path: never allocates a cell. *)
 let peek f labels = Hashtbl.find_opt f.cells (canon labels)
 
 let incr ?(labels = []) ?(by = 1) f =
   if by < 0 then invalid_arg "Metrics.incr: by < 0";
-  match cell f labels with
-  | Ccounter r -> r := !r + by
-  | Cgauge _ | Chist _ -> assert false
+  if !(f.fon) then begin
+    Prof.enter f.fprof Prof.Metrics;
+    (match (if labels == [] then unlabeled f else cell f labels) with
+    | Ccounter r -> r := !r + by
+    | Cgauge _ | Chist _ -> assert false);
+    Prof.leave f.fprof Prof.Metrics
+  end
 
 let counter_value ?(labels = []) f =
   match peek f labels with Some (Ccounter r) -> !r | _ -> 0
 
 let set ?(labels = []) f v =
-  match cell f labels with
-  | Cgauge r -> r := v
-  | Ccounter _ | Chist _ -> assert false
+  if !(f.fon) then begin
+    Prof.enter f.fprof Prof.Metrics;
+    (match (if labels == [] then unlabeled f else cell f labels) with
+    | Cgauge r -> r := v
+    | Ccounter _ | Chist _ -> assert false);
+    Prof.leave f.fprof Prof.Metrics
+  end
 
 let set_max ?(labels = []) f v =
-  match cell f labels with
-  | Cgauge r -> if v > !r then r := v
-  | Ccounter _ | Chist _ -> assert false
+  if !(f.fon) then begin
+    Prof.enter f.fprof Prof.Metrics;
+    (match (if labels == [] then unlabeled f else cell f labels) with
+    | Cgauge r -> if v > !r then r := v
+    | Ccounter _ | Chist _ -> assert false);
+    Prof.leave f.fprof Prof.Metrics
+  end
 
 let gauge_value ?(labels = []) f =
   match peek f labels with Some (Cgauge r) -> !r | _ -> 0.0
 
 let observe ?(labels = []) f x =
-  match cell f labels with
-  | Chist h -> hist_add h x
-  | Ccounter _ | Cgauge _ -> assert false
+  if !(f.fon) then begin
+    Prof.enter f.fprof Prof.Metrics;
+    (match (if labels == [] then unlabeled f else cell f labels) with
+    | Chist h -> hist_add h x
+    | Ccounter _ | Cgauge _ -> assert false);
+    Prof.leave f.fprof Prof.Metrics
+  end
 
 let hist_of ?(labels = []) f =
   match peek f labels with Some (Chist h) -> Some h | _ -> None

@@ -33,7 +33,18 @@ type counter
 type gauge
 type histogram
 
-val create : unit -> t
+val create : ?prof:Prof.t -> unit -> t
+(** [prof] (default {!Prof.null}) receives an [obs.metrics] probe around
+    every update, so a profiled run can price its own metrics
+    overhead. *)
+
+val set_enabled : t -> bool -> unit
+(** Registry-wide update switch.  When off, {!incr}/{!set}/{!set_max}/
+    {!observe} return without touching (or creating) any cell —
+    the zero-overhead "no sink" mode for hot benchmark runs.
+    Registration and reads are unaffected.  Default: enabled. *)
+
+val is_enabled : t -> bool
 
 (** {2 Registration} *)
 

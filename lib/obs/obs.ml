@@ -1,13 +1,21 @@
 module Metrics = Metrics
 module Trace = Trace
 module Span = Span
+module Prof = Prof
 module Trace_analysis = Trace_analysis
 module Sink = Sink
 
-type t = { metrics : Metrics.t; trace : Trace.t; spans : Span.t }
+type t = {
+  metrics : Metrics.t;
+  trace : Trace.t;
+  spans : Span.t;
+  prof : Prof.t;
+}
 
-let create ?(trace_capacity = 8192) () =
-  let metrics = Metrics.create () in
+let create ?(trace_capacity = 8192) ?(profile = false) ?span_keep_1_in
+    ?(span_sample_seed = 0) () =
+  let prof = Prof.create ~enabled:profile () in
+  let metrics = Metrics.create ~prof () in
   let dropped =
     Metrics.counter metrics
       ~help:"trace events lost to ring-buffer overwrite"
@@ -16,10 +24,15 @@ let create ?(trace_capacity = 8192) () =
   let trace =
     Trace.create ~capacity:trace_capacity
       ~on_drop:(fun () -> Metrics.incr dropped)
-      ()
+      ~prof ()
   in
-  { metrics; trace; spans = Span.create () }
+  let spans = Span.create ~prof () in
+  (match span_keep_1_in with
+  | None -> ()
+  | Some k -> Span.set_sampler spans ~seed:span_sample_seed ~keep_1_in:k);
+  { metrics; trace; spans; prof }
 
 let metrics t = t.metrics
 let trace t = t.trace
 let spans t = t.spans
+let prof t = t.prof

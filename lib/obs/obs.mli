@@ -1,13 +1,21 @@
-(** Observability: typed metrics, causal event tracing and spans.
+(** Observability: typed metrics, causal event tracing, spans and a
+    simulator self-profiler.
 
-    An {!t} bundles one {!Metrics} registry, one {!Trace} ring and one
-    {!Span} collector.  Pass a single [Obs.t] to everything that
-    participates in a run — the simulation engine, the rpc layer, the
-    failure detector, the protocol — and every subsystem registers its
-    instruments in the same registry, appends to the same trace and
-    opens spans in the same collector, giving one unified, dumpable
-    view of the run (see {!Sink}) that {!Trace_analysis} can later
-    rebuild into per-operation causal trees.
+    An {!t} bundles one {!Metrics} registry, one {!Trace} ring, one
+    {!Span} collector and one {!Prof} profiler.  Pass a single [Obs.t]
+    to everything that participates in a run — the simulation engine,
+    the rpc layer, the failure detector, the protocol — and every
+    subsystem registers its instruments in the same registry, appends
+    to the same trace and opens spans in the same collector, giving one
+    unified, dumpable view of the run (see {!Sink}) that
+    {!Trace_analysis} can later rebuild into per-operation causal
+    trees.
+
+    The first three layers measure the {e simulated} system; {!Prof}
+    measures the {e simulator}: real wall time and allocation per
+    subsystem, so perf work on the engine has ground truth.  All four
+    are behaviorally inert — none touches a simulation RNG stream, so
+    pinned-seed runs are bit-identical whatever is enabled.
 
     Trace-ring overwrites are metered automatically: every event lost
     to the ring bumps the ["obs.trace.dropped"] counter, so a metrics
@@ -16,15 +24,28 @@
 module Metrics = Metrics
 module Trace = Trace
 module Span = Span
+module Prof = Prof
 module Trace_analysis = Trace_analysis
 module Sink = Sink
 
 type t
 
-val create : ?trace_capacity:int -> unit -> t
+val create :
+  ?trace_capacity:int ->
+  ?profile:bool ->
+  ?span_keep_1_in:int ->
+  ?span_sample_seed:int ->
+  unit ->
+  t
 (** [trace_capacity] (default 8192) sizes the trace ring; [0] disables
-    tracing (metrics only). *)
+    tracing (metrics only).  [profile] (default false) enables the
+    {!Prof} probes wired through the engine, rpc, durable and obs
+    layers.  [span_keep_1_in] installs a deterministic root-span
+    sampler (see {!Span.set_sampler}; default: keep everything) keyed
+    by [span_sample_seed] (default 0) — a seed private to the sampler,
+    not the simulation's. *)
 
 val metrics : t -> Metrics.t
 val trace : t -> Trace.t
 val spans : t -> Span.t
+val prof : t -> Prof.t

@@ -21,9 +21,25 @@ let dummy =
   { id = -1; parent = -1; root = -1; node = -1; name = "";
     start_time = 0.0; end_time = nan; status = Open }
 
-type t = { mutable data : span array; mutable len : int }
+type t = {
+  mutable data : span array;
+  mutable len : int;
+  prof : Prof.t;
+  (* Root sampling: keep 1 in [keep_1_in] root spans (1 = all, 0 = none);
+     descendants of a dropped root get the [sampled_out] sentinel id, so
+     a tree is kept or dropped whole. *)
+  mutable keep_1_in : int;
+  mutable sample_seed : int;
+  mutable roots_seen : int;
+  mutable roots_kept : int;
+}
 
-let create () = { data = [||]; len = 0 }
+let sampled_out = -2
+
+let create ?(prof = Prof.null) () =
+  { data = [||]; len = 0; prof; keep_1_in = 1; sample_seed = 0;
+    roots_seen = 0; roots_kept = 0 }
+
 let count t = t.len
 let get t id = if id >= 0 && id < t.len then Some t.data.(id) else None
 
@@ -32,39 +48,102 @@ let get_exn t id =
   | Some s -> s
   | None -> invalid_arg (Printf.sprintf "Span.get_exn: unknown span %d" id)
 
+let set_sampler t ~seed ~keep_1_in =
+  if keep_1_in < 0 then invalid_arg "Span.set_sampler: keep_1_in < 0";
+  t.sample_seed <- seed;
+  t.keep_1_in <- keep_1_in
+
+let sampler_keep_1_in t = t.keep_1_in
+let roots_seen t = t.roots_seen
+let roots_kept t = t.roots_kept
+
+(* splitmix64 finalizer, the same mixer {!Metrics} reservoirs use: the
+   keep/drop decision is a pure function of (seed, root ordinal), fully
+   independent of the simulation's RNG streams and of wall clock. *)
+let mix64 z =
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let keep_root t =
+  match t.keep_1_in with
+  | 1 -> true
+  | 0 -> false
+  | k ->
+      let h =
+        mix64
+          (Int64.add
+             (Int64.mul (Int64.of_int t.roots_seen) 0x9E3779B97F4A7C15L)
+             (Int64.of_int t.sample_seed))
+      in
+      Int64.to_int (Int64.rem (Int64.logand h Int64.max_int) (Int64.of_int k))
+      = 0
+
 let start t ~time ~node ?(parent = -1) name =
-  let root =
-    if parent < 0 then t.len
-    else
-      match get t parent with
-      | Some p -> p.root
-      | None -> invalid_arg "Span.start: unknown parent"
-  in
-  let s =
-    { id = t.len; parent; root; node; name; start_time = time;
-      end_time = nan; status = Open }
-  in
-  if t.len = Array.length t.data then begin
-    let grown = Array.make (max 16 (2 * t.len)) dummy in
-    Array.blit t.data 0 grown 0 t.len;
-    t.data <- grown
-  end;
-  t.data.(t.len) <- s;
-  t.len <- t.len + 1;
-  s.id
+  if parent <= sampled_out then sampled_out
+  else begin
+    Prof.enter t.prof Prof.Span;
+    let id =
+      let sampled_root =
+        parent < 0
+        && begin
+             t.roots_seen <- t.roots_seen + 1;
+             not (keep_root t)
+           end
+      in
+      if sampled_root then sampled_out
+      else begin
+        let root =
+          if parent < 0 then begin
+            t.roots_kept <- t.roots_kept + 1;
+            t.len
+          end
+          else
+            match get t parent with
+            | Some p -> p.root
+            | None -> invalid_arg "Span.start: unknown parent"
+        in
+        let s =
+          { id = t.len; parent; root; node; name; start_time = time;
+            end_time = nan; status = Open }
+        in
+        if t.len = Array.length t.data then begin
+          let grown = Array.make (max 16 (2 * t.len)) dummy in
+          Array.blit t.data 0 grown 0 t.len;
+          t.data <- grown
+        end;
+        t.data.(t.len) <- s;
+        t.len <- t.len + 1;
+        s.id
+      end
+    in
+    Prof.leave t.prof Prof.Span;
+    id
+  end
 
 let is_open s = s.status = Open
 let duration s = if is_open s then nan else s.end_time -. s.start_time
 
 let finish t ~time ?(status = Ok) id =
   if status = Open then invalid_arg "Span.finish: status Open";
-  let s = get_exn t id in
-  (* First close wins: a watchdog and a late reply may both try to end
-     the same span, and the earlier verdict is the operation's truth. *)
-  if is_open s then begin
-    if time < s.start_time then invalid_arg "Span.finish: time before start";
-    s.end_time <- time;
-    s.status <- status
+  if id <= sampled_out then ()  (* whole tree was sampled out *)
+  else begin
+    Prof.enter t.prof Prof.Span;
+    let s = get_exn t id in
+    (* First close wins: a watchdog and a late reply may both try to end
+       the same span, and the earlier verdict is the operation's truth. *)
+    if is_open s then begin
+      if time < s.start_time then invalid_arg "Span.finish: time before start";
+      s.end_time <- time;
+      s.status <- status
+    end;
+    Prof.leave t.prof Prof.Span
   end
 
 let iter t f =
@@ -92,7 +171,10 @@ let open_count t =
   iter t (fun s -> if is_open s then incr n);
   !n
 
-let clear t = t.len <- 0
+let clear t =
+  t.len <- 0;
+  t.roots_seen <- 0;
+  t.roots_kept <- 0
 
 let validate t =
   let faults = ref [] in

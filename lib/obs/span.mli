@@ -39,19 +39,53 @@ type span = {
 type t
 (** A span collector; one per run, owned by {!Obs.t}. *)
 
-val create : unit -> t
+val create : ?prof:Prof.t -> unit -> t
+(** [prof] (default {!Prof.null}) receives an [obs.span] probe around
+    every start/finish, so a profiled run prices its span overhead. *)
+
+(** {2 Sampling}
+
+    High-volume runs can keep 1 in [k] operation trees instead of all
+    of them.  The decision is made once per {e root} span, keyed only
+    on a private seed and the root's ordinal (splitmix64) — never on
+    the simulation's RNG — and the whole tree follows it: starting a
+    child under a sampled-out parent yields {!sampled_out} again, so
+    descendants are kept or dropped together even across nodes (the
+    sentinel propagates through {!Sim.Engine}'s ambient span context
+    like any other id).  {!finish} on the sentinel is a no-op, so
+    protocol code needs no sampling awareness. *)
+
+val sampled_out : int
+(** The sentinel pseudo-id (-2) returned for spans whose root was
+    sampled out.  Distinct from -1 ("no span"): -1 still raises where
+    it always did, and engine-context propagation forwards the
+    sentinel where it would drop -1. *)
+
+val set_sampler : t -> seed:int -> keep_1_in:int -> unit
+(** Keep 1 in [keep_1_in] roots ([1] = keep everything, the default;
+    [0] = drop everything).  Raises [Invalid_argument] when negative.
+    Deterministic: same seed and same start order, same decisions. *)
+
+val sampler_keep_1_in : t -> int
+
+val roots_seen : t -> int
+(** Root spans requested (kept + sampled out). *)
+
+val roots_kept : t -> int
 
 val start : t -> time:float -> node:int -> ?parent:int -> string -> int
 (** Open a new span and return its id.  [parent] defaults to -1
     (a root span); raises [Invalid_argument] if [parent] names a span
-    that does not exist. *)
+    that does not exist.  With a sampler installed, a root may come
+    back as {!sampled_out}; a [parent] of {!sampled_out} (or lower)
+    always does. *)
 
 val finish : t -> time:float -> ?status:status -> int -> unit
 (** Close a span (default status {!Ok}).  Idempotent: closing an
     already-closed span is a no-op — the first verdict wins, so a
-    watchdog abort and a late success cannot fight.  Raises
-    [Invalid_argument] on an unknown id, a status of [Open], or an end
-    time before the span's start. *)
+    watchdog abort and a late success cannot fight.  A {!sampled_out}
+    id is a no-op.  Raises [Invalid_argument] on an unknown id, a
+    status of [Open], or an end time before the span's start. *)
 
 val get : t -> int -> span option
 val get_exn : t -> int -> span

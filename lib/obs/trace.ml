@@ -27,15 +27,18 @@ type t = {
   buf : event array;
   cap : int;
   on_drop : unit -> unit;
+  prof : Prof.t;
   mutable next_seq : int;
 }
 
-let create ?(capacity = 8192) ?(on_drop = fun () -> ()) () =
+let create ?(capacity = 8192) ?(on_drop = fun () -> ()) ?(prof = Prof.null) ()
+    =
   if capacity < 0 then invalid_arg "Trace.create: capacity";
   {
     buf = Array.make (max capacity 1) dummy;
     cap = capacity;
     on_drop;
+    prof;
     next_seq = 0;
   }
 
@@ -48,11 +51,13 @@ let clear t = t.next_seq <- 0
 let record t ~time ~node ?(peer = -1) ?(msg_id = -1) ?(span = -1)
     ?(label = "") kind =
   if t.cap > 0 then begin
+    Prof.enter t.prof Prof.Trace;
     let seq = t.next_seq in
     if seq >= t.cap then t.on_drop ();
     t.buf.(seq mod t.cap) <-
       { seq; time; kind; node; peer; msg_id; span; label };
-    t.next_seq <- seq + 1
+    t.next_seq <- seq + 1;
+    Prof.leave t.prof Prof.Trace
   end
 
 let iter t f =

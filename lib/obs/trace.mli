@@ -39,10 +39,17 @@ type event = {
 
 type t
 
-val create : ?capacity:int -> ?on_drop:(unit -> unit) -> unit -> t
+val create :
+  ?capacity:int -> ?on_drop:(unit -> unit) -> ?prof:Prof.t -> unit -> t
 (** [capacity] (default 8192) is the ring size in events; [0] disables
     recording.  [on_drop] (default a no-op) is invoked once for every
-    event that overwrites an older one. *)
+    event that overwrites an older one.  [prof] (default {!Prof.null})
+    receives an [obs.trace] probe around every recorded event.
+
+    Note for zero-allocation call sites: supplying {!record}'s optional
+    arguments boxes them at the call regardless of capacity, so hot
+    paths that want a true no-op when tracing is off should guard on
+    [capacity t > 0] before calling. *)
 
 val capacity : t -> int
 

@@ -31,8 +31,8 @@ type t = {
   obs : Obs.t;
 }
 
-let run ?seed ?(horizon = 400.0) ?(trace_capacity = 1 lsl 19) ?next ~protocol
-    ~system ~scenario () =
+let run ?seed ?(horizon = 400.0) ?(trace_capacity = 1 lsl 19) ?(profile = true)
+    ?span_keep_1_in ?next ~protocol ~system ~scenario () =
   let seed = match seed with Some s -> s | None -> default_seed protocol in
   let next = Option.value next ~default:system in
   let n =
@@ -41,7 +41,7 @@ let run ?seed ?(horizon = 400.0) ?(trace_capacity = 1 lsl 19) ?next ~protocol
     | Reconfig -> max system.Quorum.System.n next.Quorum.System.n
   in
   let s = Chaos.scenario_of_label ~n ~horizon scenario in
-  let obs = Obs.create ~trace_capacity () in
+  let obs = Obs.create ~trace_capacity ~profile ?span_keep_1_in () in
   let summary, audit, name =
     match protocol with
     | Mutex ->
@@ -185,10 +185,25 @@ let fd_section buf obs =
 let trace_section buf obs =
   let tr = Obs.trace obs in
   let dropped = Obs.Trace.dropped tr in
+  let metered =
+    Obs.Metrics.(
+      counter_value (counter (Obs.metrics obs) "obs.trace.dropped"))
+  in
   Printf.bprintf buf
     "## Trace health\n\n\
-     %d events recorded, %d buffered, %d evicted by the ring.\n"
-    (Obs.Trace.recorded tr) (Obs.Trace.length tr) dropped;
+     %d events recorded, %d buffered, %d evicted by the ring \
+     (`obs.trace.dropped` metered %d).\n"
+    (Obs.Trace.recorded tr) (Obs.Trace.length tr) dropped metered;
+  (let sp = Obs.spans obs in
+   let k = Obs.Span.sampler_keep_1_in sp in
+   if k <> 1 then
+     Printf.bprintf buf
+       "Span sampling: 1 in %d — kept %d of %d root spans; descendants \
+        follow their root, so surviving trees are complete.\n"
+       k (Obs.Span.roots_kept sp) (Obs.Span.roots_seen sp)
+   else if Obs.Span.roots_seen sp > 0 then
+     Printf.bprintf buf "Span sampling: off — all %d root spans kept.\n"
+       (Obs.Span.roots_seen sp));
   if dropped > 0 then
     Buffer.add_string buf
       "**Warning:** the ring overwrote events; causal chains may be \
@@ -206,6 +221,31 @@ let trace_section buf obs =
         (if dropped > 0 then " (expected: their sends were evicted)"
          else ""))
 
+(* The simulator's own cost, when the run was profiled.  Everything
+   else in the report is simulated (deterministic, seed-replayable);
+   these are real wall-clock and allocation measurements of the engine
+   and vary run to run — the per-category *shares* are the signal. *)
+let profile_section buf obs =
+  let p = Obs.prof obs in
+  if Obs.Prof.enabled p then begin
+    let r = Obs.Prof.report p in
+    if r.Obs.Prof.rows <> [] then begin
+      Buffer.add_string buf "## Engine profile\n\n";
+      Buffer.add_string buf
+        "Simulator self-measurement (real wall time and minor-heap \
+         allocation, not simulated time).  Absolute numbers vary run to \
+         run; the per-category shares are the signal and sum to 100% of \
+         the probed total.\n\n";
+      Buffer.add_string buf (Obs.Prof.render_markdown p);
+      if r.Obs.Prof.truncated > 0 || r.Obs.Prof.unbalanced > 0 then
+        Printf.bprintf buf
+          "\n**Warning:** probe stack anomalies (%d truncated, %d \
+           unbalanced) — attribution is approximate.\n"
+          r.Obs.Prof.truncated r.Obs.Prof.unbalanced;
+      Buffer.add_char buf '\n'
+    end
+  end
+
 let to_markdown t =
   let buf = Buffer.create 4096 in
   Printf.bprintf buf "# Chaos run report: %s / %s / %s\n\n"
@@ -221,6 +261,7 @@ let to_markdown t =
   audit_section buf t.audit;
   fd_section buf t.obs;
   trace_section buf t.obs;
+  profile_section buf t.obs;
   Buffer.add_string buf "## Metrics registry\n\n```\n";
   Buffer.add_string buf (Obs.Metrics.render (Obs.metrics t.obs));
   Buffer.add_string buf "```\n";

@@ -1,4 +1,5 @@
 module Metrics = Obs.Metrics
+module Prof = Obs.Prof
 
 type config = { fsync_latency : float; torn_tail : bool }
 
@@ -13,6 +14,7 @@ type ins = {
   d_cell_writes : Metrics.counter;
   d_lost : Metrics.counter;
   d_replayed : Metrics.counter;
+  d_prof : Prof.t;
 }
 
 type 'e t = {
@@ -47,6 +49,7 @@ let create ~obs ~nodes cfg =
         d_replayed =
           Metrics.counter m ~help:"log entries handed back by replay"
             "durable.replayed_entries";
+        d_prof = Obs.prof obs;
       };
     logs = Array.make nodes [];
     next_group = 0;
@@ -68,9 +71,11 @@ let fresh_group t =
 
 let append t ~node ~now e =
   check_node t node "append";
+  Prof.enter t.ins.d_prof Prof.Durable;
   Metrics.incr t.ins.d_appends;
   let durable_at = now +. t.cfg.fsync_latency in
   t.logs.(node) <- (durable_at, fresh_group t, e) :: t.logs.(node);
+  Prof.leave t.ins.d_prof Prof.Durable;
   durable_at
 
 let append_batch t ~node ~now es =
@@ -78,6 +83,7 @@ let append_batch t ~node ~now es =
   match es with
   | [] -> now
   | es ->
+      Prof.enter t.ins.d_prof Prof.Durable;
       Metrics.incr t.ins.d_appends ~by:(List.length es);
       let durable_at = now +. t.cfg.fsync_latency in
       let group = fresh_group t in
@@ -86,6 +92,7 @@ let append_batch t ~node ~now es =
       List.iter
         (fun e -> t.logs.(node) <- (durable_at, group, e) :: t.logs.(node))
         es;
+      Prof.leave t.ins.d_prof Prof.Durable;
       durable_at
 
 let log_length t ~node =
@@ -94,11 +101,13 @@ let log_length t ~node =
 
 let replay t ~node ~now =
   check_node t node "replay";
+  Prof.enter t.ins.d_prof Prof.Durable;
   let durable =
     List.filter (fun (at, _, _) -> at <= now) t.logs.(node)
     |> List.rev_map (fun (_, _, e) -> e)
   in
   Metrics.incr t.ins.d_replayed ~by:(List.length durable);
+  Prof.leave t.ins.d_prof Prof.Durable;
   durable
 
 (* Newest-first and durable_at is monotone in append order, so the
@@ -117,6 +126,7 @@ let split_in_flight at_of ~now entries =
 
 let crash t ~node ~now =
   check_node t node "crash";
+  Prof.enter t.ins.d_prof Prof.Durable;
   let lost, survived =
     split_in_flight (fun (at, _, _) -> at) ~now t.logs.(node)
   in
@@ -141,7 +151,8 @@ let crash t ~node ~now =
     Metrics.incr t.ins.d_lost ~by:n_lost ~labels:[ ("kind", "tail") ];
   if torn > 0 then
     Metrics.incr t.ins.d_lost ~by:torn ~labels:[ ("kind", "torn") ];
-  List.iter (fun hook -> hook node now) t.cell_hooks
+  List.iter (fun hook -> hook node now) t.cell_hooks;
+  Prof.leave t.ins.d_prof Prof.Durable
 
 (* --- Typed cells ---------------------------------------------------- *)
 
@@ -180,17 +191,22 @@ let cell (type a) t ~name : a cell =
   c
 
 let set c ~node ~now v =
+  Prof.enter c.c_ins.d_prof Prof.Durable;
   Metrics.incr c.c_ins.d_cell_writes ~labels:[ ("cell", c.c_name) ];
-  if c.c_cfg.fsync_latency = 0.0 then begin
-    c.durable.(node) <- Some v;
-    now
-  end
-  else begin
-    settle c node ~now;
-    let durable_at = now +. c.c_cfg.fsync_latency in
-    c.pending.(node) <- (durable_at, v) :: c.pending.(node);
-    durable_at
-  end
+  let durable_at =
+    if c.c_cfg.fsync_latency = 0.0 then begin
+      c.durable.(node) <- Some v;
+      now
+    end
+    else begin
+      settle c node ~now;
+      let durable_at = now +. c.c_cfg.fsync_latency in
+      c.pending.(node) <- (durable_at, v) :: c.pending.(node);
+      durable_at
+    end
+  in
+  Prof.leave c.c_ins.d_prof Prof.Durable;
+  durable_at
 
 let get c ~node =
   match c.pending.(node) with

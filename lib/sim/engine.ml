@@ -2,6 +2,13 @@ module Rng = Quorum.Rng
 module Bitset = Quorum.Bitset
 module Metrics = Obs.Metrics
 module Trace = Obs.Trace
+module Prof = Obs.Prof
+
+(* Built once: hot paths must not allocate a label list per event. *)
+let labels_net = [ ("reason", "net") ]
+let labels_dead_dst = [ ("reason", "dead_dst") ]
+let labels_amnesia_true = [ ("amnesia", "true") ]
+let labels_amnesia_false = [ ("amnesia", "false") ]
 
 type 'msg event =
   | Deliver of { src : int; dst : int; msg : 'msg; uid : int }
@@ -40,6 +47,8 @@ and 'msg t = {
   handlers : 'msg handlers;
   obs : Obs.t;
   ins : instruments;
+  prof : Prof.t;
+  tracing : bool;  (** trace ring has capacity; guards record call sites *)
   msg_ctx : (int, int) Hashtbl.t;  (** uid -> span ctx, in-flight only *)
   mutable ctx : int;  (** ambient span context; -1 = none *)
   mutable next_uid : int;
@@ -48,6 +57,7 @@ and 'msg t = {
   mutable background_sent : int;
   mutable delivered : int;
   mutable dropped : int;
+  mutable dispatched : int;  (** events handed to [dispatch] *)
   mutable foreground : int;  (** queued events that keep [run] alive *)
   mutable budget_hits : int;
 }
@@ -87,6 +97,8 @@ let create ~seed ~nodes ?network ?obs handlers =
     handlers;
     obs;
     ins = make_instruments (Obs.metrics obs);
+    prof = Obs.prof obs;
+    tracing = Trace.capacity (Obs.trace obs) > 0;
     msg_ctx = Hashtbl.create 64;
     ctx = -1;
     next_uid = 0;
@@ -95,6 +107,7 @@ let create ~seed ~nodes ?network ?obs handlers =
     background_sent = 0;
     delivered = 0;
     dropped = 0;
+    dispatched = 0;
     foreground = 0;
     budget_hits = 0;
   }
@@ -130,19 +143,22 @@ let ctx_of_uid t uid =
 let forget_uid t uid = if uid >= 0 then Hashtbl.remove t.msg_ctx uid
 
 let note ?(label = "") t ~node =
-  Trace.record (trace t) ~time:t.time ~node ~span:t.ctx ~label Trace.Note
+  if t.tracing then
+    Trace.record (trace t) ~time:t.time ~node ~span:t.ctx ~label Trace.Note
 
 let enqueue t ~time ~background ev =
   if not background then t.foreground <- t.foreground + 1;
-  Heap.push t.queue ~time (ev, background)
+  Prof.enter t.prof Prof.Heap;
+  Heap.push t.queue ~time (ev, background);
+  Prof.leave t.prof Prof.Heap
 
 let push t ~delay ?(background = false) ev =
   if delay < 0.0 then invalid_arg "Engine: negative delay";
   enqueue t ~time:(t.time +. delay) ~background ev
 
-let drop t ~reason =
+let drop t ~labels =
   t.dropped <- t.dropped + 1;
-  Metrics.incr t.ins.m_dropped ~labels:[ ("reason", reason) ]
+  Metrics.incr t.ins.m_dropped ~labels
 
 let send ?(background = false) t ~src ~dst msg =
   if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
@@ -162,9 +178,13 @@ let send ?(background = false) t ~src ~dst msg =
         Metrics.incr t.ins.m_sent;
         let uid = t.next_uid in
         t.next_uid <- uid + 1;
-        Trace.record (trace t) ~time:t.time ~node:src ~peer:dst ~msg_id:uid
-          ~span:t.ctx Trace.Send;
-        if t.ctx >= 0 then Hashtbl.replace t.msg_ctx uid t.ctx;
+        if t.tracing then
+          Trace.record (trace t) ~time:t.time ~node:src ~peer:dst ~msg_id:uid
+            ~span:t.ctx Trace.Send;
+        (* -1 means "no context" and is the lookup default; anything
+           else — including the sampled-out sentinel — must ride along
+           so the receiver's children share the root's sampling fate. *)
+        if t.ctx <> -1 then Hashtbl.replace t.msg_ctx uid t.ctx;
         uid
       end
     in
@@ -173,10 +193,11 @@ let send ?(background = false) t ~src ~dst msg =
     else
       match Network.delay t.network t.net_rng ~src ~dst with
       | None ->
-          drop t ~reason:"net";
+          drop t ~labels:labels_net;
           if not background then begin
-            Trace.record (trace t) ~time:t.time ~node:src ~peer:dst
-              ~msg_id:uid ~span:t.ctx ~label:"net" Trace.Drop;
+            if t.tracing then
+              Trace.record (trace t) ~time:t.time ~node:src ~peer:dst
+                ~msg_id:uid ~span:t.ctx ~label:"net" Trace.Drop;
             forget_uid t uid
           end
       | Some d -> push t ~delay:d ~background (Deliver { src; dst; msg; uid })
@@ -205,7 +226,18 @@ let messages_sent t = t.sent
 let messages_background t = t.background_sent
 let messages_delivered t = t.delivered
 let messages_dropped t = t.dropped
+let events_dispatched t = t.dispatched
 let budget_exhaustions t = t.budget_hits
+
+(* Restore the saved ambient context and close the probe on the handler's
+   exception path; the happy path inlines the same two steps.  Written
+   out per branch rather than through [with_span_ctx] so dispatch
+   allocates no closure per event. *)
+let[@inline] reraise t cat saved e =
+  let bt = Printexc.get_raw_backtrace () in
+  t.ctx <- saved;
+  Prof.leave t.prof cat;
+  Printexc.raise_with_backtrace e bt
 
 let dispatch t ~background = function
   | Deliver { src; dst; msg; uid } ->
@@ -214,42 +246,75 @@ let dispatch t ~background = function
       if t.live.(dst) then begin
         t.delivered <- t.delivered + 1;
         Metrics.incr t.ins.m_delivered;
-        if not background then
+        if not background && t.tracing then
           Trace.record (trace t) ~time:t.time ~node:dst ~peer:src ~msg_id:uid
             ~span:ctx Trace.Deliver;
         (* The handler runs under the sender's span context: replies it
            sends (and timers it arms) inherit the operation that caused
            this delivery. *)
-        with_span_ctx t ctx (fun () -> t.handlers.on_message t ~node:dst ~src msg)
+        let saved = t.ctx in
+        t.ctx <- ctx;
+        Prof.enter t.prof Prof.Dispatch_msg;
+        (try t.handlers.on_message t ~node:dst ~src msg
+         with e -> reraise t Prof.Dispatch_msg saved e);
+        t.ctx <- saved;
+        Prof.leave t.prof Prof.Dispatch_msg
       end
       else begin
-        drop t ~reason:"dead_dst";
-        if not background then
+        drop t ~labels:labels_dead_dst;
+        if not background && t.tracing then
           Trace.record (trace t) ~time:t.time ~node:dst ~peer:src ~msg_id:uid
             ~span:ctx ~label:"dead_dst" Trace.Drop
       end
   | Timer { node; tag; ctx } ->
-      if t.live.(node) then
-        with_span_ctx t ctx (fun () -> t.handlers.on_timer t ~node ~tag)
+      if t.live.(node) then begin
+        let saved = t.ctx in
+        t.ctx <- ctx;
+        Prof.enter t.prof Prof.Dispatch_timer;
+        (try t.handlers.on_timer t ~node ~tag
+         with e -> reraise t Prof.Dispatch_timer saved e);
+        t.ctx <- saved;
+        Prof.leave t.prof Prof.Dispatch_timer
+      end
   | Crash node ->
       if t.live.(node) then begin
         t.live.(node) <- false;
         Metrics.incr t.ins.m_crashes;
-        Trace.record (trace t) ~time:t.time ~node Trace.Crash;
-        with_span_ctx t (-1) (fun () -> t.handlers.on_crash t ~node)
+        if t.tracing then
+          Trace.record (trace t) ~time:t.time ~node Trace.Crash;
+        let saved = t.ctx in
+        t.ctx <- -1;
+        Prof.enter t.prof Prof.Dispatch_recovery;
+        (try t.handlers.on_crash t ~node
+         with e -> reraise t Prof.Dispatch_recovery saved e);
+        t.ctx <- saved;
+        Prof.leave t.prof Prof.Dispatch_recovery
       end
   | Recover { node; amnesia } ->
       if not t.live.(node) then begin
         t.live.(node) <- true;
         Metrics.incr t.ins.m_recoveries
-          ~labels:[ ("amnesia", if amnesia then "true" else "false") ];
-        if amnesia then
-          Trace.record (trace t) ~time:t.time ~node ~label:"amnesia"
-            Trace.Recover
-        else Trace.record (trace t) ~time:t.time ~node Trace.Recover;
-        with_span_ctx t (-1) (fun () -> t.handlers.on_recover t ~node ~amnesia)
+          ~labels:(if amnesia then labels_amnesia_true else labels_amnesia_false);
+        if t.tracing then
+          if amnesia then
+            Trace.record (trace t) ~time:t.time ~node ~label:"amnesia"
+              Trace.Recover
+          else Trace.record (trace t) ~time:t.time ~node Trace.Recover;
+        let saved = t.ctx in
+        t.ctx <- -1;
+        Prof.enter t.prof Prof.Dispatch_recovery;
+        (try t.handlers.on_recover t ~node ~amnesia
+         with e -> reraise t Prof.Dispatch_recovery saved e);
+        t.ctx <- saved;
+        Prof.leave t.prof Prof.Dispatch_recovery
       end
-  | Thunk { f; ctx } -> with_span_ctx t ctx f
+  | Thunk { f; ctx } ->
+      let saved = t.ctx in
+      t.ctx <- ctx;
+      Prof.enter t.prof Prof.Thunk;
+      (try f () with e -> reraise t Prof.Thunk saved e);
+      t.ctx <- saved;
+      Prof.leave t.prof Prof.Thunk
 
 let run_status ?until ?(max_events = 10_000_000) t =
   let clamp_until () =
@@ -278,18 +343,34 @@ let run_status ?until ?(max_events = 10_000_000) t =
             Reached_until
           end
           else begin
-            match Heap.pop t.queue with
+            Prof.enter t.prof Prof.Heap;
+            let popped = Heap.pop t.queue in
+            Prof.leave t.prof Prof.Heap;
+            match popped with
             | None ->
                 clamp_until ();
                 Drained
             | Some (time, (ev, background)) ->
                 if not background then t.foreground <- t.foreground - 1;
                 t.time <- time;
+                t.dispatched <- t.dispatched + 1;
                 dispatch t ~background ev;
                 loop (budget - 1)
           end
   in
-  loop max_events
+  (* The loop probe brackets the whole drain, so every category of a
+     profiled run nests inside it and the report's total is the run's
+     wall time — self time lands in [Loop] for the loop's own
+     bookkeeping (peeks, budget and drain checks). *)
+  Prof.enter t.prof Prof.Loop;
+  match loop max_events with
+  | outcome ->
+      Prof.leave t.prof Prof.Loop;
+      outcome
+  | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      Prof.leave t.prof Prof.Loop;
+      Printexc.raise_with_backtrace e bt
 
 let run ?until ?max_events t =
   match run_status ?until ?max_events t with

@@ -142,6 +142,12 @@ val messages_dropped : 'msg t -> int
 (** Messages lost in flight — by the network or to a dead destination
     (see the [sim.messages_dropped{reason=..}] metric for the split). *)
 
+val events_dispatched : 'msg t -> int
+(** Events popped off the queue and dispatched over this engine's
+    lifetime (messages, timers, crashes, recoveries, thunks) — the
+    denominator for events/sec and allocations/event in
+    [bench engine]. *)
+
 type outcome =
   | Drained  (** no foreground events left *)
   | Reached_until  (** stopped at the [until] horizon *)

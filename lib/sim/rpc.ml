@@ -1,6 +1,7 @@
 module Rng = Quorum.Rng
 module Metrics = Obs.Metrics
 module Trace = Obs.Trace
+module Prof = Obs.Prof
 
 type 'a msg = Data of { seq : int; payload : 'a } | Ack of { seq : int }
 
@@ -34,6 +35,7 @@ type ('a, 'wire) t = {
   wrap : 'a msg -> 'wire;
   mutable engine : 'wire Engine.t option;
   mutable ins : instruments option;
+  mutable prof : Prof.t;
   mutable next_seq : int;
   inflight : (int, 'a inflight) Hashtbl.t;  (** seq -> record *)
   seen : (int, unit) Hashtbl.t;  (** seqs already delivered *)
@@ -60,6 +62,7 @@ let create ?(timeout = 2.0) ?(backoff = 1.6) ?(jitter = 0.3) ?cap
     wrap;
     engine = None;
     ins = None;
+    prof = Prof.null;
     next_seq = 0;
     inflight = Hashtbl.create 64;
     seen = Hashtbl.create 256;
@@ -76,6 +79,7 @@ let engine_exn t =
 
 let bind t engine =
   t.engine <- Some engine;
+  t.prof <- Obs.prof (Engine.obs engine);
   let m = Obs.metrics (Engine.obs engine) in
   t.ins <-
     Some
@@ -131,6 +135,7 @@ let next_backoff t rng ~prev =
 
 let send t ~src ~dst payload =
   let engine = engine_exn t in
+  Prof.enter t.prof Prof.Rpc;
   let seq = t.next_seq in
   t.next_seq <- t.next_seq + 1;
   Hashtbl.replace t.inflight seq
@@ -139,27 +144,37 @@ let send t ~src ~dst payload =
   Engine.send engine ~src ~dst (t.wrap (Data { seq; payload }));
   Engine.set_timer engine ~node:src
     ~delay:(jittered t engine t.timeout)
-    ~tag:(tag_of_seq seq)
+    ~tag:(tag_of_seq seq);
+  Prof.leave t.prof Prof.Rpc
 
 let on_message t ~node ~src msg ~deliver =
   let engine = engine_exn t in
   match msg with
   | Data { seq; payload } ->
+      Prof.enter t.prof Prof.Rpc;
       (* Always (re-)ack: the previous ack may have been lost. *)
       Engine.send engine ~src:node ~dst:src (t.wrap (Ack { seq }));
       if Hashtbl.mem t.seen seq then begin
         t.duplicates <- t.duplicates + 1;
-        Metrics.incr (ins_exn t).i_duplicates
+        Metrics.incr (ins_exn t).i_duplicates;
+        Prof.leave t.prof Prof.Rpc
       end
       else begin
         Hashtbl.replace t.seen seq ();
+        (* Leave before handing off: the protocol's work must charge to
+           the dispatch category, not to rpc bookkeeping. *)
+        Prof.leave t.prof Prof.Rpc;
         deliver ~src payload
       end
-  | Ack { seq } -> Hashtbl.remove t.inflight seq
+  | Ack { seq } ->
+      Prof.enter t.prof Prof.Rpc;
+      Hashtbl.remove t.inflight seq;
+      Prof.leave t.prof Prof.Rpc
 
 let on_timer t ~node ~tag =
   if not (owns_tag tag) then false
   else begin
+    Prof.enter t.prof Prof.Rpc;
     let seq = seq_of_tag tag in
     (match Hashtbl.find_opt t.inflight seq with
     | None -> ()  (* acked (or the sender crashed) in the meantime *)
@@ -194,6 +209,7 @@ let on_timer t ~node ~tag =
             (t.wrap (Data { seq; payload = m.payload }));
           Engine.set_timer engine ~node ~delay:m.rto ~tag
         end);
+    Prof.leave t.prof Prof.Rpc;
     true
   end
 

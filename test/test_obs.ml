@@ -226,6 +226,11 @@ let with_temp f =
   let path = Filename.temp_file "test_obs" ".out" in
   Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
 
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
 let test_sink_metrics_jsonl () =
   let m = M.create () in
   let c = M.counter m "sink.hits" in
@@ -258,6 +263,52 @@ let test_sink_trace_csv_header () =
       check "label quoted" true
         (String.length (List.nth lines 1) > 0
         && String.contains (List.nth lines 1) '"'))
+
+(* Prometheus text exposition (format 0.0.4). *)
+
+let prom_string m =
+  with_temp (fun path ->
+      Obs.Sink.with_file path (fun oc -> Obs.Sink.metrics_prometheus oc m);
+      slurp path)
+
+let test_prom_empty_registry () =
+  (* No families registered: the exposition is the empty document, not
+     a stray header. *)
+  check_str "empty registry" "" (prom_string (M.create ()))
+
+let test_prom_label_escaping () =
+  let m = M.create () in
+  let c = M.counter m "prom.esc" ~help:"escape \"check\"" in
+  M.incr c ~labels:[ ("path", "a\\b\"c\nd") ] ~by:2;
+  let out = prom_string m in
+  check "dots in the name map to underscores" true
+    (contains out "prom_esc_total");
+  check "backslash, quote and newline escaped in the label value" true
+    (contains out "path=\"a\\\\b\\\"c\\nd\"");
+  check "help text escaped" true
+    (contains out "# HELP prom_esc_total escape \\\"check\\\"");
+  check "counter typed" true (contains out "# TYPE prom_esc_total counter");
+  check "cell value" true (contains out "} 2")
+
+let test_prom_histogram_summary () =
+  (* Exact-sample histograms are exposed as summaries: pre-computed
+     quantile series plus _sum and _count. *)
+  let m = M.create () in
+  let h = M.histogram m "prom.lat" ~help:"latency" in
+  M.observe h ~labels:[ ("op", "read") ] 1.0;
+  M.observe h ~labels:[ ("op", "read") ] 3.0;
+  let out = prom_string m in
+  check "summary typed" true (contains out "# TYPE prom_lat summary");
+  check "single HELP/TYPE block" true
+    (not (contains out "# TYPE prom_lat_sum"));
+  check "p50 series" true
+    (contains out "prom_lat{op=\"read\",quantile=\"0.5\"} 1");
+  check "p90 series" true
+    (contains out "prom_lat{op=\"read\",quantile=\"0.9\"} 3");
+  check "p99 series" true
+    (contains out "prom_lat{op=\"read\",quantile=\"0.99\"} 3");
+  check "sum series" true (contains out "prom_lat_sum{op=\"read\"} 4");
+  check "count series" true (contains out "prom_lat_count{op=\"read\"} 2")
 
 (* --- End to end: a chaos run ----------------------------------------- *)
 
@@ -333,6 +384,12 @@ let () =
         [
           Alcotest.test_case "metrics jsonl" `Quick test_sink_metrics_jsonl;
           Alcotest.test_case "trace csv" `Quick test_sink_trace_csv_header;
+          Alcotest.test_case "prometheus empty registry" `Quick
+            test_prom_empty_registry;
+          Alcotest.test_case "prometheus label escaping" `Quick
+            test_prom_label_escaping;
+          Alcotest.test_case "prometheus histogram summary" `Quick
+            test_prom_histogram_summary;
         ] );
       ( "end to end",
         [
